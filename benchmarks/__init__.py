@@ -1,0 +1,2 @@
+"""Benchmark harness regenerating every table and figure of the paper
+(pytest-benchmark; see conftest.py for the REPRO_FULL switch)."""

@@ -1,0 +1,42 @@
+"""Shared configuration for the benchmark harness.
+
+Every module regenerates one of the paper's tables or figures.  By
+default the harness runs a scaled, laptop-friendly configuration (see
+``repro.experiments.common.fast_config``); set ``REPRO_FULL=1`` to run
+paper-scale circuits and iteration counts (hours, pure Python).
+
+The suite benched by default covers small/medium/large circuit classes;
+``REPRO_FULL=1`` switches to the complete ten-circuit paper suite.
+Numbers of record are written into each benchmark's ``extra_info`` so
+``--benchmark-json`` captures the regenerated rows alongside timings.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.config import AnalysisConfig
+from repro.experiments.common import ExperimentConfig, fast_config, paper_config
+from repro.netlist.benchmarks import PAPER_SUITE
+
+FULL = os.environ.get("REPRO_FULL", "0") == "1"
+
+#: Circuits benched by default (one per size class) vs at full scale.
+BENCH_SUITE = list(PAPER_SUITE) if FULL else ["c432", "c880", "c1908", "c3540"]
+
+#: Sizing iterations per optimizer inside the table benchmarks.
+BENCH_ITERATIONS = 1000 if FULL else 8
+
+
+def bench_config(iterations: int = BENCH_ITERATIONS) -> ExperimentConfig:
+    """The experiment configuration used across benchmark modules."""
+    if FULL:
+        return paper_config(suite=BENCH_SUITE, iterations=iterations)
+    return fast_config(suite=BENCH_SUITE, iterations=iterations)
+
+
+@pytest.fixture(scope="session")
+def experiment_config() -> ExperimentConfig:
+    return bench_config()

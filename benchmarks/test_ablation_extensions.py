@@ -1,0 +1,128 @@
+"""Ablation: the extension features' cost/benefit (DESIGN.md A1/A2 +).
+
+* incremental SSTA vs full rerun after one sizing commit (exactness is
+  asserted; the work ratio is the payoff);
+* heuristic beam search vs exact pruned selection (speed vs quality);
+* multi-gate iterations vs single-gate (SSTA refreshes saved to reach
+  the same added area).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.heuristic_sizer import HeuristicStatisticalSizer
+from repro.core.pruned_sizer import PrunedStatisticalSizer
+from repro.experiments.common import load_scaled
+from repro.timing.delay_model import DelayModel
+from repro.timing.graph import TimingGraph
+from repro.timing.incremental import update_ssta_after_resize
+from repro.timing.ssta import run_ssta
+
+from .conftest import BENCH_SUITE, bench_config
+
+CIRCUIT = BENCH_SUITE[1] if len(BENCH_SUITE) > 1 else BENCH_SUITE[0]
+
+
+def test_ablation_incremental_ssta(benchmark):
+    cfg = bench_config()
+    circuit = load_scaled(CIRCUIT, cfg)
+    graph = TimingGraph(circuit)
+    model = DelayModel(circuit, config=cfg.analysis)
+    result = run_ssta(graph, model)
+    gate = circuit.topo_gates()[circuit.n_gates // 2]
+
+    state = {"w": gate.width}
+
+    def one_commit():
+        state["w"] += cfg.analysis.delta_w
+        gate.width = state["w"]
+        return update_ssta_after_resize(result, model, [gate])
+
+    recomputed = benchmark(one_commit)
+    full = run_ssta(graph, model)
+    assert all(
+        a.offset == b.offset and np.array_equal(a.masses, b.masses)
+        for a, b in zip(result.arrivals, full.arrivals)
+    )
+    benchmark.extra_info.update(
+        {
+            "nodes_recomputed": recomputed,
+            "nodes_total": graph.n_nodes,
+            "cone_fraction": round(recomputed / graph.n_nodes, 3),
+        }
+    )
+
+
+def test_ablation_full_ssta_baseline(benchmark):
+    cfg = bench_config()
+    circuit = load_scaled(CIRCUIT, cfg)
+    graph = TimingGraph(circuit)
+    model = DelayModel(circuit, config=cfg.analysis)
+    result = benchmark(run_ssta, graph, model)
+    benchmark.extra_info["nodes_total"] = graph.n_nodes
+    assert result.percentile(0.99) > 0
+
+
+@pytest.mark.parametrize("beam", [1, 4, 16])
+def test_ablation_heuristic_beam(benchmark, beam):
+    cfg = bench_config()
+
+    def run_heuristic():
+        circuit = load_scaled(CIRCUIT, cfg)
+        sizer = HeuristicStatisticalSizer(
+            circuit, config=cfg.analysis, objective=cfg.objective(),
+            beam_width=beam, max_iterations=3,
+        )
+        return sizer.run()
+
+    result = benchmark.pedantic(run_heuristic, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "final_99_ps": round(result.final_objective, 1),
+            "improvement_pct": round(result.improvement_percent, 3),
+        }
+    )
+    assert result.final_objective <= result.initial_objective
+
+
+def test_ablation_exact_reference(benchmark):
+    cfg = bench_config()
+
+    def run_exact():
+        circuit = load_scaled(CIRCUIT, cfg)
+        sizer = PrunedStatisticalSizer(
+            circuit, config=cfg.analysis, objective=cfg.objective(),
+            max_iterations=3,
+        )
+        return sizer.run()
+
+    result = benchmark.pedantic(run_exact, rounds=1, iterations=1)
+    benchmark.extra_info["final_99_ps"] = round(result.final_objective, 1)
+
+
+@pytest.mark.parametrize("gates_per_iter", [1, 3])
+def test_ablation_multi_gate_moves(benchmark, gates_per_iter):
+    """Reach ~6 gate moves with 6 or 2 SSTA refreshes."""
+    cfg = bench_config()
+    iterations = 6 // gates_per_iter
+
+    def run_sizer():
+        circuit = load_scaled(CIRCUIT, cfg)
+        sizer = PrunedStatisticalSizer(
+            circuit, config=cfg.analysis, objective=cfg.objective(),
+            gates_per_iteration=gates_per_iter, max_iterations=iterations,
+        )
+        return sizer.run()
+
+    result = benchmark.pedantic(run_sizer, rounds=1, iterations=1)
+    moves = sum(len(s.all_gates) for s in result.steps)
+    benchmark.extra_info.update(
+        {
+            "gate_moves": moves,
+            "ssta_refreshes": result.n_iterations,
+            "final_99_ps": round(result.final_objective, 1),
+        }
+    )
+    assert result.final_objective <= result.initial_objective

@@ -1,0 +1,72 @@
+"""Ablation: numeric knobs of the SSTA engine (DESIGN.md A2).
+
+Two sweeps on one benchmark circuit:
+
+* **grid resolution** — SSTA runtime vs accuracy as ``dt`` coarsens
+  (the 99-percentile bound must converge as ``dt -> 0``; the runtime
+  story explains the dt used by the fast experiment configs);
+* **sigma fraction** — how the gap between the deterministic delay and
+  the statistical 99% point grows with process variability (at
+  ``sigma = 0`` SSTA degenerates to STA; at the paper's 10% the gap is
+  what makes statistical optimization worthwhile).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import AnalysisConfig
+from repro.experiments.common import load_scaled
+from repro.timing.delay_model import DelayModel
+from repro.timing.graph import TimingGraph
+from repro.timing.ssta import run_ssta
+from repro.timing.sta import run_sta
+
+from .conftest import bench_config
+
+CIRCUIT = "c880"
+
+_REFERENCE = {}
+
+
+@pytest.mark.parametrize("dt", [1.0, 2.0, 4.0, 8.0, 16.0])
+def test_ablation_grid_resolution(benchmark, dt):
+    cfg = bench_config()
+    circuit = load_scaled(CIRCUIT, cfg)
+    analysis = AnalysisConfig(dt=dt)
+    graph = TimingGraph(circuit)
+    model = DelayModel(circuit, config=analysis)
+
+    result = benchmark(run_ssta, graph, model)
+    p99 = result.percentile(0.99)
+    _REFERENCE.setdefault("p99", {})[dt] = p99
+    benchmark.extra_info.update(
+        {"p99_ps": round(p99, 2), "sink_bins": result.sink_pdf.n_bins}
+    )
+    finest = min(_REFERENCE["p99"])
+    # Discretization error stays within ~1.5% of the finest grid run.
+    assert p99 == pytest.approx(_REFERENCE["p99"][finest], rel=0.015)
+
+
+@pytest.mark.parametrize("sigma", [0.0, 0.05, 0.10, 0.20])
+def test_ablation_sigma_fraction(benchmark, sigma):
+    cfg = bench_config()
+    circuit = load_scaled(CIRCUIT, cfg)
+    analysis = AnalysisConfig(dt=2.0, sigma_fraction=sigma)
+    graph = TimingGraph(circuit)
+    model = DelayModel(circuit, config=analysis)
+
+    result = benchmark(run_ssta, graph, model)
+    p99 = result.percentile(0.99)
+    nominal = run_sta(graph, model).circuit_delay
+    margin_pct = 100.0 * (p99 - nominal) / nominal
+    _REFERENCE.setdefault("margin", {})[sigma] = margin_pct
+    benchmark.extra_info.update(
+        {"p99_ps": round(p99, 2), "margin_over_nominal_pct": round(margin_pct, 2)}
+    )
+    # The statistical margin grows monotonically with variability.
+    margins = _REFERENCE["margin"]
+    ordered = [margins[s] for s in sorted(margins)]
+    assert all(b >= a - 0.25 for a, b in zip(ordered, ordered[1:]))
+    if sigma == 0.0:
+        assert p99 == pytest.approx(nominal, abs=2.0 * analysis.dt * 50)

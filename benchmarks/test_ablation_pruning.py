@@ -1,0 +1,122 @@
+"""Ablation: what each piece of the pruning machinery buys.
+
+DESIGN.md experiment A1.  Three selection strategies are timed on the
+same circuit and verified to return the same gate:
+
+* brute force (one full SSTA per candidate — the Section 3.1 baseline);
+* perturbation fronts with pruning, *without* the identical-PDF
+  shortcut (the paper's pseudocode verbatim);
+* perturbation fronts with pruning *and* the shortcut (this library's
+  default).
+
+Also ablates the heap ordering: propagating fronts in arbitrary order
+(no best-first) still terminates with the same answer but prunes later,
+demonstrating why the paper sorts ``gate_list`` by ``Smx``.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import pytest
+
+from repro.core.brute_force_sizer import BruteForceStatisticalSizer
+from repro.core.perturbation import PerturbationFront
+from repro.core.pruned_sizer import PrunedStatisticalSizer
+from repro.dist.ops import OpCounter
+from repro.experiments.common import load_scaled
+from repro.timing.delay_model import DelayModel
+from repro.timing.graph import TimingGraph
+from repro.timing.ssta import run_ssta
+
+from .conftest import BENCH_SUITE, bench_config
+
+CIRCUIT = BENCH_SUITE[0]
+
+_RESULTS = {}
+
+
+def _selection(kind):
+    cfg = bench_config()
+    circuit = load_scaled(CIRCUIT, cfg)
+    if kind == "brute":
+        sizer = BruteForceStatisticalSizer(
+            circuit, config=cfg.analysis, objective=cfg.objective(), max_iterations=1
+        )
+    else:
+        sizer = PrunedStatisticalSizer(
+            circuit,
+            config=cfg.analysis,
+            objective=cfg.objective(),
+            max_iterations=1,
+            drop_identical=(kind == "pruned+shortcut"),
+        )
+    selection = sizer._select_gate()  # noqa: SLF001
+    gate = selection.best_gate
+    return gate.name, selection.best_sensitivity, selection.stats
+
+
+@pytest.mark.parametrize(
+    "kind", ["brute", "pruned-verbatim", "pruned+shortcut"]
+)
+def test_ablation_selection_strategy(benchmark, kind):
+    name, s, stats = benchmark.pedantic(
+        lambda: _selection(kind), rounds=2, iterations=1
+    )
+    _RESULTS[kind] = (name, s)
+    benchmark.extra_info.update(
+        {
+            "selected_gate": name,
+            "sensitivity": round(s, 5),
+            "stat_ops": stats.convolutions + stats.max_ops,
+            "pruned": stats.pruned,
+        }
+    )
+    # All strategies must agree (exactness ablation).
+    values = set(_RESULTS.values())
+    assert len(values) == 1
+
+
+def test_ablation_unordered_fronts(benchmark):
+    """Round-robin front propagation (no Smx-sorted heap): same winner,
+    strictly more statistical work — quantifies the value of the
+    paper's sorted gate_list."""
+    cfg = bench_config()
+    circuit = load_scaled(CIRCUIT, cfg)
+    graph = TimingGraph(circuit)
+    model = DelayModel(circuit, config=cfg.analysis)
+    objective = cfg.objective()
+    dw = cfg.analysis.delta_w
+
+    def round_robin():
+        counter = OpCounter()
+        base = run_ssta(graph, model, counter=counter)
+        fronts = [
+            PerturbationFront(graph, model, base, g, dw, objective, counter=counter)
+            for g in circuit.topo_gates()
+        ]
+        max_s, best = 0.0, None
+        active = list(fronts)
+        while active:
+            still = []
+            for f in active:
+                if f.sensitivity is not None:
+                    if f.sensitivity > max_s:
+                        max_s, best = f.sensitivity, f
+                    continue
+                if f.smx < max_s:
+                    continue
+                f.propagate_one_level()
+                still.append(f)
+            active = still
+        return best.gate.name if best else None, max_s, counter
+
+    name, s, counter = benchmark.pedantic(round_robin, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "selected_gate": name,
+            "stat_ops": counter.total_ops,
+        }
+    )
+    if "pruned+shortcut" in _RESULTS:
+        assert _RESULTS["pruned+shortcut"][0] == name

@@ -1,0 +1,76 @@
+"""Engine-level microbenchmarks (not a paper artifact, but the numbers
+that explain every table: per-pass cost of STA, SSTA, and Monte Carlo,
+and the per-candidate cost of a perturbation front vs a full SSTA)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.objectives import PercentileObjective
+from repro.core.perturbation import PerturbationFront
+from repro.core.sensitivity import statistical_sensitivity
+from repro.experiments.common import load_scaled
+from repro.timing.delay_model import DelayModel
+from repro.timing.graph import TimingGraph
+from repro.timing.monte_carlo import run_monte_carlo
+from repro.timing.ssta import run_ssta
+from repro.timing.sta import run_sta
+
+from .conftest import BENCH_SUITE, bench_config
+
+
+def _setup(circuit_name):
+    cfg = bench_config()
+    circuit = load_scaled(circuit_name, cfg)
+    graph = TimingGraph(circuit)
+    model = DelayModel(circuit, config=cfg.analysis)
+    return cfg, circuit, graph, model
+
+
+@pytest.mark.parametrize("circuit", BENCH_SUITE)
+def test_engine_sta(benchmark, circuit):
+    _cfg, c, graph, model = _setup(circuit)
+    result = benchmark(run_sta, graph, model)
+    benchmark.extra_info["circuit_delay_ps"] = round(result.circuit_delay, 1)
+
+
+@pytest.mark.parametrize("circuit", BENCH_SUITE)
+def test_engine_ssta(benchmark, circuit):
+    _cfg, c, graph, model = _setup(circuit)
+    result = benchmark(run_ssta, graph, model)
+    benchmark.extra_info["p99_ps"] = round(result.percentile(0.99), 1)
+
+
+@pytest.mark.parametrize("circuit", BENCH_SUITE)
+def test_engine_monte_carlo(benchmark, circuit):
+    cfg, c, graph, model = _setup(circuit)
+    result = benchmark.pedantic(
+        lambda: run_monte_carlo(graph, model, n_samples=cfg.mc_samples, seed=1),
+        rounds=2,
+        iterations=1,
+    )
+    benchmark.extra_info["mc_p99_ps"] = round(result.percentile(0.99), 1)
+
+
+@pytest.mark.parametrize("circuit", BENCH_SUITE[:2])
+def test_engine_single_front_vs_full_ssta(benchmark, circuit):
+    """Per-candidate cost: one perturbation front run to the sink (the
+    pruned path) versus the full-SSTA rerun it replaces."""
+    cfg, c, graph, model = _setup(circuit)
+    base = run_ssta(graph, model)
+    objective = PercentileObjective(cfg.percentile)
+    gate = base.graph.circuit.topo_gates()[len(list(c.gates())) // 2]
+
+    def one_front():
+        front = PerturbationFront(
+            graph, model, base, gate, cfg.analysis.delta_w, objective
+        )
+        return front.run_to_sink()
+
+    s_front = benchmark(one_front)
+    base_obj = objective.evaluate(base.sink_pdf)
+    s_brute = statistical_sensitivity(
+        graph, model, gate, cfg.analysis.delta_w, objective, base_obj
+    )
+    benchmark.extra_info["sensitivity"] = round(s_front, 6)
+    assert s_front == s_brute

@@ -1,0 +1,62 @@
+"""Benchmark regenerating Figure 1 (the wall of near-critical paths).
+
+Times the full comparison — deterministic vs statistical sizing at
+matched area, then exact path-delay histograms of both solutions — and
+records the wall metrics (fraction of paths within 10% of the maximum
+delay) plus both 99-percentile delays.  The qualitative reproduction:
+the deterministic solution concentrates paths near critical and pays
+for it statistically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure1 import run_figure1
+from repro.timing.delay_model import DelayModel
+from repro.timing.graph import TimingGraph
+from repro.timing.paths import path_delay_histogram
+
+from .conftest import BENCH_SUITE, bench_config
+from repro.experiments.common import load_scaled
+
+
+def test_figure1_comparison(benchmark, capsys):
+    cfg = bench_config()
+    circuit = BENCH_SUITE[0]
+
+    def regenerate():
+        return run_figure1(circuit, cfg)
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(result.render())
+    benchmark.extra_info.update(
+        {
+            "det_wall_fraction": round(result.det_wall, 4),
+            "stat_wall_fraction": round(result.stat_wall, 4),
+            "det_99_ps": round(result.det_delay_99, 1),
+            "stat_99_ps": round(result.stat_delay_99, 1),
+        }
+    )
+    assert result.stat_delay_99 <= result.det_delay_99 * 1.005
+
+
+@pytest.mark.parametrize("circuit", BENCH_SUITE)
+def test_figure1_path_histogram_kernel(benchmark, circuit):
+    """The DAG path-counting DP is the figure's computational core;
+    bench it standalone per circuit."""
+    cfg = bench_config()
+    c = load_scaled(circuit, cfg)
+    graph = TimingGraph(c)
+    model = DelayModel(c, config=cfg.analysis)
+
+    hist = benchmark(path_delay_histogram, graph, model, bin_width=cfg.analysis.dt * 2)
+    benchmark.extra_info.update(
+        {
+            "total_paths": f"{hist.total_paths:.3e}",
+            "max_delay_ps": round(hist.max_delay, 1),
+        }
+    )
+    assert hist.total_paths >= 1.0

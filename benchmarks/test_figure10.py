@@ -1,0 +1,41 @@
+"""Benchmark regenerating Figure 10 (area-delay curves + MC validation).
+
+Runs both optimizers on the paper's Figure 10 circuit (c3540, scaled in
+the default configuration), replays their trajectories, and evaluates
+the SSTA bound and Monte Carlo at checkpoints.  Records the maximum
+bound-vs-MC error (paper: < 1% at the 99-percentile on the full
+circuit) and whether the statistical curve dominates at matched area.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure10 import run_figure10
+
+from .conftest import FULL, bench_config
+
+
+def test_figure10_curves(benchmark, capsys):
+    cfg = bench_config()
+    circuit = "c3540"
+
+    def regenerate():
+        return run_figure10(circuit, cfg, n_points=5)
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(result.render())
+    benchmark.extra_info.update(
+        {
+            "max_bound_error_pct": round(result.max_bound_error_pct, 3),
+            "statistical_dominates": result.statistical_dominates(),
+            "det_final_99_ps": round(result.deterministic[-1].bound_delay, 1),
+            "stat_final_99_ps": round(result.statistical[-1].bound_delay, 1),
+        }
+    )
+    # The bound must track Monte Carlo closely (paper: <1% full scale;
+    # the scaled circuit and sample count warrant a looser gate).
+    assert result.max_bound_error_pct < (2.0 if FULL else 6.0)
+    assert result.statistical_dominates()

@@ -1,0 +1,37 @@
+"""Benchmark regenerating Figure 2 (CDF perturbation of a sizing move).
+
+Times the perturbed-CDF computation for the most sensitive gate and
+records the objective shift at the 99% point together with the maximum
+horizontal gap (the paper's perturbation bound delta).  Asserts the
+bound inequality ``delta >= delta(p*)`` that pruning relies on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure2 import run_figure2
+
+from .conftest import BENCH_SUITE, bench_config
+
+
+@pytest.mark.parametrize("circuit", BENCH_SUITE[:2])
+def test_figure2_perturbation(benchmark, circuit, capsys):
+    cfg = bench_config()
+
+    def regenerate():
+        return run_figure2(circuit, cfg)
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(result.render())
+    benchmark.extra_info.update(
+        {
+            "gate": result.gate,
+            "objective_shift_ps": round(result.objective_shift, 3),
+            "max_gap_ps": round(result.max_gap, 3),
+        }
+    )
+    assert result.objective_shift > 0.0
+    assert result.max_gap >= result.objective_shift - 1e-9

@@ -1,0 +1,113 @@
+"""Benchmark regenerating Table 2 (brute force vs pruned runtimes).
+
+pytest-benchmark times one *inner-loop selection* (the paper's
+runtime-per-iteration unit) for the brute-force and for the pruned
+optimizer on each circuit — the ratio of the two benchmark means is the
+paper's "improvement factor" column (up to 56x at full scale; smaller
+at the reduced default scale since pruned-search overheads amortize
+with circuit size, exactly as the paper observes).
+
+Selection agreement (the "results identical" claim) is asserted inside
+the pruned benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.brute_force_sizer import BruteForceStatisticalSizer
+from repro.core.pruned_sizer import PrunedStatisticalSizer
+from repro.experiments.common import load_scaled
+from repro.experiments.table2 import Table2Result, run_table2_circuit
+
+from .conftest import BENCH_SUITE, FULL, bench_config
+
+#: Brute force at paper scale is hours/iteration on the big circuits;
+#: cap the suite it runs on unless explicitly unlocked.
+BRUTE_SUITE = BENCH_SUITE if not FULL else BENCH_SUITE[:6]
+
+_SELECTED = {}
+
+
+def _sizer(kind, circuit_name, cfg):
+    circuit = load_scaled(circuit_name, cfg)
+    cls = BruteForceStatisticalSizer if kind == "brute" else PrunedStatisticalSizer
+    return cls(
+        circuit,
+        config=cfg.analysis,
+        objective=cfg.objective(),
+        max_iterations=1,
+    )
+
+
+@pytest.mark.parametrize("circuit", BRUTE_SUITE)
+def test_table2_brute_force_iteration(benchmark, circuit):
+    cfg = bench_config()
+    sizer = _sizer("brute", circuit, cfg)
+
+    def one_selection():
+        selection = sizer._select_gate()  # noqa: SLF001
+        return selection.best_gate, selection.best_sensitivity, selection.stats
+
+    gate, s, stats = benchmark.pedantic(one_selection, rounds=2, iterations=1)
+    _SELECTED[("brute", circuit)] = (gate.name if gate else None, s)
+    benchmark.extra_info.update(
+        {
+            "candidates": stats.candidates,
+            "stat_ops": stats.convolutions + stats.max_ops,
+            "selected_gate": gate.name if gate else None,
+        }
+    )
+    assert gate is not None
+
+
+@pytest.mark.parametrize("circuit", BRUTE_SUITE)
+def test_table2_pruned_iteration(benchmark, circuit):
+    cfg = bench_config()
+    sizer = _sizer("pruned", circuit, cfg)
+
+    def one_selection():
+        selection = sizer._select_gate()  # noqa: SLF001
+        return selection.best_gate, selection.best_sensitivity, selection.stats
+
+    gate, s, stats = benchmark.pedantic(one_selection, rounds=2, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "candidates": stats.candidates,
+            "pruned": stats.pruned,
+            "pruned_fraction": round(stats.pruned_fraction, 3),
+            "stat_ops": stats.convolutions + stats.max_ops,
+            "selected_gate": gate.name if gate else None,
+        }
+    )
+    assert gate is not None
+    brute = _SELECTED.get(("brute", circuit))
+    if brute is not None:
+        # The paper's exactness claim: identical selection and value.
+        assert brute[0] == gate.name
+        assert brute[1] == s
+
+
+def test_table2_report(benchmark, capsys):
+    """Full multi-iteration Table 2 rows (runtime averages, ranges,
+    improvement factors, pruning fractions) on the smallest circuit."""
+    cfg = bench_config(iterations=4 if not FULL else 1000)
+
+    def regenerate():
+        return run_table2_circuit(BENCH_SUITE[0], cfg)
+
+    row = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    result = Table2Result(rows=[row], iterations=cfg.iterations)
+    with capsys.disabled():
+        print()
+        print(result.render())
+    benchmark.extra_info.update(
+        {
+            "improvement_factor": round(row.improvement_factor, 2),
+            "work_ratio": round(row.work_ratio, 2),
+            "pruned_fraction": round(row.pruned_fraction, 3),
+            "selections_match": row.selections_match,
+        }
+    )
+    assert row.selections_match
+    assert row.work_ratio > 1.0

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Bring your own cells and netlists.
+
+The paper's flow is library- and netlist-agnostic; this example shows
+every extension point a downstream user has:
+
+* define a custom cell library (EQ-1 constants per cell);
+* build a circuit programmatically AND parse one from `.bench` text;
+* swap the delay *distribution family* assumption (the paper: "any
+  delay distribution could be used in our framework") by changing the
+  analysis config's sigma/truncation;
+* optimize under a non-default objective (95th percentile, and the
+  mean) and compare the resulting trade-offs.
+
+Run:  python examples/custom_library.py
+"""
+
+import repro
+from repro.config import AnalysisConfig
+from repro.core.objectives import MeanObjective, PercentileObjective
+from repro.library import CellLibrary, CellType
+
+# --- 1. A tiny custom library (a fictional 130nm-ish process) --------------
+LIB = CellLibrary(name="demo130", wire_cap_per_fanout=0.8,
+                  primary_output_cap=5.0)
+LIB.add(CellType("INVD1", "NOT", 1, intrinsic_delay=18.0, drive_k=20.0,
+                 input_cap=1.6, cell_cap=1.6, area=1.0))
+LIB.add(CellType("ND2D1", "NAND", 2, intrinsic_delay=36.0, drive_k=20.0,
+                 input_cap=2.1, cell_cap=4.2, area=1.8))
+LIB.add(CellType("NR2D1", "NOR", 2, intrinsic_delay=40.0, drive_k=20.0,
+                 input_cap=2.7, cell_cap=5.4, area=2.0))
+LIB.add(CellType("AN2D1", "AND", 2, intrinsic_delay=52.0, drive_k=20.0,
+                 input_cap=2.5, cell_cap=5.0, area=2.2))
+
+BENCH_TEXT = """
+# a small carry-select-ish slice in .bench format
+INPUT(a)
+INPUT(b)
+INPUT(cin)
+OUTPUT(sum)
+OUTPUT(cout)
+axb   = NAND(a, b)
+nab   = NAND(a, axb)
+nbb   = NAND(b, axb)
+xo    = NAND(nab, nbb)
+sxc   = NAND(xo, cin)
+nsc1  = NAND(xo, sxc)
+nsc2  = NAND(cin, sxc)
+sum   = NAND(nsc1, nsc2)
+cout  = NAND(sxc, axb)
+"""
+
+
+def build_programmatic() -> repro.Circuit:
+    """Same adder slice, built through the Circuit API instead."""
+    c = repro.Circuit("adder_api")
+    for net in ("a", "b", "cin"):
+        c.add_input(net)
+    nand = LIB.get("ND2D1")
+    c.add_gate(nand, ["a", "b"], "axb")
+    c.add_gate(nand, ["a", "axb"], "nab")
+    c.add_gate(nand, ["b", "axb"], "nbb")
+    c.add_gate(nand, ["nab", "nbb"], "xo")
+    c.add_gate(nand, ["xo", "cin"], "sxc")
+    c.add_gate(nand, ["xo", "sxc"], "nsc1")
+    c.add_gate(nand, ["cin", "sxc"], "nsc2")
+    c.add_gate(nand, ["nsc1", "nsc2"], "sum")
+    c.add_gate(nand, ["sxc", "axb"], "cout")
+    c.add_output("sum")
+    c.add_output("cout")
+    return c
+
+
+def report(tag: str, circuit, config) -> None:
+    graph = repro.TimingGraph(circuit)
+    model = repro.DelayModel(circuit, LIB, config)
+    ssta = repro.run_ssta(graph, model)
+    print(f"  {tag:28s} mean {ssta.mean_delay():7.1f} ps   "
+          f"sigma {ssta.std_delay():5.1f} ps   "
+          f"99% {ssta.percentile(0.99):7.1f} ps")
+
+
+def main() -> None:
+    # --- 2. Two construction paths give the identical circuit --------------
+    parsed = repro.parse_bench(BENCH_TEXT, name="adder_bench", library=LIB)
+    api = build_programmatic()
+    assert parsed.n_gates == api.n_gates == 9
+    print(f"parsed {parsed.name}: {parsed.n_gates} gates "
+          f"(matches the API-built twin)\n")
+
+    # --- 3. Distribution-family sweep ---------------------------------------
+    print("variability model sweep (same netlist, same library):")
+    for sigma, trunc in [(0.05, 3.0), (0.10, 3.0), (0.10, 2.0), (0.20, 3.0)]:
+        cfg = AnalysisConfig(dt=2.0, sigma_fraction=sigma,
+                             truncation_sigma=trunc)
+        report(f"sigma={sigma:.0%}, cut at {trunc:g} sigma", parsed, cfg)
+
+    # --- 4. Objective comparison --------------------------------------------
+    print("\nsizing the same circuit under different objectives "
+          "(8 moves each):")
+    for objective in (PercentileObjective(0.99), PercentileObjective(0.95),
+                      MeanObjective()):
+        circuit = build_programmatic()
+        cfg = AnalysisConfig(dt=2.0, delta_w=0.5)
+        result = repro.PrunedStatisticalSizer(
+            circuit, library=LIB, config=cfg, objective=objective,
+            max_iterations=8,
+        ).run()
+        print(f"  {objective.name:24s} {result.initial_objective:7.1f} -> "
+              f"{result.final_objective:7.1f} ps   "
+              f"(sized: {', '.join(dict.fromkeys(s.gate for s in result.steps))})")
+
+    print("\nall flows ran on a user-defined library — no built-ins used.")
+
+
+if __name__ == "__main__":
+    main()

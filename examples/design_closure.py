@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Design closure at scale: the extension toolkit in one flow.
+
+A realistic sign-off-style session that goes beyond the paper's core
+experiments and exercises every extension this library adds:
+
+1. size a benchmark with the *multi-gate* pruned optimizer (the paper's
+   "size multiple gates in the same iteration" variant) — fewer SSTA
+   refreshes to reach the same area;
+2. cross-check the approximate *heuristic* optimizer (the paper's
+   stated future work) against the exact one — quality vs speed;
+3. track timing through the run with *incremental SSTA* instead of
+   full re-analysis — bitwise-identical arrivals, fraction of the work;
+4. stress the signed-off design under *spatially correlated* variation
+   (quad-tree model), which the paper's independence assumption
+   ignores, and report the yield impact.
+
+Run:  python examples/design_closure.py [circuit] [scale]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+import repro
+from repro.config import AnalysisConfig
+from repro.timing.correlation import QuadTreeCorrelation, run_monte_carlo_correlated
+from repro.timing.incremental import update_ssta_after_resize
+
+CFG = AnalysisConfig(dt=4.0, delta_w=1.0)
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "c880"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+
+    # ------------------------------------------------------------------
+    # 1. Multi-gate statistical sizing
+    # ------------------------------------------------------------------
+    circuit = repro.load(name, scale=scale)
+    t0 = time.perf_counter()
+    result = repro.PrunedStatisticalSizer(
+        circuit, config=CFG, max_iterations=5, gates_per_iteration=3
+    ).run()
+    moves = sum(len(s.all_gates) for s in result.steps)
+    print(f"multi-gate sizing: {moves} gate moves in "
+          f"{result.n_iterations} iterations ({time.perf_counter() - t0:.1f}s)")
+    print(f"  99% delay {result.initial_objective:.1f} -> "
+          f"{result.final_objective:.1f} ps "
+          f"(+{result.size_increase_percent:.1f}% area)")
+
+    # ------------------------------------------------------------------
+    # 2. Heuristic (beam) optimizer vs exact pruned optimizer
+    # ------------------------------------------------------------------
+    print("\nheuristic-vs-exact selection (paper future work):")
+    for beam in (1, 4, 16):
+        c = repro.load(name, scale=scale)
+        t0 = time.perf_counter()
+        r = repro.HeuristicStatisticalSizer(
+            c, config=CFG, beam_width=beam, max_iterations=5
+        ).run()
+        print(f"  beam {beam:3d}: final 99% {r.final_objective:8.1f} ps "
+              f"in {time.perf_counter() - t0:5.1f}s")
+    c = repro.load(name, scale=scale)
+    t0 = time.perf_counter()
+    r = repro.PrunedStatisticalSizer(c, config=CFG, max_iterations=5).run()
+    print(f"  exact   : final 99% {r.final_objective:8.1f} ps "
+          f"in {time.perf_counter() - t0:5.1f}s")
+
+    # ------------------------------------------------------------------
+    # 3. Incremental SSTA during an ECO-style width sweep
+    # ------------------------------------------------------------------
+    print("\nincremental SSTA (engineering-change-order loop):")
+    circuit = repro.load(name, scale=scale)
+    graph = repro.TimingGraph(circuit)
+    model = repro.DelayModel(circuit, config=CFG)
+    base = repro.run_ssta(graph, model)
+    gates = circuit.topo_gates()
+    eco_gates = [gates[len(gates) // 3], gates[len(gates) // 2], gates[-3]]
+    t0 = time.perf_counter()
+    recomputed = 0
+    for gate in eco_gates:
+        gate.width += 1.0
+        recomputed += update_ssta_after_resize(base, model, [gate])
+    t_inc = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    full = repro.run_ssta(graph, model)
+    t_full = time.perf_counter() - t0
+    same = all(
+        a.offset == b.offset and np.array_equal(a.masses, b.masses)
+        for a, b in zip(base.arrivals, full.arrivals)
+    )
+    print(f"  3 ECOs re-timed incrementally: {recomputed} node updates, "
+          f"{t_inc:.2f}s vs {t_full:.2f}s per full pass "
+          f"(bitwise identical: {same})")
+
+    # ------------------------------------------------------------------
+    # 4. Correlation stress: what the independence assumption hides
+    # ------------------------------------------------------------------
+    print("\nspatial-correlation stress (quad-tree model):")
+    sink = full.sink_pdf
+    target = sink.percentile(0.99)
+    for rho in (0.0, 0.3, 0.6, 0.9):
+        mc = run_monte_carlo_correlated(
+            graph, model, QuadTreeCorrelation(levels=3, rho=rho),
+            n_samples=4000, seed=11,
+        )
+        y = repro.timing_yield(mc, target)
+        print(f"  rho={rho:.1f}: sigma {mc.std():6.1f} ps, 99% "
+              f"{mc.percentile(0.99):8.1f} ps, yield at bound target "
+              f"{100 * y:5.1f}%")
+    print("\n(correlation inflates the circuit-delay sigma and pushes the "
+          "true 99% past the independence-based bound — the quantitative "
+          "reason the paper lists correlation modeling as future work)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,257 @@
+"""Command-line interface.
+
+``repro-ssta`` exposes the library's main entry points::
+
+    repro-ssta analyze c432               # SSTA + STA + MC summary
+    repro-ssta optimize c432 -n 25        # statistical sizing run
+    repro-ssta table1 --suite c432 c880   # regenerate Table 1
+    repro-ssta table2 --suite c432        # regenerate Table 2
+    repro-ssta figure1 c432               # wall-of-criticality data
+    repro-ssta figure2 c432               # CDF perturbation data
+    repro-ssta figure10 c3540             # area-delay curves
+    repro-ssta bench path/to/file.bench   # analyze a real .bench file
+
+All experiment subcommands accept ``--full`` (paper-scale circuits and
+iteration counts) and ``--iterations``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .core.deterministic_sizer import DeterministicSizer
+from .core.pruned_sizer import PrunedStatisticalSizer
+from .experiments import (
+    fast_config,
+    paper_config,
+    run_figure1,
+    run_figure2,
+    run_figure10,
+    run_table1,
+    run_table2,
+)
+from .experiments.report import format_table
+from .netlist.bench import parse_bench_file, write_bench
+from .netlist.benchmarks import PAPER_SUITE, load
+from .timing.delay_model import DelayModel
+from .timing.graph import TimingGraph
+from .timing.corners import run_corners
+from .timing.monte_carlo import run_monte_carlo
+from .timing.ssta import run_ssta
+from .timing.sta import run_sta
+from .timing.yield_analysis import delay_at_yield, timing_yield, yield_curve
+
+__all__ = ["main"]
+
+
+def _experiment_config(args: argparse.Namespace):
+    builder = paper_config if getattr(args, "full", False) else fast_config
+    kwargs = {}
+    if getattr(args, "suite", None):
+        kwargs["suite"] = args.suite
+    if getattr(args, "iterations", None):
+        kwargs["iterations"] = args.iterations
+    return builder(**kwargs)
+
+
+def _analyze_circuit(circuit, mc_samples: int) -> str:
+    graph = TimingGraph(circuit)
+    model = DelayModel(circuit)
+    sta = run_sta(graph, model)
+    ssta = run_ssta(graph, model)
+    mc = run_monte_carlo(graph, model, n_samples=mc_samples)
+    corners = run_corners(graph, model)
+    return format_table(
+        f"Timing summary — {circuit.name}",
+        ["metric", "value"],
+        [
+            ("gates", circuit.n_gates),
+            ("nets (nodes)", circuit.n_nets),
+            ("pin arcs (edges)", circuit.n_pin_edges),
+            ("logic depth", circuit.depth()),
+            ("STA delay (ps)", sta.circuit_delay),
+            ("SSTA mean (ps)", ssta.mean_delay()),
+            ("SSTA sigma (ps)", ssta.std_delay()),
+            ("SSTA 99% bound (ps)", ssta.percentile(0.99)),
+            (f"MC 99% ({mc_samples} samples, ps)", mc.percentile(0.99)),
+            ("corner best/typ/worst (ps)",
+             f"{corners.delay_at('best'):.0f} / "
+             f"{corners.delay_at('typical'):.0f} / "
+             f"{corners.delay_at('worst'):.0f}"),
+            ("worst-corner pessimism vs 99% (%)",
+             100.0 * corners.pessimism_vs(ssta.percentile(0.99))),
+        ],
+    )
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    print(_analyze_circuit(load(args.circuit, scale=args.scale), args.mc_samples))
+    return 0
+
+
+def cmd_bench_file(args: argparse.Namespace) -> int:
+    print(_analyze_circuit(parse_bench_file(args.path), args.mc_samples))
+    return 0
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    circuit = load(args.circuit, scale=args.scale)
+    sizer_cls = DeterministicSizer if args.deterministic else PrunedStatisticalSizer
+    result = sizer_cls(circuit, max_iterations=args.iterations).run()
+    print(
+        format_table(
+            f"{result.optimizer} sizing — {circuit.name}",
+            ["metric", "value"],
+            [
+                ("iterations", result.n_iterations),
+                ("stop reason", result.stop_reason),
+                (f"initial {result.objective_name} (ps)", result.initial_objective),
+                (f"final {result.objective_name} (ps)", result.final_objective),
+                ("improvement (%)", result.improvement_percent),
+                ("size increase (%)", result.size_increase_percent),
+                ("total time (s)", result.total_time_s),
+            ],
+        )
+    )
+    return 0
+
+
+def cmd_yield(args: argparse.Namespace) -> int:
+    circuit = load(args.circuit, scale=args.scale)
+    graph = TimingGraph(circuit)
+    model = DelayModel(circuit)
+    sink = run_ssta(graph, model).sink_pdf
+    rows = []
+    if args.target is not None:
+        rows.append((f"yield at {args.target:g} ps", timing_yield(sink, args.target)))
+    for y in (0.50, 0.90, 0.95, 0.99):
+        rows.append((f"delay at {100 * y:g}% yield (ps)", delay_at_yield(sink, y)))
+    print(format_table(f"Timing yield — {circuit.name}", ["metric", "value"], rows))
+    targets, yields = yield_curve(sink, n_points=12)
+    print()
+    print(format_table(
+        "yield curve",
+        ["target (ps)", "yield"],
+        [(float(t_), float(yy)) for t_, yy in zip(targets, yields)],
+    ))
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    circuit = load(args.circuit, scale=args.scale)
+    text = write_bench(circuit)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {circuit.name} ({circuit.n_gates} gates) to {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    print(run_table1(_experiment_config(args)).render())
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    print(run_table2(_experiment_config(args)).render())
+    return 0
+
+
+def cmd_figure1(args: argparse.Namespace) -> int:
+    print(run_figure1(args.circuit, _experiment_config(args)).render())
+    return 0
+
+
+def cmd_figure2(args: argparse.Namespace) -> int:
+    print(run_figure2(args.circuit, _experiment_config(args)).render())
+    return 0
+
+
+def cmd_figure10(args: argparse.Namespace) -> int:
+    print(run_figure10(args.circuit, _experiment_config(args)).render())
+    return 0
+
+
+def _add_experiment_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale circuits and iteration counts")
+    parser.add_argument("--iterations", type=int, default=None,
+                        help="sizing iterations per optimizer run")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ssta",
+        description="Statistical timing based optimization using gate sizing "
+        "(DATE 2005 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="STA/SSTA/MC summary of a benchmark")
+    p.add_argument("circuit", choices=PAPER_SUITE + ["c17"])
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--mc-samples", type=int, default=4000)
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("bench", help="analyze an external .bench netlist")
+    p.add_argument("path")
+    p.add_argument("--mc-samples", type=int, default=4000)
+    p.set_defaults(func=cmd_bench_file)
+
+    p = sub.add_parser("optimize", help="run a sizing optimization")
+    p.add_argument("circuit", choices=PAPER_SUITE + ["c17"])
+    p.add_argument("-n", "--iterations", type=int, default=25)
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--deterministic", action="store_true",
+                   help="use the deterministic baseline instead")
+    p.set_defaults(func=cmd_optimize)
+
+    p = sub.add_parser("yield", help="timing-yield queries on a benchmark")
+    p.add_argument("circuit", choices=PAPER_SUITE + ["c17"])
+    p.add_argument("--target", type=float, default=None,
+                   help="delay target (ps) to evaluate yield at")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.set_defaults(func=cmd_yield)
+
+    p = sub.add_parser("export", help="write a benchmark as .bench text")
+    p.add_argument("circuit", choices=PAPER_SUITE + ["c17"])
+    p.add_argument("-o", "--output", default=None)
+    p.add_argument("--scale", type=float, default=1.0)
+    p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser("table1", help="regenerate Table 1")
+    p.add_argument("--suite", nargs="+", choices=PAPER_SUITE, default=None)
+    _add_experiment_flags(p)
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("table2", help="regenerate Table 2")
+    p.add_argument("--suite", nargs="+", choices=PAPER_SUITE, default=None)
+    _add_experiment_flags(p)
+    p.set_defaults(func=cmd_table2)
+
+    for name, func, default in (
+        ("figure1", cmd_figure1, "c432"),
+        ("figure2", cmd_figure2, "c432"),
+        ("figure10", cmd_figure10, "c3540"),
+    ):
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        p.add_argument("circuit", nargs="?", default=default, choices=PAPER_SUITE)
+        _add_experiment_flags(p)
+        p.set_defaults(func=func)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""The paper's contribution: statistical sizing objectives, exact
+sensitivities, perturbation fronts with Theorem 1-4 bounds, and the
+three optimizers compared in Section 4."""
+
+from .brute_force_sizer import BruteForceStatisticalSizer
+from .deterministic_sizer import DeterministicSizer
+from .heuristic_sizer import HeuristicStatisticalSizer
+from .objectives import (
+    MeanObjective,
+    MeanPlusSigmaObjective,
+    Objective,
+    PercentileObjective,
+    default_objective,
+)
+from .perturbation import PerturbationFront
+from .pruned_sizer import PrunedStatisticalSizer
+from .sensitivity import (
+    deterministic_sensitivity,
+    perturbed_sink_pdf,
+    statistical_sensitivity,
+)
+from .sizer_base import IterationStats, Selection, SizerBase, SizingResult, SizingStep
+
+__all__ = [
+    "Objective",
+    "PercentileObjective",
+    "MeanObjective",
+    "MeanPlusSigmaObjective",
+    "default_objective",
+    "statistical_sensitivity",
+    "deterministic_sensitivity",
+    "perturbed_sink_pdf",
+    "PerturbationFront",
+    "SizerBase",
+    "SizingResult",
+    "SizingStep",
+    "IterationStats",
+    "DeterministicSizer",
+    "HeuristicStatisticalSizer",
+    "Selection",
+    "BruteForceStatisticalSizer",
+    "PrunedStatisticalSizer",
+]

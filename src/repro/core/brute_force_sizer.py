@@ -1,0 +1,54 @@
+"""Brute-force statistical sizer (Section 3.1).
+
+The straightforward statistical coordinate descent: because the circuit
+delay PDF combines *all* path delays, every gate in the circuit is a
+candidate, and each candidate's exact sensitivity requires propagating
+its perturbation to the sink — i.e. one full SSTA run per gate per
+iteration, O(N*E) statistical operations.  This optimizer is the
+accuracy oracle (the pruned sizer must match its selections exactly)
+and the runtime baseline of Table 2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..dist.ops import OpCounter
+from ..netlist.circuit import Gate
+from ..timing.ssta import run_ssta
+from .sensitivity import statistical_sensitivity
+from .sizer_base import IterationStats, Selection, SizerBase
+
+__all__ = ["BruteForceStatisticalSizer"]
+
+
+class BruteForceStatisticalSizer(SizerBase):
+    """Exact statistical coordinate descent by exhaustive SSTA reruns."""
+
+    name = "brute-force-statistical"
+
+    def _select_gate(self) -> Selection:
+        dw = self.config.delta_w
+        counter = OpCounter()
+        base = run_ssta(self.graph, self.model, counter=counter)
+        base_obj = self.objective.evaluate(base.sink_pdf)
+        candidates = self._candidates()
+        stats = IterationStats(candidates=len(candidates))
+        best_gate: Optional[Gate] = None
+        best_s = 0.0
+        for gate in candidates:
+            s = statistical_sensitivity(
+                self.graph, self.model, gate, dw, self.objective, base_obj,
+                counter=counter,
+            )
+            if s > best_s:
+                best_s = s
+                best_gate = gate
+        stats.convolutions = counter.convolutions
+        stats.max_ops = counter.max_ops
+        stats.finished_fronts = len(candidates)
+        if best_gate is None:
+            return Selection([], base_obj, base_obj, stats)
+        return Selection(
+            [(best_gate, best_s)], base_obj, base_obj - best_s * dw, stats
+        )

@@ -1,0 +1,130 @@
+"""Optimization objectives over the circuit-delay distribution.
+
+In a statistical paradigm the circuit delay is a random variable, so an
+optimizer needs a scalar functional of its distribution (Section 2).
+The paper uses the **p-percentile point** ``T(p)`` with ``p = 0.99``
+but stresses that, because full discretized PDFs are propagated, "the
+proposed framework can support a wide range of cost functions".  This
+module provides that family.
+
+Pruning safety
+--------------
+The pruning algorithm bounds the *horizontal CDF shift* at the sink by
+``delta_mx`` (Theorem 4).  An objective may rely on that bound only if
+it is 1-Lipschitz with respect to horizontal CDF shifts, i.e.
+
+    |J(A) - J(A')| <= max_p |T(A, p) - T(A', p)|.
+
+Percentile points satisfy this trivially; the mean does too (it is the
+integral of ``T(A, p)`` over p).  A variance-penalized objective does
+not, so it advertises ``shift_bounded = False`` and the pruned sizer
+refuses it (the brute-force sizer accepts any objective).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..config import DEFAULT_PERCENTILE
+from ..dist.pdf import DiscretePDF
+from ..errors import OptimizationError
+
+__all__ = [
+    "Objective",
+    "PercentileObjective",
+    "MeanObjective",
+    "MeanPlusSigmaObjective",
+    "default_objective",
+]
+
+
+class Objective(ABC):
+    """A scalar cost functional of the circuit-delay distribution.
+
+    Lower is better (the sizers minimize); sensitivities are measured
+    as the *decrease* of the objective per unit width.
+    """
+
+    #: True when |J(A) - J(A')| is bounded by the maximum horizontal
+    #: CDF gap, making the Theorem-4 pruning bound valid.
+    shift_bounded: bool = True
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Human-readable objective name for reports."""
+
+    @abstractmethod
+    def evaluate(self, pdf: DiscretePDF) -> float:
+        """Objective value (ps) of a circuit-delay distribution."""
+
+    def improvement(self, before: DiscretePDF, after: DiscretePDF) -> float:
+        """``J(before) - J(after)``: positive when ``after`` is better."""
+        return self.evaluate(before) - self.evaluate(after)
+
+
+class PercentileObjective(Objective):
+    """The paper's objective: the p-percentile delay point ``T(p)``.
+
+    With ``p = 0.99`` (the default) this is the delay met by 99% of
+    fabricated dies.
+    """
+
+    shift_bounded = True
+
+    def __init__(self, p: float = DEFAULT_PERCENTILE) -> None:
+        if not 0.0 < p < 1.0:
+            raise OptimizationError(f"percentile level must be in (0, 1), got {p}")
+        self.p = p
+
+    @property
+    def name(self) -> str:
+        return f"{100.0 * self.p:g}-percentile delay"
+
+    def evaluate(self, pdf: DiscretePDF) -> float:
+        return pdf.percentile(self.p)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PercentileObjective(p={self.p})"
+
+
+class MeanObjective(Objective):
+    """Expected circuit delay — also pruning-safe (the mean is the
+    integral of the inverse CDF)."""
+
+    shift_bounded = True
+
+    @property
+    def name(self) -> str:
+        return "mean delay"
+
+    def evaluate(self, pdf: DiscretePDF) -> float:
+        return pdf.mean()
+
+
+class MeanPlusSigmaObjective(Objective):
+    """``E[D] + k * std(D)`` — a common robust-design metric.
+
+    *Not* pruning-safe: a sizing move can reshape the distribution so
+    that the sigma term changes more than any horizontal shift.  Usable
+    with the brute-force sizer only.
+    """
+
+    shift_bounded = False
+
+    def __init__(self, k: float = 3.0) -> None:
+        if k < 0.0:
+            raise OptimizationError(f"k must be non-negative, got {k}")
+        self.k = k
+
+    @property
+    def name(self) -> str:
+        return f"mean + {self.k:g} sigma delay"
+
+    def evaluate(self, pdf: DiscretePDF) -> float:
+        return pdf.mean() + self.k * pdf.std()
+
+
+def default_objective() -> PercentileObjective:
+    """The paper's experimental objective (99-percentile delay)."""
+    return PercentileObjective(DEFAULT_PERCENTILE)

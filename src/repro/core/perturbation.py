@@ -1,0 +1,301 @@
+"""Perturbation fronts and the Theorem 1-4 sensitivity bounds.
+
+This module implements the paper's central machinery (Sections 3.2 and
+3.3).  Up-sizing a candidate gate ``x`` perturbs the delay PDFs of
+``x`` and of the gates driving its inputs (their load grows).  Instead
+of re-running SSTA over the whole circuit, a :class:`PerturbationFront`
+propagates only the *perturbed* arrival CDFs forward, level by level,
+re-using the unperturbed SSTA arrivals everywhere else.
+
+For every perturbed node ``i`` the front records
+
+    delta_i = max_p [ T(A_i, p) - T(A'_i, p) ],
+
+the maximum horizontal gap between unperturbed and perturbed CDFs.
+Theorems 1-3 prove this gap cannot grow through convolution or the
+independence max, and Theorem 4 lifts that to the whole front: the
+eventual gap at the sink is bounded by ``delta_mx``, the maximum
+``delta_i`` over the *active cut* — perturbed nodes that still have
+un-propagated fan-out arcs.  Dividing by ``dw`` gives the front
+sensitivity bound
+
+    Smx = delta_mx / dw  >=  Sx,
+
+which the pruned sizer uses to discard candidates early.
+
+Sign subtlety (the paper implicitly assumes improvements): when a
+perturbation *degrades* a node (``delta_i < 0``), a downstream
+statistical max with an unperturbed arrival can mask the degradation,
+so ``delta`` may rise back toward zero.  The precise invariant is
+therefore ``delta_downstream <= max(delta_mx, 0)``: non-increasing in
+the positive regime, and never able to cross from negative to a
+positive value.  Pruning soundness is unaffected — the exact
+sensitivity satisfies ``Sx <= max(Smx, 0)``, and a candidate is only
+ever selected when its sensitivity strictly exceeds ``Max_S >= 0``.
+
+Exactness guarantee: the front computes perturbed arrivals with the
+*same* kernel (:func:`repro.timing.ssta.compute_node_arrival`), the
+same delay-PDF cache, and the same unperturbed inputs a full SSTA rerun
+would use, so a front propagated all the way to the sink reproduces the
+brute-force sink distribution **bit for bit** — pruning never changes
+the optimizer's decisions, only its cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from ..dist.metrics import max_percentile_gap
+from ..dist.ops import OpCounter
+from ..dist.pdf import DiscretePDF
+from ..errors import OptimizationError
+from ..netlist.circuit import Gate
+from ..timing.delay_model import DelayModel
+from ..timing.graph import TimingGraph
+from ..timing.ssta import SSTAResult, compute_node_arrival
+from .objectives import Objective
+
+__all__ = ["PerturbationFront"]
+
+_NEG_INF = float("-inf")
+
+
+def _identical(a: DiscretePDF, b: DiscretePDF) -> bool:
+    """Bitwise equality of two distributions on the same grid."""
+    return (
+        a.offset == b.offset
+        and a.n_bins == b.n_bins
+        and np.array_equal(a.masses, b.masses)
+    )
+
+
+class PerturbationFront:
+    """Level-by-level propagation of one candidate gate's perturbation.
+
+    Construction runs the paper's ``Initialize`` (Figure 7): the
+    candidate is temporarily up-sized, the delay PDFs of the affected
+    gates are re-evaluated, the perturbation front is seeded with their
+    output nets, and the front is advanced to the candidate's own
+    level so that :attr:`smx` is available for the first sort.
+
+    Afterwards, :meth:`propagate_one_level` (Figure 9) advances the
+    front one level at a time; :attr:`smx` is non-increasing along the
+    way (the property tests assert this).  When the front reaches the
+    sink — or dies out because every perturbed CDF collapsed back onto
+    its unperturbed value — :attr:`sensitivity` holds the exact ``Sx``.
+
+    Parameters
+    ----------
+    drop_identical:
+        Retire perturbed nodes whose CDF equals the unperturbed CDF
+        bitwise.  This is exact (their downstream influence is nil) and
+        lets absorbed perturbations terminate early; disable to follow
+        the paper's pseudocode to the letter.
+    """
+
+    def __init__(
+        self,
+        graph: TimingGraph,
+        model: DelayModel,
+        base: SSTAResult,
+        gate: Gate,
+        dw: float,
+        objective: Objective,
+        *,
+        counter: Optional[OpCounter] = None,
+        drop_identical: bool = True,
+    ) -> None:
+        if dw <= 0.0:
+            raise OptimizationError(f"dw must be positive, got {dw}")
+        self.graph = graph
+        self.model = model
+        self.base = base
+        self.gate = gate
+        self.dw = dw
+        self.objective = objective
+        self.counter = counter
+        self.drop_identical = drop_identical
+
+        #: perturbed arrival PDFs of live nodes (the paper's A'set entries)
+        self._perturbed: Dict[int, DiscretePDF] = {}
+        #: remaining un-propagated fan-out arcs per computed node
+        self._pending: Dict[int, int] = {}
+        #: delta_i per *active* computed node
+        self._delta: Dict[int, float] = {}
+        #: scheduled-but-not-yet-computed nodes
+        self._scheduled: Set[int] = set()
+        #: perturbed delay PDFs, keyed by gate name
+        self._perturbed_delay: Dict[str, DiscretePDF] = {}
+
+        self.curr_level: int = 0
+        self.levels_propagated: int = 0
+        self.nodes_computed: int = 0
+        self.reached_sink: bool = False
+        self.sink_pdf: Optional[DiscretePDF] = None
+        self.sensitivity: Optional[float] = None
+        self._smx: float = _NEG_INF
+
+        self._initialize()
+
+    # ------------------------------------------------------------------
+    # Public state
+    # ------------------------------------------------------------------
+    @property
+    def smx(self) -> float:
+        """Current sensitivity bound ``Smx = delta_mx / dw``.
+
+        Once the exact sensitivity is known (front finished) this
+        returns it, so sorting keys stay meaningful throughout.
+        """
+        if self.sensitivity is not None:
+            return self.sensitivity
+        return self._smx
+
+    @property
+    def is_done(self) -> bool:
+        """True when no nodes remain to propagate."""
+        return not self._scheduled
+
+    @property
+    def front_size(self) -> int:
+        """Number of live nodes (computed-active plus scheduled)."""
+        return len(self._delta) + len(self._scheduled)
+
+    # ------------------------------------------------------------------
+    # Initialize (Figure 7)
+    # ------------------------------------------------------------------
+    def _initialize(self) -> None:
+        affected = self.model.gates_affected_by_resize(self.gate)
+        original = self.gate.width
+        self.gate.width = original + self.dw
+        try:
+            for g in affected:
+                self._perturbed_delay[g.output] = self.model.delay_pdf(g)
+        finally:
+            self.gate.width = original
+
+        for g in affected:
+            self._scheduled.add(self.graph.gate_output_node(g))
+        self.curr_level = min(self.graph.level(n) for n in self._scheduled)
+        target = self.graph.level(self.graph.gate_output_node(self.gate))
+        while self._scheduled and self.curr_level <= target:
+            self.propagate_one_level()
+
+    # ------------------------------------------------------------------
+    # PropagateOneLevel (Figure 9)
+    # ------------------------------------------------------------------
+    def _get_arrival(self, node: int) -> DiscretePDF:
+        pdf = self._perturbed.get(node)
+        if pdf is not None:
+            return pdf
+        return self.base.arrivals[node]
+
+    def _get_delay_pdf(self, gate: Gate) -> DiscretePDF:
+        pdf = self._perturbed_delay.get(gate.output)
+        if pdf is not None:
+            return pdf
+        return self.model.delay_pdf(gate)
+
+    def propagate_one_level(self) -> None:
+        """Advance the front to the next level that has scheduled nodes
+        and compute the perturbed arrivals there."""
+        if not self._scheduled:
+            self._finish()
+            return
+        level = min(self.graph.level(n) for n in self._scheduled)
+        self.curr_level = level
+        prop_nodes = sorted(
+            n for n in self._scheduled if self.graph.level(n) == level
+        )
+        cfg = self.model.config
+        for node in prop_nodes:
+            self._scheduled.discard(node)
+            perturbed = compute_node_arrival(
+                self.graph,
+                node,
+                self._get_arrival,
+                self._get_delay_pdf,
+                trim_eps=cfg.tail_eps,
+                counter=self.counter,
+            )
+            self.nodes_computed += 1
+            self._retire_fanins(node)
+            base_pdf = self.base.arrivals[node]
+            if self.drop_identical and _identical(perturbed, base_pdf):
+                continue  # perturbation fully absorbed at this node
+            if node == self.graph.sink:
+                self.reached_sink = True
+                self.sink_pdf = perturbed
+                self.sensitivity = (
+                    self.objective.improvement(base_pdf, perturbed) / self.dw
+                )
+                continue
+            delta = max_percentile_gap(base_pdf, perturbed)
+            fanouts = self.graph.fanout_edges(node)
+            self._perturbed[node] = perturbed
+            self._pending[node] = len(fanouts)
+            self._delta[node] = delta
+            for edge in fanouts:
+                if edge.dst not in self._perturbed:
+                    self._scheduled.add(edge.dst)
+        self.levels_propagated += 1
+        self.curr_level = level + 1
+        self._refresh_smx()
+        if not self._scheduled:
+            self._finish()
+
+    def _retire_fanins(self, node: int) -> None:
+        """Decrement pending fan-out counts of this node's perturbed
+        fan-ins; fully propagated nodes leave the active cut (and their
+        stored PDFs are released, as in the paper's fo_count scheme)."""
+        for edge in self.graph.fanin_edges(node):
+            src = edge.src
+            remaining = self._pending.get(src)
+            if remaining is None:
+                continue
+            if remaining <= 1:
+                del self._pending[src]
+                del self._delta[src]
+                del self._perturbed[src]
+            else:
+                self._pending[src] = remaining - 1
+
+    def _refresh_smx(self) -> None:
+        if self._delta:
+            self._smx = max(self._delta.values()) / self.dw
+        elif self._scheduled:
+            # Between Initialize sub-steps every computed node may have
+            # retired while fanouts are still scheduled; keep the last
+            # bound (it is still valid and non-increasing).
+            pass
+        else:
+            self._smx = _NEG_INF
+
+    def _finish(self) -> None:
+        """Front exhausted: if the sink was never reached the
+        perturbation died out and the exact sensitivity is zero."""
+        if self.sensitivity is None:
+            self.sensitivity = 0.0
+        self._smx = self.sensitivity
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def run_to_sink(self) -> float:
+        """Propagate until finished and return the exact sensitivity —
+        the standalone (unpruned) use of the front machinery."""
+        while not self.is_done:
+            self.propagate_one_level()
+        if self.sensitivity is None:  # pragma: no cover - defensive
+            self._finish()
+        assert self.sensitivity is not None
+        return self.sensitivity
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.is_done else f"level {self.curr_level}"
+        return (
+            f"PerturbationFront(gate={self.gate.name!r}, {state}, "
+            f"smx={self.smx:.4g}, live={self.front_size})"
+        )

@@ -1,0 +1,171 @@
+"""The paper's accelerated statistical sizer (Figure 6).
+
+Each iteration searches for the most sensitive gate *without* a full
+SSTA per candidate:
+
+1. run one SSTA to refresh unperturbed arrivals (step 2);
+2. ``Initialize`` a perturbation front per candidate gate (steps 3-4);
+3. keep candidates ordered by their sensitivity bound ``Smx``
+   (step 5); repeatedly advance the *most promising* front one level
+   (steps 7-10), so a highly sensitive gate reaches the sink early and
+   its exact ``Sx`` raises ``Max_S``;
+4. discard any candidate whose bound falls below ``Max_S`` — by
+   Theorem 4 it can never win (step 20);
+5. when the candidate list empties, size the winner by ``dw``
+   (step 22) and iterate until no gate helps (``Max_S <= 0``).
+
+The ordered list is a lazy max-heap: a front's ``Smx`` only changes
+when *we* propagate it (it is non-increasing, Theorems 1-3), so heap
+keys are exact at push time and the pop order matches the paper's
+sorted ``gate_list``.  Pruning decisions use strict inequality
+(``Smx < Max_S``), exactly as in step 20, so ties are propagated, never
+guessed — this optimizer selects the same gates as the brute-force
+sizer, bit for bit.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from ..dist.ops import OpCounter
+from ..errors import OptimizationError
+from ..netlist.circuit import Gate
+from ..timing.incremental import update_ssta_after_resize
+from ..timing.ssta import run_ssta
+from .objectives import Objective
+from .perturbation import PerturbationFront
+from .sizer_base import IterationStats, Selection, SizerBase
+
+__all__ = ["PrunedStatisticalSizer"]
+
+
+class PrunedStatisticalSizer(SizerBase):
+    """Statistical sizing with perturbation-bound pruning.
+
+    Parameters beyond :class:`SizerBase`:
+
+    drop_identical:
+        Let fronts retire nodes whose perturbed CDF is bitwise equal to
+        the unperturbed one (exact shortcut; see
+        :class:`~repro.core.perturbation.PerturbationFront`).
+    gates_per_iteration:
+        Size the top ``N`` gates per iteration instead of one — the
+        modification the paper points out after Figure 6.  The pruning
+        threshold generalizes from ``Max_S`` to the ``N``-th best
+        finished sensitivity, which is still exact with respect to the
+        top-``N`` set; per-iteration objective values become
+        first-order estimates (re-anchored by the next SSTA).
+    incremental_ssta:
+        Refresh the unperturbed arrivals (Figure 6 step 2) with an
+        exact incremental cone update instead of a from-scratch SSTA.
+        Bitwise identical results (see
+        :mod:`repro.timing.incremental`); off by default to follow the
+        paper's pseudocode literally.
+    """
+
+    name = "pruned-statistical"
+
+    def __init__(
+        self,
+        circuit,
+        *,
+        drop_identical: bool = True,
+        gates_per_iteration: int = 1,
+        incremental_ssta: bool = False,
+        **kwargs,
+    ) -> None:
+        super().__init__(circuit, **kwargs)
+        if not self.objective.shift_bounded:
+            raise OptimizationError(
+                f"objective {self.objective.name!r} is not bounded by "
+                "horizontal CDF shifts; Theorem 4 pruning would be unsound. "
+                "Use BruteForceStatisticalSizer for this objective."
+            )
+        if gates_per_iteration < 1:
+            raise OptimizationError(
+                f"gates_per_iteration must be >= 1, got {gates_per_iteration}"
+            )
+        self.drop_identical = drop_identical
+        self.gates_per_iteration = gates_per_iteration
+        self.incremental_ssta = incremental_ssta
+        self._base: Optional[object] = None
+
+    def _after_apply(self, gates) -> None:
+        if self.incremental_ssta and self._base is not None:
+            update_ssta_after_resize(self._base, self.model, gates)
+
+    def _refresh_base(self, counter: OpCounter):
+        if not self.incremental_ssta or self._base is None:
+            self._base = run_ssta(self.graph, self.model, counter=counter)
+        return self._base
+
+    def _select_gate(self) -> Selection:
+        dw = self.config.delta_w
+        n_select = self.gates_per_iteration
+        counter = OpCounter()
+        base = self._refresh_base(counter)
+        base_obj = self.objective.evaluate(base.sink_pdf)
+        candidates = self._candidates()
+        stats = IterationStats(candidates=len(candidates))
+
+        fronts = [
+            PerturbationFront(
+                self.graph,
+                self.model,
+                base,
+                gate,
+                dw,
+                self.objective,
+                counter=counter,
+                drop_identical=self.drop_identical,
+            )
+            for gate in candidates
+        ]
+
+        # Min-heap of the current top-N finished (sensitivity, order, front);
+        # the pruning threshold is its smallest member once full.
+        top: List[Tuple[float, int, PerturbationFront]] = []
+
+        def threshold() -> float:
+            return top[0][0] if len(top) >= n_select else 0.0
+
+        def record(front: PerturbationFront, order: int) -> None:
+            s = front.sensitivity
+            assert s is not None
+            stats.finished_fronts += 1
+            if s <= 0.0:
+                return
+            if len(top) < n_select:
+                heapq.heappush(top, (s, order, front))
+            elif s > top[0][0]:
+                heapq.heapreplace(top, (s, order, front))
+
+        heap: List[Tuple[float, int, PerturbationFront]] = [
+            (-f.smx, i, f) for i, f in enumerate(fronts)
+        ]
+        heapq.heapify(heap)
+        while heap:
+            _neg, idx, front = heapq.heappop(heap)
+            if front.sensitivity is not None:
+                # Front finished during Initialize or a previous pop.
+                record(front, idx)
+                continue
+            if front.smx < threshold():
+                stats.pruned += 1
+                continue
+            front.propagate_one_level()
+            if front.sensitivity is not None:
+                record(front, idx)
+            else:
+                heapq.heappush(heap, (-front.smx, idx, front))
+
+        stats.nodes_computed = sum(f.nodes_computed for f in fronts)
+        stats.convolutions = counter.convolutions
+        stats.max_ops = counter.max_ops
+        if not top:
+            return Selection([], base_obj, base_obj, stats)
+        winners = sorted(top, key=lambda item: (-item[0], item[1]))
+        moves = [(front.gate, s) for s, _i, front in winners]
+        estimate = base_obj - sum(s for _g, s in moves) * dw
+        return Selection(moves, base_obj, estimate, stats)

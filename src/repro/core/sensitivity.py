@@ -1,0 +1,95 @@
+"""Exact gate-sizing sensitivities (the brute-force primitives).
+
+The statistical sensitivity of gate x is (Section 3.3)
+
+    Sx = delta_nf(p) / dw,
+
+the decrease of the objective at the sink per unit of added width,
+measured by actually perturbing the gate and re-timing.  The
+brute-force computation re-runs a *full* SSTA per candidate — the
+O(N*E)-per-iteration cost that motivates the pruning algorithm — and is
+kept here both as the baseline for Table 2 and as the oracle the pruned
+sizer is verified against (they must agree exactly).
+
+Deterministic sensitivity (used by the baseline optimizer of Section 4)
+is the same measurement on the deterministic STA circuit delay.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..dist.ops import OpCounter
+from ..dist.pdf import DiscretePDF
+from ..errors import OptimizationError
+from ..netlist.circuit import Gate
+from ..timing.delay_model import DelayModel
+from ..timing.graph import TimingGraph
+from ..timing.ssta import run_ssta
+from ..timing.sta import run_sta
+from .objectives import Objective
+
+__all__ = [
+    "statistical_sensitivity",
+    "perturbed_sink_pdf",
+    "deterministic_sensitivity",
+]
+
+
+def perturbed_sink_pdf(
+    graph: TimingGraph,
+    model: DelayModel,
+    gate: Gate,
+    dw: float,
+    *,
+    counter: Optional[OpCounter] = None,
+) -> DiscretePDF:
+    """Circuit-delay distribution with ``gate`` temporarily up-sized by
+    ``dw`` — one full SSTA run; the gate's width is restored before
+    returning."""
+    if dw <= 0.0:
+        raise OptimizationError(f"dw must be positive, got {dw}")
+    original = gate.width
+    gate.width = original + dw
+    try:
+        result = run_ssta(graph, model, counter=counter)
+    finally:
+        gate.width = original
+    return result.sink_pdf
+
+
+def statistical_sensitivity(
+    graph: TimingGraph,
+    model: DelayModel,
+    gate: Gate,
+    dw: float,
+    objective: Objective,
+    base_objective_value: float,
+    *,
+    counter: Optional[OpCounter] = None,
+) -> float:
+    """Exact ``Sx``: objective decrease per unit width for up-sizing
+    ``gate`` by ``dw`` (may be negative when the added input load hurts
+    more than the added drive helps)."""
+    sink = perturbed_sink_pdf(graph, model, gate, dw, counter=counter)
+    return (base_objective_value - objective.evaluate(sink)) / dw
+
+
+def deterministic_sensitivity(
+    graph: TimingGraph,
+    model: DelayModel,
+    gate: Gate,
+    dw: float,
+    base_circuit_delay: float,
+) -> float:
+    """Deterministic analogue: decrease of the STA longest-path delay
+    per unit width."""
+    if dw <= 0.0:
+        raise OptimizationError(f"dw must be positive, got {dw}")
+    original = gate.width
+    gate.width = original + dw
+    try:
+        delay = run_sta(graph, model).circuit_delay
+    finally:
+        gate.width = original
+    return (base_circuit_delay - delay) / dw

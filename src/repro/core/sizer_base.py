@@ -1,0 +1,312 @@
+"""Shared coordinate-descent scaffolding for all three sizers.
+
+The paper compares three optimizers that share one outer loop: analyse
+the circuit, pick the gate with the best sensitivity, grow it by ``dw``,
+repeat (Figure 6).  They differ only in how the best gate is found —
+deterministic STA on the critical path, brute-force SSTA per candidate,
+or the pruned perturbation-front search.  :class:`SizerBase` owns the
+loop, the stopping rules, and the per-iteration bookkeeping that the
+Table 1/Table 2/Figure 10 experiments consume.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..config import AnalysisConfig, DEFAULT_CONFIG
+from ..errors import OptimizationError
+from ..library.library import CellLibrary, default_library
+from ..library.sizing import SizingLimits, total_gate_size
+from ..netlist.circuit import Circuit, Gate
+from ..timing.delay_model import DelayModel
+from ..timing.graph import TimingGraph
+from .objectives import Objective, default_objective
+
+__all__ = ["IterationStats", "SizingStep", "SizingResult", "SizerBase"]
+
+
+@dataclass
+class IterationStats:
+    """Work performed during one sizing iteration (Table 2 raw data)."""
+
+    wall_time_s: float = 0.0
+    candidates: int = 0
+    pruned: int = 0
+    finished_fronts: int = 0
+    nodes_computed: int = 0
+    convolutions: int = 0
+    max_ops: int = 0
+
+    @property
+    def pruned_fraction(self) -> float:
+        """Fraction of candidates eliminated before reaching the sink."""
+        if self.candidates == 0:
+            return 0.0
+        return self.pruned / self.candidates
+
+
+@dataclass
+class SizingStep:
+    """One accepted sizing iteration (usually a single gate move).
+
+    With ``gates_per_iteration > 1`` (the paper notes the algorithm "can
+    be easily modified to size multiple gates in the same iteration")
+    the runner-up gates land in :attr:`extra_gates`; every listed gate
+    was grown by ``delta_w`` during this iteration.
+    """
+
+    iteration: int
+    gate: str
+    sensitivity: float
+    objective_before: float
+    objective_after: float
+    total_size: float
+    stats: IterationStats = field(default_factory=IterationStats)
+    extra_gates: Tuple[str, ...] = ()
+
+    @property
+    def all_gates(self) -> Tuple[str, ...]:
+        """Every gate sized during this iteration, best first."""
+        return (self.gate,) + self.extra_gates
+
+
+@dataclass
+class Selection:
+    """Outcome of one inner-loop search (one ``_select_gate`` call).
+
+    ``moves`` holds ``(gate, sensitivity)`` pairs, best first — empty
+    when no candidate improves the objective.  ``objective_after`` is
+    exact for a single move (the winner's perturbed sink distribution
+    is in hand); for multi-gate iterations it is the first-order
+    estimate ``objective_before - sum(S_i * dw)`` and the next
+    iteration's SSTA re-anchors the trajectory.
+    """
+
+    moves: List[Tuple[Gate, float]]
+    objective_before: float
+    objective_after: float
+    stats: IterationStats
+
+    @property
+    def best_gate(self) -> Optional[Gate]:
+        """The most sensitive gate, or None when nothing improves."""
+        return self.moves[0][0] if self.moves else None
+
+    @property
+    def best_sensitivity(self) -> float:
+        """Sensitivity of the best move (0 when there is none)."""
+        return self.moves[0][1] if self.moves else 0.0
+
+
+@dataclass
+class SizingResult:
+    """Complete record of one optimization run.
+
+    Enough is stored to replay the trajectory: the initial widths plus
+    the ordered list of sized gates reconstruct the circuit at any
+    intermediate iteration (used by the Figure 10 area-delay curves).
+    """
+
+    optimizer: str
+    circuit_name: str
+    objective_name: str
+    delta_w: float
+    initial_objective: float
+    final_objective: float
+    initial_size: float
+    final_size: float
+    initial_widths: Dict[str, float]
+    steps: List[SizingStep]
+    stop_reason: str
+    total_time_s: float
+
+    @property
+    def n_iterations(self) -> int:
+        """Number of accepted sizing moves."""
+        return len(self.steps)
+
+    @property
+    def size_increase_percent(self) -> float:
+        """Table 1 column 3: % growth of total gate size."""
+        return 100.0 * (self.final_size - self.initial_size) / self.initial_size
+
+    @property
+    def improvement_percent(self) -> float:
+        """Objective improvement relative to the unoptimized circuit."""
+        if self.initial_objective == 0.0:
+            return 0.0
+        return 100.0 * (self.initial_objective - self.final_objective) / self.initial_objective
+
+    @property
+    def mean_iteration_time_s(self) -> float:
+        """Average wall-clock per iteration (Table 2 columns 2-3)."""
+        if not self.steps:
+            return 0.0
+        return sum(s.stats.wall_time_s for s in self.steps) / len(self.steps)
+
+    def iteration_time_range(self) -> Tuple[float, float]:
+        """(min, max) wall-clock per iteration (Table 2 column 5)."""
+        if not self.steps:
+            return (0.0, 0.0)
+        times = [s.stats.wall_time_s for s in self.steps]
+        return (min(times), max(times))
+
+    def area_delay_curve(self) -> Tuple[List[float], List[float]]:
+        """(total size, objective) after every iteration, starting from
+        the unoptimized circuit — the Figure 10 series."""
+        sizes = [self.initial_size] + [s.total_size for s in self.steps]
+        objectives = [self.initial_objective] + [s.objective_after for s in self.steps]
+        return sizes, objectives
+
+    def widths_at_iteration(self, iteration: int) -> Dict[str, float]:
+        """Gate widths after ``iteration`` iterations (0 = unoptimized)."""
+        if not 0 <= iteration <= len(self.steps):
+            raise OptimizationError(
+                f"iteration {iteration} outside [0, {len(self.steps)}]"
+            )
+        widths = dict(self.initial_widths)
+        for step in self.steps[:iteration]:
+            for name in step.all_gates:
+                widths[name] = widths[name] + self.delta_w
+        return widths
+
+
+class SizerBase(ABC):
+    """Coordinate-descent gate sizer (Figure 6 outer loop).
+
+    Subclasses implement :meth:`_select_gate`, returning the chosen
+    gate, its sensitivity, and the iteration's work statistics; the
+    base class applies the move, records the trajectory, and stops on
+    convergence (``Max_S <= 0``), the iteration budget, or when every
+    gate has hit the width cap.
+    """
+
+    name: str = "sizer"
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        *,
+        library: Optional[CellLibrary] = None,
+        config: AnalysisConfig = DEFAULT_CONFIG,
+        objective: Optional[Objective] = None,
+        limits: Optional[SizingLimits] = None,
+        max_iterations: int = 100,
+        min_sensitivity: float = 0.0,
+    ) -> None:
+        if max_iterations < 1:
+            raise OptimizationError("max_iterations must be >= 1")
+        self.circuit = circuit
+        self.library = library if library is not None else default_library()
+        self.config = config
+        self.objective = objective if objective is not None else default_objective()
+        self.limits = limits if limits is not None else SizingLimits()
+        self.max_iterations = max_iterations
+        self.min_sensitivity = min_sensitivity
+        self.graph = TimingGraph(circuit)
+        self.model = DelayModel(circuit, self.library, config)
+
+    # ------------------------------------------------------------------
+    # Subclass interface
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _select_gate(self) -> Selection:
+        """One inner-loop search.
+
+        Returns a :class:`Selection`; empty ``moves`` means no candidate
+        improves the objective (``Max_S <= min_sensitivity``), which
+        stops the run.
+        """
+
+    def _after_apply(self, gates: List[Gate]) -> None:
+        """Hook invoked after an iteration's moves are committed (the
+        gates already carry their new widths).  Default: no-op;
+        subclasses use it to keep incremental state current."""
+
+    def _candidates(self) -> List[Gate]:
+        """Gates that may still be sized up within the width limits."""
+        dw = self.config.delta_w
+        return [
+            g
+            for g in self.circuit.topo_gates()
+            if self.limits.can_upsize(g.width, dw)
+        ]
+
+    # ------------------------------------------------------------------
+    # Outer loop
+    # ------------------------------------------------------------------
+    def run(self) -> SizingResult:
+        """Run the coordinate descent to convergence or budget."""
+        dw = self.config.delta_w
+        initial_widths = self.circuit.widths()
+        initial_size = total_gate_size(self.circuit)
+        t0 = time.perf_counter()
+        steps: List[SizingStep] = []
+        initial_objective: Optional[float] = None
+        final_objective: Optional[float] = None
+        stop_reason = "max_iterations"
+        multi_move_used = False
+        for iteration in range(self.max_iterations):
+            if not self._candidates():
+                stop_reason = "width_limits"
+                break
+            t_iter = time.perf_counter()
+            selection = self._select_gate()
+            selection.stats.wall_time_s = time.perf_counter() - t_iter
+            if initial_objective is None:
+                initial_objective = selection.objective_before
+            if (
+                selection.best_gate is None
+                or selection.best_sensitivity <= self.min_sensitivity
+            ):
+                stop_reason = "converged"
+                final_objective = selection.objective_before
+                break
+            for gate, _s in selection.moves:
+                gate.width += dw
+            self._after_apply([gate for gate, _s in selection.moves])
+            if len(selection.moves) > 1:
+                multi_move_used = True
+            steps.append(
+                SizingStep(
+                    iteration=iteration,
+                    gate=selection.moves[0][0].name,
+                    sensitivity=selection.best_sensitivity,
+                    objective_before=selection.objective_before,
+                    objective_after=selection.objective_after,
+                    total_size=total_gate_size(self.circuit),
+                    stats=selection.stats,
+                    extra_gates=tuple(g.name for g, _s in selection.moves[1:]),
+                )
+            )
+            final_objective = selection.objective_after
+        if initial_objective is None:
+            initial_objective = self._evaluate_objective()
+        if final_objective is None or multi_move_used:
+            # Multi-gate iterations carry first-order estimates; anchor
+            # the reported final objective with one exact SSTA.
+            final_objective = self._evaluate_objective()
+        return SizingResult(
+            optimizer=self.name,
+            circuit_name=self.circuit.name,
+            objective_name=self.objective.name,
+            delta_w=dw,
+            initial_objective=initial_objective,
+            final_objective=final_objective,
+            initial_size=initial_size,
+            final_size=total_gate_size(self.circuit),
+            initial_widths=initial_widths,
+            steps=steps,
+            stop_reason=stop_reason,
+            total_time_s=time.perf_counter() - t0,
+        )
+
+    def _evaluate_objective(self) -> float:
+        """Objective of the current circuit (used when the loop exits
+        before any selection established it)."""
+        from ..timing.ssta import run_ssta
+
+        return self.objective.evaluate(run_ssta(self.graph, self.model).sink_pdf)

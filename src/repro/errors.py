@@ -1,0 +1,46 @@
+"""Exception hierarchy for the reproduction library.
+
+Every error raised deliberately by :mod:`repro` derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GridMismatchError(ReproError):
+    """Two distributions with different grid spacings were combined."""
+
+
+class DistributionError(ReproError):
+    """A distribution is malformed (empty, negative mass, zero total)."""
+
+
+class NetlistError(ReproError):
+    """A circuit/netlist is structurally invalid."""
+
+
+class BenchParseError(NetlistError):
+    """An ISCAS ``.bench`` file could not be parsed."""
+
+    def __init__(self, message: str, line_no: int | None = None) -> None:
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+        self.line_no = line_no
+
+
+class LibraryError(ReproError):
+    """A cell library lookup or definition failed."""
+
+
+class TimingError(ReproError):
+    """A timing analysis could not be carried out."""
+
+
+class OptimizationError(ReproError):
+    """A sizing optimization was configured or converged incorrectly."""

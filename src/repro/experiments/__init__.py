@@ -1,0 +1,54 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+* :func:`run_table1` — Table 1, deterministic vs statistical 99%-delay
+* :func:`run_table2` — Table 2, brute force vs pruned runtimes
+* :func:`run_figure1` — Figure 1, the wall of near-critical paths
+* :func:`run_figure2` — Figure 2, CDF perturbation of one sizing move
+* :func:`run_figure10` — Figure 10, area-delay curves + MC validation
+
+All accept an :class:`ExperimentConfig`; the default is a fast, scaled
+configuration (set env ``REPRO_FULL=1`` for paper-scale runs).
+"""
+
+from .common import (
+    ExperimentConfig,
+    active_config,
+    evaluate_statistical,
+    evaluate_widths,
+    fast_config,
+    load_scaled,
+    paper_config,
+)
+from .figure1 import Figure1Result, run_figure1
+from .figure2 import Figure2Result, run_figure2
+from .figure10 import Figure10Result, TradeoffPoint, run_figure10
+from .report import format_series, format_table
+from .table1 import Table1Result, Table1Row, run_table1, run_table1_circuit
+from .table2 import Table2Result, Table2Row, run_table2, run_table2_circuit
+
+__all__ = [
+    "ExperimentConfig",
+    "fast_config",
+    "paper_config",
+    "active_config",
+    "load_scaled",
+    "evaluate_statistical",
+    "evaluate_widths",
+    "format_table",
+    "format_series",
+    "Table1Row",
+    "Table1Result",
+    "run_table1",
+    "run_table1_circuit",
+    "Table2Row",
+    "Table2Result",
+    "run_table2",
+    "run_table2_circuit",
+    "Figure1Result",
+    "run_figure1",
+    "Figure2Result",
+    "run_figure2",
+    "Figure10Result",
+    "TradeoffPoint",
+    "run_figure10",
+]

@@ -1,0 +1,157 @@
+"""Shared infrastructure for the experiment harness.
+
+Every table/figure experiment accepts an :class:`ExperimentConfig`.
+Two presets exist:
+
+* :func:`fast_config` — scaled-down circuits and iteration counts that
+  finish on a laptop in minutes; the default for ``benchmarks/`` and
+  CI.  Circuit *shapes* (fan-in mix, relative depth) are preserved by
+  :meth:`repro.netlist.generate.CircuitSpec.scaled`.
+* :func:`paper_config` — full-size circuits and paper-scale iteration
+  counts (env ``REPRO_FULL=1`` switches the benchmark harness to it).
+
+The scale factors below keep the *largest* circuits around a few
+hundred gates in fast mode, which is where the pruned-versus-brute-
+force comparisons already show the paper's qualitative behaviour.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..config import AnalysisConfig
+from ..core.objectives import PercentileObjective
+from ..core.sizer_base import SizingResult
+from ..errors import OptimizationError
+from ..netlist.benchmarks import PAPER_SUITE, load
+from ..netlist.circuit import Circuit
+from ..timing.delay_model import DelayModel
+from ..timing.graph import TimingGraph
+from ..timing.ssta import run_ssta
+
+__all__ = [
+    "ExperimentConfig",
+    "fast_config",
+    "paper_config",
+    "active_config",
+    "load_scaled",
+    "evaluate_statistical",
+    "evaluate_widths",
+]
+
+#: Per-circuit scale factors for fast mode (chosen so the biggest
+#: circuits stay near ~250 gates).
+_FAST_SCALES: Dict[str, float] = {
+    "c432": 1.0,
+    "c499": 0.5,
+    "c880": 0.6,
+    "c1355": 0.5,
+    "c1908": 0.5,
+    "c2670": 0.3,
+    "c3540": 0.25,
+    "c5315": 0.15,
+    "c6288": 0.1,
+    "c7552": 0.12,
+}
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all experiments."""
+
+    #: circuits to run, in table order
+    suite: tuple = tuple(PAPER_SUITE)
+    #: per-circuit generator scale factor (1.0 = paper size)
+    scales: Dict[str, float] = field(default_factory=dict)
+    #: sizing iterations per optimizer run
+    iterations: int = 25
+    #: analysis numerics (grid spacing etc.)
+    analysis: AnalysisConfig = field(default_factory=lambda: AnalysisConfig(dt=4.0))
+    #: objective percentile (paper: 0.99)
+    percentile: float = 0.99
+    #: Monte Carlo sample count for validation experiments
+    mc_samples: int = 4000
+    #: random seed for Monte Carlo
+    mc_seed: int = 2005
+
+    def scale_of(self, name: str) -> float:
+        """Generator scale factor for a circuit (default 1.0)."""
+        return self.scales.get(name, 1.0)
+
+    def objective(self) -> PercentileObjective:
+        """The experiment's objective functional."""
+        return PercentileObjective(self.percentile)
+
+
+def fast_config(
+    *,
+    suite: Optional[List[str]] = None,
+    iterations: int = 25,
+) -> ExperimentConfig:
+    """Laptop-scale preset (scaled circuits, short runs)."""
+    chosen = tuple(suite) if suite is not None else tuple(PAPER_SUITE)
+    return ExperimentConfig(
+        suite=chosen,
+        scales=dict(_FAST_SCALES),
+        iterations=iterations,
+        analysis=AnalysisConfig(dt=4.0),
+    )
+
+
+def paper_config(
+    *,
+    suite: Optional[List[str]] = None,
+    iterations: int = 1000,
+) -> ExperimentConfig:
+    """Paper-scale preset: full-size circuits, 1000+ iterations.
+
+    Expect hours of runtime in pure Python; use for final archival
+    runs, not CI.
+    """
+    chosen = tuple(suite) if suite is not None else tuple(PAPER_SUITE)
+    return ExperimentConfig(
+        suite=chosen,
+        scales={},
+        iterations=iterations,
+        analysis=AnalysisConfig(dt=2.0),
+        mc_samples=10000,
+    )
+
+
+def active_config(**kwargs) -> ExperimentConfig:
+    """``paper_config`` when env ``REPRO_FULL=1``, else ``fast_config``."""
+    if os.environ.get("REPRO_FULL", "0") == "1":
+        return paper_config(**kwargs)
+    return fast_config(**kwargs)
+
+
+def load_scaled(name: str, config: ExperimentConfig) -> Circuit:
+    """Load a benchmark at the experiment's scale."""
+    return load(name, scale=config.scale_of(name))
+
+
+def evaluate_statistical(
+    circuit: Circuit, config: ExperimentConfig
+) -> float:
+    """SSTA objective (percentile of the sink CDF) of a circuit at its
+    *current* widths."""
+    graph = TimingGraph(circuit)
+    model = DelayModel(circuit, config=config.analysis)
+    return run_ssta(graph, model).percentile(config.percentile)
+
+
+def evaluate_widths(
+    circuit: Circuit,
+    widths: Dict[str, float],
+    config: ExperimentConfig,
+) -> float:
+    """SSTA objective of a circuit under a width snapshot (the circuit's
+    own widths are restored afterwards)."""
+    saved = circuit.widths()
+    try:
+        circuit.set_widths(widths)
+        return evaluate_statistical(circuit, config)
+    finally:
+        circuit.set_widths(saved)

@@ -1,0 +1,157 @@
+"""Figure 1: the "wall of criticality" and its statistical cost.
+
+Figure 1a sketches two path-delay distributions with the same
+deterministic circuit delay — a balanced "wall" of near-critical paths
+(the product of deterministic optimization) and an unbalanced one —
+and Figure 1b shows the wall's circuit-delay PDF is statistically
+worse.  We regenerate it quantitatively:
+
+* size a benchmark with the deterministic optimizer and with the
+  statistical optimizer at equal area;
+* compute each solution's exact *path-delay histogram* (a DAG dynamic
+  program — path counts by delay bin) and its near-critical path
+  population (the wall metric);
+* compute each solution's circuit-delay distribution via SSTA.
+
+The paper's claim reproduces as: the deterministic solution has a
+larger fraction of paths within 10% of its own maximum delay, and a
+worse 99-percentile circuit delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.deterministic_sizer import DeterministicSizer
+from ..core.pruned_sizer import PrunedStatisticalSizer
+from ..timing.delay_model import DelayModel
+from ..timing.graph import TimingGraph
+from ..timing.paths import PathHistogram, path_delay_histogram, wall_metric
+from ..timing.ssta import run_ssta
+from .common import ExperimentConfig, active_config, load_scaled
+from .report import format_series, format_table
+
+__all__ = ["Figure1Result", "run_figure1"]
+
+
+@dataclass
+class Figure1Result:
+    """Path histograms + delay CDFs for the two optimization styles."""
+
+    circuit: str
+    iterations: int
+    margin_fraction: float
+    det_histogram: PathHistogram
+    stat_histogram: PathHistogram
+    det_wall: float
+    stat_wall: float
+    det_delay_99: float
+    stat_delay_99: float
+    det_cdf: Tuple[np.ndarray, np.ndarray]
+    stat_cdf: Tuple[np.ndarray, np.ndarray]
+
+    @property
+    def wall_ratio(self) -> float:
+        """Near-critical path fraction: deterministic / statistical
+        (> 1 reproduces the paper's wall narrative)."""
+        if self.stat_wall <= 0.0:
+            return float("inf")
+        return self.det_wall / self.stat_wall
+
+    def render(self) -> str:
+        summary = format_table(
+            f"Figure 1 — path-delay walls on {self.circuit} "
+            f"({self.iterations} sizing moves each)",
+            ["optimizer", "paths total", "near-critical frac", "99% delay (ps)"],
+            [
+                (
+                    "deterministic",
+                    self.det_histogram.total_paths,
+                    self.det_wall,
+                    self.det_delay_99,
+                ),
+                (
+                    "statistical",
+                    self.stat_histogram.total_paths,
+                    self.stat_wall,
+                    self.stat_delay_99,
+                ),
+            ],
+        )
+        hist = format_series(
+            "path-delay histograms (normalized delay, path counts)",
+            ["delay/Dmax (det)", "#paths (det)", "delay/Dmax (stat)", "#paths (stat)"],
+            _aligned_histogram_series(self.det_histogram, self.stat_histogram),
+        )
+        return summary + "\n\n" + hist
+
+
+def _aligned_histogram_series(
+    det: PathHistogram, stat: PathHistogram, n_points: int = 20
+) -> List[List[float]]:
+    """Down-sample both histograms to ``n_points`` normalized-delay rows."""
+    series: List[List[float]] = [[], [], [], []]
+    for hist, (d_col, c_col) in ((det, (0, 1)), (stat, (2, 3))):
+        delays = hist.delays / max(hist.max_delay, 1e-12)
+        counts = hist.counts
+        idx = np.linspace(0, delays.size - 1, n_points).astype(int)
+        # Sum counts between sample points so mass is preserved.
+        bounds = np.append(idx, delays.size)
+        for j in range(n_points):
+            series[d_col].append(float(delays[idx[j]]))
+            series[c_col].append(float(counts[bounds[j] : bounds[j + 1]].sum()))
+    return series
+
+
+def run_figure1(
+    circuit_name: str = "c432",
+    config: Optional[ExperimentConfig] = None,
+    *,
+    margin_fraction: float = 0.10,
+) -> Figure1Result:
+    """Regenerate the Figure 1 comparison on one benchmark."""
+    cfg = config if config is not None else active_config()
+    objective = cfg.objective()
+
+    det_circuit = load_scaled(circuit_name, cfg)
+    det_result = DeterministicSizer(
+        det_circuit, config=cfg.analysis, objective=objective,
+        max_iterations=cfg.iterations,
+    ).run()
+    moves = max(1, det_result.n_iterations)
+
+    stat_circuit = load_scaled(circuit_name, cfg)
+    PrunedStatisticalSizer(
+        stat_circuit, config=cfg.analysis, objective=objective,
+        max_iterations=moves,
+    ).run()
+
+    results = {}
+    for tag, circuit in (("det", det_circuit), ("stat", stat_circuit)):
+        graph = TimingGraph(circuit)
+        model = DelayModel(circuit, config=cfg.analysis)
+        hist = path_delay_histogram(graph, model, bin_width=cfg.analysis.dt * 2)
+        ssta = run_ssta(graph, model)
+        sink = ssta.sink_pdf
+        results[tag] = (hist, wall_metric(hist, margin_fraction=margin_fraction),
+                        sink.percentile(cfg.percentile),
+                        (sink.times, sink.cdf()))
+
+    det_hist, det_wall, det_99, det_cdf = results["det"]
+    stat_hist, stat_wall, stat_99, stat_cdf = results["stat"]
+    return Figure1Result(
+        circuit=circuit_name,
+        iterations=moves,
+        margin_fraction=margin_fraction,
+        det_histogram=det_hist,
+        stat_histogram=stat_hist,
+        det_wall=det_wall,
+        stat_wall=stat_wall,
+        det_delay_99=det_99,
+        stat_delay_99=stat_99,
+        det_cdf=det_cdf,
+        stat_cdf=stat_cdf,
+    )

@@ -1,0 +1,173 @@
+"""Figure 10: area-delay trade-off curves, bound vs Monte Carlo.
+
+The paper plots, for c3540, the total gate size against the
+99-percentile circuit delay after every sizing iteration, for both the
+deterministic and the statistical optimizer — each evaluated two ways:
+with the SSTA bound (the optimization objective) and with Monte Carlo
+(the "exact" reference).  The punchlines reproduced here:
+
+* the statistical curve dominates the deterministic one (better delay
+  at equal area), and
+* the bound tracks Monte Carlo closely at the 99% point (< ~1%),
+  justifying optimizing the bound.
+
+Monte Carlo is evaluated at evenly spaced checkpoints along each
+trajectory (it is the expensive axis); the SSTA bound is evaluated at
+every checkpoint as well, from replayed width snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.deterministic_sizer import DeterministicSizer
+from ..core.pruned_sizer import PrunedStatisticalSizer
+from ..core.sizer_base import SizingResult
+from ..library.sizing import total_gate_size
+from ..timing.delay_model import DelayModel
+from ..timing.graph import TimingGraph
+from ..timing.monte_carlo import run_monte_carlo
+from ..timing.ssta import run_ssta
+from .common import ExperimentConfig, active_config, load_scaled
+from .report import format_series
+
+__all__ = ["TradeoffPoint", "Figure10Result", "run_figure10"]
+
+
+@dataclass
+class TradeoffPoint:
+    """One checkpoint on an area-delay curve."""
+
+    iteration: int
+    total_size: float
+    bound_delay: float
+    mc_delay: float
+
+    @property
+    def bound_error_pct(self) -> float:
+        """Relative gap between the SSTA bound and Monte Carlo at the
+        objective percentile (paper: < 1%)."""
+        if self.mc_delay == 0.0:
+            return 0.0
+        return 100.0 * abs(self.bound_delay - self.mc_delay) / self.mc_delay
+
+
+@dataclass
+class Figure10Result:
+    """Both optimizers' trade-off curves with MC validation."""
+
+    circuit: str
+    percentile: float
+    deterministic: List[TradeoffPoint]
+    statistical: List[TradeoffPoint]
+
+    @property
+    def max_bound_error_pct(self) -> float:
+        """Worst bound-vs-MC gap across every checkpoint."""
+        points = self.deterministic + self.statistical
+        return max((p.bound_error_pct for p in points), default=0.0)
+
+    def statistical_dominates(self) -> bool:
+        """True when, at the final matched area, the statistical curve
+        achieves a better (smaller) bound delay."""
+        if not self.deterministic or not self.statistical:
+            return False
+        return self.statistical[-1].bound_delay <= self.deterministic[-1].bound_delay
+
+    def render(self) -> str:
+        def series(points: List[TradeoffPoint]) -> List[List[float]]:
+            return [
+                [float(p.iteration) for p in points],
+                [p.total_size for p in points],
+                [p.bound_delay for p in points],
+                [p.mc_delay for p in points],
+            ]
+
+        det = format_series(
+            f"Figure 10 — deterministic optimization on {self.circuit}",
+            ["iter", "total size", "bound 99% (ps)", "MC 99% (ps)"],
+            series(self.deterministic),
+        )
+        stat = format_series(
+            f"Figure 10 — statistical optimization on {self.circuit}",
+            ["iter", "total size", "bound 99% (ps)", "MC 99% (ps)"],
+            series(self.statistical),
+        )
+        return (
+            det
+            + "\n\n"
+            + stat
+            + f"\nmax bound-vs-MC error: {self.max_bound_error_pct:.2f}%"
+            + f"\nstatistical dominates at final area: {self.statistical_dominates()}"
+        )
+
+
+def _checkpoints(n_steps: int, n_points: int) -> List[int]:
+    if n_steps <= 0:
+        return [0]
+    stride = max(1, n_steps // max(1, n_points - 1))
+    marks = list(range(0, n_steps, stride))
+    if marks[-1] != n_steps:
+        marks.append(n_steps)
+    return marks
+
+
+def _trace(
+    circuit_name: str,
+    result: SizingResult,
+    cfg: ExperimentConfig,
+    n_points: int,
+) -> List[TradeoffPoint]:
+    """Replay a sizing trajectory and evaluate bound + MC at checkpoints."""
+    circuit = load_scaled(circuit_name, cfg)
+    points: List[TradeoffPoint] = []
+    for iteration in _checkpoints(result.n_iterations, n_points):
+        circuit.set_widths(result.widths_at_iteration(iteration))
+        graph = TimingGraph(circuit)
+        model = DelayModel(circuit, config=cfg.analysis)
+        bound = run_ssta(graph, model).percentile(cfg.percentile)
+        mc = run_monte_carlo(
+            graph, model, n_samples=cfg.mc_samples, seed=cfg.mc_seed
+        ).percentile(cfg.percentile)
+        points.append(
+            TradeoffPoint(
+                iteration=iteration,
+                total_size=total_gate_size(circuit),
+                bound_delay=bound,
+                mc_delay=mc,
+            )
+        )
+    return points
+
+
+def run_figure10(
+    circuit_name: str = "c3540",
+    config: Optional[ExperimentConfig] = None,
+    *,
+    n_points: int = 6,
+) -> Figure10Result:
+    """Regenerate the Figure 10 curves (default circuit: c3540, as in
+    the paper)."""
+    cfg = config if config is not None else active_config()
+    objective = cfg.objective()
+
+    det_circuit = load_scaled(circuit_name, cfg)
+    det_result = DeterministicSizer(
+        det_circuit, config=cfg.analysis, objective=objective,
+        max_iterations=cfg.iterations,
+    ).run()
+    moves = max(1, det_result.n_iterations)
+
+    stat_circuit = load_scaled(circuit_name, cfg)
+    stat_result = PrunedStatisticalSizer(
+        stat_circuit, config=cfg.analysis, objective=objective,
+        max_iterations=moves,
+    ).run()
+
+    return Figure10Result(
+        circuit=circuit_name,
+        percentile=cfg.percentile,
+        deterministic=_trace(circuit_name, det_result, cfg, n_points),
+        statistical=_trace(circuit_name, stat_result, cfg, n_points),
+    )

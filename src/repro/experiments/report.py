@@ -1,0 +1,58 @@
+"""Plain-text table/series rendering for experiment results.
+
+Every experiment returns a structured result object with a
+``render()`` method producing the same rows the paper prints; this
+module holds the shared formatting helpers (no plotting dependencies —
+figure experiments emit their *series* as aligned text, which is what
+EXPERIMENTS.md records)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> str:
+    """Fixed-width table with a title line (paper-style)."""
+    str_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * len(title)]
+    lines.append(" | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    columns: Sequence[str],
+    series: Sequence[Sequence[float]],
+) -> str:
+    """Aligned multi-column numeric series (figure data)."""
+    if series and any(len(s) != len(series[0]) for s in series):
+        raise ValueError("all series must have equal length")
+    rows = list(zip(*series)) if series else []
+    return format_table(title, columns, rows)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000:
+            return f"{value:.0f}"
+        if magnitude >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)

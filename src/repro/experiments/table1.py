@@ -1,0 +1,138 @@
+"""Table 1: 99-percentile delay — deterministic vs statistical sizing.
+
+For each benchmark the paper sizes the circuit twice from minimum size:
+once with the deterministic critical-path coordinate descent and once
+with the statistical (pruned) optimizer, for the same number of sizing
+moves (hence the same added area, since every move adds ``dw``).  Both
+solutions are then evaluated *statistically*: the deterministic run's
+trajectory is replayed and re-timed with SSTA, exactly as the paper
+does ("the reported 99-percentile delay point was obtained by running
+SSTA on the circuit solution").
+
+Reported columns mirror the paper: node/edge counts, % increase in
+total gate size, deterministic vs statistical 99-percentile delay, and
+the % improvement (paper: average 7.8%, maximum 10.5%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.deterministic_sizer import DeterministicSizer
+from ..core.pruned_sizer import PrunedStatisticalSizer
+from ..core.sizer_base import SizingResult
+from .common import ExperimentConfig, active_config, evaluate_statistical, load_scaled
+from .report import format_table
+
+__all__ = ["Table1Row", "Table1Result", "run_table1", "run_table1_circuit"]
+
+
+@dataclass
+class Table1Row:
+    """One benchmark's line of Table 1."""
+
+    circuit: str
+    n_nodes: int
+    n_edges: int
+    size_increase_pct: float
+    deterministic_delay: float
+    statistical_delay: float
+
+    @property
+    def improvement_pct(self) -> float:
+        """Column 6: statistical improvement over deterministic."""
+        if self.deterministic_delay == 0.0:
+            return 0.0
+        return 100.0 * (
+            self.deterministic_delay - self.statistical_delay
+        ) / self.deterministic_delay
+
+
+@dataclass
+class Table1Result:
+    """All rows plus the aggregate the paper quotes in the text."""
+
+    rows: List[Table1Row]
+    iterations: int
+
+    @property
+    def average_improvement_pct(self) -> float:
+        if not self.rows:
+            return 0.0
+        return sum(r.improvement_pct for r in self.rows) / len(self.rows)
+
+    @property
+    def max_improvement_pct(self) -> float:
+        if not self.rows:
+            return 0.0
+        return max(r.improvement_pct for r in self.rows)
+
+    def render(self) -> str:
+        table = format_table(
+            f"Table 1 — 99-percentile delay (ps), {self.iterations} sizing iterations",
+            ["circuit", "node/edge", "% inc", "deterministic", "statistical", "% impr."],
+            [
+                (
+                    r.circuit,
+                    f"{r.n_nodes}/{r.n_edges}",
+                    r.size_increase_pct,
+                    r.deterministic_delay,
+                    r.statistical_delay,
+                    r.improvement_pct,
+                )
+                for r in self.rows
+            ],
+        )
+        return (
+            table
+            + f"\naverage improvement: {self.average_improvement_pct:.2f}%"
+            + f"   max improvement: {self.max_improvement_pct:.2f}%"
+        )
+
+
+def run_table1_circuit(
+    name: str, config: Optional[ExperimentConfig] = None
+) -> Table1Row:
+    """Run the deterministic/statistical comparison for one benchmark."""
+    cfg = config if config is not None else active_config()
+    objective = cfg.objective()
+
+    det_circuit = load_scaled(name, cfg)
+    det = DeterministicSizer(
+        det_circuit,
+        config=cfg.analysis,
+        objective=objective,
+        max_iterations=cfg.iterations,
+    )
+    det_result = det.run()
+    det_delay = evaluate_statistical(det_circuit, cfg)
+
+    # Match area: the statistical run gets exactly as many moves as the
+    # deterministic one actually made.
+    moves = max(1, det_result.n_iterations)
+    stat_circuit = load_scaled(name, cfg)
+    stat = PrunedStatisticalSizer(
+        stat_circuit,
+        config=cfg.analysis,
+        objective=objective,
+        max_iterations=moves,
+    )
+    stat_result = stat.run()
+    stat_delay = evaluate_statistical(stat_circuit, cfg)
+
+    return Table1Row(
+        circuit=name,
+        n_nodes=det_circuit.n_nets,
+        n_edges=det_circuit.n_pin_edges,
+        size_increase_pct=stat_result.size_increase_percent,
+        deterministic_delay=det_delay,
+        statistical_delay=stat_delay,
+    )
+
+
+def run_table1(config: Optional[ExperimentConfig] = None) -> Table1Result:
+    """Regenerate Table 1 over the configured suite."""
+    cfg = config if config is not None else active_config()
+    rows = [run_table1_circuit(name, cfg) for name in cfg.suite]
+    return Table1Result(rows=rows, iterations=cfg.iterations)

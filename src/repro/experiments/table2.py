@@ -1,0 +1,158 @@
+"""Table 2: runtime per sizing iteration — brute force vs pruned.
+
+The paper reports, per benchmark: average wall-clock per iteration for
+the brute-force statistical optimizer and for the accelerated
+(pruning) algorithm, the improvement factor (up to 56x on c6288), the
+range of per-iteration runtimes, and the range of improvement factors.
+It also highlights pruning effectiveness ("as many as 55 out of 56
+candidate nodes are pruned").
+
+Wall-clock numbers are machine dependent, so alongside them we report
+machine-independent *work ratios* (statistical operations performed:
+convolutions + max reductions), plus the measured pruned fraction.
+Both optimizers provably make identical sizing decisions, so their
+iteration sequences are directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.brute_force_sizer import BruteForceStatisticalSizer
+from ..core.pruned_sizer import PrunedStatisticalSizer
+from ..errors import OptimizationError
+from .common import ExperimentConfig, active_config, load_scaled
+from .report import format_table
+
+__all__ = ["Table2Row", "Table2Result", "run_table2", "run_table2_circuit"]
+
+
+@dataclass
+class Table2Row:
+    """One benchmark's line of Table 2."""
+
+    circuit: str
+    brute_force_s: float
+    pruned_s: float
+    time_range_s: Tuple[float, float]
+    improvement_range: Tuple[float, float]
+    pruned_fraction: float
+    work_ratio: float
+    selections_match: bool
+
+    @property
+    def improvement_factor(self) -> float:
+        """Column 4: brute-force time / pruned time."""
+        if self.pruned_s <= 0.0:
+            return float("inf")
+        return self.brute_force_s / self.pruned_s
+
+
+@dataclass
+class Table2Result:
+    """All rows of the runtime comparison."""
+
+    rows: List[Table2Row]
+    iterations: int
+
+    @property
+    def max_improvement_factor(self) -> float:
+        if not self.rows:
+            return 0.0
+        return max(r.improvement_factor for r in self.rows)
+
+    def render(self) -> str:
+        table = format_table(
+            f"Table 2 — runtime per iteration (s), {self.iterations} iterations",
+            [
+                "circuit",
+                "brute force",
+                "our algo.",
+                "imp. factor",
+                "range of time",
+                "range of impr.",
+                "pruned %",
+                "work ratio",
+            ],
+            [
+                (
+                    r.circuit,
+                    r.brute_force_s,
+                    r.pruned_s,
+                    r.improvement_factor,
+                    f"{r.time_range_s[0]:.3g}-{r.time_range_s[1]:.3g}",
+                    f"{r.improvement_range[0]:.3g}-{r.improvement_range[1]:.3g}",
+                    100.0 * r.pruned_fraction,
+                    r.work_ratio,
+                )
+                for r in self.rows
+            ],
+        )
+        return (
+            table
+            + f"\nmax improvement factor: {self.max_improvement_factor:.1f}x"
+        )
+
+
+def run_table2_circuit(
+    name: str, config: Optional[ExperimentConfig] = None
+) -> Table2Row:
+    """Timed brute-force vs pruned comparison on one benchmark.
+
+    Both optimizers start from identical copies and are run for the
+    same number of iterations; selection agreement is verified so the
+    timing comparison is apples-to-apples.
+    """
+    cfg = config if config is not None else active_config()
+    objective = cfg.objective()
+
+    bf_circuit = load_scaled(name, cfg)
+    bf = BruteForceStatisticalSizer(
+        bf_circuit,
+        config=cfg.analysis,
+        objective=objective,
+        max_iterations=cfg.iterations,
+    )
+    bf_result = bf.run()
+
+    pr_circuit = load_scaled(name, cfg)
+    pr = PrunedStatisticalSizer(
+        pr_circuit,
+        config=cfg.analysis,
+        objective=objective,
+        max_iterations=cfg.iterations,
+    )
+    pr_result = pr.run()
+
+    matches = [b.gate for b in bf_result.steps] == [p.gate for p in pr_result.steps]
+    if not bf_result.steps or not pr_result.steps:
+        raise OptimizationError(
+            f"{name}: optimizers made no moves; increase iterations"
+        )
+
+    bf_times = [s.stats.wall_time_s for s in bf_result.steps]
+    pr_times = [s.stats.wall_time_s for s in pr_result.steps]
+    n = min(len(bf_times), len(pr_times))
+    ratios = [bf_times[i] / max(pr_times[i], 1e-9) for i in range(n)]
+    bf_ops = sum(s.stats.convolutions + s.stats.max_ops for s in bf_result.steps)
+    pr_ops = sum(s.stats.convolutions + s.stats.max_ops for s in pr_result.steps)
+    pruned_fractions = [s.stats.pruned_fraction for s in pr_result.steps]
+
+    return Table2Row(
+        circuit=name,
+        brute_force_s=sum(bf_times) / len(bf_times),
+        pruned_s=sum(pr_times) / len(pr_times),
+        time_range_s=(min(pr_times), max(pr_times)),
+        improvement_range=(min(ratios), max(ratios)),
+        pruned_fraction=sum(pruned_fractions) / len(pruned_fractions),
+        work_ratio=bf_ops / max(pr_ops, 1),
+        selections_match=matches,
+    )
+
+
+def run_table2(config: Optional[ExperimentConfig] = None) -> Table2Result:
+    """Regenerate Table 2 over the configured suite."""
+    cfg = config if config is not None else active_config()
+    rows = [run_table2_circuit(name, cfg) for name in cfg.suite]
+    return Table2Result(rows=rows, iterations=cfg.iterations)

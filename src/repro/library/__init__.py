@@ -1,0 +1,17 @@
+"""Standard-cell library: logical-effort cells, the default 180nm-like
+characterization, and continuous-sizing bookkeeping."""
+
+from .cell import CellType
+from .library import TAU_180NM, CellLibrary, default_library
+from .sizing import SizingLimits, size_increase_percent, total_area, total_gate_size
+
+__all__ = [
+    "CellType",
+    "CellLibrary",
+    "default_library",
+    "TAU_180NM",
+    "SizingLimits",
+    "total_gate_size",
+    "total_area",
+    "size_increase_percent",
+]

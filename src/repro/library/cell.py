@@ -1,0 +1,113 @@
+"""Standard-cell types under the logical-effort delay model.
+
+The paper (Section 2.1) uses a logic-effort style pin-to-pin delay:
+
+    De = Dint + K * Cload / Ccell                              (EQ 1)
+
+where ``Dint`` is a constant intrinsic delay from cell-internal
+capacitance, ``Cload`` the total load capacitance at the output,
+``K`` a per-cell constant, and ``Ccell`` the total capacitance of the
+cell.  Continuous *gate sizing* scales a cell instance by a width
+factor ``w`` (``w = 1`` is minimum size): the cell capacitance — and
+therefore its drive strength and its input pin capacitance — scale
+linearly with ``w``, so up-sizing a gate speeds the gate itself while
+loading its fan-in gates more heavily.  That tension is exactly what a
+sizing optimizer negotiates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import LibraryError
+
+__all__ = ["CellType"]
+
+
+@dataclass(frozen=True)
+class CellType:
+    """An un-sized standard cell characterized for EQ 1.
+
+    Attributes
+    ----------
+    name:
+        Library name, e.g. ``"NAND2_X1"`` — unique within a library.
+    function:
+        Logic function tag (``"NAND"``, ``"NOR"``, ``"AND"``, ``"OR"``,
+        ``"XOR"``, ``"XNOR"``, ``"NOT"``, ``"BUF"``); used by the
+        ``.bench`` reader/writer and by functional checks.
+    n_inputs:
+        Number of input pins.
+    intrinsic_delay:
+        ``Dint`` in picoseconds at any size (intrinsic delay is
+        size-independent under logical effort: internal capacitance and
+        drive scale together).
+    drive_k:
+        ``K`` in picoseconds: the slope of delay versus the electrical
+        effort ``Cload / Ccell``.
+    input_cap:
+        Capacitance (fF) presented by one input pin *at unit width*;
+        a pin of an instance with width ``w`` presents ``w * input_cap``.
+    cell_cap:
+        Total cell capacitance ``Ccell`` (fF) *at unit width*.
+    area:
+        Layout area (arbitrary units) at unit width; instance area is
+        ``w * area``.  The paper's "total gate size" metric is the sum
+        of instance widths, which we also track separately.
+    """
+
+    name: str
+    function: str
+    n_inputs: int
+    intrinsic_delay: float
+    drive_k: float
+    input_cap: float
+    cell_cap: float
+    area: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_inputs < 1:
+            raise LibraryError(f"{self.name}: n_inputs must be >= 1")
+        if self.intrinsic_delay < 0.0:
+            raise LibraryError(f"{self.name}: intrinsic_delay must be >= 0")
+        if self.drive_k <= 0.0:
+            raise LibraryError(f"{self.name}: drive_k must be > 0")
+        if self.input_cap <= 0.0:
+            raise LibraryError(f"{self.name}: input_cap must be > 0")
+        if self.cell_cap <= 0.0:
+            raise LibraryError(f"{self.name}: cell_cap must be > 0")
+        if self.area <= 0.0:
+            raise LibraryError(f"{self.name}: area must be > 0")
+
+    # ------------------------------------------------------------------
+    # Size-dependent electrical quantities
+    # ------------------------------------------------------------------
+    def input_cap_at(self, width: float) -> float:
+        """Capacitance (fF) of one input pin at width ``width``."""
+        return width * self.input_cap
+
+    def cell_cap_at(self, width: float) -> float:
+        """Total cell capacitance ``Ccell`` (fF) at width ``width``."""
+        return width * self.cell_cap
+
+    def area_at(self, width: float) -> float:
+        """Layout area at width ``width``."""
+        return width * self.area
+
+    def delay(self, width: float, load_cap: float) -> float:
+        """EQ 1: nominal pin-to-pin delay (ps) at ``width`` driving
+        ``load_cap`` fF."""
+        if width <= 0.0:
+            raise LibraryError(f"{self.name}: width must be positive, got {width}")
+        if load_cap < 0.0:
+            raise LibraryError(f"{self.name}: load_cap must be >= 0, got {load_cap}")
+        return self.intrinsic_delay + self.drive_k * load_cap / self.cell_cap_at(width)
+
+    def delay_derivative_width(self, width: float, load_cap: float) -> float:
+        """Analytic d(De)/d(width) at constant load.
+
+        Always negative: up-sizing a cell at fixed load always speeds
+        it.  Used by sanity tests and by the first-order sensitivity
+        screen in the optimizer documentation examples.
+        """
+        return -self.drive_k * load_cap / (self.cell_cap * width * width)

@@ -1,0 +1,63 @@
+"""Width bookkeeping for continuous gate sizing.
+
+The optimizers treat gate width as a continuous variable starting at the
+minimum size (``w = 1``), incremented by a fixed ``dw`` each time a gate
+is selected (the paper's coordinate descent, Figure 6 step 22).  This
+module centralizes the width bounds and the circuit-level size metrics
+the paper reports (column 3 of Table 1: "% increase in the total gate
+size of the circuit due to optimization").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import OptimizationError
+
+__all__ = ["SizingLimits", "total_gate_size", "total_area", "size_increase_percent"]
+
+
+@dataclass(frozen=True)
+class SizingLimits:
+    """Bounds on any single gate's width factor.
+
+    ``w_min = 1`` is the library minimum size; ``w_max`` caps the
+    up-sizing so the coordinate descent cannot chase a single gate
+    forever (commercial libraries top out around 16-32x drive).
+    """
+
+    w_min: float = 1.0
+    w_max: float = 16.0
+
+    def __post_init__(self) -> None:
+        if self.w_min <= 0.0:
+            raise OptimizationError(f"w_min must be positive, got {self.w_min}")
+        if self.w_max < self.w_min:
+            raise OptimizationError(
+                f"w_max ({self.w_max}) must be >= w_min ({self.w_min})"
+            )
+
+    def clamp(self, width: float) -> float:
+        """Clamp ``width`` into ``[w_min, w_max]``."""
+        return min(max(width, self.w_min), self.w_max)
+
+    def can_upsize(self, width: float, dw: float) -> bool:
+        """True when a ``+dw`` move stays within bounds."""
+        return width + dw <= self.w_max + 1e-12
+
+
+def total_gate_size(circuit) -> float:
+    """Sum of gate width factors — the paper's "total gate size"."""
+    return float(sum(g.width for g in circuit.gates()))
+
+
+def total_area(circuit) -> float:
+    """Sum of instance areas (width times cell area)."""
+    return float(sum(g.cell.area_at(g.width) for g in circuit.gates()))
+
+
+def size_increase_percent(initial_size: float, final_size: float) -> float:
+    """Percentage increase of total gate size (Table 1, column 3)."""
+    if initial_size <= 0.0:
+        raise OptimizationError("initial size must be positive")
+    return 100.0 * (final_size - initial_size) / initial_size

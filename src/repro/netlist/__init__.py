@@ -1,0 +1,27 @@
+"""Netlist layer: circuit model, ISCAS ``.bench`` I/O, structural
+validation, the synthetic benchmark generator, and the calibrated
+paper-suite registry."""
+
+from .bench import C17_BENCH, parse_bench, parse_bench_file, write_bench
+from .benchmarks import PAPER_SUITE, SPECS, load, paper_row, spec_for
+from .circuit import Circuit, Gate
+from .generate import CircuitSpec, generate_circuit
+from .validate import structural_issues, validate_circuit
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "parse_bench",
+    "parse_bench_file",
+    "write_bench",
+    "C17_BENCH",
+    "CircuitSpec",
+    "generate_circuit",
+    "PAPER_SUITE",
+    "SPECS",
+    "load",
+    "spec_for",
+    "paper_row",
+    "structural_issues",
+    "validate_circuit",
+]

@@ -1,0 +1,308 @@
+"""Gate-level netlist model.
+
+A :class:`Circuit` is a combinational network in the ISCAS'85 style:
+named nets, each driven either by a primary input or by exactly one
+gate, with gates named after the net they drive (the ``.bench``
+convention).  Gate *width* is the continuous sizing variable; topology
+is fixed once built, so topological caches (gate order, net levels,
+fan-out maps) are computed lazily and invalidated only on structural
+edits — re-sizing a gate never invalidates them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import NetlistError
+from ..library.cell import CellType
+
+__all__ = ["Gate", "Circuit"]
+
+
+class Gate:
+    """One sized cell instance.
+
+    The instance drives the net :attr:`output` and reads the nets in
+    :attr:`inputs` (pin order matters for delay arcs).  :attr:`width`
+    is the continuous size factor, ``1.0`` = minimum size.
+    """
+
+    __slots__ = ("cell", "inputs", "output", "width")
+
+    def __init__(
+        self,
+        cell: CellType,
+        inputs: Sequence[str],
+        output: str,
+        width: float = 1.0,
+    ) -> None:
+        if len(inputs) != cell.n_inputs:
+            raise NetlistError(
+                f"gate {output!r}: cell {cell.name} has {cell.n_inputs} pins "
+                f"but {len(inputs)} nets were connected"
+            )
+        if len(set(inputs)) != len(inputs):
+            raise NetlistError(f"gate {output!r}: duplicate input net")
+        if output in inputs:
+            raise NetlistError(f"gate {output!r}: combinational self-loop")
+        if width <= 0.0:
+            raise NetlistError(f"gate {output!r}: width must be positive")
+        self.cell = cell
+        self.inputs: Tuple[str, ...] = tuple(inputs)
+        self.output = output
+        self.width = float(width)
+
+    @property
+    def name(self) -> str:
+        """Gates are named after the net they drive."""
+        return self.output
+
+    @property
+    def n_inputs(self) -> int:
+        """Number of input pins."""
+        return len(self.inputs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Gate({self.output} = {self.cell.function}"
+            f"({', '.join(self.inputs)}), w={self.width:g})"
+        )
+
+
+class Circuit:
+    """A combinational gate-level netlist.
+
+    Construction order is free: gates may reference nets that are
+    declared later.  Call :meth:`validate` (or any query that needs
+    topology) once the netlist is complete; structural problems raise
+    :class:`~repro.errors.NetlistError`.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._inputs: List[str] = []
+        self._outputs: List[str] = []
+        self._gates: Dict[str, Gate] = {}
+        self._input_set: set = set()
+        # Lazy topology caches.
+        self._fanouts: Optional[Dict[str, List[Tuple[Gate, int]]]] = None
+        self._topo_gates: Optional[List[Gate]] = None
+        self._levels: Optional[Dict[str, int]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_input(self, net: str) -> None:
+        """Declare a primary input net."""
+        if net in self._input_set:
+            raise NetlistError(f"duplicate primary input {net!r}")
+        if net in self._gates:
+            raise NetlistError(f"net {net!r} is already driven by a gate")
+        self._inputs.append(net)
+        self._input_set.add(net)
+        self._dirty()
+
+    def add_output(self, net: str) -> None:
+        """Declare a primary output net (must be driven by the time the
+        circuit is validated)."""
+        if net in self._outputs:
+            raise NetlistError(f"duplicate primary output {net!r}")
+        self._outputs.append(net)
+
+    def add_gate(
+        self,
+        cell: CellType,
+        inputs: Sequence[str],
+        output: str,
+        width: float = 1.0,
+    ) -> Gate:
+        """Instantiate ``cell`` driving net ``output`` from ``inputs``."""
+        if output in self._gates:
+            raise NetlistError(f"net {output!r} already has a driver")
+        if output in self._input_set:
+            raise NetlistError(f"net {output!r} is a primary input")
+        gate = Gate(cell, inputs, output, width)
+        self._gates[output] = gate
+        self._dirty()
+        return gate
+
+    def _dirty(self) -> None:
+        self._fanouts = None
+        self._topo_gates = None
+        self._levels = None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def inputs(self) -> Tuple[str, ...]:
+        """Primary input nets in declaration order."""
+        return tuple(self._inputs)
+
+    @property
+    def outputs(self) -> Tuple[str, ...]:
+        """Primary output nets in declaration order."""
+        return tuple(self._outputs)
+
+    def is_input(self, net: str) -> bool:
+        """True for primary input nets."""
+        return net in self._input_set
+
+    def has_gate(self, net: str) -> bool:
+        """True when ``net`` is driven by a gate."""
+        return net in self._gates
+
+    def gate(self, net: str) -> Gate:
+        """The gate driving ``net``."""
+        try:
+            return self._gates[net]
+        except KeyError:
+            raise NetlistError(f"no gate drives net {net!r}") from None
+
+    def gates(self) -> Iterator[Gate]:
+        """All gates, in insertion order."""
+        return iter(self._gates.values())
+
+    def nets(self) -> List[str]:
+        """All nets: primary inputs first, then gate outputs."""
+        return list(self._inputs) + list(self._gates.keys())
+
+    @property
+    def n_gates(self) -> int:
+        """Number of gate instances."""
+        return len(self._gates)
+
+    @property
+    def n_nets(self) -> int:
+        """Number of nets (the paper's "node" count, Table 1 col 2)."""
+        return len(self._inputs) + len(self._gates)
+
+    @property
+    def n_pin_edges(self) -> int:
+        """Number of gate input pins (the paper's "edge" count)."""
+        return sum(g.n_inputs for g in self._gates.values())
+
+    # ------------------------------------------------------------------
+    # Topology caches
+    # ------------------------------------------------------------------
+    def fanouts(self, net: str) -> List[Tuple[Gate, int]]:
+        """Gates (with pin index) reading ``net``."""
+        if self._fanouts is None:
+            self._build_fanouts()
+        assert self._fanouts is not None
+        return self._fanouts.get(net, [])
+
+    def fanout_count(self, net: str) -> int:
+        """Number of gate pins loading ``net``."""
+        return len(self.fanouts(net))
+
+    def _build_fanouts(self) -> None:
+        fo: Dict[str, List[Tuple[Gate, int]]] = {}
+        for gate in self._gates.values():
+            for pin, net in enumerate(gate.inputs):
+                fo.setdefault(net, []).append((gate, pin))
+        self._fanouts = fo
+
+    def topo_gates(self) -> List[Gate]:
+        """Gates in topological order (fan-in before fan-out).
+
+        Raises :class:`NetlistError` on combinational cycles or
+        undriven nets.
+        """
+        if self._topo_gates is None:
+            self._build_topology()
+        assert self._topo_gates is not None
+        return self._topo_gates
+
+    def levels(self) -> Dict[str, int]:
+        """Topological level per net: primary inputs are level 0 and a
+        gate output is one more than its deepest input."""
+        if self._levels is None:
+            self._build_topology()
+        assert self._levels is not None
+        return self._levels
+
+    def depth(self) -> int:
+        """Maximum net level (logic depth in gate stages)."""
+        levels = self.levels()
+        return max(levels.values()) if levels else 0
+
+    def _build_topology(self) -> None:
+        levels: Dict[str, int] = {net: 0 for net in self._inputs}
+        order: List[Gate] = []
+        # Kahn's algorithm over gates keyed by unresolved input count.
+        pending: Dict[str, int] = {}
+        ready: List[Gate] = []
+        for gate in self._gates.values():
+            unresolved = sum(1 for net in gate.inputs if net not in levels)
+            for net in gate.inputs:
+                if net not in levels and net not in self._gates:
+                    raise NetlistError(
+                        f"gate {gate.name!r} reads undriven net {net!r}"
+                    )
+            if unresolved == 0:
+                ready.append(gate)
+            else:
+                pending[gate.output] = unresolved
+        if self._fanouts is None:
+            self._build_fanouts()
+        assert self._fanouts is not None
+        head = 0
+        while head < len(ready):
+            gate = ready[head]
+            head += 1
+            order.append(gate)
+            levels[gate.output] = 1 + max(levels[n] for n in gate.inputs)
+            for consumer, _pin in self._fanouts.get(gate.output, []):
+                remaining = pending.get(consumer.output)
+                if remaining is None:
+                    continue
+                if remaining == 1:
+                    del pending[consumer.output]
+                    ready.append(consumer)
+                else:
+                    pending[consumer.output] = remaining - 1
+        if pending:
+            cyclic = sorted(pending)[:8]
+            raise NetlistError(
+                f"combinational cycle or unreachable gates involving {cyclic}"
+            )
+        self._topo_gates = order
+        self._levels = levels
+
+    # ------------------------------------------------------------------
+    # Validation and copying
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Run full structural validation (see
+        :func:`repro.netlist.validate.validate_circuit`)."""
+        from .validate import validate_circuit
+
+        validate_circuit(self)
+
+    def copy(self, *, name: Optional[str] = None) -> "Circuit":
+        """Deep copy: fresh :class:`Gate` objects, so sizing the copy
+        never touches the original."""
+        dup = Circuit(name or self.name)
+        for net in self._inputs:
+            dup.add_input(net)
+        for gate in self._gates.values():
+            dup.add_gate(gate.cell, gate.inputs, gate.output, gate.width)
+        for net in self._outputs:
+            dup.add_output(net)
+        return dup
+
+    def widths(self) -> Dict[str, float]:
+        """Snapshot of all gate widths, keyed by gate name."""
+        return {g.output: g.width for g in self._gates.values()}
+
+    def set_widths(self, widths: Dict[str, float]) -> None:
+        """Restore a width snapshot from :meth:`widths`."""
+        for name, w in widths.items():
+            self.gate(name).width = float(w)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Circuit({self.name!r}: {len(self._inputs)} in, "
+            f"{len(self._outputs)} out, {self.n_gates} gates)"
+        )

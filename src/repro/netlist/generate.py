@@ -1,0 +1,318 @@
+"""Seeded synthetic generator for ISCAS'85-like benchmark circuits.
+
+The paper evaluates on *synthesized* ISCAS'85 netlists mapped onto a
+commercial 180nm library — artifacts we cannot redistribute.  The
+sizing and pruning algorithms, however, consume only the circuit's
+*structure*: node/edge counts, logic depth, fan-in mix, fan-out
+distribution and reconvergent fan-out.  This module generates seeded
+random combinational DAGs that match those statistics circuit-by-
+circuit (see :mod:`repro.netlist.benchmarks` for the calibrated specs),
+which preserves every behaviour the experiments measure:
+
+* node and edge counts are matched **exactly** to Table 1, column 2;
+* logic depth is matched to the real benchmark's depth;
+* fan-in is a mix of 1/2/3/4-input cells chosen to hit the edge count;
+* every internal net fans out to at least one consumer, and multi-
+  fan-out nets create the reconvergence that makes the statistical-max
+  upper bound (and thus the pruning theory) non-trivial.
+
+Generation is deterministic per ``(spec, seed)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import NetlistError
+from ..library.library import CellLibrary, default_library
+from .circuit import Circuit
+
+__all__ = ["CircuitSpec", "generate_circuit"]
+
+
+@dataclass(frozen=True)
+class CircuitSpec:
+    """Target statistics for one synthetic benchmark.
+
+    ``n_nets = n_inputs + n_gates`` is the paper's node count and
+    ``n_pin_edges`` its edge count; both are hit exactly.  ``depth`` is
+    the number of logic levels (hit exactly as long as
+    ``n_gates >= depth``).  ``n_outputs`` is a soft target: nets left
+    without consumers always become primary outputs, then the list is
+    topped up with deep, already-consumed nets.
+    """
+
+    name: str
+    n_inputs: int
+    n_outputs: int
+    n_gates: int
+    n_pin_edges: int
+    depth: int
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_inputs < 1:
+            raise NetlistError(f"{self.name}: need at least one input")
+        if self.n_gates < 1:
+            raise NetlistError(f"{self.name}: need at least one gate")
+        if self.depth < 1 or self.depth > self.n_gates:
+            raise NetlistError(
+                f"{self.name}: depth {self.depth} must be in [1, n_gates]"
+            )
+        if self.n_outputs < 1:
+            raise NetlistError(f"{self.name}: need at least one output")
+        lo = self.n_gates  # every gate has >= 1 pin
+        hi = self.max_fanin * self.n_gates
+        if not lo <= self.n_pin_edges <= hi:
+            raise NetlistError(
+                f"{self.name}: n_pin_edges {self.n_pin_edges} outside "
+                f"[{lo}, {hi}] for {self.n_gates} gates with "
+                f"{self.n_inputs} inputs (a level-1 gate cannot have more "
+                f"distinct pins than there are primary inputs)"
+            )
+
+    @property
+    def max_fanin(self) -> int:
+        """Largest per-gate pin count the generator may assign: the
+        library tops out at 4 pins, and a gate can never have more
+        distinct inputs than the shallowest level offers."""
+        return min(4, self.n_inputs)
+
+    @property
+    def n_nets(self) -> int:
+        """Paper's node count (primary inputs + gate outputs)."""
+        return self.n_inputs + self.n_gates
+
+    def scaled(self, factor: float, *, name: Optional[str] = None) -> "CircuitSpec":
+        """A proportionally smaller (or larger) variant of this spec.
+
+        Used by the experiment harness to run paper-shaped workloads at
+        laptop-friendly sizes; the fan-in mix (edges per gate) and the
+        relative depth are preserved.
+        """
+        if factor <= 0.0:
+            raise NetlistError(f"scale factor must be positive, got {factor}")
+        n_gates = max(2, round(self.n_gates * factor))
+        depth = max(1, min(n_gates, round(self.depth * factor ** 0.5)))
+        edges_per_gate = self.n_pin_edges / self.n_gates
+        n_inputs = max(2, round(self.n_inputs * factor))
+        cap = min(4, n_inputs)
+        n_pin_edges = min(cap * n_gates, max(n_gates, round(n_gates * edges_per_gate)))
+        return CircuitSpec(
+            name=name or f"{self.name}_s{factor:g}",
+            n_inputs=n_inputs,
+            n_outputs=max(1, round(self.n_outputs * factor)),
+            n_gates=n_gates,
+            n_pin_edges=n_pin_edges,
+            depth=depth,
+            seed=self.seed,
+        )
+
+
+def _fanin_counts(spec: CircuitSpec, rng: random.Random) -> List[int]:
+    """Per-gate pin counts summing exactly to ``spec.n_pin_edges``.
+
+    Start from all-2-input and convert gates up (to 3, then 4 pins) or
+    down (to 1 pin) until the target is met; conversions are spread
+    randomly so no level is systematically wide or narrow.
+    """
+    counts = [min(2, spec.max_fanin)] * spec.n_gates
+    deficit = spec.n_pin_edges - sum(counts)
+    order = list(range(spec.n_gates))
+    rng.shuffle(order)
+    idx = 0
+    while deficit > 0:
+        g = order[idx % len(order)]
+        if counts[g] < spec.max_fanin:
+            counts[g] += 1
+            deficit -= 1
+        idx += 1
+    idx = 0
+    while deficit < 0:
+        g = order[idx % len(order)]
+        if counts[g] > 1:
+            counts[g] -= 1
+            deficit += 1
+        idx += 1
+    return counts
+
+
+_ONE_INPUT_CELLS = ["NOT", "NOT", "NOT", "BUF"]
+_TWO_INPUT_CELLS = ["NAND", "NAND", "NAND", "NOR", "NOR", "AND", "OR", "XOR"]
+_WIDE_CELLS = ["NAND", "NOR", "AND", "OR"]
+
+
+def _pick_function(n_pins: int, rng: random.Random) -> str:
+    """Choose a logic function for a gate with ``n_pins`` inputs,
+    weighted toward the NAND-dominated mix of the real benchmarks."""
+    if n_pins == 1:
+        return rng.choice(_ONE_INPUT_CELLS)
+    if n_pins == 2:
+        return rng.choice(_TWO_INPUT_CELLS)
+    return rng.choice(_WIDE_CELLS)
+
+
+def _gates_per_level(spec: CircuitSpec, rng: random.Random) -> List[int]:
+    """Distribute gates across ``depth`` levels, at least one per level,
+    with a mid-heavy profile like the real benchmarks (cones widen then
+    converge toward the outputs)."""
+    depth = spec.depth
+    remaining = spec.n_gates - depth
+    counts = [1] * depth
+    if remaining > 0 and depth > 1:
+        # Triangular weights peaking at ~1/3 of the depth, floored so
+        # deep levels always keep a share.
+        peak = max(1.0, depth / 3.0)
+        weights = [max(0.25, 1.0 + peak - abs((lv + 1) - peak) / 2.0)
+                   for lv in range(depth)]
+        total = sum(weights)
+        allocated = 0
+        for lv in range(depth):
+            share = int(remaining * weights[lv] / total)
+            counts[lv] += share
+            allocated += share
+        for _ in range(remaining - allocated):
+            counts[rng.randrange(depth)] += 1
+    elif remaining > 0:
+        counts[0] += remaining
+    return counts
+
+
+def generate_circuit(
+    spec: CircuitSpec,
+    *,
+    library: Optional[CellLibrary] = None,
+) -> Circuit:
+    """Generate a validated circuit matching ``spec``.
+
+    The wiring strategy guarantees levels and exact edge counts:
+
+    * each gate's *first* input comes from the previous level (this
+      pins the gate's level), preferring nets that nothing consumes yet;
+    * the remaining inputs are drawn from any earlier level with a
+      geometric bias toward recent levels (local structure) and the
+      same prefer-unconsumed rule (keeps dangling nets — and therefore
+      the primary output count — under control while creating multi-
+      fan-out nets and reconvergence).
+    """
+    lib = library if library is not None else default_library()
+    rng = random.Random(spec.seed ^ 0x5EED)
+    circuit = Circuit(spec.name)
+
+    level_nets: List[List[str]] = [[]]
+    for i in range(spec.n_inputs):
+        net = f"I{i}"
+        circuit.add_input(net)
+        level_nets[0].append(net)
+
+    fanins = _fanin_counts(spec, rng)
+    per_level = _gates_per_level(spec, rng)
+    unconsumed: set = set(level_nets[0])
+    gate_idx = 0
+
+    for level in range(1, spec.depth + 1):
+        current: List[str] = []
+        prev = level_nets[level - 1]
+        for _ in range(per_level[level - 1]):
+            n_pins = fanins[gate_idx]
+            chosen: List[str] = []
+            # Pin 0: previous level, preferring unconsumed nets.
+            prev_unconsumed = [n for n in prev if n in unconsumed]
+            first = rng.choice(prev_unconsumed if prev_unconsumed else prev)
+            chosen.append(first)
+            # Remaining pins: earlier levels, biased toward recent ones.
+            guard = 0
+            while len(chosen) < n_pins:
+                guard += 1
+                if guard > 200:  # tiny circuits can run out of distinct nets
+                    candidates = [
+                        n for lv in level_nets for n in lv if n not in chosen
+                    ]
+                    if not candidates:
+                        break
+                    chosen.append(rng.choice(candidates))
+                    continue
+                src_level = level - 1
+                while src_level > 0 and rng.random() < 0.45:
+                    src_level -= 1
+                pool = level_nets[src_level]
+                pool_unconsumed = [n for n in pool if n in unconsumed]
+                use_pool = pool_unconsumed if (pool_unconsumed and rng.random() < 0.7) else pool
+                net = rng.choice(use_pool)
+                if net not in chosen:
+                    chosen.append(net)
+            n_pins = len(chosen)  # may shrink only on degenerate tiny specs
+            cell = lib.find(_pick_function(n_pins, rng), n_pins)
+            out_net = f"N{spec.n_inputs + gate_idx}"
+            circuit.add_gate(cell, chosen, out_net)
+            unconsumed.difference_update(chosen)
+            unconsumed.add(out_net)
+            current.append(out_net)
+            gate_idx += 1
+        level_nets.append(current)
+
+    _absorb_unused_inputs(circuit, unconsumed, rng)
+    _assign_outputs(circuit, spec, level_nets, unconsumed, rng)
+    circuit.validate()
+    return circuit
+
+
+def _absorb_unused_inputs(circuit: Circuit, unconsumed: set, rng: random.Random) -> None:
+    """Rewire so every primary input has a consumer.
+
+    An unused PI replaces one pin of a gate whose current net has other
+    consumers; a PI is level 0, so the swap can never create a cycle or
+    raise a gate's level past its consumers.
+    """
+    unused_pis = [n for n in circuit.inputs if n in unconsumed]
+    if not unused_pis:
+        return
+    gates = list(circuit.gates())
+    for pi in unused_pis:
+        rng.shuffle(gates)
+        for gate in gates:
+            for pin, net in enumerate(gate.inputs):
+                if net == pi or pi in gate.inputs:
+                    break
+                if pin == 0:
+                    continue  # pin 0 pins the gate's level (exact depth)
+                if circuit.is_input(net):
+                    continue  # keep other PIs connected
+                if circuit.fanout_count(net) < 2:
+                    continue  # would dangle the replaced net
+                new_inputs = list(gate.inputs)
+                new_inputs[pin] = pi
+                gate.inputs = tuple(new_inputs)
+                unconsumed.discard(pi)
+                circuit._dirty()  # noqa: SLF001 — structural edit by design
+                break
+            if pi not in unconsumed:
+                break
+        # If no swap site exists the PI stays unused; _assign_outputs
+        # will expose it as a (degenerate but valid) primary output.
+
+
+def _assign_outputs(
+    circuit: Circuit,
+    spec: CircuitSpec,
+    level_nets: List[List[str]],
+    unconsumed: set,
+    rng: random.Random,
+) -> None:
+    """Every consumer-less net becomes a primary output; the list is
+    then topped up toward ``spec.n_outputs`` with deep internal nets."""
+    dangling = [n for n in circuit.nets() if circuit.fanout_count(n) == 0]
+    for net in dangling:
+        circuit.add_output(net)
+    need = spec.n_outputs - len(dangling)
+    if need > 0:
+        pool: List[str] = []
+        for lv in range(len(level_nets) - 1, 0, -1):
+            pool.extend(n for n in level_nets[lv] if n not in dangling)
+            if len(pool) >= 3 * need:
+                break
+        rng.shuffle(pool)
+        for net in pool[:need]:
+            circuit.add_output(net)

@@ -1,0 +1,75 @@
+"""Structural netlist validation.
+
+The optimizers and timing engines assume a well-formed combinational
+netlist; this module checks that assumption once, up front, and reports
+*all* problems rather than the first (a netlist fresh out of a parser
+usually has several related mistakes).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import NetlistError
+
+__all__ = ["validate_circuit", "structural_issues"]
+
+
+def structural_issues(circuit) -> List[str]:
+    """Return a list of human-readable structural problems (empty when
+    the circuit is valid).
+
+    Checks:
+    * at least one primary input, output, and gate;
+    * every primary output net is driven (by a PI or a gate);
+    * every gate input reads a driven net;
+    * no combinational cycles (via topological ordering);
+    * every net other than a primary output has at least one consumer
+      (dangling internal nets indicate a broken netlist);
+    * every primary input is actually used.
+    """
+    issues: List[str] = []
+    if not circuit.inputs:
+        issues.append("circuit has no primary inputs")
+    if not circuit.outputs:
+        issues.append("circuit has no primary outputs")
+    if circuit.n_gates == 0:
+        issues.append("circuit has no gates")
+
+    driven = set(circuit.inputs)
+    driven.update(g.output for g in circuit.gates())
+    for net in circuit.outputs:
+        if net not in driven:
+            issues.append(f"primary output {net!r} is not driven")
+    for gate in circuit.gates():
+        for net in gate.inputs:
+            if net not in driven:
+                issues.append(f"gate {gate.name!r} reads undriven net {net!r}")
+
+    if not issues:
+        try:
+            circuit.topo_gates()
+        except NetlistError as exc:
+            issues.append(str(exc))
+
+    output_set = set(circuit.outputs)
+    for net in driven:
+        if net not in output_set and circuit.fanout_count(net) == 0:
+            if net in circuit.inputs:
+                issues.append(f"primary input {net!r} is unused")
+            else:
+                issues.append(f"internal net {net!r} dangles (no consumer)")
+    return issues
+
+
+def validate_circuit(circuit) -> None:
+    """Raise :class:`NetlistError` listing every structural issue."""
+    issues = structural_issues(circuit)
+    if issues:
+        shown = issues[:20]
+        more = f" (+{len(issues) - 20} more)" if len(issues) > 20 else ""
+        raise NetlistError(
+            f"circuit {circuit.name!r} is invalid:\n  - "
+            + "\n  - ".join(shown)
+            + more
+        )

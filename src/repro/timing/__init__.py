@@ -1,0 +1,73 @@
+"""Timing substrate: timing graph, EQ-1 delay model, deterministic STA,
+block-based SSTA (bound CDFs), Monte Carlo validation, and path-level
+"wall" analysis."""
+
+from .delay_model import DelayModel
+from .graph import TimingEdge, TimingGraph
+from .monte_carlo import MonteCarloResult, run_monte_carlo
+from .paths import (
+    PathHistogram,
+    TimingPath,
+    k_longest_paths,
+    path_delay_histogram,
+    wall_metric,
+)
+from .corners import Corner, CornerAnalysis, run_corners, standard_corners
+from .criticality import (
+    BackwardSSTAResult,
+    CriticalityRow,
+    criticality_report,
+    node_criticality,
+    run_backward_ssta,
+)
+from .correlation import (
+    GridPlacement,
+    QuadTreeCorrelation,
+    run_monte_carlo_correlated,
+)
+from .incremental import update_ssta_after_resize
+from .sta import STAResult, run_sta
+from .yield_analysis import (
+    YieldComparison,
+    delay_at_yield,
+    timing_yield,
+    yield_curve,
+    yield_gain,
+)
+from .ssta import SSTAResult, compute_node_arrival, run_ssta
+
+__all__ = [
+    "TimingGraph",
+    "TimingEdge",
+    "DelayModel",
+    "STAResult",
+    "run_sta",
+    "SSTAResult",
+    "run_ssta",
+    "compute_node_arrival",
+    "MonteCarloResult",
+    "run_monte_carlo",
+    "PathHistogram",
+    "TimingPath",
+    "path_delay_histogram",
+    "k_longest_paths",
+    "wall_metric",
+    "update_ssta_after_resize",
+    "GridPlacement",
+    "QuadTreeCorrelation",
+    "run_monte_carlo_correlated",
+    "BackwardSSTAResult",
+    "run_backward_ssta",
+    "node_criticality",
+    "criticality_report",
+    "CriticalityRow",
+    "Corner",
+    "CornerAnalysis",
+    "run_corners",
+    "standard_corners",
+    "timing_yield",
+    "delay_at_yield",
+    "yield_curve",
+    "yield_gain",
+    "YieldComparison",
+]

@@ -1,0 +1,161 @@
+"""Backward SSTA and statistical criticality (analysis extension).
+
+Deterministic sizers only look at the critical path; the paper's point
+is that *statistically* there is no single critical path — "the circuit
+delay PDF is a combination of all the path delay PDFs" (Section 3.1).
+This module quantifies that statement per gate:
+
+* :func:`run_backward_ssta` — the mirror image of the forward pass: the
+  **delay-to-sink** distribution ``B_i`` of every node, computed by
+  propagating PDFs backward through the same convolution/independence-
+  max operations (so it is an upper bound of the same kind as [3]).
+* :func:`node_criticality` — for each node, the probability that a path
+  through it is the longest one, approximated under the engine's global
+  independence assumption as the probability that ``A_i + B_i`` (its
+  through-delay) reaches the circuit's delay:
+  ``P(A_i + B_i >= T(p*))`` with ``T(p*)`` the objective percentile of
+  the sink distribution.
+* :func:`criticality_report` — ranked table used by examples/tests.
+
+Statistical criticality explains both headline results: after
+deterministic optimization *many* gates carry high criticality (the
+wall); the statistical sizer's best gate is reliably among the most
+critical, which is why the ``Smx`` bound ranking finds it early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..config import AnalysisConfig
+from ..dist.ops import OpCounter, convolve, stat_max_many
+from ..dist.pdf import DiscretePDF
+from ..errors import TimingError
+from .delay_model import DelayModel
+from .graph import TimingGraph
+from .ssta import SSTAResult
+
+__all__ = [
+    "BackwardSSTAResult",
+    "run_backward_ssta",
+    "node_criticality",
+    "criticality_report",
+    "CriticalityRow",
+]
+
+
+@dataclass
+class BackwardSSTAResult:
+    """Delay-to-sink PDFs from one backward pass.
+
+    ``to_sink[node]`` is the distribution of the longest remaining
+    delay from ``node`` to the sink (zero at the sink itself).
+    """
+
+    graph: TimingGraph
+    to_sink: List[DiscretePDF]
+    counter: OpCounter
+
+    def to_sink_of_net(self, net: str) -> DiscretePDF:
+        """Delay-to-sink PDF at a named net."""
+        return self.to_sink[self.graph.node_of_net(net)]
+
+
+def run_backward_ssta(
+    graph: TimingGraph,
+    model: DelayModel,
+    *,
+    config: Optional[AnalysisConfig] = None,
+    counter: Optional[OpCounter] = None,
+) -> BackwardSSTAResult:
+    """Propagate delay-to-sink PDFs from the sink toward the source.
+
+    Mirrors :func:`~repro.timing.ssta.run_ssta`: an outgoing arc adds
+    the arc's gate delay by convolution, and multiple fan-out arcs
+    merge through the independence max (upper bound).
+    """
+    cfg = config if config is not None else model.config
+    own = counter if counter is not None else OpCounter()
+    to_sink: List[Optional[DiscretePDF]] = [None] * graph.n_nodes
+    to_sink[graph.sink] = DiscretePDF.delta(cfg.dt, 0.0)
+    for node in reversed(graph.topo_nodes()):
+        if node == graph.sink:
+            continue
+        fanout = graph.fanout_edges(node)
+        if not fanout:
+            raise TimingError(f"node {node} has no fan-out (not a sink)")
+        contribs = []
+        for edge in fanout:
+            dst_pdf = to_sink[edge.dst]
+            assert dst_pdf is not None
+            if edge.gate is None:
+                contribs.append(dst_pdf)
+            else:
+                contribs.append(
+                    convolve(dst_pdf, model.delay_pdf(edge.gate),
+                             trim_eps=cfg.tail_eps, counter=own)
+                )
+        to_sink[node] = stat_max_many(contribs, trim_eps=cfg.tail_eps, counter=own)
+    return BackwardSSTAResult(graph=graph, to_sink=to_sink, counter=own)  # type: ignore[arg-type]
+
+
+def node_criticality(
+    forward: SSTAResult,
+    backward: BackwardSSTAResult,
+    net: str,
+    *,
+    percentile: float = 0.99,
+) -> float:
+    """P(through-delay of ``net`` >= the circuit's p-percentile delay).
+
+    The through-delay ``A_i + B_i`` treats arrival and delay-to-sink as
+    independent (consistent with the engine's global assumption), so
+    the value is a *bound-flavored* criticality: 1.0 means paths through
+    the net essentially set the circuit delay; near 0 means the net is
+    statistically irrelevant.  Relative ranking is what the analysis
+    consumers use.
+    """
+    graph = forward.graph
+    node = graph.node_of_net(net)
+    through = convolve(forward.arrivals[node], backward.to_sink[node])
+    target = forward.sink_pdf.percentile(percentile)
+    return 1.0 - through.cdf_at(target)
+
+
+@dataclass
+class CriticalityRow:
+    """One net's statistical criticality."""
+
+    net: str
+    criticality: float
+    arrival_mean: float
+    to_sink_mean: float
+
+
+def criticality_report(
+    forward: SSTAResult,
+    backward: BackwardSSTAResult,
+    *,
+    percentile: float = 0.99,
+    top_k: int = 20,
+) -> List[CriticalityRow]:
+    """The ``top_k`` most critical gate-output nets, ranked."""
+    if top_k < 1:
+        raise TimingError(f"top_k must be >= 1, got {top_k}")
+    graph = forward.graph
+    rows: List[CriticalityRow] = []
+    for gate in graph.circuit.topo_gates():
+        net = gate.output
+        rows.append(
+            CriticalityRow(
+                net=net,
+                criticality=node_criticality(
+                    forward, backward, net, percentile=percentile
+                ),
+                arrival_mean=forward.arrival_of_net(net).mean(),
+                to_sink_mean=backward.to_sink_of_net(net).mean(),
+            )
+        )
+    rows.sort(key=lambda r: (-r.criticality, r.net))
+    return rows[:top_k]

@@ -1,0 +1,156 @@
+"""Timing graph (Definition 1 of the paper).
+
+A timing graph ``G = {N, E, ns, nf}`` is a DAG with exactly one source
+and one sink.  Nodes correspond to *nets* of the circuit plus the two
+virtual terminals; edges correspond to gate input-pin to output arcs,
+plus zero-delay arcs from the source to every primary input and from
+every primary output to the sink.
+
+The graph is an indexed, immutable view over a :class:`~repro.netlist.
+circuit.Circuit`: node ids are dense integers (source = 0, sink = last),
+and per-node fan-in/fan-out edge lists, the topological order, and the
+levelization are precomputed once.  Gate *widths* may keep changing
+underneath (edges hold live references to their gates); only structural
+circuit edits invalidate a graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import TimingError
+from ..netlist.circuit import Circuit, Gate
+
+__all__ = ["TimingEdge", "TimingGraph"]
+
+
+class TimingEdge:
+    """One directed timing arc.
+
+    ``gate`` is the cell instance whose pin-to-pin delay the arc
+    carries, or ``None`` for the zero-delay source/sink arcs.  ``pin``
+    is the input-pin index of the arc within its gate.
+    """
+
+    __slots__ = ("index", "src", "dst", "gate", "pin")
+
+    def __init__(
+        self, index: int, src: int, dst: int, gate: Optional[Gate], pin: int
+    ) -> None:
+        self.index = index
+        self.src = src
+        self.dst = dst
+        self.gate = gate
+        self.pin = pin
+
+    @property
+    def is_virtual(self) -> bool:
+        """True for the zero-delay source/sink arcs."""
+        return self.gate is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = self.gate.name if self.gate is not None else "virtual"
+        return f"TimingEdge(#{self.index} {self.src}->{self.dst} via {tag})"
+
+
+class TimingGraph:
+    """Indexed single-source/single-sink timing DAG over a circuit."""
+
+    def __init__(self, circuit: Circuit) -> None:
+        circuit.validate()
+        self.circuit = circuit
+        nets = list(circuit.inputs) + [g.output for g in circuit.topo_gates()]
+        self._net_node: Dict[str, int] = {net: i + 1 for i, net in enumerate(nets)}
+        self._node_net: List[Optional[str]] = [None] + nets + [None]
+        self.source: int = 0
+        self.sink: int = len(nets) + 1
+        self.n_nodes: int = len(nets) + 2
+
+        self.edges: List[TimingEdge] = []
+        self._fanin: List[List[TimingEdge]] = [[] for _ in range(self.n_nodes)]
+        self._fanout: List[List[TimingEdge]] = [[] for _ in range(self.n_nodes)]
+
+        def add_edge(src: int, dst: int, gate: Optional[Gate], pin: int) -> None:
+            edge = TimingEdge(len(self.edges), src, dst, gate, pin)
+            self.edges.append(edge)
+            self._fanin[dst].append(edge)
+            self._fanout[src].append(edge)
+
+        for net in circuit.inputs:
+            add_edge(self.source, self._net_node[net], None, 0)
+        for gate in circuit.topo_gates():
+            dst = self._net_node[gate.output]
+            for pin, net in enumerate(gate.inputs):
+                add_edge(self._net_node[net], dst, gate, pin)
+        for net in circuit.outputs:
+            add_edge(self._net_node[net], self.sink, None, 0)
+
+        # Levelization: source 0, primary inputs 1, each net one past its
+        # deepest fan-in, sink one past everything.
+        circuit_levels = circuit.levels()
+        self._levels: List[int] = [0] * self.n_nodes
+        for net, lvl in circuit_levels.items():
+            self._levels[self._net_node[net]] = lvl + 1
+        self._levels[self.sink] = max(self._levels) + 1
+        self.max_level: int = self._levels[self.sink]
+
+        # Topological order: source, nets (already topologically sorted
+        # by construction), sink.
+        self._topo: List[int] = (
+            [self.source] + [self._net_node[n] for n in nets] + [self.sink]
+        )
+
+        self._nodes_by_level: List[List[int]] = [
+            [] for _ in range(self.max_level + 1)
+        ]
+        for node in range(self.n_nodes):
+            self._nodes_by_level[self._levels[node]].append(node)
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    @property
+    def n_edges(self) -> int:
+        """Total arc count including virtual source/sink arcs."""
+        return len(self.edges)
+
+    def node_of_net(self, net: str) -> int:
+        """Node id of a circuit net."""
+        try:
+            return self._net_node[net]
+        except KeyError:
+            raise TimingError(f"net {net!r} is not in the timing graph") from None
+
+    def net_of_node(self, node: int) -> Optional[str]:
+        """Net name of a node (``None`` for source/sink)."""
+        return self._node_net[node]
+
+    def fanin_edges(self, node: int) -> List[TimingEdge]:
+        """Arcs terminating at ``node``."""
+        return self._fanin[node]
+
+    def fanout_edges(self, node: int) -> List[TimingEdge]:
+        """Arcs departing ``node``."""
+        return self._fanout[node]
+
+    def level(self, node: int) -> int:
+        """Topological level (source 0, primary inputs 1, sink last)."""
+        return self._levels[node]
+
+    def nodes_at_level(self, level: int) -> List[int]:
+        """All nodes at a given level."""
+        return self._nodes_by_level[level]
+
+    def topo_nodes(self) -> List[int]:
+        """All nodes in topological order (source first, sink last)."""
+        return self._topo
+
+    def gate_output_node(self, gate: Gate) -> int:
+        """Node id of the net a gate drives."""
+        return self._net_node[gate.output]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TimingGraph({self.circuit.name!r}: {self.n_nodes} nodes, "
+            f"{self.n_edges} edges, {self.max_level + 1} levels)"
+        )

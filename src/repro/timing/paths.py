@@ -1,0 +1,191 @@
+"""Path-level analysis: the "wall of criticality" instrumentation.
+
+Figure 1 of the paper argues the whole case for statistical
+optimization: a deterministic sizer balances path delays into a "wall"
+of near-critical paths (Figure 1a, sc.2), and a wall is exactly what
+maximizes the statistical circuit delay for a given deterministic
+delay.  To reproduce that figure we need the *distribution of path
+delays* in a circuit — which for ISCAS-scale netlists (path counts
+beyond 10^15) cannot be enumerated.
+
+:func:`path_delay_histogram` instead counts paths *by delay bin* with a
+dynamic program over the DAG: the histogram of path delays arriving at
+a node is the sum of its fan-in histograms, each shifted by the arc
+delay.  Counts are floats (they overflow 64-bit integers on the larger
+benchmarks, which is fine for a histogram).  Exact k-longest-path
+enumeration is also provided for reporting and tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import TimingError
+from .delay_model import DelayModel
+from .graph import TimingEdge, TimingGraph
+
+__all__ = [
+    "PathHistogram",
+    "path_delay_histogram",
+    "k_longest_paths",
+    "wall_metric",
+    "TimingPath",
+]
+
+
+@dataclass
+class PathHistogram:
+    """Counts of source-to-sink paths binned by total path delay."""
+
+    bin_width: float
+    offset: int
+    counts: np.ndarray
+
+    @property
+    def delays(self) -> np.ndarray:
+        """Bin-center delays (ps)."""
+        return (np.arange(self.counts.size) + self.offset) * self.bin_width
+
+    @property
+    def total_paths(self) -> float:
+        """Total number of source-to-sink paths."""
+        return float(self.counts.sum())
+
+    @property
+    def max_delay(self) -> float:
+        """Delay of the slowest (binned) path."""
+        nz = np.nonzero(self.counts)[0]
+        return float((self.offset + nz[-1]) * self.bin_width)
+
+    def paths_within(self, margin_fraction: float) -> float:
+        """Number of paths with delay >= (1 - margin) * max delay —
+        the near-critical population forming the wall."""
+        if not 0.0 <= margin_fraction < 1.0:
+            raise TimingError(
+                f"margin_fraction must be in [0, 1), got {margin_fraction}"
+            )
+        threshold = (1.0 - margin_fraction) * self.max_delay
+        mask = self.delays >= threshold - 1e-9
+        return float(self.counts[mask].sum())
+
+
+def path_delay_histogram(
+    graph: TimingGraph,
+    model: Optional[DelayModel] = None,
+    *,
+    delays: Optional[Dict[str, float]] = None,
+    bin_width: float = 10.0,
+) -> PathHistogram:
+    """Histogram of all source-to-sink path delays (nominal).
+
+    ``delays`` overrides the live delay model when provided (gate name
+    -> ps); path counts use float accumulation.
+    """
+    if delays is None:
+        if model is None:
+            raise TimingError("path_delay_histogram needs a model or delays map")
+        delays = model.nominal_delays()
+    if bin_width <= 0.0:
+        raise TimingError(f"bin_width must be positive, got {bin_width}")
+
+    hists: List[Optional[Tuple[int, np.ndarray]]] = [None] * graph.n_nodes
+    hists[graph.source] = (0, np.array([1.0]))
+    for node in graph.topo_nodes():
+        if node == graph.source:
+            continue
+        parts: List[Tuple[int, np.ndarray]] = []
+        for edge in graph.fanin_edges(node):
+            src = hists[edge.src]
+            if src is None:
+                raise TimingError(f"fan-in {edge.src} not yet processed")
+            d = 0.0 if edge.gate is None else delays[edge.gate.output]
+            shift = int(round(d / bin_width))
+            parts.append((src[0] + shift, src[1]))
+        lo = min(off for off, _ in parts)
+        hi = max(off + arr.size for off, arr in parts)
+        acc = np.zeros(hi - lo)
+        for off, arr in parts:
+            acc[off - lo : off - lo + arr.size] += arr
+        hists[node] = (lo, acc)
+    off, counts = hists[graph.sink]  # type: ignore[misc]
+    return PathHistogram(bin_width=bin_width, offset=off, counts=counts)
+
+
+def wall_metric(hist: PathHistogram, *, margin_fraction: float = 0.1) -> float:
+    """Fraction of all paths within ``margin_fraction`` of the maximum
+    delay.  Deterministic optimization drives this up (the wall);
+    statistical optimization keeps it lower at equal area."""
+    total = hist.total_paths
+    if total <= 0.0:
+        return 0.0
+    return hist.paths_within(margin_fraction) / total
+
+
+@dataclass
+class TimingPath:
+    """One explicit source-to-sink path with its nominal delay."""
+
+    delay: float
+    edges: Tuple[TimingEdge, ...]
+
+    @property
+    def nets(self) -> List[str]:
+        """Nets traversed, source side first (virtual nodes skipped)."""
+        graph_nets = []
+        for edge in self.edges:
+            if edge.gate is not None:
+                graph_nets.append(edge.gate.output)
+        return graph_nets
+
+
+def k_longest_paths(
+    graph: TimingGraph,
+    model: Optional[DelayModel] = None,
+    *,
+    delays: Optional[Dict[str, float]] = None,
+    k: int = 10,
+) -> List[TimingPath]:
+    """The ``k`` longest source-to-sink paths, slowest first.
+
+    Standard DAG algorithm: each node keeps its top-``k`` arrival
+    candidates ``(delay, fan-in edge, rank within the fan-in node)``;
+    paths are reconstructed by walking candidates backward.
+    """
+    if k < 1:
+        raise TimingError(f"k must be >= 1, got {k}")
+    if delays is None:
+        if model is None:
+            raise TimingError("k_longest_paths needs a model or delays map")
+        delays = model.nominal_delays()
+
+    # top[node] = list of (delay, edge, src_rank), sorted descending.
+    top: List[List[Tuple[float, Optional[TimingEdge], int]]] = [
+        [] for _ in range(graph.n_nodes)
+    ]
+    top[graph.source] = [(0.0, None, 0)]
+    for node in graph.topo_nodes():
+        if node == graph.source:
+            continue
+        candidates: List[Tuple[float, Optional[TimingEdge], int]] = []
+        for edge in graph.fanin_edges(node):
+            d = 0.0 if edge.gate is None else delays[edge.gate.output]
+            for rank, (src_delay, _e, _r) in enumerate(top[edge.src]):
+                candidates.append((src_delay + d, edge, rank))
+        candidates.sort(key=lambda c: -c[0])
+        top[node] = candidates[:k]
+
+    paths: List[TimingPath] = []
+    for delay, edge, rank in top[graph.sink]:
+        edges_rev: List[TimingEdge] = []
+        node = graph.sink
+        cur_edge, cur_rank = edge, rank
+        while cur_edge is not None:
+            edges_rev.append(cur_edge)
+            node = cur_edge.src
+            _d, cur_edge, cur_rank = top[node][cur_rank]
+        paths.append(TimingPath(delay=delay, edges=tuple(reversed(edges_rev))))
+    return paths

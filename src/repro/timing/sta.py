@@ -1,0 +1,138 @@
+"""Deterministic static timing analysis.
+
+The paper's baseline optimizer is a deterministic coordinate descent
+driven by classic STA: longest-path arrival times, required times,
+slacks, and the critical path (the only gates a deterministic sizer
+needs to consider, Section 3.1).  This module provides that substrate
+over the :class:`~repro.timing.graph.TimingGraph`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import TimingError
+from ..netlist.circuit import Gate
+from .delay_model import DelayModel
+from .graph import TimingEdge, TimingGraph
+
+__all__ = ["STAResult", "run_sta"]
+
+_NEG_INF = float("-inf")
+
+
+@dataclass
+class STAResult:
+    """Arrival/required/slack data from one deterministic STA run.
+
+    Node indexing follows the timing graph; ``arrival[sink]`` is the
+    circuit delay.  Slack is relative to the circuit delay itself, so
+    critical nodes have slack 0.
+    """
+
+    graph: TimingGraph
+    arrival: List[float]
+    required: List[float]
+    critical_edges: List[TimingEdge]
+
+    @property
+    def circuit_delay(self) -> float:
+        """Longest-path delay (ps) at the sink."""
+        return self.arrival[self.graph.sink]
+
+    def slack(self, node: int) -> float:
+        """Required minus arrival at a node (ps)."""
+        return self.required[node] - self.arrival[node]
+
+    @property
+    def critical_path_nets(self) -> List[str]:
+        """Net names along the critical path, source side first."""
+        nets = []
+        for edge in self.critical_edges:
+            net = self.graph.net_of_node(edge.dst)
+            if net is not None:
+                nets.append(net)
+        return nets
+
+    @property
+    def critical_path_gates(self) -> List[Gate]:
+        """Gate instances along the critical path."""
+        return [e.gate for e in self.critical_edges if e.gate is not None]
+
+    def critical_gates_within(self, slack_margin: float) -> List[Gate]:
+        """All gates whose output slack is within ``slack_margin`` ps of
+        critical — the candidate set a deterministic sizer scans."""
+        out = []
+        for gate in self.graph.circuit.gates():
+            node = self.graph.gate_output_node(gate)
+            if self.slack(node) <= slack_margin + 1e-12:
+                out.append(gate)
+        return out
+
+
+def _edge_delay(edge: TimingEdge, delays: Dict[str, float]) -> float:
+    if edge.gate is None:
+        return 0.0
+    return delays[edge.gate.output]
+
+
+def run_sta(
+    graph: TimingGraph,
+    model: Optional[DelayModel] = None,
+    *,
+    delays: Optional[Dict[str, float]] = None,
+) -> STAResult:
+    """Longest-path STA over the timing graph.
+
+    Either a :class:`DelayModel` (delays evaluated live at current
+    widths) or a prebuilt ``delays`` map (gate name -> ps) must be
+    provided; the map form is what the Monte Carlo engine uses to
+    re-time one sample.
+    """
+    if delays is None:
+        if model is None:
+            raise TimingError("run_sta needs a DelayModel or a delays map")
+        delays = model.nominal_delays()
+
+    n = graph.n_nodes
+    arrival = [_NEG_INF] * n
+    best_in: List[Optional[TimingEdge]] = [None] * n
+    arrival[graph.source] = 0.0
+    for node in graph.topo_nodes():
+        if node == graph.source:
+            continue
+        best = _NEG_INF
+        best_edge: Optional[TimingEdge] = None
+        for edge in graph.fanin_edges(node):
+            cand = arrival[edge.src] + _edge_delay(edge, delays)
+            if cand > best:
+                best = cand
+                best_edge = edge
+        arrival[node] = best
+        best_in[node] = best_edge
+
+    circuit_delay = arrival[graph.sink]
+    required = [float("inf")] * n
+    required[graph.sink] = circuit_delay
+    for node in reversed(graph.topo_nodes()):
+        if node == graph.sink:
+            continue
+        req = required[node]
+        for edge in graph.fanout_edges(node):
+            cand = required[edge.dst] - _edge_delay(edge, delays)
+            if cand < req:
+                req = cand
+        required[node] = req
+
+    critical: List[TimingEdge] = []
+    node = graph.sink
+    while node != graph.source:
+        edge = best_in[node]
+        if edge is None:
+            raise TimingError(f"no fan-in while tracing critical path at node {node}")
+        critical.append(edge)
+        node = edge.src
+    critical.reverse()
+    return STAResult(graph=graph, arrival=arrival, required=required,
+                     critical_edges=critical)

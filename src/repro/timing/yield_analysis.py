@@ -1,0 +1,128 @@
+"""Parametric timing-yield analysis.
+
+Section 1 of the paper: "From the CDF of the circuit delay, the user is
+then able to obtain the percentage of fabricated dies which meets a
+certain delay requirement, or conversely, the expected performance for
+a particular yield."  This module provides exactly those two queries
+plus the derived reporting the examples and experiments use:
+
+* :func:`timing_yield` — fraction of dies meeting a delay target;
+* :func:`delay_at_yield` — the delay achievable at a given yield
+  (the inverse query; the paper's objective is ``delay_at_yield(0.99)``);
+* :func:`yield_curve` — the whole trade-off as arrays;
+* :func:`yield_gain` — yield improvement of one solution over another
+  across a target range (how Table 1's delay improvements translate to
+  sold dies).
+
+All functions accept either a propagated SSTA distribution
+(:class:`~repro.dist.pdf.DiscretePDF`) or a Monte Carlo result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+import numpy as np
+
+from ..dist.pdf import DiscretePDF
+from ..errors import TimingError
+from .monte_carlo import MonteCarloResult
+
+__all__ = [
+    "timing_yield",
+    "delay_at_yield",
+    "yield_curve",
+    "YieldComparison",
+    "yield_gain",
+]
+
+DelayDistribution = Union[DiscretePDF, MonteCarloResult]
+
+
+def _as_cdf_eval(dist: DelayDistribution):
+    if isinstance(dist, DiscretePDF):
+        return dist.cdf_at
+    if isinstance(dist, MonteCarloResult):
+        samples = np.sort(dist.samples)
+
+        def empirical(t: float) -> float:
+            return float(np.searchsorted(samples, t, side="right")) / samples.size
+
+        return empirical
+    raise TimingError(f"unsupported distribution type: {type(dist).__name__}")
+
+
+def timing_yield(dist: DelayDistribution, target_delay: float) -> float:
+    """Fraction of dies with circuit delay <= ``target_delay`` (ps)."""
+    if target_delay < 0.0:
+        raise TimingError(f"target delay must be >= 0, got {target_delay}")
+    return _as_cdf_eval(dist)(target_delay)
+
+
+def delay_at_yield(dist: DelayDistribution, yield_fraction: float) -> float:
+    """Smallest delay target (ps) met by ``yield_fraction`` of dies."""
+    if not 0.0 < yield_fraction <= 1.0:
+        raise TimingError(
+            f"yield fraction must be in (0, 1], got {yield_fraction}"
+        )
+    if isinstance(dist, DiscretePDF):
+        return dist.percentile(yield_fraction)
+    if isinstance(dist, MonteCarloResult):
+        return dist.percentile(yield_fraction)
+    raise TimingError(f"unsupported distribution type: {type(dist).__name__}")
+
+
+def yield_curve(
+    dist: DelayDistribution, *, n_points: int = 50
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(delay targets, yields) across the distribution's support."""
+    if n_points < 2:
+        raise TimingError("n_points must be >= 2")
+    lo = delay_at_yield(dist, 0.001)
+    hi = delay_at_yield(dist, 1.0)
+    targets = np.linspace(lo, hi, n_points)
+    cdf = _as_cdf_eval(dist)
+    return targets, np.array([cdf(t) for t in targets])
+
+
+@dataclass
+class YieldComparison:
+    """Yield of two delay distributions over a shared target range."""
+
+    targets: np.ndarray
+    yield_a: np.ndarray
+    yield_b: np.ndarray
+
+    @property
+    def max_gain(self) -> float:
+        """Largest yield advantage of B over A at any single target."""
+        return float(np.max(self.yield_b - self.yield_a))
+
+    @property
+    def mean_gain(self) -> float:
+        """Average yield advantage of B over A across the range."""
+        return float(np.mean(self.yield_b - self.yield_a))
+
+
+def yield_gain(
+    dist_a: DelayDistribution,
+    dist_b: DelayDistribution,
+    *,
+    n_points: int = 50,
+) -> YieldComparison:
+    """Yield-vs-target comparison of two circuit solutions.
+
+    The target range spans both distributions, so the comparison covers
+    every economically interesting operating point.
+    """
+    lo = min(delay_at_yield(dist_a, 0.001), delay_at_yield(dist_b, 0.001))
+    hi = max(delay_at_yield(dist_a, 1.0), delay_at_yield(dist_b, 1.0))
+    targets = np.linspace(lo, hi, n_points)
+    cdf_a = _as_cdf_eval(dist_a)
+    cdf_b = _as_cdf_eval(dist_b)
+    return YieldComparison(
+        targets=targets,
+        yield_a=np.array([cdf_a(t) for t in targets]),
+        yield_b=np.array([cdf_b(t) for t in targets]),
+    )

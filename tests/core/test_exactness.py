@@ -1,0 +1,107 @@
+"""The paper's headline accuracy claim, as an integration test.
+
+Section 4: "Our optimization results are identical with those of the
+brute force approach" — the pruning algorithm is exact, not a
+heuristic.  These tests run the pruned and brute-force sizers side by
+side on several circuits and demand *identical* gate selections,
+sensitivities, and final objective values.
+"""
+
+import pytest
+
+from repro.core.brute_force_sizer import BruteForceStatisticalSizer
+from repro.core.pruned_sizer import PrunedStatisticalSizer
+from repro.netlist.generate import CircuitSpec, generate_circuit
+
+
+def run_pair(make_circuit, config, iterations):
+    bf = BruteForceStatisticalSizer(
+        make_circuit(), config=config, max_iterations=iterations
+    ).run()
+    pr = PrunedStatisticalSizer(
+        make_circuit(), config=config, max_iterations=iterations
+    ).run()
+    return bf, pr
+
+
+class TestExactEquivalence:
+    def test_c17_selections_identical(self, fast_config):
+        from repro.netlist.bench import C17_BENCH, parse_bench
+
+        bf, pr = run_pair(
+            lambda: parse_bench(C17_BENCH, name="c17"), fast_config, 8
+        )
+        assert [s.gate for s in bf.steps] == [s.gate for s in pr.steps]
+
+    def test_c17_sensitivities_identical(self, fast_config):
+        from repro.netlist.bench import C17_BENCH, parse_bench
+
+        bf, pr = run_pair(
+            lambda: parse_bench(C17_BENCH, name="c17"), fast_config, 8
+        )
+        assert [s.sensitivity for s in bf.steps] == [
+            s.sensitivity for s in pr.steps
+        ]
+
+    def test_c17_objective_trajectory_identical(self, fast_config):
+        from repro.netlist.bench import C17_BENCH, parse_bench
+
+        bf, pr = run_pair(
+            lambda: parse_bench(C17_BENCH, name="c17"), fast_config, 8
+        )
+        assert bf.final_objective == pr.final_objective
+        assert [s.objective_after for s in bf.steps] == [
+            s.objective_after for s in pr.steps
+        ]
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_generated_circuits_identical(self, fast_config, seed):
+        spec = CircuitSpec(
+            f"eq{seed}", n_inputs=6, n_outputs=3, n_gates=35,
+            n_pin_edges=73, depth=7, seed=seed,
+        )
+        bf, pr = run_pair(lambda: generate_circuit(spec), fast_config, 4)
+        assert [s.gate for s in bf.steps] == [s.gate for s in pr.steps]
+        assert [s.sensitivity for s in bf.steps] == [
+            s.sensitivity for s in pr.steps
+        ]
+
+    def test_without_drop_identical_shortcut(self, fast_config):
+        spec = CircuitSpec(
+            "eqnd", n_inputs=5, n_outputs=2, n_gates=25,
+            n_pin_edges=52, depth=6, seed=9,
+        )
+        bf = BruteForceStatisticalSizer(
+            generate_circuit(spec), config=fast_config, max_iterations=4
+        ).run()
+        pr = PrunedStatisticalSizer(
+            generate_circuit(spec), config=fast_config, max_iterations=4,
+            drop_identical=False,
+        ).run()
+        assert [s.gate for s in bf.steps] == [s.gate for s in pr.steps]
+        assert [s.sensitivity for s in bf.steps] == [
+            s.sensitivity for s in pr.steps
+        ]
+
+    def test_pruning_actually_prunes(self, fast_config):
+        """The speed story requires most candidates to be eliminated
+        before reaching the sink."""
+        spec = CircuitSpec(
+            "prn", n_inputs=8, n_outputs=4, n_gates=60,
+            n_pin_edges=126, depth=8, seed=4,
+        )
+        pr = PrunedStatisticalSizer(
+            generate_circuit(spec), config=fast_config, max_iterations=3
+        ).run()
+        fractions = [s.stats.pruned_fraction for s in pr.steps]
+        assert max(fractions) > 0.3
+
+    def test_pruned_does_less_statistical_work(self, fast_config):
+        spec = CircuitSpec(
+            "wrk", n_inputs=8, n_outputs=4, n_gates=60,
+            n_pin_edges=126, depth=8, seed=4,
+        )
+        bf, pr = run_pair(lambda: generate_circuit(spec), fast_config, 2)
+        bf_ops = sum(s.stats.convolutions + s.stats.max_ops for s in bf.steps)
+        pr_ops = sum(s.stats.convolutions + s.stats.max_ops for s in pr.steps)
+        assert pr_ops < bf_ops

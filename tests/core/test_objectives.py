@@ -1,0 +1,100 @@
+"""Unit tests for optimization objectives."""
+
+import pytest
+
+from repro.core.objectives import (
+    MeanObjective,
+    MeanPlusSigmaObjective,
+    PercentileObjective,
+    default_objective,
+)
+from repro.dist.families import truncated_gaussian_pdf
+from repro.dist.pdf import DiscretePDF
+from repro.errors import OptimizationError
+
+
+class TestPercentileObjective:
+    def test_evaluates_percentile(self):
+        pdf = truncated_gaussian_pdf(1.0, 100.0, 10.0)
+        obj = PercentileObjective(0.99)
+        assert obj.evaluate(pdf) == pytest.approx(pdf.percentile(0.99))
+
+    def test_median(self):
+        pdf = truncated_gaussian_pdf(1.0, 100.0, 10.0)
+        assert PercentileObjective(0.5).evaluate(pdf) == pytest.approx(100.0, abs=1.0)
+
+    def test_invalid_levels(self):
+        with pytest.raises(OptimizationError):
+            PercentileObjective(0.0)
+        with pytest.raises(OptimizationError):
+            PercentileObjective(1.0)
+
+    def test_improvement_sign(self):
+        slow = truncated_gaussian_pdf(1.0, 110.0, 10.0)
+        fast = truncated_gaussian_pdf(1.0, 100.0, 10.0)
+        obj = PercentileObjective(0.99)
+        assert obj.improvement(slow, fast) > 0.0
+        assert obj.improvement(fast, slow) < 0.0
+
+    def test_shift_bounded(self):
+        assert PercentileObjective(0.99).shift_bounded
+
+    def test_name(self):
+        assert "99" in PercentileObjective(0.99).name
+
+    def test_default(self):
+        obj = default_objective()
+        assert isinstance(obj, PercentileObjective)
+        assert obj.p == 0.99
+
+
+class TestMeanObjective:
+    def test_evaluates_mean(self):
+        pdf = DiscretePDF(1.0, 0, [0.5, 0.5])
+        assert MeanObjective().evaluate(pdf) == pytest.approx(pdf.mean())
+
+    def test_shift_bounded(self):
+        assert MeanObjective().shift_bounded
+
+    def test_mean_shift_within_max_gap(self):
+        """The pruning-safety condition: |J(A) - J(A')| <= max gap."""
+        from repro.dist.metrics import max_percentile_gap
+
+        a = truncated_gaussian_pdf(1.0, 100.0, 10.0)
+        b = truncated_gaussian_pdf(1.0, 92.0, 14.0)
+        obj = MeanObjective()
+        assert abs(obj.improvement(a, b)) <= abs(
+            max(max_percentile_gap(a, b), -max_percentile_gap(b, a))
+        ) + 1e-9
+
+
+class TestMeanPlusSigma:
+    def test_value(self):
+        pdf = truncated_gaussian_pdf(1.0, 100.0, 10.0)
+        obj = MeanPlusSigmaObjective(k=3.0)
+        assert obj.evaluate(pdf) == pytest.approx(pdf.mean() + 3.0 * pdf.std())
+
+    def test_not_shift_bounded(self):
+        assert not MeanPlusSigmaObjective().shift_bounded
+
+    def test_invalid_k(self):
+        with pytest.raises(OptimizationError):
+            MeanPlusSigmaObjective(k=-1.0)
+
+    def test_pruned_sizer_rejects(self, c17, fast_config):
+        from repro.core.pruned_sizer import PrunedStatisticalSizer
+
+        with pytest.raises(OptimizationError, match="not bounded"):
+            PrunedStatisticalSizer(
+                c17, config=fast_config, objective=MeanPlusSigmaObjective()
+            )
+
+    def test_brute_force_accepts(self, c17, fast_config):
+        from repro.core.brute_force_sizer import BruteForceStatisticalSizer
+
+        sizer = BruteForceStatisticalSizer(
+            c17, config=fast_config, objective=MeanPlusSigmaObjective(),
+            max_iterations=2,
+        )
+        result = sizer.run()
+        assert result.final_objective <= result.initial_objective

@@ -1,0 +1,213 @@
+"""Unit tests for perturbation fronts (Theorem 1-4 machinery).
+
+The two decisive properties are checked on every gate of several
+circuits:
+
+1. **Exactness** — a front propagated to the sink reproduces the
+   brute-force (full SSTA rerun) sensitivity bit for bit.
+2. **Bound monotonicity** — ``Smx`` never increases as a front
+   advances, and always upper-bounds the final exact sensitivity
+   (this is precisely Theorem 4).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.objectives import PercentileObjective
+from repro.core.perturbation import PerturbationFront
+from repro.core.sensitivity import perturbed_sink_pdf, statistical_sensitivity
+from repro.errors import OptimizationError
+from repro.timing.delay_model import DelayModel
+from repro.timing.graph import TimingGraph
+from repro.timing.ssta import run_ssta
+
+OBJ = PercentileObjective(0.99)
+
+
+def setup(circuit, config):
+    graph = TimingGraph(circuit)
+    model = DelayModel(circuit, config=config)
+    base = run_ssta(graph, model)
+    return graph, model, base
+
+
+class TestInitialize:
+    def test_width_restored(self, c17, fast_config):
+        graph, model, base = setup(c17, fast_config)
+        gate = c17.gate("16")
+        PerturbationFront(graph, model, base, gate, 1.0, OBJ)
+        assert gate.width == 1.0
+
+    def test_invalid_dw(self, c17, fast_config):
+        graph, model, base = setup(c17, fast_config)
+        with pytest.raises(OptimizationError):
+            PerturbationFront(graph, model, base, c17.gate("16"), 0.0, OBJ)
+
+    def test_initial_smx_finite_after_init(self, c17, fast_config):
+        graph, model, base = setup(c17, fast_config)
+        front = PerturbationFront(graph, model, base, c17.gate("16"), 1.0, OBJ)
+        assert np.isfinite(front.smx) or front.is_done
+
+    def test_front_starts_at_affected_gates(self, c17, fast_config):
+        graph, model, base = setup(c17, fast_config)
+        gate = c17.gate("22")  # fanins 10, 16 are gates
+        front = PerturbationFront(graph, model, base, gate, 1.0, OBJ)
+        # After Initialize the front has advanced to (at least) 22's level.
+        assert front.curr_level > graph.level(graph.gate_output_node(gate)) - 1
+
+
+class TestExactness:
+    @pytest.mark.parametrize("gate_name", ["10", "11", "16", "19", "22", "23"])
+    def test_sensitivity_bitwise_equals_brute_force(self, c17, fast_config, gate_name):
+        graph, model, base = setup(c17, fast_config)
+        base_obj = OBJ.evaluate(base.sink_pdf)
+        gate = c17.gate(gate_name)
+        dw = 1.0
+        front = PerturbationFront(graph, model, base, gate, dw, OBJ)
+        s_front = front.run_to_sink()
+        s_brute = statistical_sensitivity(graph, model, gate, dw, OBJ, base_obj)
+        assert s_front == s_brute  # bitwise, not approximately
+
+    @pytest.mark.parametrize("gate_name", ["16", "22"])
+    def test_sink_pdf_bitwise_equal(self, c17, fast_config, gate_name):
+        graph, model, base = setup(c17, fast_config)
+        gate = c17.gate(gate_name)
+        front = PerturbationFront(graph, model, base, gate, 1.0, OBJ)
+        front.run_to_sink()
+        brute = perturbed_sink_pdf(graph, model, gate, 1.0)
+        if front.sink_pdf is None:
+            # Perturbation died out: brute sink must equal base sink.
+            assert brute.allclose(base.sink_pdf, atol=0.0)
+        else:
+            assert front.sink_pdf.offset == brute.offset
+            assert np.array_equal(front.sink_pdf.masses, brute.masses)
+
+    def test_exactness_without_drop_identical(self, c17, fast_config):
+        graph, model, base = setup(c17, fast_config)
+        base_obj = OBJ.evaluate(base.sink_pdf)
+        for gate in c17.gates():
+            front = PerturbationFront(
+                graph, model, base, gate, 1.0, OBJ, drop_identical=False
+            )
+            s_front = front.run_to_sink()
+            s_brute = statistical_sensitivity(graph, model, gate, 1.0, OBJ, base_obj)
+            assert s_front == s_brute
+
+    def test_exactness_on_generated_circuit(self, fast_config):
+        from repro.netlist.generate import CircuitSpec, generate_circuit
+
+        spec = CircuitSpec("px", n_inputs=5, n_outputs=3, n_gates=30,
+                           n_pin_edges=62, depth=6, seed=12)
+        circuit = generate_circuit(spec)
+        graph, model, base = setup(circuit, fast_config)
+        base_obj = OBJ.evaluate(base.sink_pdf)
+        for gate in list(circuit.gates())[::3]:
+            front = PerturbationFront(graph, model, base, gate, 1.0, OBJ)
+            assert front.run_to_sink() == statistical_sensitivity(
+                graph, model, gate, 1.0, OBJ, base_obj
+            )
+
+
+class TestBoundMonotonicity:
+    """The regime-qualified Theorem-4 invariant.
+
+    While the bound is positive it can only shrink; a negative bound
+    (a degradation) may be masked back toward zero by a max with
+    unperturbed arrivals but can never cross into genuine improvement:
+    ``Smx_next <= max(Smx_prev, 0)``.
+    """
+
+    def test_smx_never_exceeds_positive_envelope(self, c17, fast_config):
+        graph, model, base = setup(c17, fast_config)
+        for gate in c17.gates():
+            front = PerturbationFront(graph, model, base, gate, 1.0, OBJ)
+            prev = front.smx
+            while not front.is_done:
+                front.propagate_one_level()
+                assert front.smx <= max(prev, 0.0) + 1e-6
+                prev = front.smx
+
+    def test_smx_bounds_final_sensitivity(self, c17, fast_config):
+        graph, model, base = setup(c17, fast_config)
+        for gate in c17.gates():
+            front = PerturbationFront(graph, model, base, gate, 1.0, OBJ)
+            bounds = [front.smx]
+            while not front.is_done:
+                front.propagate_one_level()
+                bounds.append(front.smx)
+            assert front.sensitivity is not None
+            for b in bounds:
+                assert max(b, 0.0) >= front.sensitivity - 1e-9
+
+    def test_smx_monotone_on_generated_circuit(self, fast_config):
+        from repro.netlist.generate import CircuitSpec, generate_circuit
+
+        spec = CircuitSpec("pm", n_inputs=6, n_outputs=3, n_gates=40,
+                           n_pin_edges=84, depth=8, seed=3)
+        circuit = generate_circuit(spec)
+        graph, model, base = setup(circuit, fast_config)
+        for gate in list(circuit.gates())[::4]:
+            front = PerturbationFront(graph, model, base, gate, 1.0, OBJ)
+            prev = front.smx
+            while not front.is_done:
+                front.propagate_one_level()
+                assert front.smx <= max(prev, 0.0) + 1e-6
+                prev = front.smx
+
+    def test_positive_bounds_strictly_monotone(self, c17, fast_config):
+        """In the positive regime (the one the optimizer prunes in) the
+        bound is genuinely non-increasing."""
+        graph, model, base = setup(c17, fast_config)
+        for gate in c17.gates():
+            front = PerturbationFront(graph, model, base, gate, 1.0, OBJ)
+            prev = front.smx
+            while not front.is_done:
+                front.propagate_one_level()
+                if prev > 0.0 and front.smx > 0.0:
+                    assert front.smx <= prev + 1e-9
+                prev = front.smx
+
+
+class TestFrontMechanics:
+    def test_run_to_sink_idempotent_state(self, c17, fast_config):
+        graph, model, base = setup(c17, fast_config)
+        front = PerturbationFront(graph, model, base, c17.gate("16"), 1.0, OBJ)
+        s = front.run_to_sink()
+        assert front.is_done
+        # Extra propagation calls are harmless no-ops.
+        front.propagate_one_level()
+        assert front.sensitivity == s
+
+    def test_levels_propagated_counted(self, c17, fast_config):
+        graph, model, base = setup(c17, fast_config)
+        front = PerturbationFront(graph, model, base, c17.gate("10"), 1.0, OBJ)
+        front.run_to_sink()
+        assert front.levels_propagated >= 2
+        assert front.nodes_computed >= 2
+
+    def test_front_size_returns_to_zero(self, c17, fast_config):
+        graph, model, base = setup(c17, fast_config)
+        front = PerturbationFront(graph, model, base, c17.gate("16"), 1.0, OBJ)
+        front.run_to_sink()
+        assert front.front_size == 0
+
+    def test_smx_equals_sensitivity_when_done(self, c17, fast_config):
+        graph, model, base = setup(c17, fast_config)
+        front = PerturbationFront(graph, model, base, c17.gate("16"), 1.0, OBJ)
+        s = front.run_to_sink()
+        assert front.smx == s
+
+    def test_counter_attribution(self, c17, fast_config):
+        from repro.dist.ops import OpCounter
+
+        graph, model, base = setup(c17, fast_config)
+        counter = OpCounter()
+        front = PerturbationFront(
+            graph, model, base, c17.gate("16"), 1.0, OBJ, counter=counter
+        )
+        front.run_to_sink()
+        assert counter.total_ops > 0
+        # A front must do less work than the full SSTA it replaces.
+        full = OpCounter()
+        run_ssta(graph, model, counter=full)
+        assert counter.convolutions <= full.convolutions

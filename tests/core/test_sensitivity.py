@@ -1,0 +1,103 @@
+"""Unit tests for exact (brute-force) sensitivity computation."""
+
+import numpy as np
+import pytest
+
+from repro.core.objectives import PercentileObjective
+from repro.core.sensitivity import (
+    deterministic_sensitivity,
+    perturbed_sink_pdf,
+    statistical_sensitivity,
+)
+from repro.errors import OptimizationError
+from repro.timing.delay_model import DelayModel
+from repro.timing.graph import TimingGraph
+from repro.timing.ssta import run_ssta
+from repro.timing.sta import run_sta
+
+OBJ = PercentileObjective(0.99)
+
+
+class TestPerturbedSink:
+    def test_width_restored(self, c17, library, fast_config):
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        gate = c17.gate("16")
+        perturbed_sink_pdf(graph, model, gate, 1.0)
+        assert gate.width == 1.0
+
+    def test_width_restored_on_error(self, c17, library, fast_config):
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        with pytest.raises(OptimizationError):
+            perturbed_sink_pdf(graph, model, c17.gate("16"), -1.0)
+        assert c17.gate("16").width == 1.0
+
+    def test_perturbation_changes_sink(self, c17, library, fast_config):
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        base = run_ssta(graph, model).sink_pdf
+        pert = perturbed_sink_pdf(graph, model, c17.gate("16"), 1.0)
+        assert not (
+            base.offset == pert.offset and np.array_equal(base.masses, pert.masses)
+        )
+
+
+class TestStatisticalSensitivity:
+    def test_matches_direct_computation(self, c17, library, fast_config):
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        base_obj = OBJ.evaluate(run_ssta(graph, model).sink_pdf)
+        gate = c17.gate("11")
+        dw = 1.0
+        s = statistical_sensitivity(graph, model, gate, dw, OBJ, base_obj)
+        pert = perturbed_sink_pdf(graph, model, gate, dw)
+        assert s == pytest.approx((base_obj - OBJ.evaluate(pert)) / dw)
+
+    def test_pi_driven_gate_positive(self, c17, library, fast_config):
+        """Gate 11 drives two loads and is driven by PIs: up-sizing it
+        must help the 99% delay."""
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        base_obj = OBJ.evaluate(run_ssta(graph, model).sink_pdf)
+        s = statistical_sensitivity(graph, model, c17.gate("11"), 1.0, OBJ, base_obj)
+        assert s > 0.0
+
+    def test_sensitivity_scale_invariance(self, c17, library, fast_config):
+        """S is per unit width: doubling dw should roughly halve the
+        marginal effect only through nonlinearity, not through units."""
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        base_obj = OBJ.evaluate(run_ssta(graph, model).sink_pdf)
+        gate = c17.gate("11")
+        s1 = statistical_sensitivity(graph, model, gate, 1.0, OBJ, base_obj)
+        s2 = statistical_sensitivity(graph, model, gate, 2.0, OBJ, base_obj)
+        # Delay improvement is concave in width: S(dw=2) <= S(dw=1).
+        assert s2 <= s1 + 1e-9
+
+
+class TestDeterministicSensitivity:
+    def test_matches_direct_sta(self, c17, library, fast_config):
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        base = run_sta(graph, model).circuit_delay
+        gate = c17.gate("11")
+        s = deterministic_sensitivity(graph, model, gate, 1.0, base)
+        gate.width = 2.0
+        after = run_sta(graph, model).circuit_delay
+        gate.width = 1.0
+        assert s == pytest.approx(base - after)
+
+    def test_off_critical_gate_zero_or_negative(self, two_path, library, fast_config):
+        """Up-sizing the short-path gate cannot speed the circuit."""
+        graph = TimingGraph(two_path)
+        model = DelayModel(two_path, library, fast_config)
+        base = run_sta(graph, model).circuit_delay
+        s = deterministic_sensitivity(graph, model, two_path.gate("s1"), 1.0, base)
+        assert s <= 1e-12
+
+    def test_invalid_dw(self, c17, library, fast_config):
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        with pytest.raises(OptimizationError):
+            deterministic_sensitivity(graph, model, c17.gate("11"), 0.0, 100.0)

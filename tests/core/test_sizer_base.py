@@ -1,0 +1,119 @@
+"""Unit tests for the shared sizer scaffolding (Selection, SizingStep,
+SizingResult, IterationStats)."""
+
+import pytest
+
+from repro.core.objectives import PercentileObjective
+from repro.core.sizer_base import (
+    IterationStats,
+    Selection,
+    SizingResult,
+    SizingStep,
+)
+from repro.errors import OptimizationError
+from repro.netlist.circuit import Gate
+from repro.library.library import default_library
+
+LIB = default_library()
+
+
+def make_gate(name="g1"):
+    return Gate(LIB.get("INV_X1"), ["a"], name)
+
+
+class TestIterationStats:
+    def test_pruned_fraction(self):
+        stats = IterationStats(candidates=10, pruned=7)
+        assert stats.pruned_fraction == pytest.approx(0.7)
+
+    def test_pruned_fraction_no_candidates(self):
+        assert IterationStats().pruned_fraction == 0.0
+
+
+class TestSelection:
+    def test_empty_selection(self):
+        sel = Selection([], 100.0, 100.0, IterationStats())
+        assert sel.best_gate is None
+        assert sel.best_sensitivity == 0.0
+
+    def test_best_is_first(self):
+        g1, g2 = make_gate("g1"), make_gate("g2")
+        sel = Selection([(g1, 5.0), (g2, 3.0)], 100.0, 92.0, IterationStats())
+        assert sel.best_gate is g1
+        assert sel.best_sensitivity == 5.0
+
+
+class TestSizingStep:
+    def test_all_gates_single(self):
+        step = SizingStep(0, "g1", 1.0, 100.0, 99.0, 10.0)
+        assert step.all_gates == ("g1",)
+
+    def test_all_gates_multi(self):
+        step = SizingStep(0, "g1", 1.0, 100.0, 97.0, 10.0,
+                          extra_gates=("g2", "g3"))
+        assert step.all_gates == ("g1", "g2", "g3")
+
+
+def make_result(steps, initial_widths):
+    return SizingResult(
+        optimizer="test",
+        circuit_name="t",
+        objective_name="99-percentile delay",
+        delta_w=1.0,
+        initial_objective=100.0,
+        final_objective=90.0,
+        initial_size=5.0,
+        final_size=5.0 + sum(len(s.all_gates) for s in steps),
+        initial_widths=initial_widths,
+        steps=steps,
+        stop_reason="max_iterations",
+        total_time_s=1.0,
+    )
+
+
+class TestSizingResult:
+    def test_metrics(self):
+        steps = [
+            SizingStep(0, "g1", 5.0, 100.0, 95.0, 6.0),
+            SizingStep(1, "g2", 3.0, 95.0, 92.0, 7.0),
+        ]
+        result = make_result(steps, {"g1": 1.0, "g2": 1.0})
+        assert result.n_iterations == 2
+        assert result.size_increase_percent == pytest.approx(40.0)
+        assert result.improvement_percent == pytest.approx(10.0)
+
+    def test_iteration_time_range(self):
+        steps = [
+            SizingStep(0, "g1", 1.0, 100.0, 99.0, 6.0,
+                       stats=IterationStats(wall_time_s=0.5)),
+            SizingStep(1, "g1", 1.0, 99.0, 98.0, 7.0,
+                       stats=IterationStats(wall_time_s=1.5)),
+        ]
+        result = make_result(steps, {"g1": 1.0})
+        assert result.mean_iteration_time_s == pytest.approx(1.0)
+        assert result.iteration_time_range() == (0.5, 1.5)
+
+    def test_empty_run(self):
+        result = make_result([], {"g1": 1.0})
+        assert result.mean_iteration_time_s == 0.0
+        assert result.iteration_time_range() == (0.0, 0.0)
+        sizes, objectives = result.area_delay_curve()
+        assert sizes == [5.0]
+        assert objectives == [100.0]
+
+    def test_widths_replay_multi_gate(self):
+        steps = [
+            SizingStep(0, "g1", 2.0, 100.0, 96.0, 7.0, extra_gates=("g2",)),
+            SizingStep(1, "g1", 1.0, 96.0, 95.0, 8.0),
+        ]
+        result = make_result(steps, {"g1": 1.0, "g2": 1.0})
+        assert result.widths_at_iteration(0) == {"g1": 1.0, "g2": 1.0}
+        assert result.widths_at_iteration(1) == {"g1": 2.0, "g2": 2.0}
+        assert result.widths_at_iteration(2) == {"g1": 3.0, "g2": 2.0}
+
+    def test_widths_replay_out_of_range(self):
+        result = make_result([], {"g1": 1.0})
+        with pytest.raises(OptimizationError):
+            result.widths_at_iteration(1)
+        with pytest.raises(OptimizationError):
+            result.widths_at_iteration(-1)

@@ -1,0 +1,168 @@
+"""Unit tests for the three coordinate-descent sizers."""
+
+import pytest
+
+from repro.core.brute_force_sizer import BruteForceStatisticalSizer
+from repro.core.deterministic_sizer import DeterministicSizer
+from repro.core.pruned_sizer import PrunedStatisticalSizer
+from repro.core.objectives import PercentileObjective
+from repro.errors import OptimizationError
+from repro.library.sizing import SizingLimits, total_gate_size
+
+
+class TestOuterLoop:
+    def test_iterations_respected(self, c17, fast_config):
+        sizer = PrunedStatisticalSizer(c17, config=fast_config, max_iterations=3)
+        result = sizer.run()
+        assert result.n_iterations <= 3
+
+    def test_every_step_adds_dw(self, c17, fast_config):
+        sizer = PrunedStatisticalSizer(c17, config=fast_config, max_iterations=4)
+        result = sizer.run()
+        expected = 6.0 + result.n_iterations * fast_config.delta_w
+        assert total_gate_size(c17) == pytest.approx(expected)
+
+    def test_objective_decreases_monotonically(self, c17, fast_config):
+        sizer = PrunedStatisticalSizer(c17, config=fast_config, max_iterations=6)
+        result = sizer.run()
+        values = [result.initial_objective] + [s.objective_after for s in result.steps]
+        assert all(b < a + 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_objective_after_consistent_with_next_before(self, c17, fast_config):
+        sizer = PrunedStatisticalSizer(c17, config=fast_config, max_iterations=5)
+        result = sizer.run()
+        for prev, nxt in zip(result.steps, result.steps[1:]):
+            assert prev.objective_after == pytest.approx(nxt.objective_before, abs=1e-9)
+
+    def test_trajectory_replay(self, c17, fast_config):
+        sizer = PrunedStatisticalSizer(c17, config=fast_config, max_iterations=4)
+        result = sizer.run()
+        final = result.widths_at_iteration(result.n_iterations)
+        assert final == c17.widths()
+        start = result.widths_at_iteration(0)
+        assert all(w == 1.0 for w in start.values())
+
+    def test_replay_bounds(self, c17, fast_config):
+        sizer = PrunedStatisticalSizer(c17, config=fast_config, max_iterations=2)
+        result = sizer.run()
+        with pytest.raises(OptimizationError):
+            result.widths_at_iteration(99)
+
+    def test_width_limits_respected(self, c17, fast_config):
+        limits = SizingLimits(w_max=2.0)
+        sizer = PrunedStatisticalSizer(
+            c17, config=fast_config, max_iterations=50, limits=limits
+        )
+        result = sizer.run()
+        assert all(g.width <= 2.0 + 1e-12 for g in c17.gates())
+        assert result.stop_reason in ("width_limits", "converged", "max_iterations")
+
+    def test_invalid_max_iterations(self, c17, fast_config):
+        with pytest.raises(OptimizationError):
+            PrunedStatisticalSizer(c17, config=fast_config, max_iterations=0)
+
+    def test_area_delay_curve_shape(self, c17, fast_config):
+        sizer = PrunedStatisticalSizer(c17, config=fast_config, max_iterations=3)
+        result = sizer.run()
+        sizes, objectives = result.area_delay_curve()
+        assert len(sizes) == len(objectives) == result.n_iterations + 1
+        assert all(b >= a for a, b in zip(sizes, sizes[1:]))
+
+    def test_result_metadata(self, c17, fast_config):
+        result = PrunedStatisticalSizer(
+            c17, config=fast_config, max_iterations=2
+        ).run()
+        assert result.optimizer == "pruned-statistical"
+        assert result.circuit_name == "c17"
+        assert "99" in result.objective_name
+        assert result.total_time_s > 0.0
+        assert result.size_increase_percent > 0.0
+        assert result.improvement_percent > 0.0
+
+
+class TestDeterministicSizer:
+    def test_improves_nominal_delay(self, c17, fast_config):
+        from repro.timing.delay_model import DelayModel
+        from repro.timing.graph import TimingGraph
+        from repro.timing.sta import run_sta
+
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, fast_config and None, fast_config)
+        before = run_sta(graph, model).circuit_delay
+        DeterministicSizer(c17, config=fast_config, max_iterations=8).run()
+        after = run_sta(graph, model).circuit_delay
+        assert after < before
+
+    def test_only_sizes_critical_gates(self, two_path, fast_config):
+        result = DeterministicSizer(
+            two_path, config=fast_config, max_iterations=5
+        ).run()
+        for step in result.steps:
+            assert step.gate != "s1"  # short path never critical
+
+    def test_slack_margin_widens_candidates(self, c17, fast_config):
+        wide = DeterministicSizer(
+            c17, config=fast_config, max_iterations=1, slack_margin=1e9
+        )
+        stats = wide._select_gate().stats  # noqa: SLF001
+        narrow = DeterministicSizer(
+            c17.copy(), config=fast_config, max_iterations=1
+        )
+        stats2 = narrow._select_gate().stats  # noqa: SLF001
+        assert stats.candidates >= stats2.candidates
+
+    def test_objective_is_sta_delay(self, c17, fast_config):
+        result = DeterministicSizer(c17, config=fast_config, max_iterations=3).run()
+        # Deterministic sensitivities act on the nominal delay; the
+        # recorded objective values are STA delays in ps.
+        assert result.initial_objective > 0.0
+        assert result.final_objective < result.initial_objective
+
+
+class TestStatisticalSizers:
+    def test_brute_force_improves_99(self, c17, fast_config):
+        result = BruteForceStatisticalSizer(
+            c17, config=fast_config, max_iterations=5
+        ).run()
+        assert result.final_objective < result.initial_objective
+
+    def test_pruned_improves_99(self, c17, fast_config):
+        result = PrunedStatisticalSizer(
+            c17, config=fast_config, max_iterations=5
+        ).run()
+        assert result.final_objective < result.initial_objective
+
+    def test_converges_when_no_gate_helps(self, chain3, fast_config):
+        """In the chain every interior up-sizing hurts (see the delay
+        model tests), so only n1 helps until the effort balance runs
+        out; the sizer must stop with reason 'converged' eventually."""
+        result = PrunedStatisticalSizer(
+            chain3, config=fast_config, max_iterations=200,
+        ).run()
+        assert result.stop_reason in ("converged", "width_limits")
+
+    def test_pruning_stats_populated(self, c17, fast_config):
+        result = PrunedStatisticalSizer(
+            c17, config=fast_config, max_iterations=2
+        ).run()
+        for step in result.steps:
+            assert step.stats.candidates == 6
+            assert 0 <= step.stats.pruned < 6
+            assert step.stats.wall_time_s > 0.0
+            assert step.stats.convolutions > 0
+
+    def test_custom_percentile_objective(self, c17, fast_config):
+        obj = PercentileObjective(0.9)
+        result = PrunedStatisticalSizer(
+            c17, config=fast_config, objective=obj, max_iterations=3
+        ).run()
+        assert "90" in result.objective_name
+        assert result.final_objective < result.initial_objective
+
+    def test_mean_objective_supported_by_pruned(self, c17, fast_config):
+        from repro.core.objectives import MeanObjective
+
+        result = PrunedStatisticalSizer(
+            c17, config=fast_config, objective=MeanObjective(), max_iterations=3
+        ).run()
+        assert result.final_objective < result.initial_objective

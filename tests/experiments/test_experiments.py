@@ -1,0 +1,189 @@
+"""Integration tests for the table/figure experiment harness.
+
+These run the real experiment code on heavily scaled configurations —
+small enough for CI, large enough that the paper's qualitative claims
+(who wins, what is bounded by what) are actually asserted.
+"""
+
+import pytest
+
+from repro.config import AnalysisConfig
+from repro.experiments import (
+    ExperimentConfig,
+    evaluate_statistical,
+    evaluate_widths,
+    fast_config,
+    load_scaled,
+    paper_config,
+    run_figure1,
+    run_figure2,
+    run_figure10,
+    run_table1,
+    run_table2,
+)
+
+#: Tiny preset shared by the harness tests.
+TINY = ExperimentConfig(
+    suite=("c432",),
+    scales={"c432": 0.35},
+    iterations=6,
+    analysis=AnalysisConfig(dt=8.0, delta_w=1.0),
+    mc_samples=1500,
+)
+
+
+class TestConfigs:
+    def test_fast_config_scales_large_circuits(self):
+        cfg = fast_config()
+        assert cfg.scale_of("c6288") < 0.5
+        assert cfg.scale_of("c432") == 1.0
+
+    def test_paper_config_full_size(self):
+        cfg = paper_config()
+        assert cfg.scale_of("c6288") == 1.0
+        assert cfg.iterations >= 1000
+
+    def test_objective_percentile(self):
+        assert TINY.objective().p == 0.99
+
+    def test_load_scaled(self):
+        c = load_scaled("c432", TINY)
+        assert c.n_gates < 178
+
+    def test_evaluate_widths_restores(self):
+        c = load_scaled("c432", TINY)
+        before = c.widths()
+        widths = {k: 2.0 for k in before}
+        evaluate_widths(c, widths, TINY)
+        assert c.widths() == before
+
+    def test_evaluate_statistical_positive(self):
+        c = load_scaled("c432", TINY)
+        assert evaluate_statistical(c, TINY) > 0.0
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table1(TINY)
+
+    def test_row_per_circuit(self, result):
+        assert [r.circuit for r in result.rows] == ["c432"]
+
+    def test_statistical_not_worse(self, result):
+        """The paper's qualitative claim at matched area."""
+        row = result.rows[0]
+        assert row.statistical_delay <= row.deterministic_delay * 1.005
+
+    def test_counts_reported(self, result):
+        row = result.rows[0]
+        assert row.n_nodes > 0 and row.n_edges > row.n_nodes // 2
+
+    def test_size_increase_positive(self, result):
+        assert result.rows[0].size_increase_pct > 0.0
+
+    def test_render_contains_columns(self, result):
+        text = result.render()
+        assert "Table 1" in text
+        assert "% impr." in text
+        assert "c432" in text
+        assert "average improvement" in text
+
+    def test_aggregates(self, result):
+        assert result.max_improvement_pct >= result.average_improvement_pct
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table2(TINY)
+
+    def test_selections_match(self, result):
+        assert all(r.selections_match for r in result.rows)
+
+    def test_pruned_faster_or_close(self, result):
+        """At tiny scale the speedup is small, but pruned must never be
+        drastically slower; at benchmark scale it wins (Table 2)."""
+        row = result.rows[0]
+        assert row.improvement_factor > 0.5
+
+    def test_work_ratio_above_one(self, result):
+        assert result.rows[0].work_ratio > 1.0
+
+    def test_pruning_happens(self, result):
+        assert result.rows[0].pruned_fraction > 0.0
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Table 2" in text and "imp. factor" in text
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure1("c432", TINY)
+
+    def test_histograms_populated(self, result):
+        assert result.det_histogram.total_paths > 1.0
+        assert result.stat_histogram.total_paths > 1.0
+
+    def test_wall_metrics_in_range(self, result):
+        assert 0.0 <= result.stat_wall <= 1.0
+        assert 0.0 <= result.det_wall <= 1.0
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Figure 1" in text and "deterministic" in text
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure2("c432", TINY)
+
+    def test_objective_improves(self, result):
+        assert result.objective_after < result.objective_before
+
+    def test_max_gap_bounds_objective_shift(self, result):
+        """delta >= delta(p*) — the inequality pruning relies on."""
+        assert result.max_gap >= result.objective_shift - 1e-9
+
+    def test_gap_profile_shape(self, result):
+        levels, gaps = result.gap_profile()
+        assert len(levels) == len(gaps) == 19
+        assert max(gaps) <= result.max_gap + 1e-6
+
+    def test_named_gate(self):
+        res = run_figure2("c432", TINY, gate_name=None)
+        named = run_figure2("c432", TINY, gate_name=res.gate)
+        assert named.gate == res.gate
+        assert named.objective_shift == pytest.approx(res.objective_shift)
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Figure 2" in text and "delta" in text
+
+
+class TestFigure10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure10("c432", TINY, n_points=3)
+
+    def test_curves_have_checkpoints(self, result):
+        assert len(result.deterministic) >= 2
+        assert len(result.statistical) >= 2
+
+    def test_areas_increase_along_curve(self, result):
+        sizes = [p.total_size for p in result.statistical]
+        assert sizes == sorted(sizes)
+
+    def test_bound_tracks_monte_carlo(self, result):
+        """Paper: <1% at full scale; allow slack for the tiny config."""
+        assert result.max_bound_error_pct < 6.0
+
+    def test_statistical_dominates(self, result):
+        assert result.statistical_dominates()
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Figure 10" in text and "MC 99%" in text

@@ -1,0 +1,73 @@
+"""Unit tests for the figure experiments' helper machinery."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figure1 import _aligned_histogram_series
+from repro.experiments.figure10 import TradeoffPoint, _checkpoints
+from repro.timing.paths import PathHistogram
+
+
+class TestCheckpoints:
+    def test_zero_steps(self):
+        assert _checkpoints(0, 5) == [0]
+
+    def test_includes_start_and_end(self):
+        marks = _checkpoints(30, 6)
+        assert marks[0] == 0
+        assert marks[-1] == 30
+
+    def test_monotone_unique(self):
+        marks = _checkpoints(17, 5)
+        assert marks == sorted(set(marks))
+
+    def test_few_steps_many_points(self):
+        marks = _checkpoints(2, 10)
+        assert marks == [0, 1, 2]
+
+    def test_count_near_requested(self):
+        marks = _checkpoints(100, 6)
+        assert 5 <= len(marks) <= 7
+
+
+class TestTradeoffPoint:
+    def test_bound_error(self):
+        p = TradeoffPoint(iteration=0, total_size=10.0,
+                          bound_delay=101.0, mc_delay=100.0)
+        assert p.bound_error_pct == pytest.approx(1.0)
+
+    def test_bound_error_zero_mc(self):
+        p = TradeoffPoint(iteration=0, total_size=10.0,
+                          bound_delay=101.0, mc_delay=0.0)
+        assert p.bound_error_pct == 0.0
+
+    def test_bound_error_symmetric(self):
+        lo = TradeoffPoint(0, 1.0, 99.0, 100.0)
+        hi = TradeoffPoint(0, 1.0, 101.0, 100.0)
+        assert lo.bound_error_pct == pytest.approx(hi.bound_error_pct)
+
+
+class TestAlignedHistogramSeries:
+    def _hist(self, counts, offset=0, bin_width=10.0):
+        return PathHistogram(bin_width=bin_width, offset=offset,
+                             counts=np.asarray(counts, dtype=float))
+
+    def test_mass_preserved(self):
+        det = self._hist([1, 2, 3, 4, 5, 6, 7, 8])
+        stat = self._hist([8, 7, 6, 5, 4, 3, 2, 1])
+        series = _aligned_histogram_series(det, stat, n_points=4)
+        assert sum(series[1]) == pytest.approx(det.total_paths)
+        assert sum(series[3]) == pytest.approx(stat.total_paths)
+
+    def test_columns_equal_length(self):
+        det = self._hist(np.arange(1, 30, dtype=float))
+        stat = self._hist(np.arange(1, 12, dtype=float))
+        series = _aligned_histogram_series(det, stat, n_points=7)
+        assert {len(col) for col in series} == {7}
+
+    def test_normalized_delays_in_unit_range(self):
+        det = self._hist([1, 1, 1, 1], offset=5)
+        stat = self._hist([2, 2], offset=3)
+        series = _aligned_histogram_series(det, stat, n_points=3)
+        assert all(0.0 <= v <= 1.0 + 1e-9 for v in series[0])
+        assert all(0.0 <= v <= 1.0 + 1e-9 for v in series[2])

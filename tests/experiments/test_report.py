@@ -1,0 +1,44 @@
+"""Unit tests for the text report helpers."""
+
+import pytest
+
+from repro.experiments.report import format_series, format_table
+
+
+class TestFormatTable:
+    def test_contains_title_and_headers(self):
+        out = format_table("My Table", ["a", "bb"], [[1, 2.5], [3, 4.0]])
+        assert "My Table" in out
+        assert "a" in out and "bb" in out
+
+    def test_row_count(self):
+        out = format_table("T", ["x"], [[1], [2], [3]])
+        # title + underline + header + separator + 3 rows
+        assert len(out.splitlines()) == 7
+
+    def test_float_formatting(self):
+        out = format_table("T", ["x"], [[1234.567], [12.345], [1.23456], [0.0]])
+        lines = out.splitlines()
+        assert "1235" in lines[4]
+        assert "12.3" in lines[5]
+        assert "1.235" in lines[6]
+        assert lines[7].strip().endswith("0")
+
+    def test_alignment_consistent(self):
+        out = format_table("T", ["col"], [["x"], ["longer"]])
+        rows = out.splitlines()[2:]
+        assert len({len(r) for r in rows if r}) <= 2
+
+
+class TestFormatSeries:
+    def test_columns_zip(self):
+        out = format_series("S", ["t", "v"], [[1.0, 2.0], [10.0, 20.0]])
+        assert "10" in out and "20" in out
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            format_series("S", ["t", "v"], [[1.0], [10.0, 20.0]])
+
+    def test_empty_series(self):
+        out = format_series("S", ["t"], [])
+        assert "S" in out

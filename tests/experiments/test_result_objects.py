@@ -1,0 +1,90 @@
+"""Unit tests for experiment result objects built from synthetic rows
+(no circuit computation — pure reporting logic)."""
+
+import pytest
+
+from repro.experiments.table1 import Table1Result, Table1Row
+from repro.experiments.table2 import Table2Result, Table2Row
+
+
+def t1_row(circuit="cX", det=100.0, stat=90.0):
+    return Table1Row(
+        circuit=circuit,
+        n_nodes=100,
+        n_edges=200,
+        size_increase_pct=10.0,
+        deterministic_delay=det,
+        statistical_delay=stat,
+    )
+
+
+class TestTable1Row:
+    def test_improvement(self):
+        assert t1_row().improvement_pct == pytest.approx(10.0)
+
+    def test_zero_deterministic(self):
+        assert t1_row(det=0.0).improvement_pct == 0.0
+
+    def test_negative_improvement_possible(self):
+        assert t1_row(det=90.0, stat=100.0).improvement_pct < 0.0
+
+
+class TestTable1Result:
+    def test_aggregates(self):
+        result = Table1Result(
+            rows=[t1_row(det=100, stat=95), t1_row(det=100, stat=90)],
+            iterations=10,
+        )
+        assert result.average_improvement_pct == pytest.approx(7.5)
+        assert result.max_improvement_pct == pytest.approx(10.0)
+
+    def test_empty(self):
+        result = Table1Result(rows=[], iterations=10)
+        assert result.average_improvement_pct == 0.0
+        assert result.max_improvement_pct == 0.0
+
+    def test_render_has_all_circuits(self):
+        result = Table1Result(
+            rows=[t1_row("alpha"), t1_row("beta")], iterations=3
+        )
+        text = result.render()
+        assert "alpha" in text and "beta" in text
+        assert "100/200" in text
+
+
+def t2_row(brute=10.0, pruned=1.0):
+    return Table2Row(
+        circuit="cY",
+        brute_force_s=brute,
+        pruned_s=pruned,
+        time_range_s=(0.5, 1.5),
+        improvement_range=(5.0, 15.0),
+        pruned_fraction=0.9,
+        work_ratio=12.0,
+        selections_match=True,
+    )
+
+
+class TestTable2Row:
+    def test_improvement_factor(self):
+        assert t2_row().improvement_factor == pytest.approx(10.0)
+
+    def test_zero_pruned_time(self):
+        assert t2_row(pruned=0.0).improvement_factor == float("inf")
+
+
+class TestTable2Result:
+    def test_max_factor(self):
+        result = Table2Result(
+            rows=[t2_row(brute=10.0), t2_row(brute=30.0)], iterations=4
+        )
+        assert result.max_improvement_factor == pytest.approx(30.0)
+
+    def test_empty(self):
+        assert Table2Result(rows=[], iterations=4).max_improvement_factor == 0.0
+
+    def test_render_columns(self):
+        text = Table2Result(rows=[t2_row()], iterations=4).render()
+        assert "brute force" in text
+        assert "pruned %" in text
+        assert "0.5-1.5" in text

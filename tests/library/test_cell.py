@@ -1,0 +1,109 @@
+"""Unit tests for CellType and the EQ-1 delay model."""
+
+import pytest
+
+from repro.errors import LibraryError
+from repro.library.cell import CellType
+
+
+def make_cell(**overrides):
+    params = dict(
+        name="NAND2_X1",
+        function="NAND",
+        n_inputs=2,
+        intrinsic_delay=50.0,
+        drive_k=25.0,
+        input_cap=2.5,
+        cell_cap=5.0,
+        area=2.0,
+    )
+    params.update(overrides)
+    return CellType(**params)
+
+
+class TestValidation:
+    def test_valid(self):
+        cell = make_cell()
+        assert cell.name == "NAND2_X1"
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("n_inputs", 0),
+            ("intrinsic_delay", -1.0),
+            ("drive_k", 0.0),
+            ("input_cap", 0.0),
+            ("cell_cap", -2.0),
+            ("area", 0.0),
+        ],
+    )
+    def test_invalid_parameters(self, field, value):
+        with pytest.raises(LibraryError):
+            make_cell(**{field: value})
+
+    def test_frozen(self):
+        cell = make_cell()
+        with pytest.raises(Exception):
+            cell.drive_k = 1.0
+
+
+class TestScaling:
+    def test_input_cap_scales_linearly(self):
+        cell = make_cell()
+        assert cell.input_cap_at(1.0) == pytest.approx(2.5)
+        assert cell.input_cap_at(4.0) == pytest.approx(10.0)
+
+    def test_cell_cap_scales_linearly(self):
+        cell = make_cell()
+        assert cell.cell_cap_at(2.0) == pytest.approx(10.0)
+
+    def test_area_scales_linearly(self):
+        cell = make_cell()
+        assert cell.area_at(3.0) == pytest.approx(6.0)
+
+
+class TestDelayEquation:
+    def test_eq1_exact(self):
+        # De = Dint + K * Cload / Ccell, with Ccell = w * cell_cap.
+        cell = make_cell()
+        assert cell.delay(1.0, 10.0) == pytest.approx(50.0 + 25.0 * 10.0 / 5.0)
+        assert cell.delay(2.0, 10.0) == pytest.approx(50.0 + 25.0 * 10.0 / 10.0)
+
+    def test_upsizing_speeds_gate_at_fixed_load(self):
+        cell = make_cell()
+        load = 20.0
+        d1 = cell.delay(1.0, load)
+        d2 = cell.delay(2.0, load)
+        d4 = cell.delay(4.0, load)
+        assert d1 > d2 > d4
+
+    def test_delay_approaches_intrinsic(self):
+        cell = make_cell()
+        assert cell.delay(1e9, 10.0) == pytest.approx(50.0, abs=1e-3)
+
+    def test_zero_load_gives_intrinsic(self):
+        cell = make_cell()
+        assert cell.delay(1.0, 0.0) == pytest.approx(50.0)
+
+    def test_delay_monotone_in_load(self):
+        cell = make_cell()
+        assert cell.delay(1.0, 5.0) < cell.delay(1.0, 10.0)
+
+    def test_invalid_width(self):
+        with pytest.raises(LibraryError):
+            make_cell().delay(0.0, 10.0)
+
+    def test_invalid_load(self):
+        with pytest.raises(LibraryError):
+            make_cell().delay(1.0, -5.0)
+
+    def test_derivative_matches_finite_difference(self):
+        cell = make_cell()
+        w, load, h = 2.0, 12.0, 1e-6
+        fd = (cell.delay(w + h, load) - cell.delay(w - h, load)) / (2 * h)
+        assert cell.delay_derivative_width(w, load) == pytest.approx(fd, rel=1e-5)
+
+    def test_derivative_always_negative(self):
+        cell = make_cell()
+        for w in (1.0, 2.0, 8.0):
+            assert cell.delay_derivative_width(w, 10.0) < 0.0

@@ -1,0 +1,107 @@
+"""Unit tests for the cell library and its default characterization."""
+
+import pytest
+
+from repro.errors import LibraryError
+from repro.library.cell import CellType
+from repro.library.library import TAU_180NM, CellLibrary, default_library
+
+
+class TestCellLibrary:
+    def test_add_and_get(self):
+        lib = CellLibrary(name="t")
+        cell = CellType("X", "NOT", 1, 10.0, 20.0, 1.0, 1.0)
+        lib.add(cell)
+        assert lib.get("X") is cell
+        assert "X" in lib
+        assert len(lib) == 1
+
+    def test_duplicate_rejected(self):
+        lib = CellLibrary(name="t")
+        cell = CellType("X", "NOT", 1, 10.0, 20.0, 1.0, 1.0)
+        lib.add(cell)
+        with pytest.raises(LibraryError):
+            lib.add(cell)
+
+    def test_missing_get(self):
+        with pytest.raises(LibraryError):
+            CellLibrary(name="t").get("nope")
+
+    def test_find_by_function(self):
+        lib = default_library()
+        cell = lib.find("nand", 2)
+        assert cell.function == "NAND"
+        assert cell.n_inputs == 2
+
+    def test_find_missing(self):
+        lib = default_library()
+        with pytest.raises(LibraryError):
+            lib.find("NAND", 9)
+
+    def test_has(self):
+        lib = default_library()
+        assert lib.has("NOT", 1)
+        assert not lib.has("NOT", 2)
+
+
+class TestDefaultLibrary:
+    def test_complete_function_coverage(self):
+        """Every .bench operator must be mappable."""
+        lib = default_library()
+        for function, n in [
+            ("NOT", 1), ("BUF", 1),
+            ("NAND", 2), ("NAND", 3), ("NAND", 4),
+            ("NOR", 2), ("NOR", 3), ("NOR", 4),
+            ("AND", 2), ("AND", 3), ("AND", 4),
+            ("OR", 2), ("OR", 3), ("OR", 4),
+            ("XOR", 2), ("XNOR", 2),
+        ]:
+            assert lib.has(function, n), f"missing {function}/{n}"
+
+    def test_inverter_is_reference(self):
+        lib = default_library()
+        inv = lib.get("INV_X1")
+        assert inv.intrinsic_delay == pytest.approx(TAU_180NM)
+        assert inv.drive_k == pytest.approx(TAU_180NM)
+
+    def test_logical_effort_ordering(self):
+        """NAND2 has lower logical effort than NOR2 (series NMOS beats
+        series PMOS), reflected as lower input capacitance at equal
+        drive."""
+        lib = default_library()
+        assert lib.get("NAND2_X1").input_cap < lib.get("NOR2_X1").input_cap
+
+    def test_parasitic_delay_grows_with_fanin(self):
+        lib = default_library()
+        assert (
+            lib.get("NAND2_X1").intrinsic_delay
+            < lib.get("NAND3_X1").intrinsic_delay
+            < lib.get("NAND4_X1").intrinsic_delay
+        )
+
+    def test_xor_is_expensive(self):
+        lib = default_library()
+        assert lib.get("XOR2_X1").input_cap > lib.get("NAND2_X1").input_cap
+
+    def test_fo4_delay_plausible_for_180nm(self):
+        """An inverter driving 4 identical inverters should sit in the
+        80-150 ps range typical of a 180nm process."""
+        lib = default_library()
+        inv = lib.get("INV_X1")
+        fo4_load = 4.0 * inv.input_cap_at(1.0)
+        delay = inv.delay(1.0, fo4_load)
+        assert 80.0 <= delay <= 150.0
+
+    def test_custom_tau(self):
+        lib = default_library(tau=10.0, name="fast")
+        assert lib.get("INV_X1").drive_k == pytest.approx(10.0)
+        assert lib.name == "fast"
+
+    def test_functions_listing(self):
+        lib = default_library()
+        functions = lib.functions()
+        assert "NAND" in functions and "XOR" in functions
+
+    def test_cells_iteration(self):
+        lib = default_library()
+        assert len(list(lib.cells())) == len(lib)

@@ -1,0 +1,63 @@
+"""Unit tests for sizing limits and circuit-size metrics."""
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.library.sizing import (
+    SizingLimits,
+    size_increase_percent,
+    total_area,
+    total_gate_size,
+)
+from tests.conftest import build_chain3
+
+
+class TestSizingLimits:
+    def test_defaults(self):
+        lim = SizingLimits()
+        assert lim.w_min == 1.0
+        assert lim.w_max == 16.0
+
+    def test_clamp(self):
+        lim = SizingLimits(w_min=1.0, w_max=4.0)
+        assert lim.clamp(0.5) == 1.0
+        assert lim.clamp(2.0) == 2.0
+        assert lim.clamp(9.0) == 4.0
+
+    def test_can_upsize(self):
+        lim = SizingLimits(w_min=1.0, w_max=2.0)
+        assert lim.can_upsize(1.0, 1.0)
+        assert not lim.can_upsize(1.5, 1.0)
+
+    def test_can_upsize_boundary(self):
+        lim = SizingLimits(w_min=1.0, w_max=2.0)
+        assert lim.can_upsize(1.0, 1.0)  # lands exactly on w_max
+
+    def test_invalid_limits(self):
+        with pytest.raises(OptimizationError):
+            SizingLimits(w_min=0.0)
+        with pytest.raises(OptimizationError):
+            SizingLimits(w_min=2.0, w_max=1.0)
+
+
+class TestSizeMetrics:
+    def test_total_gate_size_minimum(self):
+        c = build_chain3()
+        assert total_gate_size(c) == pytest.approx(3.0)
+
+    def test_total_gate_size_after_resize(self):
+        c = build_chain3()
+        c.gate("n1").width = 2.5
+        assert total_gate_size(c) == pytest.approx(4.5)
+
+    def test_total_area_uses_cell_area(self):
+        c = build_chain3()
+        inv_area = c.gate("n1").cell.area
+        assert total_area(c) == pytest.approx(3.0 * inv_area)
+
+    def test_size_increase_percent(self):
+        assert size_increase_percent(100.0, 197.0) == pytest.approx(97.0)
+
+    def test_size_increase_zero_initial(self):
+        with pytest.raises(OptimizationError):
+            size_increase_percent(0.0, 10.0)

@@ -1,0 +1,144 @@
+"""Unit tests for the ISCAS .bench reader/writer."""
+
+import pytest
+
+from repro.errors import BenchParseError
+from repro.netlist.bench import C17_BENCH, parse_bench, parse_bench_file, write_bench
+
+
+class TestParse:
+    def test_c17(self):
+        c = parse_bench(C17_BENCH, name="c17")
+        assert c.n_gates == 6
+        assert set(c.inputs) == {"1", "2", "3", "6", "7"}
+        assert set(c.outputs) == {"22", "23"}
+        assert c.gate("10").cell.function == "NAND"
+        assert c.gate("10").inputs == ("1", "3")
+
+    def test_comments_and_blank_lines(self):
+        text = """
+        # header comment
+        INPUT(a)
+
+        OUTPUT(z)   # trailing comment
+        z = NOT(a)  # another
+        """
+        c = parse_bench(text)
+        assert c.n_gates == 1
+
+    def test_case_insensitive_keywords(self):
+        text = "input(a)\noutput(z)\nz = not(a)\n"
+        c = parse_bench(text)
+        assert c.gate("z").cell.function == "NOT"
+
+    def test_all_operators(self):
+        text = (
+            "INPUT(a)\nINPUT(b)\n"
+            "n1 = AND(a, b)\nn2 = NAND(a, b)\nn3 = OR(a, b)\n"
+            "n4 = NOR(a, b)\nn5 = XOR(a, b)\nn6 = XNOR(a, b)\n"
+            "n7 = NOT(a)\nn8 = BUFF(b)\nn9 = BUF(n1)\n"
+            "z = AND(n2, n3, n4, n5)\n"
+            "z2 = NAND(n6, n7, n8, n9)\n"
+            "OUTPUT(z)\nOUTPUT(z2)\n"
+        )
+        c = parse_bench(text)
+        assert c.gate("n1").cell.function == "AND"
+        assert c.gate("n8").cell.function == "BUF"
+        assert c.gate("z").cell.n_inputs == 4
+
+    def test_whitespace_tolerance(self):
+        text = "INPUT( a )\nOUTPUT( z )\nz  =  NAND( a ,  a2 )\na2 = NOT(a)\n"
+        c = parse_bench(text)
+        assert c.gate("z").inputs == ("a", "a2")
+
+    def test_unknown_operator(self):
+        with pytest.raises(BenchParseError) as exc:
+            parse_bench("INPUT(a)\nz = MAJ(a, a, a)\nOUTPUT(z)\n")
+        assert "line 2" in str(exc.value)
+
+    def test_dff_rejected(self):
+        with pytest.raises(BenchParseError, match="DFF"):
+            parse_bench("INPUT(a)\nz = DFF(a)\nOUTPUT(z)\n")
+
+    def test_garbage_line(self):
+        with pytest.raises(BenchParseError):
+            parse_bench("INPUT(a)\nthis is not bench\n")
+
+    def test_empty_operands(self):
+        with pytest.raises(BenchParseError):
+            parse_bench("INPUT(a)\nz = NAND()\nOUTPUT(z)\n")
+
+    def test_missing_cell_variant(self):
+        # 5-input NAND is not in the default library.
+        text = "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\n" \
+               "z = NAND(a, b, c, d, e)\nOUTPUT(z)\n"
+        with pytest.raises(BenchParseError):
+            parse_bench(text)
+
+
+class TestWrite:
+    def test_roundtrip_c17(self):
+        c = parse_bench(C17_BENCH, name="c17")
+        text = write_bench(c)
+        c2 = parse_bench(text, name="c17rt")
+        assert c2.n_gates == c.n_gates
+        assert set(c2.inputs) == set(c.inputs)
+        assert set(c2.outputs) == set(c.outputs)
+        for g in c.gates():
+            g2 = c2.gate(g.output)
+            assert g2.cell.function == g.cell.function
+            assert set(g2.inputs) == set(g.inputs)
+
+    def test_topological_emission(self):
+        c = parse_bench(C17_BENCH)
+        lines = [l for l in write_bench(c).splitlines() if "=" in l]
+        names = [l.split("=")[0].strip() for l in lines]
+        assert names.index("10") < names.index("22")
+
+    def test_roundtrip_generated(self):
+        from repro.netlist.generate import CircuitSpec, generate_circuit
+
+        spec = CircuitSpec("rt", n_inputs=6, n_outputs=3, n_gates=25,
+                           n_pin_edges=50, depth=5, seed=7)
+        c = generate_circuit(spec)
+        c2 = parse_bench(write_bench(c), name="rt2")
+        assert c2.n_gates == c.n_gates
+        assert c2.n_pin_edges == c.n_pin_edges
+
+
+class TestParseFile:
+    def test_file(self, tmp_path):
+        path = tmp_path / "mini.bench"
+        path.write_text(C17_BENCH)
+        c = parse_bench_file(path)
+        assert c.name == "mini"
+        assert c.n_gates == 6
+
+
+class TestWriterDeterminism:
+    def test_write_is_deterministic(self):
+        from repro.netlist.benchmarks import load
+
+        a = write_bench(load("c432"))
+        b = write_bench(load("c432"))
+        assert a == b
+
+    def test_roundtrip_preserves_timing(self):
+        """Re-parsing an exported netlist must give identical SSTA
+        results (the export is lossless for everything timing uses)."""
+        from repro.netlist.benchmarks import load
+        from repro.netlist.bench import parse_bench
+        from repro.config import AnalysisConfig
+        from repro.timing.delay_model import DelayModel
+        from repro.timing.graph import TimingGraph
+        from repro.timing.ssta import run_ssta
+
+        cfg = AnalysisConfig(dt=8.0)
+        original = load("c880", scale=0.3)
+        clone = parse_bench(write_bench(original), name="clone")
+        results = []
+        for c in (original, clone):
+            g = TimingGraph(c)
+            m = DelayModel(c, config=cfg)
+            results.append(run_ssta(g, m).percentile(0.99))
+        assert results[0] == results[1]

@@ -1,0 +1,73 @@
+"""Unit tests for the paper benchmark registry."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.benchmarks import PAPER_SUITE, SPECS, load, paper_row, spec_for
+
+#: Table 1, column 2 of the paper.
+PAPER_COUNTS = {
+    "c432": (214, 379),
+    "c499": (561, 978),
+    "c880": (425, 804),
+    "c1355": (570, 1071),
+    "c1908": (466, 858),
+    "c2670": (1059, 1731),
+    "c3540": (991, 1972),
+    "c5315": (1806, 3311),
+    "c6288": (2503, 4999),
+    "c7552": (2202, 3945),
+}
+
+
+class TestRegistry:
+    def test_suite_order_matches_paper(self):
+        assert PAPER_SUITE == list(PAPER_COUNTS)
+
+    def test_paper_rows(self):
+        for name, counts in PAPER_COUNTS.items():
+            assert paper_row(name) == counts
+
+    def test_unknown_name(self):
+        with pytest.raises(NetlistError):
+            load("c9999")
+        with pytest.raises(NetlistError):
+            spec_for("c9999")
+
+    @pytest.mark.parametrize("name", ["c432", "c499", "c880", "c1355", "c1908"])
+    def test_generated_counts_match_paper(self, name):
+        c = load(name)
+        assert (c.n_nets, c.n_pin_edges) == PAPER_COUNTS[name]
+
+    @pytest.mark.parametrize("name", ["c2670", "c3540", "c5315", "c6288", "c7552"])
+    def test_generated_counts_match_paper_large(self, name):
+        c = load(name)
+        assert (c.n_nets, c.n_pin_edges) == PAPER_COUNTS[name]
+
+    def test_c17_is_genuine(self):
+        c = load("c17")
+        assert c.n_gates == 6
+        assert all(g.cell.function == "NAND" for g in c.gates())
+
+    def test_load_returns_fresh_copy(self):
+        a = load("c432")
+        gate = next(iter(a.gates()))
+        gate.width = 9.0
+        b = load("c432")
+        assert b.gate(gate.output).width == 1.0
+
+    def test_scaled_load(self):
+        c = load("c3540", scale=0.25)
+        full = spec_for("c3540")
+        assert c.n_gates == pytest.approx(full.n_gates * 0.25, rel=0.05)
+        c.validate()
+
+    def test_depths_match_real_benchmarks(self):
+        # Depths taken from the real ISCAS'85 circuits.
+        assert load("c432").depth() == 17
+        assert load("c6288").depth() == 124
+
+    def test_all_specs_consistent(self):
+        for name, s in SPECS.items():
+            assert s.n_nets == PAPER_COUNTS[name][0]
+            assert s.n_pin_edges == PAPER_COUNTS[name][1]

@@ -1,0 +1,176 @@
+"""Unit tests for the Circuit/Gate netlist model."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.library.library import default_library
+from repro.netlist.circuit import Circuit, Gate
+
+LIB = default_library()
+INV = LIB.get("INV_X1")
+NAND = LIB.get("NAND2_X1")
+
+
+class TestGate:
+    def test_pin_count_enforced(self):
+        with pytest.raises(NetlistError):
+            Gate(NAND, ["a"], "out")
+
+    def test_duplicate_inputs_rejected(self):
+        with pytest.raises(NetlistError):
+            Gate(NAND, ["a", "a"], "out")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(NetlistError):
+            Gate(INV, ["out"], "out")
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(NetlistError):
+            Gate(INV, ["a"], "out", width=0.0)
+
+    def test_name_is_output(self):
+        g = Gate(INV, ["a"], "out")
+        assert g.name == "out"
+        assert g.n_inputs == 1
+
+
+class TestConstruction:
+    def test_duplicate_input_rejected(self):
+        c = Circuit("t")
+        c.add_input("a")
+        with pytest.raises(NetlistError):
+            c.add_input("a")
+
+    def test_duplicate_output_rejected(self):
+        c = Circuit("t")
+        c.add_output("z")
+        with pytest.raises(NetlistError):
+            c.add_output("z")
+
+    def test_two_drivers_rejected(self):
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_gate(INV, ["a"], "n1")
+        with pytest.raises(NetlistError):
+            c.add_gate(INV, ["a"], "n1")
+
+    def test_gate_driving_input_rejected(self):
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_gate(INV, ["a"], "a2")
+        with pytest.raises(NetlistError):
+            c.add_gate(INV, ["a2"], "a")
+
+    def test_input_declared_after_driver_rejected(self):
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_gate(INV, ["a"], "n1")
+        with pytest.raises(NetlistError):
+            c.add_input("n1")
+
+    def test_forward_references_allowed(self):
+        """Gates may consume nets declared by later gates."""
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_gate(INV, ["n1"], "n2")
+        c.add_gate(INV, ["a"], "n1")
+        c.add_output("n2")
+        order = [g.name for g in c.topo_gates()]
+        assert order == ["n1", "n2"]
+
+
+class TestQueries:
+    def test_counts(self, c17):
+        assert c17.n_gates == 6
+        assert c17.n_nets == 11
+        assert c17.n_pin_edges == 12
+
+    def test_nets_ordering(self, chain3):
+        assert chain3.nets() == ["a", "n1", "n2", "out"]
+
+    def test_fanouts(self, diamond):
+        consumers = {g.name for g, _pin in diamond.fanouts("stem")}
+        assert consumers == {"left", "right"}
+        assert diamond.fanout_count("stem") == 2
+
+    def test_gate_lookup(self, chain3):
+        assert chain3.gate("n1").cell.function == "NOT"
+        with pytest.raises(NetlistError):
+            chain3.gate("a")
+
+    def test_is_input(self, chain3):
+        assert chain3.is_input("a")
+        assert not chain3.is_input("n1")
+
+
+class TestTopology:
+    def test_topological_order(self, c17):
+        order = [g.name for g in c17.topo_gates()]
+        assert order.index("10") < order.index("22")
+        assert order.index("11") < order.index("16")
+        assert order.index("16") < order.index("23")
+
+    def test_levels(self, c17):
+        levels = c17.levels()
+        assert levels["1"] == 0
+        assert levels["10"] == 1
+        assert levels["16"] == 2
+        # 22 = NAND(10, 16): level = 1 + max(1, 2) = 3
+        assert levels["22"] == 3
+
+    def test_depth(self, c17):
+        assert c17.depth() == 3
+
+    def test_cycle_detected(self):
+        c = Circuit("loop")
+        c.add_input("a")
+        c.add_gate(NAND, ["a", "n2"], "n1")
+        c.add_gate(INV, ["n1"], "n2")
+        c.add_output("n2")
+        with pytest.raises(NetlistError):
+            c.topo_gates()
+
+    def test_undriven_net_detected(self):
+        c = Circuit("broken")
+        c.add_input("a")
+        c.add_gate(NAND, ["a", "ghost"], "n1")
+        c.add_output("n1")
+        with pytest.raises(NetlistError):
+            c.topo_gates()
+
+    def test_resize_does_not_invalidate_topology(self, c17):
+        order_before = c17.topo_gates()
+        c17.gate("22").width = 4.0
+        assert c17.topo_gates() is order_before  # cache retained
+
+
+class TestCopyAndWidths:
+    def test_copy_independent(self, c17):
+        dup = c17.copy()
+        dup.gate("22").width = 8.0
+        assert c17.gate("22").width == 1.0
+
+    def test_copy_preserves_structure(self, c17):
+        dup = c17.copy()
+        assert dup.n_gates == c17.n_gates
+        assert dup.inputs == c17.inputs
+        assert dup.outputs == c17.outputs
+        assert [g.name for g in dup.topo_gates()] == [
+            g.name for g in c17.topo_gates()
+        ]
+
+    def test_widths_roundtrip(self, c17):
+        c17.gate("16").width = 3.0
+        snapshot = c17.widths()
+        c17.gate("16").width = 1.0
+        c17.set_widths(snapshot)
+        assert c17.gate("16").width == 3.0
+
+
+class TestCircuitLevelFixture:
+    def test_levels_c17_exact(self, c17):
+        levels = c17.levels()
+        # PIs level 0; 10,11 level 1; 16,19 level 2; 22,23 level 3.
+        assert levels["10"] == 1 and levels["11"] == 1
+        assert levels["16"] == 2 and levels["19"] == 2
+        assert levels["22"] == 3 and levels["23"] == 3

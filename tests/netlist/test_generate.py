@@ -1,0 +1,124 @@
+"""Unit tests for the synthetic ISCAS-like circuit generator."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.generate import CircuitSpec, generate_circuit
+
+
+def spec(**overrides):
+    params = dict(
+        name="t",
+        n_inputs=8,
+        n_outputs=4,
+        n_gates=40,
+        n_pin_edges=84,
+        depth=6,
+        seed=3,
+    )
+    params.update(overrides)
+    return CircuitSpec(**params)
+
+
+class TestSpecValidation:
+    def test_valid(self):
+        s = spec()
+        assert s.n_nets == 48
+
+    def test_depth_bounds(self):
+        with pytest.raises(NetlistError):
+            spec(depth=0)
+        with pytest.raises(NetlistError):
+            spec(depth=41)
+
+    def test_edge_bounds(self):
+        with pytest.raises(NetlistError):
+            spec(n_pin_edges=39)  # < n_gates
+        with pytest.raises(NetlistError):
+            spec(n_pin_edges=161)  # > 4 * n_gates
+
+    def test_no_inputs(self):
+        with pytest.raises(NetlistError):
+            spec(n_inputs=0)
+
+    def test_scaled_preserves_shape(self):
+        s = spec(n_gates=100, n_pin_edges=205, depth=16)
+        half = s.scaled(0.5)
+        assert half.n_gates == 50
+        ratio = half.n_pin_edges / half.n_gates
+        assert ratio == pytest.approx(2.05, abs=0.1)
+        assert 1 <= half.depth <= half.n_gates
+
+    def test_scaled_invalid_factor(self):
+        with pytest.raises(NetlistError):
+            spec().scaled(0.0)
+
+
+class TestGeneration:
+    def test_exact_node_edge_counts(self):
+        s = spec()
+        c = generate_circuit(s)
+        assert c.n_nets == s.n_nets
+        assert c.n_pin_edges == s.n_pin_edges
+
+    def test_exact_depth(self):
+        s = spec(depth=9, n_gates=60, n_pin_edges=120)
+        c = generate_circuit(s)
+        assert c.depth() == 9
+
+    def test_structurally_valid(self):
+        c = generate_circuit(spec())
+        c.validate()  # raises on any issue
+
+    def test_deterministic_per_seed(self):
+        a = generate_circuit(spec(seed=11))
+        b = generate_circuit(spec(seed=11))
+        assert [g.name for g in a.topo_gates()] == [g.name for g in b.topo_gates()]
+        assert [g.inputs for g in a.topo_gates()] == [g.inputs for g in b.topo_gates()]
+
+    def test_different_seeds_differ(self):
+        a = generate_circuit(spec(seed=1))
+        b = generate_circuit(spec(seed=2))
+        assert [g.inputs for g in a.topo_gates()] != [g.inputs for g in b.topo_gates()]
+
+    def test_all_inputs_used(self):
+        c = generate_circuit(spec())
+        for net in c.inputs:
+            assert c.fanout_count(net) > 0
+
+    def test_reconvergence_present(self):
+        """Multi-fan-out nets must exist — they create the reconvergent
+        structure that makes the SSTA max a bound rather than exact."""
+        c = generate_circuit(spec(n_gates=80, n_pin_edges=168, depth=8))
+        multi = [n for n in c.nets() if c.fanout_count(n) > 1]
+        assert len(multi) >= 5
+
+    def test_fanin_mix(self):
+        """Edges/gates ~2.1 should give mostly 2-input with some
+        3-input gates."""
+        s = spec(n_gates=100, n_pin_edges=210, depth=10)
+        c = generate_circuit(s)
+        fanins = sorted(g.n_inputs for g in c.gates())
+        assert fanins[0] >= 1
+        assert fanins[-1] <= 4
+        assert sum(fanins) == 210
+
+    def test_one_input_gates_when_sparse(self):
+        s = spec(n_gates=50, n_pin_edges=80, depth=5)
+        c = generate_circuit(s)
+        assert any(g.n_inputs == 1 for g in c.gates())
+        assert c.n_pin_edges == 80
+
+    def test_tiny_circuit(self):
+        s = CircuitSpec("tiny", n_inputs=2, n_outputs=1, n_gates=2,
+                        n_pin_edges=3, depth=2, seed=0)
+        c = generate_circuit(s)
+        c.validate()
+        assert c.n_gates == 2
+
+    def test_output_count_near_target(self):
+        s = spec(n_gates=120, n_pin_edges=250, depth=10, n_outputs=10)
+        c = generate_circuit(s)
+        assert len(c.outputs) >= 10
+        # Outputs should not explode past a small multiple of the target.
+        assert len(c.outputs) <= 40

@@ -1,0 +1,88 @@
+"""Hypothesis property tests for the synthetic circuit generator.
+
+Whatever spec the experiments throw at it, the generator must deliver
+exact node/edge counts, exact depth, and a structurally valid circuit —
+these invariants are what make the Table 1 "node/edge" column
+trustworthy.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist.generate import CircuitSpec, generate_circuit
+from repro.netlist.validate import structural_issues
+
+
+@st.composite
+def specs(draw):
+    n_gates = draw(st.integers(min_value=4, max_value=80))
+    depth = draw(st.integers(min_value=2, max_value=min(10, n_gates)))
+    # edges/gate between 1.2 and 3.0 — brackets the real benchmarks.
+    edges = draw(
+        st.integers(
+            min_value=max(n_gates, int(1.2 * n_gates)),
+            max_value=3 * n_gates,
+        )
+    )
+    n_inputs = draw(st.integers(min_value=3, max_value=20))
+    n_outputs = draw(st.integers(min_value=1, max_value=max(1, n_gates // 4)))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return CircuitSpec(
+        name="hyp",
+        n_inputs=n_inputs,
+        n_outputs=n_outputs,
+        n_gates=n_gates,
+        n_pin_edges=edges,
+        depth=depth,
+        seed=seed,
+    )
+
+
+class TestGeneratorProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(spec=specs())
+    def test_exact_counts(self, spec):
+        circuit = generate_circuit(spec)
+        assert circuit.n_nets == spec.n_nets
+        assert circuit.n_pin_edges == spec.n_pin_edges
+
+    @settings(max_examples=60, deadline=None)
+    @given(spec=specs())
+    def test_exact_depth(self, spec):
+        circuit = generate_circuit(spec)
+        assert circuit.depth() == spec.depth
+
+    @settings(max_examples=60, deadline=None)
+    @given(spec=specs())
+    def test_structurally_valid(self, spec):
+        circuit = generate_circuit(spec)
+        assert structural_issues(circuit) == []
+
+    @settings(max_examples=40, deadline=None)
+    @given(spec=specs())
+    def test_deterministic(self, spec):
+        a = generate_circuit(spec)
+        b = generate_circuit(spec)
+        assert [g.inputs for g in a.topo_gates()] == [
+            g.inputs for g in b.topo_gates()
+        ]
+
+    @settings(max_examples=40, deadline=None)
+    @given(spec=specs())
+    def test_timing_graph_buildable(self, spec):
+        """Every generated circuit must survive the full timing stack
+        construction (graph + levelization)."""
+        from repro.timing.graph import TimingGraph
+
+        circuit = generate_circuit(spec)
+        graph = TimingGraph(circuit)
+        position = {n: i for i, n in enumerate(graph.topo_nodes())}
+        assert all(position[e.src] < position[e.dst] for e in graph.edges)
+
+    @settings(max_examples=30, deadline=None)
+    @given(spec=specs(), factor=st.sampled_from([0.5, 0.75, 1.5]))
+    def test_scaled_specs_generate(self, spec, factor):
+        scaled = spec.scaled(factor)
+        circuit = generate_circuit(scaled)
+        assert circuit.n_nets == scaled.n_nets
+        assert circuit.n_pin_edges == scaled.n_pin_edges

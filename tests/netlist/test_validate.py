@@ -1,0 +1,108 @@
+"""Unit tests for structural netlist validation."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.library.library import default_library
+from repro.netlist.circuit import Circuit
+from repro.netlist.validate import structural_issues, validate_circuit
+
+LIB = default_library()
+INV = LIB.get("INV_X1")
+NAND = LIB.get("NAND2_X1")
+
+
+def valid_circuit():
+    c = Circuit("ok")
+    c.add_input("a")
+    c.add_gate(INV, ["a"], "z")
+    c.add_output("z")
+    return c
+
+
+class TestStructuralIssues:
+    def test_valid_circuit_clean(self):
+        assert structural_issues(valid_circuit()) == []
+
+    def test_no_inputs(self):
+        c = Circuit("t")
+        c.add_output("z")
+        issues = structural_issues(c)
+        assert any("no primary inputs" in s for s in issues)
+
+    def test_no_outputs(self):
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_gate(INV, ["a"], "z")
+        issues = structural_issues(c)
+        assert any("no primary outputs" in s for s in issues)
+
+    def test_no_gates(self):
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_output("a")
+        issues = structural_issues(c)
+        assert any("no gates" in s for s in issues)
+
+    def test_undriven_output(self):
+        c = valid_circuit()
+        c.add_output("ghost")
+        issues = structural_issues(c)
+        assert any("ghost" in s and "not driven" in s for s in issues)
+
+    def test_undriven_gate_input(self):
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_gate(NAND, ["a", "ghost"], "z")
+        c.add_output("z")
+        issues = structural_issues(c)
+        assert any("undriven net 'ghost'" in s for s in issues)
+
+    def test_dangling_internal_net(self):
+        c = valid_circuit()
+        c.add_gate(INV, ["a"], "orphan")
+        issues = structural_issues(c)
+        assert any("orphan" in s and "dangle" in s for s in issues)
+
+    def test_unused_primary_input(self):
+        c = valid_circuit()
+        c.add_input("b")
+        issues = structural_issues(c)
+        assert any("'b' is unused" in s for s in issues)
+
+    def test_cycle(self):
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_gate(NAND, ["a", "n2"], "n1")
+        c.add_gate(INV, ["n1"], "n2")
+        c.add_gate(INV, ["n1"], "z")
+        c.add_output("z")
+        issues = structural_issues(c)
+        assert any("cycle" in s for s in issues)
+
+    def test_multiple_issues_reported(self):
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_input("b")  # unused
+        c.add_gate(INV, ["a"], "z")
+        c.add_gate(INV, ["a"], "orphan")  # dangles
+        c.add_output("z")
+        issues = structural_issues(c)
+        assert len(issues) >= 2
+
+
+class TestValidateCircuit:
+    def test_valid_passes(self):
+        validate_circuit(valid_circuit())
+
+    def test_invalid_raises_with_details(self):
+        c = valid_circuit()
+        c.add_input("b")
+        with pytest.raises(NetlistError, match="unused"):
+            validate_circuit(c)
+
+    def test_paper_benchmarks_validate(self):
+        from repro.netlist.benchmarks import load
+
+        for name in ("c17", "c432", "c880"):
+            load(name).validate()

@@ -1,0 +1,86 @@
+"""Tests for the repro-ssta command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.netlist.bench import C17_BENCH
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+    def test_unknown_circuit_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "c9999"])
+
+
+class TestCommands:
+    def test_analyze_c17(self, capsys):
+        assert main(["analyze", "c17", "--mc-samples", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "STA delay" in out
+        assert "SSTA 99% bound" in out
+
+    def test_analyze_scaled(self, capsys):
+        assert main(["analyze", "c432", "--scale", "0.3",
+                     "--mc-samples", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "gates" in out
+
+    def test_bench_file(self, tmp_path, capsys):
+        path = tmp_path / "c17.bench"
+        path.write_text(C17_BENCH)
+        assert main(["bench", str(path), "--mc-samples", "200"]) == 0
+        assert "Timing summary" in capsys.readouterr().out
+
+    def test_optimize_statistical(self, capsys):
+        assert main(["optimize", "c17", "-n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned-statistical" in out
+        assert "improvement" in out
+
+    def test_optimize_deterministic(self, capsys):
+        assert main(["optimize", "c17", "-n", "3", "--deterministic"]) == 0
+        assert "deterministic" in capsys.readouterr().out
+
+    def test_figure2_runs(self, capsys):
+        assert main(["figure2", "c432", "--iterations", "2"]) == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+
+class TestYieldAndExport:
+    def test_yield_command(self, capsys):
+        assert main(["yield", "c17", "--target", "280"]) == 0
+        out = capsys.readouterr().out
+        assert "Timing yield" in out
+        assert "yield curve" in out
+        assert "yield at 280" in out
+
+    def test_yield_without_target(self, capsys):
+        assert main(["yield", "c17"]) == 0
+        assert "delay at 99% yield" in capsys.readouterr().out
+
+    def test_export_to_stdout(self, capsys):
+        assert main(["export", "c17"]) == 0
+        out = capsys.readouterr().out
+        assert "INPUT(1)" in out and "= NAND(" in out
+
+    def test_export_to_file_roundtrips(self, tmp_path, capsys):
+        path = tmp_path / "exported.bench"
+        assert main(["export", "c432", "-o", str(path)]) == 0
+        assert main(["bench", str(path), "--mc-samples", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "Timing summary" in out
+
+    def test_analyze_includes_corners(self, capsys):
+        assert main(["analyze", "c17", "--mc-samples", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "corner best/typ/worst" in out
+        assert "pessimism" in out

@@ -1,0 +1,53 @@
+"""Smoke tests for the shipped examples.
+
+Each example is executed in-process (``runpy``) with arguments chosen
+for speed (c17 or heavily scaled circuits).  The assertions check the
+narrative output, not just survival — an example that runs but prints
+garbage is a broken example.  ``quickstart.py`` runs full-size c432 and
+is exercised by the documentation workflow instead.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, argv, capsys):
+    old_argv = sys.argv
+    sys.argv = [name] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_yield_wall(self, capsys):
+        out = run_example("yield_wall.py", ["c17", "4"], capsys)
+        assert "deterministic solution (the wall)" in out
+        assert "yield at a" in out
+        assert "99% delay: deterministic" in out
+
+    def test_pruning_speedup(self, capsys):
+        out = run_example("pruning_speedup.py", ["c432", "0.2"], capsys)
+        assert "pruned search:" in out
+        assert "brute force:" in out
+        assert "selections identical" in out  # the exactness assert ran
+
+    def test_custom_library(self, capsys):
+        out = run_example("custom_library.py", [], capsys)
+        assert "matches the API-built twin" in out
+        assert "variability model sweep" in out
+        assert "no built-ins used" in out
+
+    def test_design_closure(self, capsys):
+        out = run_example("design_closure.py", ["c432", "0.15"], capsys)
+        assert "multi-gate sizing" in out
+        assert "heuristic-vs-exact" in out
+        assert "bitwise identical: True" in out
+        assert "rho=0.9" in out

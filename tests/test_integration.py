@@ -1,0 +1,141 @@
+"""End-to-end integration tests across the whole stack.
+
+Each test tells one of the paper's stories on a small circuit, going
+through the public package API only (what a downstream user would
+write).
+"""
+
+import pytest
+
+import repro
+from repro.config import AnalysisConfig
+
+CFG = AnalysisConfig(dt=8.0, delta_w=1.0)
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+
+class TestEndToEndOptimization:
+    def test_full_statistical_flow(self):
+        """load -> analyze -> optimize -> re-analyze, via public API."""
+        circuit = repro.load("c432", scale=0.3)
+        graph = repro.TimingGraph(circuit)
+        model = repro.DelayModel(circuit, config=CFG)
+        before = repro.run_ssta(graph, model).percentile(0.99)
+
+        result = repro.PrunedStatisticalSizer(
+            circuit, config=CFG, max_iterations=8
+        ).run()
+
+        after = repro.run_ssta(graph, model).percentile(0.99)
+        assert after < before
+        assert result.final_objective == pytest.approx(after, abs=1e-6)
+
+    def test_statistical_beats_deterministic_at_matched_area(self):
+        """The Table 1 story on a scaled benchmark."""
+        det_c = repro.load("c432", scale=0.3)
+        det = repro.DeterministicSizer(det_c, config=CFG, max_iterations=12).run()
+
+        stat_c = repro.load("c432", scale=0.3)
+        stat = repro.PrunedStatisticalSizer(
+            stat_c, config=CFG, max_iterations=max(1, det.n_iterations)
+        ).run()
+
+        def stat_delay(circuit):
+            g = repro.TimingGraph(circuit)
+            m = repro.DelayModel(circuit, config=CFG)
+            return repro.run_ssta(g, m).percentile(0.99)
+
+        assert stat_delay(stat_c) <= stat_delay(det_c) * 1.005
+
+    def test_bound_vs_monte_carlo_after_optimization(self):
+        """The Figure 10 validation story."""
+        circuit = repro.load("c432", scale=0.3)
+        repro.PrunedStatisticalSizer(circuit, config=CFG, max_iterations=6).run()
+        graph = repro.TimingGraph(circuit)
+        model = repro.DelayModel(circuit, config=CFG)
+        bound = repro.run_ssta(graph, model).percentile(0.99)
+        mc = repro.run_monte_carlo(graph, model, n_samples=4000, seed=3)
+        assert abs(bound - mc.percentile(0.99)) / mc.percentile(0.99) < 0.06
+        assert mc.percentile(0.99) <= bound + mc.percentile_stderr(0.99) * 4
+
+    def test_deterministic_wall_formation(self):
+        """The Figure 1 story: deterministic sizing concentrates paths
+        near critical relative to the statistical solution."""
+        det_c = repro.load("c432", scale=0.3)
+        det = repro.DeterministicSizer(det_c, config=CFG, max_iterations=15).run()
+        stat_c = repro.load("c432", scale=0.3)
+        repro.PrunedStatisticalSizer(
+            stat_c, config=CFG, max_iterations=max(1, det.n_iterations)
+        ).run()
+
+        def wall(circuit):
+            g = repro.TimingGraph(circuit)
+            m = repro.DelayModel(circuit, config=CFG)
+            hist = repro.path_delay_histogram(g, m, bin_width=16.0)
+            return repro.wall_metric(hist, margin_fraction=0.1)
+
+        # Walls are stochastic at this scale; require "not much smaller".
+        assert wall(det_c) >= wall(stat_c) * 0.5
+
+    def test_bench_roundtrip_then_optimize(self, tmp_path):
+        """External .bench netlists drop into the same flow."""
+        circuit = repro.load("c17")
+        path = tmp_path / "c17.bench"
+        path.write_text(repro.write_bench(circuit))
+        reparsed = repro.parse_bench_file(path)
+        result = repro.PrunedStatisticalSizer(
+            reparsed, config=CFG, max_iterations=4
+        ).run()
+        assert result.n_iterations >= 1
+        assert result.final_objective < result.initial_objective
+
+    def test_custom_library_flow(self):
+        """A user-defined library drives the whole stack."""
+        from repro.library import CellLibrary, CellType
+
+        lib = CellLibrary(name="custom", wire_cap_per_fanout=0.5,
+                          primary_output_cap=3.0)
+        lib.add(CellType("MYINV", "NOT", 1, 12.0, 15.0, 1.5, 1.5))
+        lib.add(CellType("MYNAND", "NAND", 2, 20.0, 18.0, 2.0, 4.0))
+
+        c = repro.Circuit("custom")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate(lib.get("MYNAND"), ["a", "b"], "n1")
+        c.add_gate(lib.get("MYINV"), ["n1"], "z")
+        c.add_output("z")
+
+        result = repro.BruteForceStatisticalSizer(
+            c, library=lib, config=CFG, max_iterations=3
+        ).run()
+        assert result.final_objective <= result.initial_objective
+
+
+class TestCrossEngineConsistency:
+    def test_three_engines_agree_on_scale(self):
+        """STA nominal, SSTA mean, and MC mean must sit within a few
+        percent of each other on a benchmark circuit."""
+        circuit = repro.load("c880", scale=0.4)
+        graph = repro.TimingGraph(circuit)
+        model = repro.DelayModel(circuit, config=CFG)
+        sta = repro.run_sta(graph, model).circuit_delay
+        ssta_mean = repro.run_ssta(graph, model).mean_delay()
+        mc_mean = repro.run_monte_carlo(graph, model, n_samples=3000, seed=1).mean()
+        assert ssta_mean == pytest.approx(mc_mean, rel=0.05)
+        assert sta <= ssta_mean * 1.02
+
+    def test_k_longest_path_matches_sta(self):
+        circuit = repro.load("c499", scale=0.3)
+        graph = repro.TimingGraph(circuit)
+        model = repro.DelayModel(circuit, config=CFG)
+        sta = repro.run_sta(graph, model)
+        top = repro.k_longest_paths(graph, model, k=3)
+        assert top[0].delay == pytest.approx(sta.circuit_delay)

@@ -1,0 +1,121 @@
+"""Unit tests for corner-based analysis and its documented failure
+modes versus SSTA (the paper's Section-1 motivation)."""
+
+import pytest
+
+from repro.config import AnalysisConfig
+from repro.errors import TimingError
+from repro.timing.corners import Corner, run_corners, standard_corners
+from repro.timing.delay_model import DelayModel
+from repro.timing.graph import TimingGraph
+from repro.timing.monte_carlo import run_monte_carlo
+from repro.timing.ssta import run_ssta
+from repro.timing.sta import run_sta
+
+
+class TestCorner:
+    def test_invalid_derate(self):
+        with pytest.raises(TimingError):
+            Corner("bad", 0.0)
+
+    def test_standard_corners_match_model(self):
+        cfg = AnalysisConfig(sigma_fraction=0.1, truncation_sigma=3.0)
+        corners = {c.name: c.derate for c in standard_corners(cfg)}
+        assert corners == {"best": 0.7, "typical": 1.0, "worst": 1.3}
+
+
+class TestRunCorners:
+    def test_typical_equals_sta(self, c17, library, fast_config):
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        analysis = run_corners(graph, model)
+        sta = run_sta(graph, model)
+        assert analysis.delay_at("typical") == pytest.approx(sta.circuit_delay)
+
+    def test_corner_ordering(self, c17, library, fast_config):
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        analysis = run_corners(graph, model)
+        assert (
+            analysis.delay_at("best")
+            < analysis.delay_at("typical")
+            < analysis.delay_at("worst")
+        )
+
+    def test_derate_scales_linearly(self, c17, library, fast_config):
+        """A global derate scales the longest path exactly."""
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        analysis = run_corners(graph, model)
+        assert analysis.delay_at("worst") == pytest.approx(
+            1.3 * analysis.delay_at("typical")
+        )
+
+    def test_spread(self, c17, library, fast_config):
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        analysis = run_corners(graph, model)
+        assert analysis.spread == pytest.approx(
+            analysis.delay_at("worst") - analysis.delay_at("best")
+        )
+
+    def test_unknown_corner(self, c17, library, fast_config):
+        graph = TimingGraph(c17)
+        analysis = run_corners(graph, DelayModel(c17, library, fast_config))
+        with pytest.raises(TimingError):
+            analysis.delay_at("ludicrous")
+
+    def test_empty_corner_list(self, c17, library, fast_config):
+        graph = TimingGraph(c17)
+        with pytest.raises(TimingError):
+            run_corners(graph, DelayModel(c17, library, fast_config), corners=[])
+
+    def test_custom_corners(self, c17, library, fast_config):
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        analysis = run_corners(
+            graph, model, corners=[Corner("slow", 1.1), Corner("fast", 0.9)]
+        )
+        assert set(analysis.delays) == {"slow", "fast"}
+
+
+class TestCornerInaccuracy:
+    """The paper's Section-1 claims, measured."""
+
+    def test_worst_corner_pessimistic_vs_statistics(self, fast_config):
+        """Independent intra-die variation averages out: the worst
+        corner overshoots the statistical 99% delay."""
+        from repro.netlist.benchmarks import load
+
+        circuit = load("c432", scale=0.4)
+        graph = TimingGraph(circuit)
+        model = DelayModel(circuit, config=fast_config)
+        analysis = run_corners(graph, model)
+        p99 = run_ssta(graph, model).percentile(0.99)
+        assert analysis.pessimism_vs(p99, corner_name="worst") > 0.05
+
+    def test_typical_corner_optimistic_vs_statistics(self, fast_config):
+        """The statistical max across many paths beats all-nominal:
+        typical-corner signoff under-margins the 99% delay."""
+        from repro.netlist.benchmarks import load
+
+        circuit = load("c432", scale=0.4)
+        graph = TimingGraph(circuit)
+        model = DelayModel(circuit, config=fast_config)
+        analysis = run_corners(graph, model)
+        p99 = run_ssta(graph, model).percentile(0.99)
+        assert analysis.pessimism_vs(p99, corner_name="typical") < 0.0
+
+    def test_corners_bracket_monte_carlo(self, c17, library, fast_config):
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        analysis = run_corners(graph, model)
+        mc = run_monte_carlo(graph, model, n_samples=4000, seed=6)
+        assert analysis.delay_at("best") <= mc.percentile(0.01)
+        assert analysis.delay_at("worst") >= mc.percentile(0.99)
+
+    def test_pessimism_validation(self, c17, library, fast_config):
+        graph = TimingGraph(c17)
+        analysis = run_corners(graph, DelayModel(c17, library, fast_config))
+        with pytest.raises(TimingError):
+            analysis.pessimism_vs(0.0)

@@ -1,0 +1,153 @@
+"""Unit tests for the spatial-correlation extension (quad-tree model)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TimingError
+from repro.timing.correlation import (
+    GridPlacement,
+    QuadTreeCorrelation,
+    run_monte_carlo_correlated,
+)
+from repro.timing.delay_model import DelayModel
+from repro.timing.graph import TimingGraph
+from repro.timing.monte_carlo import run_monte_carlo
+
+
+class TestGridPlacement:
+    def test_all_gates_placed(self, c17):
+        place = GridPlacement.from_circuit(c17)
+        for gate in c17.gates():
+            x, y = place.position_of(gate.output)
+            assert 0.0 <= x < 1.0
+            assert 0.0 <= y <= 1.0
+
+    def test_levels_map_to_x(self, c17):
+        place = GridPlacement.from_circuit(c17)
+        x10, _ = place.position_of("10")  # level 1
+        x22, _ = place.position_of("22")  # level 3
+        assert x10 < x22
+
+    def test_unknown_gate(self, c17):
+        place = GridPlacement.from_circuit(c17)
+        with pytest.raises(TimingError):
+            place.position_of("ghost")
+
+    def test_distance_symmetric(self, c17):
+        place = GridPlacement.from_circuit(c17)
+        assert place.distance("10", "22") == place.distance("22", "10")
+        assert place.distance("10", "10") == 0.0
+
+
+class TestQuadTreeModel:
+    def test_invalid_params(self):
+        with pytest.raises(TimingError):
+            QuadTreeCorrelation(levels=0)
+        with pytest.raises(TimingError):
+            QuadTreeCorrelation(rho=1.5)
+
+    def test_region_indexing(self):
+        model = QuadTreeCorrelation()
+        assert model.region_index(0.1, 0.1, 1) == 0
+        assert model.region_index(0.9, 0.1, 1) == 1
+        assert model.region_index(0.1, 0.9, 1) == 2
+        assert model.region_index(0.9, 0.9, 1) == 3
+
+    def test_self_correlation_is_one(self, c17):
+        place = GridPlacement.from_circuit(c17)
+        model = QuadTreeCorrelation(rho=0.5)
+        assert model.correlation_between(place, "10", "10") == 1.0
+
+    def test_correlation_decays_with_distance(self):
+        place = GridPlacement(positions={
+            "a": (0.10, 0.10), "b": (0.12, 0.12), "far": (0.95, 0.95),
+        })
+        model = QuadTreeCorrelation(levels=3, rho=0.6)
+        near = model.correlation_between(place, "a", "b")
+        far = model.correlation_between(place, "a", "far")
+        assert near > far
+        assert near == pytest.approx(0.6)  # same region at every level
+        assert far == pytest.approx(0.0)
+
+    def test_sampled_deviations_unit_variance(self, rng):
+        place = GridPlacement(positions={"a": (0.2, 0.2), "b": (0.8, 0.8)})
+        model = QuadTreeCorrelation(levels=2, rho=0.5)
+        z = model.sample_deviations(rng, place, ["a", "b"], 40000)
+        assert z.shape == (2, 40000)
+        assert z.std(axis=1) == pytest.approx([1.0, 1.0], abs=0.03)
+        assert z.mean(axis=1) == pytest.approx([0.0, 0.0], abs=0.03)
+
+    def test_sampled_correlation_matches_model(self, rng):
+        place = GridPlacement(positions={
+            "a": (0.1, 0.1), "b": (0.15, 0.12), "far": (0.9, 0.9),
+        })
+        model = QuadTreeCorrelation(levels=3, rho=0.6)
+        z = model.sample_deviations(rng, place, ["a", "b", "far"], 60000)
+        emp_near = np.corrcoef(z[0], z[1])[0, 1]
+        emp_far = np.corrcoef(z[0], z[2])[0, 1]
+        assert emp_near == pytest.approx(
+            model.correlation_between(place, "a", "b"), abs=0.03
+        )
+        assert emp_far == pytest.approx(0.0, abs=0.03)
+
+    def test_rho_zero_is_independent(self, rng):
+        place = GridPlacement(positions={"a": (0.1, 0.1), "b": (0.11, 0.1)})
+        model = QuadTreeCorrelation(levels=3, rho=0.0)
+        z = model.sample_deviations(rng, place, ["a", "b"], 50000)
+        assert abs(np.corrcoef(z[0], z[1])[0, 1]) < 0.03
+
+
+class TestCorrelatedMonteCarlo:
+    def test_runs_and_reproducible(self, c17, library, fast_config):
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        corr = QuadTreeCorrelation(levels=2, rho=0.5)
+        a = run_monte_carlo_correlated(graph, model, corr, n_samples=400, seed=4)
+        b = run_monte_carlo_correlated(graph, model, corr, n_samples=400, seed=4)
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_rho_zero_statistics_match_independent(self, c17, library, fast_config):
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        corr = QuadTreeCorrelation(levels=2, rho=0.0)
+        dep = run_monte_carlo_correlated(graph, model, corr, n_samples=8000, seed=1)
+        ind = run_monte_carlo(graph, model, n_samples=8000, seed=2)
+        assert dep.mean() == pytest.approx(ind.mean(), rel=0.02)
+        assert dep.std() == pytest.approx(ind.std(), rel=0.15)
+
+    def test_correlation_widens_circuit_delay_spread(self, library, fast_config):
+        """Fully correlated variation cannot average out across a path,
+        so the circuit-delay sigma grows with rho."""
+        from repro.netlist.benchmarks import load
+
+        circuit = load("c432", scale=0.3)
+        graph = TimingGraph(circuit)
+        model = DelayModel(circuit, config=fast_config)
+        lo = run_monte_carlo_correlated(
+            graph, model, QuadTreeCorrelation(levels=2, rho=0.0),
+            n_samples=4000, seed=3,
+        )
+        hi = run_monte_carlo_correlated(
+            graph, model, QuadTreeCorrelation(levels=2, rho=0.9),
+            n_samples=4000, seed=3,
+        )
+        assert hi.std() > lo.std() * 1.3
+
+    def test_marginals_respect_truncation(self, c17, library, fast_config):
+        from repro.timing.sta import run_sta
+
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        corr = QuadTreeCorrelation(levels=2, rho=0.7)
+        mc = run_monte_carlo_correlated(graph, model, corr, n_samples=4000, seed=5)
+        nominal = run_sta(graph, model).circuit_delay
+        # 3-sigma, 10% sigma: samples within +-30% of nominal paths.
+        assert mc.samples.max() <= nominal * 1.3 + 1e-6
+
+    def test_invalid_sample_count(self, c17, library, fast_config):
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        with pytest.raises(TimingError):
+            run_monte_carlo_correlated(
+                graph, model, QuadTreeCorrelation(), n_samples=0
+            )

@@ -1,0 +1,122 @@
+"""Unit tests for backward SSTA and statistical criticality."""
+
+import pytest
+
+from repro.dist.metrics import stochastically_le
+from repro.errors import TimingError
+from repro.timing.criticality import (
+    criticality_report,
+    node_criticality,
+    run_backward_ssta,
+)
+from repro.timing.delay_model import DelayModel
+from repro.timing.graph import TimingGraph
+from repro.timing.ssta import run_ssta
+from repro.timing.sta import run_sta
+
+
+def engines(circuit, config):
+    graph = TimingGraph(circuit)
+    model = DelayModel(circuit, config=config)
+    return graph, model, run_ssta(graph, model), run_backward_ssta(graph, model)
+
+
+class TestBackwardSSTA:
+    def test_sink_is_zero(self, c17, fast_config):
+        graph, model, _fwd, bwd = engines(c17, fast_config)
+        assert bwd.to_sink[graph.sink].is_point_mass
+        assert bwd.to_sink[graph.sink].mean() == pytest.approx(0.0)
+
+    def test_source_to_sink_equals_forward_sink(self, c17, fast_config):
+        """The backward pass from the source must reproduce the forward
+        circuit-delay distribution (same DAG, same ops, same bound)."""
+        graph, model, fwd, bwd = engines(c17, fast_config)
+        src = bwd.to_sink[graph.source]
+        sink = fwd.sink_pdf
+        assert src.mean() == pytest.approx(sink.mean(), rel=0.02)
+        assert src.percentile(0.99) == pytest.approx(
+            sink.percentile(0.99), rel=0.02
+        )
+
+    def test_chain_backward_equals_forward_mirror(self, chain3, fast_config):
+        graph, model, fwd, bwd = engines(chain3, fast_config)
+        # On a pure chain both passes see the identical convolution.
+        src = bwd.to_sink[graph.source]
+        assert src.allclose(fwd.sink_pdf, atol=1e-12)
+
+    def test_to_sink_decreases_along_path(self, c17, fast_config):
+        """Delay-to-sink shrinks (stochastically) as we move toward the
+        sink."""
+        graph, model, _fwd, bwd = engines(c17, fast_config)
+        for edge in graph.edges:
+            if edge.gate is None:
+                continue
+            assert stochastically_le(
+                bwd.to_sink[edge.dst], bwd.to_sink[edge.src], tol=1e-9
+            )
+
+    def test_nominal_consistency_with_sta(self, c17, fast_config):
+        """Mean of (arrival + to-sink) at any node is at least the STA
+        longest path through that node."""
+        graph, model, fwd, bwd = engines(c17, fast_config)
+        sta = run_sta(graph, model)
+        for gate in c17.gates():
+            node = graph.gate_output_node(gate)
+            through_mean = fwd.arrivals[node].mean() + bwd.to_sink[node].mean()
+            sta_through = sta.arrival[node] + (
+                sta.circuit_delay - sta.required[node]
+            )
+            assert through_mean >= sta_through * 0.98
+
+
+class TestCriticality:
+    def test_range(self, c17, fast_config):
+        _graph, _model, fwd, bwd = engines(c17, fast_config)
+        for gate in c17.gates():
+            c = node_criticality(fwd, bwd, gate.output)
+            assert 0.0 <= c <= 1.0
+
+    def test_critical_path_nets_rank_high(self, two_path, fast_config):
+        """The long path's nets must dominate the short path's."""
+        _graph, _model, fwd, bwd = engines(two_path, fast_config)
+        long_c = node_criticality(fwd, bwd, "l2")
+        short_c = node_criticality(fwd, bwd, "s1")
+        assert long_c > short_c
+
+    def test_output_gate_highly_critical(self, chain3, fast_config):
+        _graph, _model, fwd, bwd = engines(chain3, fast_config)
+        # Every path passes through the chain: criticality ~ P(circuit
+        # delay >= its own 99% point) ~ 0.01 at p=0.99... through-delay
+        # IS the circuit delay here, so criticality = 1 - F(T99) = 0.01.
+        c = node_criticality(fwd, bwd, "out", percentile=0.5)
+        assert c == pytest.approx(0.5, abs=0.05)
+
+    def test_report_sorted_and_bounded(self, c17, fast_config):
+        _graph, _model, fwd, bwd = engines(c17, fast_config)
+        rows = criticality_report(fwd, bwd, top_k=4)
+        assert len(rows) == 4
+        crits = [r.criticality for r in rows]
+        assert crits == sorted(crits, reverse=True)
+
+    def test_report_top_k_validation(self, c17, fast_config):
+        _graph, _model, fwd, bwd = engines(c17, fast_config)
+        with pytest.raises(TimingError):
+            criticality_report(fwd, bwd, top_k=0)
+
+    def test_statistical_winner_is_critical(self, fast_config):
+        """The gate the statistical sizer picks should rank among the
+        most critical nets — the mechanism behind early pruning."""
+        from repro.core.pruned_sizer import PrunedStatisticalSizer
+        from repro.netlist.benchmarks import load
+
+        circuit = load("c432", scale=0.3)
+        sizer = PrunedStatisticalSizer(
+            circuit, config=fast_config, max_iterations=1
+        )
+        selection = sizer._select_gate()  # noqa: SLF001
+        best = selection.best_gate
+        assert best is not None
+        _g, _m, fwd, bwd = engines(circuit, fast_config)
+        ranked = [r.net for r in criticality_report(fwd, bwd, top_k=max(
+            10, circuit.n_gates // 4))]
+        assert best.name in ranked

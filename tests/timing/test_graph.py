@@ -1,0 +1,104 @@
+"""Unit tests for the Definition-1 timing graph."""
+
+import pytest
+
+from repro.errors import TimingError
+from repro.timing.graph import TimingGraph
+
+
+class TestStructure:
+    def test_single_source_single_sink(self, c17):
+        g = TimingGraph(c17)
+        assert g.source == 0
+        assert g.sink == g.n_nodes - 1
+        assert g.fanin_edges(g.source) == []
+        assert g.fanout_edges(g.sink) == []
+
+    def test_node_count(self, c17):
+        g = TimingGraph(c17)
+        assert g.n_nodes == c17.n_nets + 2
+
+    def test_edge_count(self, c17):
+        g = TimingGraph(c17)
+        expected = c17.n_pin_edges + len(c17.inputs) + len(c17.outputs)
+        assert g.n_edges == expected
+
+    def test_net_node_roundtrip(self, c17):
+        g = TimingGraph(c17)
+        for net in c17.nets():
+            assert g.net_of_node(g.node_of_net(net)) == net
+
+    def test_virtual_nodes_have_no_net(self, c17):
+        g = TimingGraph(c17)
+        assert g.net_of_node(g.source) is None
+        assert g.net_of_node(g.sink) is None
+
+    def test_unknown_net(self, c17):
+        with pytest.raises(TimingError):
+            TimingGraph(c17).node_of_net("ghost")
+
+    def test_gate_arcs_reference_gates(self, c17):
+        g = TimingGraph(c17)
+        node = g.node_of_net("22")
+        arcs = g.fanin_edges(node)
+        assert len(arcs) == 2
+        assert all(e.gate is c17.gate("22") for e in arcs)
+        assert {e.pin for e in arcs} == {0, 1}
+
+    def test_source_arcs_virtual(self, c17):
+        g = TimingGraph(c17)
+        for edge in g.fanout_edges(g.source):
+            assert edge.is_virtual
+
+    def test_po_arcs_to_sink(self, c17):
+        g = TimingGraph(c17)
+        sources = {g.net_of_node(e.src) for e in g.fanin_edges(g.sink)}
+        assert sources == set(c17.outputs)
+
+
+class TestOrderAndLevels:
+    def test_topo_order_respects_edges(self, c17):
+        g = TimingGraph(c17)
+        position = {n: i for i, n in enumerate(g.topo_nodes())}
+        for edge in g.edges:
+            assert position[edge.src] < position[edge.dst]
+
+    def test_levels_monotone_along_edges(self, c17):
+        g = TimingGraph(c17)
+        for edge in g.edges:
+            assert g.level(edge.src) < g.level(edge.dst)
+
+    def test_source_and_pi_levels(self, c17):
+        g = TimingGraph(c17)
+        assert g.level(g.source) == 0
+        for net in c17.inputs:
+            assert g.level(g.node_of_net(net)) == 1
+
+    def test_sink_is_max_level(self, c17):
+        g = TimingGraph(c17)
+        assert g.level(g.sink) == g.max_level
+        assert all(g.level(n) <= g.max_level for n in range(g.n_nodes))
+
+    def test_nodes_by_level_partition(self, c17):
+        g = TimingGraph(c17)
+        seen = []
+        for lvl in range(g.max_level + 1):
+            seen.extend(g.nodes_at_level(lvl))
+        assert sorted(seen) == list(range(g.n_nodes))
+
+    def test_gate_output_node(self, c17):
+        g = TimingGraph(c17)
+        gate = c17.gate("16")
+        assert g.net_of_node(g.gate_output_node(gate)) == "16"
+
+
+class TestGeneratedCircuits:
+    def test_benchmark_graph_consistency(self):
+        from repro.netlist.benchmarks import load
+
+        c = load("c432")
+        g = TimingGraph(c)
+        assert g.n_nodes == c.n_nets + 2
+        position = {n: i for i, n in enumerate(g.topo_nodes())}
+        for edge in g.edges:
+            assert position[edge.src] < position[edge.dst]

@@ -1,0 +1,124 @@
+"""Unit tests for the vectorized Monte Carlo timing engine."""
+
+import numpy as np
+import pytest
+
+from repro.config import AnalysisConfig
+from repro.errors import TimingError
+from repro.timing.delay_model import DelayModel
+from repro.timing.graph import TimingGraph
+from repro.timing.monte_carlo import run_monte_carlo
+from repro.timing.sta import run_sta
+
+
+class TestBasics:
+    def test_sample_count(self, c17, library, fast_config):
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        mc = run_monte_carlo(graph, model, n_samples=500, seed=1)
+        assert mc.samples.shape == (500,)
+        assert mc.n_samples == 500
+
+    def test_seed_reproducible(self, c17, library, fast_config):
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        a = run_monte_carlo(graph, model, n_samples=200, seed=7)
+        b = run_monte_carlo(graph, model, n_samples=200, seed=7)
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_different_seeds_differ(self, c17, library, fast_config):
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        a = run_monte_carlo(graph, model, n_samples=200, seed=1)
+        b = run_monte_carlo(graph, model, n_samples=200, seed=2)
+        assert not np.array_equal(a.samples, b.samples)
+
+    def test_chunking_invariant(self, c17, library, fast_config):
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        whole = run_monte_carlo(graph, model, n_samples=300, seed=3, chunk=300)
+        split = run_monte_carlo(graph, model, n_samples=300, seed=3, chunk=64)
+        # Chunking changes the RNG consumption pattern per gate, so
+        # samples differ individually, but statistics must agree.
+        assert whole.mean() == pytest.approx(split.mean(), rel=0.02)
+
+    def test_invalid_sample_count(self, c17, library, fast_config):
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        with pytest.raises(TimingError):
+            run_monte_carlo(graph, model, n_samples=0)
+
+    def test_invalid_percentile(self, c17, library, fast_config):
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        mc = run_monte_carlo(graph, model, n_samples=10, seed=0)
+        with pytest.raises(TimingError):
+            mc.percentile(0.0)
+
+
+class TestStatisticalSanity:
+    def test_samples_within_3sigma_envelope(self, chain3, library):
+        """On a chain, the circuit delay is a sum of 3 truncated
+        Gaussians: samples must stay within the hard truncation
+        envelope around the nominal sum."""
+        cfg = AnalysisConfig(sigma_fraction=0.1, truncation_sigma=3.0)
+        graph = TimingGraph(chain3)
+        model = DelayModel(chain3, library, cfg)
+        sta = run_sta(graph, model)
+        mc = run_monte_carlo(graph, model, n_samples=5000, seed=2)
+        assert mc.samples.max() <= sta.circuit_delay * 1.3 + 1e-6
+        assert mc.samples.min() >= sta.circuit_delay * 0.7 - 1e-6
+
+    def test_mean_near_nominal_on_chain(self, chain3, library, fast_config):
+        graph = TimingGraph(chain3)
+        model = DelayModel(chain3, library, fast_config)
+        sta = run_sta(graph, model)
+        mc = run_monte_carlo(graph, model, n_samples=8000, seed=2)
+        assert mc.mean() == pytest.approx(sta.circuit_delay, rel=0.01)
+
+    def test_mean_above_nominal_with_reconvergence(self, c17, library, fast_config):
+        """max of random variables has mean above max of means."""
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        sta = run_sta(graph, model)
+        mc = run_monte_carlo(graph, model, n_samples=8000, seed=2)
+        assert mc.mean() >= sta.circuit_delay * 0.99
+
+    def test_percentiles_ordered(self, c17, library, fast_config):
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        mc = run_monte_carlo(graph, model, n_samples=2000, seed=4)
+        assert mc.percentile(0.5) <= mc.percentile(0.9) <= mc.percentile(0.99)
+
+    def test_zero_sigma_equals_sta(self, c17, library):
+        cfg = AnalysisConfig(sigma_fraction=0.0)
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, cfg)
+        sta = run_sta(graph, model)
+        mc = run_monte_carlo(graph, model, n_samples=50, seed=0)
+        assert np.allclose(mc.samples, sta.circuit_delay)
+
+    def test_to_pdf_statistics(self, c17, library, fast_config):
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        mc = run_monte_carlo(graph, model, n_samples=5000, seed=9)
+        pdf = mc.to_pdf(dt=2.0)
+        assert pdf.mean() == pytest.approx(mc.mean(), abs=2.0)
+
+    def test_percentile_stderr_positive_and_finite(self, c17, library, fast_config):
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        mc = run_monte_carlo(graph, model, n_samples=5000, seed=9)
+        err = mc.percentile_stderr(0.99)
+        assert 0.0 < err < 50.0
+
+    def test_sizing_improves_mc_delay(self, c17, library, fast_config):
+        """Widening the most loaded gate should speed the circuit under
+        MC as well (cross-check with the SSTA-driven claim)."""
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        before = run_monte_carlo(graph, model, n_samples=4000, seed=11).percentile(0.99)
+        c17.gate("16").width = 4.0
+        c17.gate("11").width = 4.0
+        after = run_monte_carlo(graph, model, n_samples=4000, seed=11).percentile(0.99)
+        assert after < before

@@ -1,0 +1,150 @@
+"""Unit tests for path-level analysis (Figure 1 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TimingError
+from repro.timing.delay_model import DelayModel
+from repro.timing.graph import TimingGraph
+from repro.timing.paths import k_longest_paths, path_delay_histogram, wall_metric
+from repro.timing.sta import run_sta
+
+
+class TestPathHistogram:
+    def test_chain_single_path(self, chain3, library):
+        graph = TimingGraph(chain3)
+        model = DelayModel(chain3, library)
+        hist = path_delay_histogram(graph, model, bin_width=1.0)
+        assert hist.total_paths == pytest.approx(1.0)
+
+    def test_two_path_counts(self, two_path, library):
+        graph = TimingGraph(two_path)
+        hist = path_delay_histogram(graph, DelayModel(two_path, library), bin_width=1.0)
+        assert hist.total_paths == pytest.approx(2.0)
+
+    def test_diamond_counts(self, diamond, library):
+        graph = TimingGraph(diamond)
+        hist = path_delay_histogram(graph, DelayModel(diamond, library), bin_width=1.0)
+        assert hist.total_paths == pytest.approx(2.0)
+
+    def test_c17_path_count(self, c17, library):
+        # c17 source-to-sink paths: enumerate by hand.
+        # 22 <- 10 <- {1,3}: 2 paths; 22 <- 16 <- 2: 1; 22 <- 16 <- 11 <- {3,6}: 2
+        # 23 <- 16 (3 paths as above); 23 <- 19 <- 11 <- {3,6}: 2; 19 <- 7: 1
+        graph = TimingGraph(c17)
+        hist = path_delay_histogram(graph, DelayModel(c17, library), bin_width=1.0)
+        assert hist.total_paths == pytest.approx(11.0)
+
+    def test_max_delay_matches_sta(self, c17, library):
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library)
+        hist = path_delay_histogram(graph, model, bin_width=1.0)
+        sta = run_sta(graph, model)
+        assert hist.max_delay == pytest.approx(sta.circuit_delay, abs=len(
+            sta.critical_edges) * 1.0)
+
+    def test_explicit_delays(self, two_path, library):
+        graph = TimingGraph(two_path)
+        delays = {"l1": 10.0, "l2": 10.0, "l3": 10.0, "s1": 5.0, "out": 10.0}
+        hist = path_delay_histogram(graph, delays=delays, bin_width=5.0)
+        d = hist.delays[np.nonzero(hist.counts)[0]]
+        assert set(d.tolist()) == {15.0, 40.0}
+
+    def test_invalid_bin_width(self, chain3, library):
+        graph = TimingGraph(chain3)
+        with pytest.raises(TimingError):
+            path_delay_histogram(graph, DelayModel(chain3, library), bin_width=0.0)
+
+    def test_needs_model_or_delays(self, chain3):
+        with pytest.raises(TimingError):
+            path_delay_histogram(TimingGraph(chain3))
+
+    def test_paths_within_margin(self, two_path, library):
+        graph = TimingGraph(two_path)
+        delays = {"l1": 10.0, "l2": 10.0, "l3": 10.0, "s1": 5.0, "out": 10.0}
+        hist = path_delay_histogram(graph, delays=delays, bin_width=1.0)
+        assert hist.paths_within(0.05) == pytest.approx(1.0)  # only the long one
+        assert hist.paths_within(0.9) == pytest.approx(2.0)
+
+    def test_benchmark_scale_counts_finite(self):
+        from repro.netlist.benchmarks import load
+
+        c = load("c432")
+        graph = TimingGraph(c)
+        hist = path_delay_histogram(graph, DelayModel(c), bin_width=10.0)
+        assert np.isfinite(hist.total_paths)
+        assert hist.total_paths > c.n_gates  # many more paths than gates
+
+
+class TestWallMetric:
+    def test_range(self, c17, library):
+        graph = TimingGraph(c17)
+        hist = path_delay_histogram(graph, DelayModel(c17, library), bin_width=1.0)
+        w = wall_metric(hist, margin_fraction=0.1)
+        assert 0.0 < w <= 1.0
+
+    def test_full_margin_is_one(self, c17, library):
+        graph = TimingGraph(c17)
+        hist = path_delay_histogram(graph, DelayModel(c17, library), bin_width=1.0)
+        assert wall_metric(hist, margin_fraction=0.999) == pytest.approx(1.0)
+
+    def test_balanced_circuit_has_bigger_wall(self, two_path, library):
+        graph = TimingGraph(two_path)
+        unbalanced = {"l1": 10.0, "l2": 10.0, "l3": 10.0, "s1": 5.0, "out": 10.0}
+        balanced = {"l1": 10.0, "l2": 10.0, "l3": 10.0, "s1": 30.0, "out": 10.0}
+        h_unbal = path_delay_histogram(graph, delays=unbalanced, bin_width=1.0)
+        h_bal = path_delay_histogram(graph, delays=balanced, bin_width=1.0)
+        assert wall_metric(h_bal, margin_fraction=0.1) > wall_metric(
+            h_unbal, margin_fraction=0.1
+        )
+
+    def test_invalid_margin(self, c17, library):
+        graph = TimingGraph(c17)
+        hist = path_delay_histogram(graph, DelayModel(c17, library), bin_width=1.0)
+        with pytest.raises(TimingError):
+            hist.paths_within(1.5)
+
+
+class TestKLongestPaths:
+    def test_k1_matches_sta(self, c17, library):
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library)
+        paths = k_longest_paths(graph, model, k=1)
+        sta = run_sta(graph, model)
+        assert paths[0].delay == pytest.approx(sta.circuit_delay)
+
+    def test_sorted_descending(self, c17, library):
+        graph = TimingGraph(c17)
+        paths = k_longest_paths(graph, DelayModel(c17, library), k=5)
+        delays = [p.delay for p in paths]
+        assert delays == sorted(delays, reverse=True)
+
+    def test_k_exceeding_path_count(self, two_path, library):
+        graph = TimingGraph(two_path)
+        paths = k_longest_paths(graph, DelayModel(two_path, library), k=10)
+        assert len(paths) == 2
+
+    def test_path_reconstruction_consistent(self, c17, library):
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library)
+        delays = model.nominal_delays()
+        for path in k_longest_paths(graph, model, k=6):
+            total = sum(delays[e.gate.output] for e in path.edges if e.gate)
+            assert total == pytest.approx(path.delay)
+
+    def test_paths_are_connected(self, c17, library):
+        graph = TimingGraph(c17)
+        for path in k_longest_paths(graph, DelayModel(c17, library), k=4):
+            assert path.edges[0].src == graph.source
+            assert path.edges[-1].dst == graph.sink
+            for a, b in zip(path.edges, path.edges[1:]):
+                assert a.dst == b.src
+
+    def test_invalid_k(self, c17, library):
+        with pytest.raises(TimingError):
+            k_longest_paths(TimingGraph(c17), DelayModel(c17, library), k=0)
+
+    def test_nets_listing(self, chain3, library):
+        graph = TimingGraph(chain3)
+        paths = k_longest_paths(graph, DelayModel(chain3, library), k=1)
+        assert paths[0].nets == ["n1", "n2", "out"]

@@ -1,0 +1,165 @@
+"""Unit tests for the block-based SSTA engine."""
+
+import numpy as np
+import pytest
+
+from repro.config import AnalysisConfig
+from repro.dist.metrics import stochastically_le
+from repro.dist.ops import OpCounter, convolve, stat_max
+from repro.timing.delay_model import DelayModel
+from repro.timing.graph import TimingGraph
+from repro.timing.ssta import run_ssta
+from repro.timing.sta import run_sta
+
+
+class TestChainPropagation:
+    def test_chain_is_pure_convolution(self, chain3, library, fast_config):
+        """With a single path the sink PDF is exactly the convolution of
+        the three gate delay PDFs."""
+        graph = TimingGraph(chain3)
+        model = DelayModel(chain3, library, fast_config)
+        result = run_ssta(graph, model)
+        eps = fast_config.tail_eps
+        expected = convolve(
+            convolve(
+                model.delay_pdf(chain3.gate("n1")),
+                model.delay_pdf(chain3.gate("n2")),
+                trim_eps=eps,
+            ),
+            model.delay_pdf(chain3.gate("out")),
+            trim_eps=eps,
+        )
+        assert result.sink_pdf.allclose(expected, atol=1e-12)
+
+    def test_mean_matches_sta_on_chain(self, chain3, library, fast_config):
+        graph = TimingGraph(chain3)
+        model = DelayModel(chain3, library, fast_config)
+        ssta = run_ssta(graph, model)
+        sta = run_sta(graph, model)
+        # Truncated Gaussians are symmetric: mean of sum == nominal sum.
+        assert ssta.mean_delay() == pytest.approx(sta.circuit_delay, rel=0.02)
+
+    def test_variance_accumulates(self, chain3, library, fast_config):
+        graph = TimingGraph(chain3)
+        model = DelayModel(chain3, library, fast_config)
+        result = run_ssta(graph, model)
+        per_gate_vars = [
+            model.delay_pdf(g).var() for g in chain3.gates()
+        ]
+        assert result.sink_pdf.var() == pytest.approx(sum(per_gate_vars), rel=0.05)
+
+
+class TestMaxPropagation:
+    def test_two_path_merge(self, two_path, library, fast_config):
+        """Each input-pin arc carries its own (independent) delay RV, so
+        the merge is max(conv(A1, D), conv(A2, D')), not conv(max, D)."""
+        graph = TimingGraph(two_path)
+        model = DelayModel(two_path, library, fast_config)
+        result = run_ssta(graph, model)
+        eps = fast_config.tail_eps
+        d = {g.output: model.delay_pdf(g) for g in two_path.gates()}
+        long_arr = convolve(
+            convolve(d["l1"], d["l2"], trim_eps=eps), d["l3"], trim_eps=eps
+        )
+        short_arr = d["s1"]
+        expected = stat_max(
+            convolve(long_arr, d["out"], trim_eps=eps),
+            convolve(short_arr, d["out"], trim_eps=eps),
+            trim_eps=eps,
+        )
+        assert result.sink_pdf.allclose(expected, atol=1e-12)
+
+    def test_sink_later_than_every_po(self, c17, library, fast_config):
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        result = run_ssta(graph, model)
+        for net in c17.outputs:
+            assert stochastically_le(result.arrival_of_net(net), result.sink_pdf)
+
+
+class TestBoundProperties:
+    def test_bound_exceeds_sta_nominal(self, c17, library, fast_config):
+        """The 99% of the statistical bound must exceed the nominal
+        longest path (variability only hurts at high percentiles)."""
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        ssta = run_ssta(graph, model)
+        sta = run_sta(graph, model)
+        assert ssta.percentile(0.99) > sta.circuit_delay
+
+    def test_bound_upper_bounds_monte_carlo(self, c17, library):
+        """[3]'s independence max yields an upper bound on the exact
+        circuit delay CDF: every MC percentile must sit at or below the
+        bound percentile (within sampling error)."""
+        from repro.timing.monte_carlo import run_monte_carlo
+
+        cfg = AnalysisConfig(dt=2.0)
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, cfg)
+        ssta = run_ssta(graph, model)
+        mc = run_monte_carlo(graph, model, n_samples=20000, seed=5)
+        for p in (0.5, 0.9, 0.99):
+            assert mc.percentile(p) <= ssta.percentile(p) + 2.0
+
+    def test_bound_tight_at_99(self, c17, library):
+        """Paper Section 4: the bound is within ~1% of MC at the
+        99-percentile point."""
+        from repro.timing.monte_carlo import run_monte_carlo
+
+        cfg = AnalysisConfig(dt=2.0)
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, cfg)
+        ssta = run_ssta(graph, model)
+        mc = run_monte_carlo(graph, model, n_samples=20000, seed=5)
+        gap = abs(ssta.percentile(0.99) - mc.percentile(0.99))
+        assert gap / mc.percentile(0.99) < 0.03
+
+
+class TestMechanics:
+    def test_counter_tallies_work(self, c17, library, fast_config):
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        counter = OpCounter()
+        run_ssta(graph, model, counter=counter)
+        assert counter.convolutions == c17.n_pin_edges
+        # One reduction per extra fan-in arc at each multi-fan-in node.
+        assert counter.max_ops > 0
+
+    def test_deterministic_repeatable(self, c17, library, fast_config):
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        a = run_ssta(graph, model).sink_pdf
+        b = run_ssta(graph, model).sink_pdf
+        assert a.offset == b.offset
+        assert np.array_equal(a.masses, b.masses)
+
+    def test_all_nodes_have_arrivals(self, c17, library, fast_config):
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        result = run_ssta(graph, model)
+        assert all(a is not None for a in result.arrivals)
+
+    def test_percentile_alias(self, c17, library, fast_config):
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        result = run_ssta(graph, model)
+        assert result.percentile(0.99) == result.sink_pdf.percentile(0.99)
+
+    def test_sizing_changes_sink(self, c17, library, fast_config):
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        before = run_ssta(graph, model).percentile(0.99)
+        c17.gate("16").width = 5.0
+        after = run_ssta(graph, model).percentile(0.99)
+        assert after != before
+
+    def test_zero_sigma_degenerates_to_sta(self, c17, library):
+        """With sigma = 0 every PDF is a point mass and SSTA must equal
+        STA exactly (up to grid rounding)."""
+        cfg = AnalysisConfig(dt=0.5, sigma_fraction=0.0)
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, cfg)
+        ssta = run_ssta(graph, model)
+        sta = run_sta(graph, model)
+        assert ssta.sink_pdf.is_point_mass
+        assert ssta.mean_delay() == pytest.approx(sta.circuit_delay, abs=cfg.dt * 10)

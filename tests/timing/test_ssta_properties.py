@@ -1,0 +1,105 @@
+"""Hypothesis property tests for the SSTA engine on random circuits.
+
+The invariants that make the bound CDF of [3] a *bound*:
+
+* the statistical sink distribution is stochastically later than every
+  primary output's arrival;
+* every node's arrival is stochastically later than each single fan-in
+  contribution (max dominates its operands);
+* the bound's p-percentiles dominate the deterministic longest path for
+  p above ~0.5 (symmetric per-gate distributions);
+* reproducibility: the whole pipeline is a pure function of the
+  (circuit, config) pair.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import AnalysisConfig
+from repro.dist.metrics import stochastically_le
+from repro.dist.ops import convolve
+from repro.netlist.generate import CircuitSpec, generate_circuit
+from repro.timing.delay_model import DelayModel
+from repro.timing.graph import TimingGraph
+from repro.timing.ssta import run_ssta
+from repro.timing.sta import run_sta
+
+CFG = AnalysisConfig(dt=8.0)
+
+
+@st.composite
+def circuits(draw):
+    n_gates = draw(st.integers(min_value=5, max_value=40))
+    depth = draw(st.integers(min_value=2, max_value=min(8, n_gates)))
+    edges = draw(st.integers(min_value=int(1.5 * n_gates), max_value=int(2.5 * n_gates)))
+    seed = draw(st.integers(min_value=0, max_value=9999))
+    spec = CircuitSpec(
+        name="hyp",
+        n_inputs=draw(st.integers(min_value=3, max_value=10)),
+        n_outputs=2,
+        n_gates=n_gates,
+        n_pin_edges=min(edges, 4 * n_gates),
+        depth=depth,
+        seed=seed,
+    )
+    return generate_circuit(spec)
+
+
+class TestSSTAProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(circuit=circuits())
+    def test_sink_dominates_outputs(self, circuit):
+        graph = TimingGraph(circuit)
+        model = DelayModel(circuit, config=CFG)
+        result = run_ssta(graph, model)
+        for net in circuit.outputs:
+            assert stochastically_le(
+                result.arrival_of_net(net), result.sink_pdf, tol=1e-9
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(circuit=circuits())
+    def test_arrival_dominates_each_fanin_contribution(self, circuit):
+        graph = TimingGraph(circuit)
+        model = DelayModel(circuit, config=CFG)
+        result = run_ssta(graph, model)
+        for gate in circuit.topo_gates():
+            node = graph.gate_output_node(gate)
+            d = model.delay_pdf(gate)
+            for edge in graph.fanin_edges(node):
+                contrib = convolve(result.arrivals[edge.src], d)
+                assert stochastically_le(contrib, result.arrivals[node], tol=1e-6)
+
+    @settings(max_examples=25, deadline=None)
+    @given(circuit=circuits())
+    def test_high_percentiles_dominate_sta(self, circuit):
+        graph = TimingGraph(circuit)
+        model = DelayModel(circuit, config=CFG)
+        ssta = run_ssta(graph, model)
+        sta = run_sta(graph, model)
+        assert ssta.percentile(0.99) >= sta.circuit_delay - CFG.dt
+
+    @settings(max_examples=15, deadline=None)
+    @given(circuit=circuits())
+    def test_reproducible(self, circuit):
+        graph = TimingGraph(circuit)
+        model = DelayModel(circuit, config=CFG)
+        a = run_ssta(graph, model).sink_pdf
+        b = run_ssta(graph, model).sink_pdf
+        assert a.offset == b.offset
+        assert np.array_equal(a.masses, b.masses)
+
+    @settings(max_examples=15, deadline=None)
+    @given(circuit=circuits())
+    def test_sigma_zero_collapses_to_sta(self, circuit):
+        cfg = AnalysisConfig(dt=2.0, sigma_fraction=0.0)
+        graph = TimingGraph(circuit)
+        model = DelayModel(circuit, config=cfg)
+        ssta = run_ssta(graph, model)
+        sta = run_sta(graph, model)
+        assert ssta.sink_pdf.is_point_mass
+        # Each gate delay rounds to the grid once, so the worst-case
+        # drift is one bin per level of logic depth.
+        tol = cfg.dt * (circuit.depth() + 1)
+        assert abs(ssta.mean_delay() - sta.circuit_delay) <= tol

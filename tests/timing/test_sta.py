@@ -1,0 +1,116 @@
+"""Unit tests for deterministic STA."""
+
+import pytest
+
+from repro.errors import TimingError
+from repro.timing.delay_model import DelayModel
+from repro.timing.graph import TimingGraph
+from repro.timing.sta import run_sta
+
+
+class TestArrivals:
+    def test_chain_delay_is_sum(self, chain3, library):
+        graph = TimingGraph(chain3)
+        model = DelayModel(chain3, library)
+        delays = model.nominal_delays()
+        result = run_sta(graph, model)
+        assert result.circuit_delay == pytest.approx(sum(delays.values()))
+
+    def test_two_path_takes_longest(self, two_path, library):
+        graph = TimingGraph(two_path)
+        model = DelayModel(two_path, library)
+        d = model.nominal_delays()
+        long_path = d["l1"] + d["l2"] + d["l3"] + d["out"]
+        short_path = d["s1"] + d["out"]
+        result = run_sta(graph, model)
+        assert result.circuit_delay == pytest.approx(max(long_path, short_path))
+
+    def test_explicit_delay_map(self, chain3, library):
+        graph = TimingGraph(chain3)
+        delays = {"n1": 10.0, "n2": 20.0, "out": 30.0}
+        result = run_sta(graph, delays=delays)
+        assert result.circuit_delay == pytest.approx(60.0)
+
+    def test_needs_model_or_delays(self, chain3):
+        graph = TimingGraph(chain3)
+        with pytest.raises(TimingError):
+            run_sta(graph)
+
+    def test_arrival_monotone_along_path(self, c17, library):
+        graph = TimingGraph(c17)
+        result = run_sta(graph, DelayModel(c17, library))
+        for edge in graph.edges:
+            assert result.arrival[edge.dst] >= result.arrival[edge.src] - 1e-9
+
+
+class TestCriticalPath:
+    def test_critical_path_in_two_path(self, two_path, library):
+        graph = TimingGraph(two_path)
+        result = run_sta(graph, DelayModel(two_path, library))
+        nets = result.critical_path_nets
+        assert "l1" in nets and "l3" in nets and "out" in nets
+        assert "s1" not in nets
+
+    def test_critical_path_delay_consistent(self, c17, library):
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library)
+        delays = model.nominal_delays()
+        result = run_sta(graph, model)
+        path_delay = sum(
+            delays[e.gate.output] for e in result.critical_edges if e.gate
+        )
+        assert path_delay == pytest.approx(result.circuit_delay)
+
+    def test_critical_gates_have_zero_slack(self, c17, library):
+        graph = TimingGraph(c17)
+        result = run_sta(graph, DelayModel(c17, library))
+        for gate in result.critical_path_gates:
+            node = graph.gate_output_node(gate)
+            assert result.slack(node) == pytest.approx(0.0, abs=1e-9)
+
+    def test_all_slacks_non_negative(self, c17, library):
+        graph = TimingGraph(c17)
+        result = run_sta(graph, DelayModel(c17, library))
+        for node in range(graph.n_nodes):
+            assert result.slack(node) >= -1e-9
+
+    def test_critical_gates_within_margin(self, two_path, library):
+        graph = TimingGraph(two_path)
+        result = run_sta(graph, DelayModel(two_path, library))
+        strict = result.critical_gates_within(0.0)
+        loose = result.critical_gates_within(1e9)
+        assert set(g.name for g in strict) <= set(g.name for g in loose)
+        assert len(loose) == two_path.n_gates
+
+
+class TestSizingInteraction:
+    def test_upsizing_pi_driven_gate_reduces_delay(self, chain3, library):
+        """Up-sizing n1 (driven by a primary input, so no upstream
+        loading penalty) must speed the circuit."""
+        graph = TimingGraph(chain3)
+        model = DelayModel(chain3, library)
+        before = run_sta(graph, model).circuit_delay
+        chain3.gate("n1").width = 4.0
+        after = run_sta(graph, model).circuit_delay
+        assert after < before
+
+    def test_upsizing_interior_gate_can_hurt(self, chain3, library):
+        """Logical-effort reality check: widening a mid-chain gate whose
+        driver is minimum size loads the driver more than it gains —
+        exactly why sensitivities can be negative and why the optimizer
+        must measure them rather than assume improvement."""
+        graph = TimingGraph(chain3)
+        model = DelayModel(chain3, library)
+        before = run_sta(graph, model).circuit_delay
+        chain3.gate("n2").width = 4.0
+        after = run_sta(graph, model).circuit_delay
+        assert after > before
+
+    def test_benchmark_sta_runs(self):
+        from repro.netlist.benchmarks import load
+
+        c = load("c432")
+        graph = TimingGraph(c)
+        result = run_sta(graph, DelayModel(c))
+        # 17 levels of ~100+ ps gates: delay should be in the ns range.
+        assert 500.0 < result.circuit_delay < 10000.0

@@ -1,0 +1,121 @@
+"""Unit tests for parametric timing-yield analysis."""
+
+import numpy as np
+import pytest
+
+from repro.dist.families import truncated_gaussian_pdf
+from repro.errors import TimingError
+from repro.timing.delay_model import DelayModel
+from repro.timing.graph import TimingGraph
+from repro.timing.monte_carlo import run_monte_carlo
+from repro.timing.yield_analysis import (
+    delay_at_yield,
+    timing_yield,
+    yield_curve,
+    yield_gain,
+)
+
+
+@pytest.fixture
+def gaussian():
+    return truncated_gaussian_pdf(1.0, 1000.0, 50.0)
+
+
+class TestTimingYield:
+    def test_median_target(self, gaussian):
+        assert timing_yield(gaussian, 1000.0) == pytest.approx(0.5, abs=0.02)
+
+    def test_loose_target_full_yield(self, gaussian):
+        assert timing_yield(gaussian, 2000.0) == 1.0
+
+    def test_impossible_target_zero_yield(self, gaussian):
+        assert timing_yield(gaussian, 500.0) == 0.0
+
+    def test_monotone_in_target(self, gaussian):
+        targets = np.linspace(850.0, 1150.0, 20)
+        yields = [timing_yield(gaussian, t) for t in targets]
+        assert all(b >= a for a, b in zip(yields, yields[1:]))
+
+    def test_negative_target_rejected(self, gaussian):
+        with pytest.raises(TimingError):
+            timing_yield(gaussian, -1.0)
+
+    def test_monte_carlo_distribution(self, c17, library, fast_config):
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        mc = run_monte_carlo(graph, model, n_samples=2000, seed=1)
+        loose = mc.percentile(1.0) + 1.0
+        assert timing_yield(mc, loose) == 1.0
+        assert 0.4 < timing_yield(mc, float(np.median(mc.samples))) < 0.6
+
+
+class TestDelayAtYield:
+    def test_inverse_of_yield(self, gaussian):
+        for y in (0.5, 0.9, 0.99):
+            t = delay_at_yield(gaussian, y)
+            assert timing_yield(gaussian, t) == pytest.approx(y, abs=1e-6)
+
+    def test_is_percentile(self, gaussian):
+        assert delay_at_yield(gaussian, 0.99) == gaussian.percentile(0.99)
+
+    def test_invalid_fraction(self, gaussian):
+        with pytest.raises(TimingError):
+            delay_at_yield(gaussian, 0.0)
+        with pytest.raises(TimingError):
+            delay_at_yield(gaussian, 1.5)
+
+
+class TestYieldCurve:
+    def test_shape_and_monotonicity(self, gaussian):
+        targets, yields = yield_curve(gaussian, n_points=25)
+        assert targets.shape == yields.shape == (25,)
+        assert np.all(np.diff(targets) > 0)
+        assert np.all(np.diff(yields) >= -1e-12)
+
+    def test_endpoints(self, gaussian):
+        _targets, yields = yield_curve(gaussian, n_points=30)
+        assert yields[0] < 0.05
+        assert yields[-1] == pytest.approx(1.0, abs=1e-9)
+
+    def test_invalid_points(self, gaussian):
+        with pytest.raises(TimingError):
+            yield_curve(gaussian, n_points=1)
+
+
+class TestYieldGain:
+    def test_faster_circuit_wins_everywhere(self):
+        slow = truncated_gaussian_pdf(1.0, 1000.0, 50.0)
+        fast = truncated_gaussian_pdf(1.0, 900.0, 50.0)
+        cmp = yield_gain(slow, fast)
+        assert cmp.max_gain > 0.3
+        assert np.all(cmp.yield_b >= cmp.yield_a - 1e-9)
+
+    def test_identical_distributions_zero_gain(self, gaussian):
+        cmp = yield_gain(gaussian, gaussian)
+        assert cmp.max_gain == pytest.approx(0.0, abs=1e-9)
+        assert cmp.mean_gain == pytest.approx(0.0, abs=1e-9)
+
+    def test_mixed_types(self, c17, library, fast_config):
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        from repro.timing.ssta import run_ssta
+
+        bound = run_ssta(graph, model).sink_pdf
+        mc = run_monte_carlo(graph, model, n_samples=3000, seed=2)
+        cmp = yield_gain(bound, mc)
+        # The bound is pessimistic, so MC yields at least as much at
+        # every target.
+        assert cmp.mean_gain >= -0.02
+
+    def test_optimization_improves_yield(self, c17, fast_config):
+        """End to end: sizing should raise yield at a tight target."""
+        from repro.core.pruned_sizer import PrunedStatisticalSizer
+        from repro.timing.ssta import run_ssta
+
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, config=fast_config)
+        before = run_ssta(graph, model).sink_pdf
+        PrunedStatisticalSizer(c17, config=fast_config, max_iterations=5).run()
+        after = run_ssta(graph, model).sink_pdf
+        cmp = yield_gain(before, after)
+        assert cmp.max_gain > 0.05
