@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Micro-benchmark of the repro.dist kernels — the SSTA hot path.
+
+Measures convolve / stat_max / stat_max_many throughput against bin
+count and writes ``BENCH_dist.json`` next to the repo root, starting
+the performance trajectory for the kernel layer: every future
+optimization of the hot path (sparse grids, batched backends, FFT
+convolution above a crossover) should move these numbers and nothing
+else.
+
+Run:  python scripts/bench_dist.py [--quick] [--out BENCH_dist.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.dist.families import truncated_gaussian_pdf  # noqa: E402
+from repro.dist.ops import convolve, stat_max, stat_max_many  # noqa: E402
+
+#: Bin counts swept (sigma scales with the requested support width).
+BIN_COUNTS = [32, 128, 512, 2048, 8192]
+TRIM_EPS = 1e-9
+
+
+def _gaussian_with_bins(n_bins: int, center: float = 1000.0):
+    """A truncated Gaussian whose support spans ~n_bins grid bins."""
+    sigma = n_bins / 6.0  # +-3 sigma covers the requested width (dt=1)
+    return truncated_gaussian_pdf(1.0, center, sigma)
+
+
+def _time_op(fn, *, min_repeats: int = 5, min_seconds: float = 0.05) -> float:
+    """Median seconds per call, adaptively repeated for stability."""
+    fn()  # warm-up (cache the operands' cumulative sums)
+    times = []
+    budget_start = time.perf_counter()
+    while len(times) < min_repeats or time.perf_counter() - budget_start < min_seconds:
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+        if len(times) >= 200:
+            break
+    return float(np.median(times))
+
+
+def run(quick: bool = False) -> dict:
+    bin_counts = BIN_COUNTS[:3] if quick else BIN_COUNTS
+    rows = []
+    for n in bin_counts:
+        a = _gaussian_with_bins(n, 1000.0)
+        b = _gaussian_with_bins(n, 1200.0)
+        fanin = [_gaussian_with_bins(n, 1000.0 + 40.0 * i) for i in range(4)]
+        t_conv = _time_op(lambda: convolve(a, b, trim_eps=TRIM_EPS))
+        t_max = _time_op(lambda: stat_max(a, b, trim_eps=TRIM_EPS))
+        t_many = _time_op(lambda: stat_max_many(fanin, trim_eps=TRIM_EPS))
+        rows.append(
+            {
+                "bins": a.n_bins,
+                "convolve_us": round(t_conv * 1e6, 3),
+                "stat_max_us": round(t_max * 1e6, 3),
+                "stat_max_many4_us": round(t_many * 1e6, 3),
+                "convolve_ops_per_s": round(1.0 / t_conv, 1),
+                "stat_max_ops_per_s": round(1.0 / t_max, 1),
+            }
+        )
+        print(
+            f"bins={a.n_bins:6d}  convolve={t_conv * 1e6:9.1f} us  "
+            f"stat_max={t_max * 1e6:9.1f} us  "
+            f"stat_max_many(4)={t_many * 1e6:9.1f} us"
+        )
+    return {
+        "benchmark": "repro.dist kernel throughput",
+        "trim_eps": TRIM_EPS,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "rows": rows,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small bin counts only (CI smoke run)")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_dist.json"),
+                        help="output JSON path (default: repo root)")
+    args = parser.parse_args(argv)
+    payload = run(quick=args.quick)
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,7 +32,17 @@ from .core import (
     SizingResult,
     default_objective,
 )
-from .dist import DiscretePDF, convolve, stat_max, truncated_gaussian_pdf
+from .dist import (
+    DiscretePDF,
+    OpCounter,
+    convolve,
+    max_percentile_gap,
+    sample_truncated_gaussian,
+    stat_max,
+    stat_max_many,
+    stochastically_le,
+    truncated_gaussian_pdf,
+)
 from .errors import ReproError
 from .library import CellLibrary, CellType, SizingLimits, default_library, total_gate_size
 from .netlist import (
@@ -75,9 +85,14 @@ __all__ = [
     "ReproError",
     # distributions
     "DiscretePDF",
+    "OpCounter",
     "convolve",
     "stat_max",
+    "stat_max_many",
     "truncated_gaussian_pdf",
+    "sample_truncated_gaussian",
+    "max_percentile_gap",
+    "stochastically_le",
     # library
     "CellType",
     "CellLibrary",

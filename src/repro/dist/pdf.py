@@ -1,0 +1,297 @@
+"""The immutable discretized-PDF value type.
+
+A :class:`DiscretePDF` is a probability distribution over a uniform
+time grid: mass ``masses[i]`` sits at time ``(offset + i) * dt``.
+Instances are immutable (frozen dataclass over a read-only NumPy
+array), so they can be shared freely between the SSTA arrival store,
+the delay-PDF cache, and any number of perturbation fronts without
+defensive copies — the property the optimizer's exactness guarantees
+lean on.
+
+Continuous queries (:meth:`~DiscretePDF.cdf_at`,
+:meth:`~DiscretePDF.percentile`) interpret the distribution through a
+piecewise-linear CDF whose knots are the grid times; see the package
+docstring for the full grid contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Sequence, Union
+
+import numpy as np
+
+from ..config import MAX_BINS
+from ..errors import DistributionError
+
+__all__ = ["DiscretePDF"]
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+@dataclass(frozen=True, eq=False)
+class DiscretePDF:
+    """Probability masses on an integer-offset uniform time grid.
+
+    Parameters
+    ----------
+    dt:
+        Grid spacing in picoseconds (> 0).
+    offset:
+        Integer index of the first bin; bin ``i`` lives at time
+        ``(offset + i) * dt``.
+    masses:
+        Non-negative masses with a positive total; normalized to sum
+        to 1 on construction.
+    """
+
+    dt: float
+    offset: int
+    masses: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if self.dt <= 0.0 or not np.isfinite(self.dt):
+            raise DistributionError(f"dt must be positive and finite, got {self.dt}")
+        masses = np.asarray(self.masses, dtype=np.float64)
+        if masses.ndim != 1 or masses.size == 0:
+            raise DistributionError("masses must be a non-empty 1-D array")
+        if masses.size > MAX_BINS:
+            raise DistributionError(
+                f"distribution spans {masses.size} bins, exceeding MAX_BINS="
+                f"{MAX_BINS}; dt is too small for this analysis"
+            )
+        if not np.all(np.isfinite(masses)) or np.any(masses < 0.0):
+            raise DistributionError("masses must be finite and non-negative")
+        total = float(masses.sum())
+        if total <= 0.0:
+            raise DistributionError("total probability mass must be positive")
+        if total != 1.0:
+            masses = masses / total
+        masses = masses.copy() if masses is self.masses else masses
+        masses.flags.writeable = False
+        object.__setattr__(self, "offset", int(self.offset))
+        object.__setattr__(self, "masses", masses)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def delta(cls, dt: float, time: float) -> "DiscretePDF":
+        """Point mass at the grid bin nearest ``time``."""
+        if dt <= 0.0:
+            raise DistributionError(f"dt must be positive, got {dt}")
+        return cls(dt, int(round(time / dt)), np.ones(1))
+
+    @classmethod
+    def from_samples(cls, dt: float, samples: ArrayLike) -> "DiscretePDF":
+        """Histogram samples onto the grid (nearest-bin assignment)."""
+        if dt <= 0.0:
+            raise DistributionError(f"dt must be positive, got {dt}")
+        arr = np.asarray(samples, dtype=np.float64)
+        if arr.size == 0:
+            raise DistributionError("cannot build a distribution from 0 samples")
+        if not np.all(np.isfinite(arr)):
+            raise DistributionError("samples must be finite")
+        idx = np.rint(arr / dt).astype(np.int64)
+        offset = int(idx.min())
+        span = int(idx.max()) - offset + 1
+        if span > MAX_BINS:
+            raise DistributionError(
+                f"samples span {span} bins, exceeding MAX_BINS={MAX_BINS}; "
+                "dt is too small for this sample range"
+            )
+        masses = np.bincount(idx - offset).astype(np.float64)
+        return cls(dt, offset, masses)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def n_bins(self) -> int:
+        """Number of grid bins carrying the distribution."""
+        return self.masses.size
+
+    @property
+    def times(self) -> np.ndarray:
+        """Bin times in picoseconds, ``(offset + i) * dt``."""
+        return (self.offset + np.arange(self.masses.size)) * self.dt
+
+    @property
+    def is_point_mass(self) -> bool:
+        """True when the whole mass sits in a single bin."""
+        return self.masses.size == 1
+
+    @property
+    def support(self) -> tuple:
+        """(first bin time, last bin time) in picoseconds."""
+        return (
+            self.offset * self.dt,
+            (self.offset + self.masses.size - 1) * self.dt,
+        )
+
+    def shifted_bins(self, bins: int) -> "DiscretePDF":
+        """Same masses translated by an integer number of grid bins."""
+        if bins == 0:
+            return self
+        return DiscretePDF(self.dt, self.offset + int(bins), self.masses)
+
+    def shifted(self, time: float) -> "DiscretePDF":
+        """Translate by ``time`` ps, rounded to the nearest whole bin."""
+        return self.shifted_bins(int(round(time / self.dt)))
+
+    # ------------------------------------------------------------------
+    # Moments
+    # ------------------------------------------------------------------
+    def mean(self) -> float:
+        """Expected value (ps)."""
+        return float(np.dot(self.masses, self.times))
+
+    def var(self) -> float:
+        """Variance (ps^2)."""
+        centered = self.times - self.mean()
+        return float(np.dot(self.masses, centered * centered))
+
+    def std(self) -> float:
+        """Standard deviation (ps)."""
+        return float(np.sqrt(self.var()))
+
+    # ------------------------------------------------------------------
+    # CDF / percentiles (piecewise-linear interpolant)
+    # ------------------------------------------------------------------
+    @cached_property
+    def _cdf(self) -> np.ndarray:
+        cdf = np.cumsum(self.masses)
+        cdf.flags.writeable = False
+        return cdf
+
+    @cached_property
+    def _knots(self) -> tuple:
+        """(times, cumulative) knot arrays of the piecewise-linear CDF.
+
+        A leading knot one bin below the support anchors the ramp at
+        probability 0; the final knot is pinned to exactly 1.0 so
+        queries beyond the support are exact.
+        """
+        xp = np.empty(self.masses.size + 1)
+        xp[0] = (self.offset - 1) * self.dt
+        xp[1:] = self.times
+        fp = np.empty(self.masses.size + 1)
+        fp[0] = 0.0
+        # Clip cumulative-sum overshoot (rounding can push interior
+        # values past 1) so fp stays monotone once the end is pinned.
+        np.minimum(self._cdf, 1.0, out=fp[1:])
+        fp[-1] = 1.0
+        xp.flags.writeable = False
+        fp.flags.writeable = False
+        return xp, fp
+
+    def cdf(self) -> np.ndarray:
+        """Cumulative mass through each bin (aligned with :attr:`times`)."""
+        return self._cdf.copy()
+
+    def cdf_at(self, t) -> Union[float, np.ndarray]:
+        """P(X <= t): 0 below the support, exactly 1 at or beyond its end."""
+        xp, fp = self._knots
+        out = np.interp(t, xp, fp, left=0.0, right=1.0)
+        if np.ndim(t) == 0:
+            return float(out)
+        return out
+
+    def _inverse(self, ps: np.ndarray) -> np.ndarray:
+        """Inverse CDF with inf-semantics: ``T(p) = inf{t : F(t) >= p}``.
+
+        ``np.interp`` resolves duplicated knot levels (CDF plateaus from
+        zero-mass bins) to the plateau's *right* edge; the paper's
+        ``T(A, p)`` is the left edge, so the segment is located
+        explicitly.  Accepts ``0 <= p <= 1`` (``p == 0`` maps to the
+        ``p -> 0+`` limit, used by the gap metric's ramp level).
+        """
+        xp, fp = self._knots
+        idx = np.searchsorted(fp, ps, side="left")
+        # Clamp onto the first strictly-positive knot so p == 0 (and any
+        # leading zero-mass plateau) lands on a segment with positive
+        # rise; for p > 0 this is a no-op, leaving fp[idx-1] < p <=
+        # fp[idx] with a positive denominator.
+        idx = np.clip(
+            idx, np.searchsorted(fp, 0.0, side="right"), fp.size - 1
+        )
+        lo = idx - 1
+        frac = (ps - fp[lo]) / (fp[idx] - fp[lo])
+        return xp[lo] + frac * (xp[idx] - xp[lo])
+
+    def percentile(self, p: float) -> float:
+        """Smallest time whose CDF reaches ``p`` (the paper's ``T(A, p)``)."""
+        if not 0.0 < p <= 1.0:
+            raise DistributionError(f"percentile level must be in (0, 1], got {p}")
+        return float(self._inverse(np.asarray([p]))[0])
+
+    def percentiles(self, levels: ArrayLike) -> np.ndarray:
+        """Vectorized :meth:`percentile` over an array of levels."""
+        ps = np.asarray(levels, dtype=np.float64)
+        if ps.size and (ps.min() <= 0.0 or ps.max() > 1.0):
+            raise DistributionError("percentile levels must be in (0, 1]")
+        return self._inverse(ps)
+
+    # ------------------------------------------------------------------
+    # Tail trimming
+    # ------------------------------------------------------------------
+    def trimmed(self, trim_eps: float = 0.0) -> "DiscretePDF":
+        """Collapse tail bins carrying at most ``trim_eps / 2`` mass per
+        side onto the new boundary bins (exact-zero boundary bins are
+        always stripped).
+
+        The trim is **mass-preserving**: the removed tail mass is lumped
+        onto the first/last kept bin rather than renormalized away, so
+        interior masses are bitwise unchanged.  This keeps stochastic-
+        dominance relations intact through trimming — a global rescale
+        would shift every percentile by ~``trim_eps * support`` and leak
+        noise into the Theorem-4 pruning bound.  Returns ``self`` when
+        nothing is dropped, so repeated trimming is idempotent.
+        """
+        if trim_eps < 0.0:
+            raise DistributionError(f"trim_eps must be >= 0, got {trim_eps}")
+        half = trim_eps / 2.0
+        cdf = self._cdf
+        # Largest prefix with cumulative mass <= half, and symmetrically
+        # the largest suffix; always keep at least one bin.
+        lo = int(np.searchsorted(cdf, half, side="right"))
+        tail = np.cumsum(self.masses[::-1])
+        hi_drop = int(np.searchsorted(tail, half, side="right"))
+        hi = self.masses.size - hi_drop
+        if lo >= hi:  # degenerate request: keep the heaviest single bin
+            keep = int(np.argmax(self.masses))
+            lo, hi = keep, keep + 1
+        if lo == 0 and hi == self.masses.size:
+            return self
+        kept = self.masses[lo:hi].copy()
+        if lo > 0:
+            kept[0] += cdf[lo - 1]
+        if hi < self.masses.size:
+            kept[-1] += tail[self.masses.size - hi - 1]
+        return DiscretePDF(self.dt, self.offset + lo, kept)
+
+    # ------------------------------------------------------------------
+    # Comparison
+    # ------------------------------------------------------------------
+    def allclose(
+        self, other: "DiscretePDF", *, atol: float = 1e-9, rtol: float = 0.0
+    ) -> bool:
+        """Mass-wise closeness on the union grid (``atol=0`` demands
+        exact equality of the aligned mass vectors)."""
+        if self.dt != other.dt:
+            return False
+        lo = min(self.offset, other.offset)
+        hi = max(self.offset + self.n_bins, other.offset + other.n_bins)
+        a = np.zeros(hi - lo)
+        b = np.zeros(hi - lo)
+        a[self.offset - lo : self.offset - lo + self.n_bins] = self.masses
+        b[other.offset - lo : other.offset - lo + other.n_bins] = other.masses
+        return bool(np.all(np.abs(a - b) <= atol + rtol * np.abs(b)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        lo, hi = self.support
+        return (
+            f"DiscretePDF(dt={self.dt:g}, bins={self.n_bins}, "
+            f"support=[{lo:g}, {hi:g}] ps, mean={self.mean():.4g})"
+        )

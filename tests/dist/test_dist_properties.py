@@ -1,0 +1,156 @@
+"""Hypothesis property tests for the distribution kernels.
+
+The algebra the SSTA engine leans on, checked over randomized mass
+vectors rather than hand-picked Gaussians:
+
+* convolution conserves probability mass and adds means/variances;
+* the independence max is commutative, associative, and stochastically
+  dominates every operand;
+* trimming never moves mass off the grid (total stays 1) and never
+  moves the mean by more than the trimmed mass times the support span;
+* CDF and percentile are mutual inverses under the shared interpolant.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist.metrics import max_percentile_gap, stochastically_le
+from repro.dist.ops import OpCounter, convolve, stat_max, stat_max_many
+from repro.dist.pdf import DiscretePDF
+
+
+@st.composite
+def pdfs(draw, max_bins: int = 24):
+    n = draw(st.integers(min_value=1, max_value=max_bins))
+    raw = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    if sum(raw) <= 0.0:
+        raw = [r + 1.0 for r in raw]
+    offset = draw(st.integers(min_value=-50, max_value=50))
+    return DiscretePDF(2.0, offset, np.asarray(raw))
+
+
+class TestConvolutionAlgebra:
+    @settings(max_examples=80, deadline=None)
+    @given(a=pdfs(), b=pdfs())
+    def test_mass_conserved(self, a, b):
+        c = convolve(a, b)
+        assert c.masses.sum() == float(np.float64(1.0)) or abs(
+            c.masses.sum() - 1.0
+        ) < 1e-12
+
+    @settings(max_examples=80, deadline=None)
+    @given(a=pdfs(), b=pdfs())
+    def test_means_add(self, a, b):
+        c = convolve(a, b)
+        assert abs(c.mean() - (a.mean() + b.mean())) < 1e-6
+
+    @settings(max_examples=80, deadline=None)
+    @given(a=pdfs(), b=pdfs())
+    def test_variances_add(self, a, b):
+        c = convolve(a, b)
+        assert abs(c.var() - (a.var() + b.var())) < 1e-6
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=pdfs(), b=pdfs())
+    def test_commutative(self, a, b):
+        ab, ba = convolve(a, b), convolve(b, a)
+        assert ab.offset == ba.offset
+        assert np.allclose(ab.masses, ba.masses, atol=1e-14)
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=pdfs(), b=pdfs())
+    def test_result_dominates_operand_shift(self, a, b):
+        """A + B is stochastically at least A shifted by B's support start."""
+        c = convolve(a, b)
+        floor = a.shifted_bins(b.offset)
+        assert stochastically_le(floor, c, tol=1e-9)
+
+
+class TestMaxAlgebra:
+    @settings(max_examples=80, deadline=None)
+    @given(a=pdfs(), b=pdfs())
+    def test_commutative(self, a, b):
+        ab, ba = stat_max(a, b), stat_max(b, a)
+        assert ab.offset == ba.offset
+        assert np.allclose(ab.masses, ba.masses, atol=1e-14)
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=pdfs(), b=pdfs(), c=pdfs())
+    def test_associative(self, a, b, c):
+        left = stat_max(stat_max(a, b), c)
+        right = stat_max(a, stat_max(b, c))
+        assert left.offset == right.offset
+        assert np.allclose(left.masses, right.masses, atol=1e-12)
+
+    @settings(max_examples=80, deadline=None)
+    @given(a=pdfs(), b=pdfs())
+    def test_dominates_operands(self, a, b):
+        m = stat_max(a, b)
+        assert stochastically_le(a, m, tol=1e-9)
+        assert stochastically_le(b, m, tol=1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(ops=st.lists(pdfs(max_bins=12), min_size=2, max_size=5))
+    def test_many_matches_fold(self, ops):
+        many = stat_max_many(ops)
+        fold = ops[0]
+        for p in ops[1:]:
+            fold = stat_max(fold, p)
+        assert many.offset == fold.offset
+        assert np.allclose(many.masses, fold.masses, atol=1e-12)
+
+    @settings(max_examples=50, deadline=None)
+    @given(ops=st.lists(pdfs(max_bins=12), min_size=1, max_size=5))
+    def test_counter_arithmetic(self, ops):
+        counter = OpCounter()
+        stat_max_many(ops, counter=counter)
+        assert counter.max_ops == len(ops) - 1
+        assert counter.convolutions == 0
+
+
+class TestQueryConsistency:
+    @settings(max_examples=80, deadline=None)
+    @given(a=pdfs(), p=st.floats(min_value=1e-6, max_value=1.0))
+    def test_cdf_percentile_roundtrip(self, a, p):
+        t = a.percentile(p)
+        assert abs(a.cdf_at(t) - p) < 1e-9
+
+    @settings(max_examples=80, deadline=None)
+    @given(a=pdfs())
+    def test_gap_to_self_is_zero(self, a):
+        assert max_percentile_gap(a, a) == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=pdfs(), b=pdfs())
+    def test_gap_antisymmetry_bound(self, a, b):
+        """gap(a,b) and gap(b,a) cannot both be negative: one direction
+        always sees the other's latest deviation."""
+        assert max(max_percentile_gap(a, b), max_percentile_gap(b, a)) >= -1e-9
+
+
+class TestTrimming:
+    @settings(max_examples=80, deadline=None)
+    @given(a=pdfs(), eps=st.floats(min_value=0.0, max_value=1e-3))
+    def test_mass_stays_one(self, a, eps):
+        t = a.trimmed(eps)
+        assert abs(t.masses.sum() - 1.0) < 1e-12
+
+    @settings(max_examples=80, deadline=None)
+    @given(a=pdfs(), eps=st.floats(min_value=0.0, max_value=1e-3))
+    def test_mean_moves_at_most_eps_span(self, a, eps):
+        t = a.trimmed(eps)
+        span = (a.n_bins + 1) * a.dt
+        assert abs(t.mean() - a.mean()) <= eps * span + 1e-12
+
+    @settings(max_examples=80, deadline=None)
+    @given(a=pdfs(), eps=st.floats(min_value=0.0, max_value=1e-3))
+    def test_idempotent(self, a, eps):
+        once = a.trimmed(eps)
+        assert once.trimmed(eps) is once

@@ -1,0 +1,88 @@
+"""Unit tests for the truncated-Gaussian variation model."""
+
+import numpy as np
+import pytest
+
+from repro.dist.families import sample_truncated_gaussian, truncated_gaussian_pdf
+from repro.errors import DistributionError
+
+#: std shrink factor of a 3-sigma-truncated renormalized Gaussian.
+TRUNC3_STD = 0.98658
+
+
+class TestTruncatedGaussianPDF:
+    def test_mean_preserved(self):
+        pdf = truncated_gaussian_pdf(1.0, 100.0, 10.0)
+        assert pdf.mean() == pytest.approx(100.0, abs=0.05)
+
+    def test_std_matches_truncated_law(self):
+        pdf = truncated_gaussian_pdf(0.5, 100.0, 10.0)
+        assert pdf.std() == pytest.approx(10.0 * TRUNC3_STD, rel=0.01)
+
+    def test_support_respects_truncation(self):
+        pdf = truncated_gaussian_pdf(1.0, 100.0, 10.0, truncation=3.0)
+        lo, hi = pdf.support
+        assert lo >= 100.0 - 30.0 - 1.0
+        assert hi <= 100.0 + 30.0 + 1.0
+
+    def test_symmetric_about_mean(self):
+        pdf = truncated_gaussian_pdf(1.0, 100.0, 10.0)
+        assert pdf.percentile(0.5) == pytest.approx(100.0, abs=0.5)
+
+    def test_mass_normalized(self):
+        pdf = truncated_gaussian_pdf(1.0, 100.0, 10.0)
+        assert pdf.masses.sum() == pytest.approx(1.0, abs=1e-12)
+
+    def test_zero_sigma_point_mass(self):
+        pdf = truncated_gaussian_pdf(2.0, 100.0, 0.0)
+        assert pdf.is_point_mass
+        assert pdf.mean() == pytest.approx(100.0)
+
+    def test_tighter_truncation_smaller_std(self):
+        wide = truncated_gaussian_pdf(0.5, 100.0, 10.0, truncation=3.0)
+        tight = truncated_gaussian_pdf(0.5, 100.0, 10.0, truncation=1.0)
+        assert tight.std() < wide.std()
+
+    def test_invalid_params(self):
+        with pytest.raises(DistributionError):
+            truncated_gaussian_pdf(1.0, 100.0, -1.0)
+        with pytest.raises(DistributionError):
+            truncated_gaussian_pdf(1.0, 100.0, 10.0, truncation=0.0)
+
+
+class TestSampler:
+    def test_within_truncation_envelope(self, rng):
+        s = sample_truncated_gaussian(rng, 100.0, 10.0, 20_000)
+        assert s.min() >= 70.0
+        assert s.max() <= 130.0
+
+    def test_moments_match_pdf(self, rng):
+        """The sampled law and the discretized law are the same law."""
+        pdf = truncated_gaussian_pdf(0.25, 100.0, 10.0)
+        s = sample_truncated_gaussian(rng, 100.0, 10.0, 200_000)
+        assert s.mean() == pytest.approx(pdf.mean(), abs=0.1)
+        assert s.std() == pytest.approx(pdf.std(), rel=0.01)
+
+    def test_quantiles_match_pdf(self, rng):
+        pdf = truncated_gaussian_pdf(0.25, 100.0, 10.0)
+        s = sample_truncated_gaussian(rng, 100.0, 10.0, 200_000)
+        for p in (0.1, 0.5, 0.9, 0.99):
+            assert np.quantile(s, p) == pytest.approx(pdf.percentile(p), abs=0.2)
+
+    def test_reproducible(self):
+        a = sample_truncated_gaussian(np.random.default_rng(7), 100.0, 10.0, 100)
+        b = sample_truncated_gaussian(np.random.default_rng(7), 100.0, 10.0, 100)
+        assert np.array_equal(a, b)
+
+    def test_zero_sigma_constant(self, rng):
+        s = sample_truncated_gaussian(rng, 42.0, 0.0, 10)
+        assert np.array_equal(s, np.full(10, 42.0))
+
+    def test_zero_samples(self, rng):
+        assert sample_truncated_gaussian(rng, 100.0, 10.0, 0).size == 0
+
+    def test_invalid_params(self, rng):
+        with pytest.raises(DistributionError):
+            sample_truncated_gaussian(rng, 100.0, -1.0, 10)
+        with pytest.raises(DistributionError):
+            sample_truncated_gaussian(rng, 100.0, 10.0, -1)

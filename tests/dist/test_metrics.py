@@ -1,0 +1,130 @@
+"""Unit tests for CDF comparison metrics (the pruning-bound measure)."""
+
+import pytest
+
+from repro.dist.families import truncated_gaussian_pdf
+from repro.dist.metrics import max_percentile_gap, stochastically_le
+from repro.dist.ops import convolve, stat_max
+from repro.dist.pdf import DiscretePDF
+from repro.errors import GridMismatchError
+
+
+class TestMaxPercentileGap:
+    def test_pure_shift_recovers_shift(self):
+        a = truncated_gaussian_pdf(1.0, 110.0, 10.0)
+        b = truncated_gaussian_pdf(1.0, 100.0, 10.0)
+        # b is exactly a shifted 10 ps earlier: gap == 10 everywhere.
+        assert max_percentile_gap(a, b) == pytest.approx(10.0, abs=0.1)
+
+    def test_identical_zero(self):
+        a = truncated_gaussian_pdf(1.0, 100.0, 10.0)
+        assert max_percentile_gap(a, a) == 0.0
+
+    def test_degradation_negative(self):
+        a = truncated_gaussian_pdf(1.0, 100.0, 10.0)
+        worse = truncated_gaussian_pdf(1.0, 120.0, 10.0)
+        assert max_percentile_gap(a, worse) == pytest.approx(-20.0, abs=0.1)
+
+    def test_reshape_takes_max_over_levels(self):
+        a = truncated_gaussian_pdf(1.0, 100.0, 10.0)
+        b = truncated_gaussian_pdf(1.0, 100.0, 5.0)  # narrower, same mean
+        gap = max_percentile_gap(a, b)
+        # At high percentiles the narrow CDF sits well to the left.
+        assert gap == pytest.approx(a.percentile(0.999) - b.percentile(0.999), abs=1.0)
+
+    def test_bounds_percentile_shift_at_any_level(self):
+        a = truncated_gaussian_pdf(1.0, 100.0, 10.0)
+        b = truncated_gaussian_pdf(1.0, 93.0, 13.0)
+        gap = max_percentile_gap(a, b)
+        for p in (0.05, 0.5, 0.9, 0.99):
+            assert a.percentile(p) - b.percentile(p) <= gap + 1e-9
+
+    def test_nonexpansive_through_convolution_pure_shift(self):
+        """Theorem 1: convolving both sides with the same PDF cannot
+        grow the maximum horizontal gap (exact for a pure shift, where
+        the gap is the shift at every level including the tail ramp)."""
+        a = truncated_gaussian_pdf(1.0, 100.0, 10.0)
+        b = a.shifted_bins(-5)
+        d = truncated_gaussian_pdf(1.0, 50.0, 5.0)
+        before = max_percentile_gap(a, b)
+        assert before == pytest.approx(5.0, abs=1e-9)
+        after = max_percentile_gap(convolve(a, d), convolve(b, d))
+        assert after <= before + 1e-9
+
+    def test_nonexpansive_through_convolution_envelope(self):
+        """For reshaping perturbations the gap's p->0 limit is the
+        support-start difference; convolution stays under that envelope."""
+        a = truncated_gaussian_pdf(1.0, 100.0, 10.0)
+        b = truncated_gaussian_pdf(1.0, 95.0, 12.0)
+        d = truncated_gaussian_pdf(1.0, 50.0, 5.0)
+        envelope = max(
+            max_percentile_gap(a, b), a.support[0] - b.support[0]
+        )
+        after = max_percentile_gap(convolve(a, d), convolve(b, d))
+        assert after <= envelope + 1e-9
+
+    def test_nonexpansive_through_stat_max(self):
+        """Theorems 2-3: max against a common arrival cannot grow the gap
+        (in the positive regime)."""
+        a = truncated_gaussian_pdf(1.0, 100.0, 10.0)
+        b = a.shifted_bins(-5)
+        c = truncated_gaussian_pdf(1.0, 98.0, 8.0)
+        before = max_percentile_gap(a, b)
+        after = max_percentile_gap(stat_max(a, c), stat_max(b, c))
+        assert after <= max(before, 0.0) + 1e-9
+
+    def test_plateau_gap_uses_inf_semantics(self):
+        """A plateau in b's CDF must not shrink the reported gap: at the
+        plateau level, T(b, p) is the plateau's left edge."""
+        a = DiscretePDF(1.0, 10, [0.25, 0.25, 0.5])
+        b = DiscretePDF(1.0, 0, [0.5, 0.0, 0.5])
+        # At p = 0.5: T(a, 0.5) = 11.0, T(b, 0.5) = 0.0 -> gap 11.0.
+        assert max_percentile_gap(a, b) == pytest.approx(11.0)
+
+    def test_grid_mismatch_rejected(self):
+        a = truncated_gaussian_pdf(1.0, 100.0, 10.0)
+        b = truncated_gaussian_pdf(2.0, 100.0, 10.0)
+        with pytest.raises(GridMismatchError):
+            max_percentile_gap(a, b)
+
+
+class TestStochasticallyLE:
+    def test_shifted_ordering(self):
+        early = truncated_gaussian_pdf(1.0, 90.0, 10.0)
+        late = truncated_gaussian_pdf(1.0, 110.0, 10.0)
+        assert stochastically_le(early, late)
+        assert not stochastically_le(late, early)
+
+    def test_reflexive(self):
+        a = truncated_gaussian_pdf(1.0, 100.0, 10.0)
+        assert stochastically_le(a, a)
+
+    def test_crossing_cdfs_not_ordered(self):
+        wide = truncated_gaussian_pdf(1.0, 100.0, 20.0)
+        narrow = truncated_gaussian_pdf(1.0, 100.0, 5.0)
+        assert not stochastically_le(wide, narrow)
+        assert not stochastically_le(narrow, wide)
+
+    def test_tolerance_absorbs_tiny_violations(self):
+        a = DiscretePDF(1.0, 0, [0.5, 0.5])
+        b = DiscretePDF(1.0, 0, [0.5 + 1e-12, 0.5 - 1e-12])
+        assert stochastically_le(b, a, tol=1e-9)
+
+    def test_max_dominates_operands(self):
+        a = truncated_gaussian_pdf(1.0, 100.0, 10.0)
+        b = truncated_gaussian_pdf(1.0, 105.0, 7.0)
+        m = stat_max(a, b)
+        assert stochastically_le(a, m)
+        assert stochastically_le(b, m)
+
+    def test_convolution_preserves_order(self):
+        early = truncated_gaussian_pdf(1.0, 90.0, 10.0)
+        late = truncated_gaussian_pdf(1.0, 110.0, 10.0)
+        d = truncated_gaussian_pdf(1.0, 30.0, 3.0)
+        assert stochastically_le(convolve(early, d), convolve(late, d))
+
+    def test_grid_mismatch_rejected(self):
+        a = truncated_gaussian_pdf(1.0, 100.0, 10.0)
+        b = truncated_gaussian_pdf(2.0, 100.0, 10.0)
+        with pytest.raises(GridMismatchError):
+            stochastically_le(a, b)

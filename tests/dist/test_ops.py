@@ -1,0 +1,168 @@
+"""Unit tests for the ADD/MAX kernels and the OpCounter instrument."""
+
+import numpy as np
+import pytest
+
+from repro.dist.families import truncated_gaussian_pdf
+from repro.dist.metrics import stochastically_le
+from repro.dist.ops import OpCounter, convolve, stat_max, stat_max_many
+from repro.dist.pdf import DiscretePDF
+from repro.errors import DistributionError, GridMismatchError
+
+
+@pytest.fixture
+def g_small():
+    return truncated_gaussian_pdf(1.0, 50.0, 5.0)
+
+
+@pytest.fixture
+def g_large():
+    return truncated_gaussian_pdf(1.0, 80.0, 8.0)
+
+
+class TestConvolve:
+    def test_conserves_mass(self, g_small, g_large):
+        c = convolve(g_small, g_large)
+        assert c.masses.sum() == pytest.approx(1.0, abs=1e-12)
+
+    def test_adds_means(self, g_small, g_large):
+        c = convolve(g_small, g_large)
+        assert c.mean() == pytest.approx(g_small.mean() + g_large.mean(), abs=1e-9)
+
+    def test_adds_variances(self, g_small, g_large):
+        c = convolve(g_small, g_large)
+        assert c.var() == pytest.approx(g_small.var() + g_large.var(), rel=1e-9)
+
+    def test_commutative(self, g_small, g_large):
+        ab = convolve(g_small, g_large)
+        ba = convolve(g_large, g_small)
+        assert ab.offset == ba.offset
+        assert np.allclose(ab.masses, ba.masses, atol=1e-15)
+
+    def test_delta_is_identity_shift(self, g_small):
+        shift = DiscretePDF.delta(1.0, 10.0)
+        c = convolve(g_small, shift)
+        assert c.offset == g_small.offset + 10
+        # Identical up to one renormalization rounding (sum is 1 +- ulp).
+        assert np.allclose(c.masses, g_small.masses, atol=1e-15, rtol=0.0)
+
+    def test_grid_mismatch_rejected(self, g_small):
+        other = truncated_gaussian_pdf(2.0, 50.0, 5.0)
+        with pytest.raises(GridMismatchError):
+            convolve(g_small, other)
+
+    def test_trimming_bounds_loss(self, g_small, g_large):
+        eps = 1e-6
+        c = convolve(g_small, g_large, trim_eps=eps)
+        full = convolve(g_small, g_large)
+        assert c.n_bins <= full.n_bins
+        assert abs(c.mean() - full.mean()) < eps * 1000
+
+
+class TestStatMax:
+    def test_cdf_is_product(self, g_small, g_large):
+        m = stat_max(g_small, g_large)
+        ts = m.times
+        expected = np.asarray(g_small.cdf_at(ts)) * np.asarray(g_large.cdf_at(ts))
+        # Product relation holds at grid knots (modulo the interpolant's
+        # leading-ramp handling at the very first bin).
+        assert np.allclose(np.asarray(m.cdf_at(ts))[1:], expected[1:], atol=1e-9)
+
+    def test_commutative(self, g_small, g_large):
+        ab = stat_max(g_small, g_large)
+        ba = stat_max(g_large, g_small)
+        assert ab.offset == ba.offset
+        assert np.allclose(ab.masses, ba.masses, atol=1e-15)
+
+    def test_associative(self, g_small, g_large):
+        g3 = truncated_gaussian_pdf(1.0, 60.0, 6.0)
+        left = stat_max(stat_max(g_small, g_large), g3)
+        right = stat_max(g_small, stat_max(g_large, g3))
+        assert left.offset == right.offset
+        assert np.allclose(left.masses, right.masses, atol=1e-12)
+
+    def test_dominates_both_operands(self, g_small, g_large):
+        m = stat_max(g_small, g_large)
+        assert stochastically_le(g_small, m)
+        assert stochastically_le(g_large, m)
+
+    def test_idempotent_on_identical(self, g_small):
+        m = stat_max(g_small, g_small)
+        # max of iid copies is later than either copy but within support
+        assert m.support[1] == g_small.support[1]
+        assert m.mean() >= g_small.mean()
+
+    def test_disjoint_supports_picks_later(self, g_small):
+        late = truncated_gaussian_pdf(1.0, 500.0, 5.0)
+        m = stat_max(g_small, late)
+        assert m.allclose(late, atol=1e-12)
+
+    def test_grid_mismatch_rejected(self, g_small):
+        with pytest.raises(GridMismatchError):
+            stat_max(g_small, truncated_gaussian_pdf(2.0, 50.0, 5.0))
+
+
+class TestStatMaxMany:
+    def test_empty_rejected(self):
+        with pytest.raises(DistributionError):
+            stat_max_many([])
+
+    def test_single_passthrough(self, g_small):
+        assert stat_max_many([g_small]) is g_small
+
+    def test_matches_pairwise_fold(self, g_small, g_large):
+        g3 = truncated_gaussian_pdf(1.0, 60.0, 6.0)
+        many = stat_max_many([g_small, g_large, g3])
+        fold = stat_max(stat_max(g_small, g_large), g3)
+        assert many.offset == fold.offset
+        assert np.allclose(many.masses, fold.masses, atol=1e-12)
+
+    def test_pair_matches_stat_max_bitwise(self, g_small, g_large):
+        many = stat_max_many([g_small, g_large])
+        pair = stat_max(g_small, g_large)
+        assert many.offset == pair.offset
+        assert np.array_equal(many.masses, pair.masses)
+
+    def test_dominates_every_operand(self, g_small, g_large):
+        ops = [g_small, g_large, truncated_gaussian_pdf(1.0, 65.0, 3.0)]
+        m = stat_max_many(ops)
+        for op in ops:
+            assert stochastically_le(op, m)
+
+
+class TestOpCounter:
+    def test_hand_computed_totals(self, g_small, g_large):
+        """3 convolutions + one 3-way max (2 reductions) + one pair (1)."""
+        counter = OpCounter()
+        c1 = convolve(g_small, g_large, counter=counter)
+        c2 = convolve(g_small, g_small, counter=counter)
+        c3 = convolve(g_large, g_large, counter=counter)
+        stat_max_many([c1, c2, c3], counter=counter)
+        stat_max(c1, c2, counter=counter)
+        assert counter.convolutions == 3
+        assert counter.max_ops == 3
+        assert counter.total_ops == 6
+
+    def test_single_operand_max_costs_nothing(self, g_small):
+        counter = OpCounter()
+        stat_max_many([g_small], counter=counter)
+        assert counter.total_ops == 0
+
+    def test_none_counter_is_silent(self, g_small, g_large):
+        convolve(g_small, g_large)  # must not raise
+        stat_max(g_small, g_large)
+
+    def test_merge_and_reset(self):
+        a = OpCounter(convolutions=2, max_ops=1)
+        b = OpCounter(convolutions=3, max_ops=4)
+        a.merge(b)
+        assert (a.convolutions, a.max_ops) == (5, 5)
+        a.reset()
+        assert a.total_ops == 0
+
+    def test_counting_does_not_change_results(self, g_small, g_large):
+        counter = OpCounter()
+        with_c = convolve(g_small, g_large, counter=counter)
+        without = convolve(g_small, g_large)
+        assert with_c.offset == without.offset
+        assert np.array_equal(with_c.masses, without.masses)
