@@ -1,14 +1,20 @@
 #!/usr/bin/env python3
 """Micro-benchmark of the repro.dist kernels — the SSTA hot path.
 
-Measures convolve / stat_max / stat_max_many throughput against bin
-count and writes ``BENCH_dist.json`` next to the repo root, starting
-the performance trajectory for the kernel layer: every future
-optimization of the hot path (sparse grids, batched backends, FFT
-convolution above a crossover) should move these numbers and nothing
-else.
+Measures convolve (under every backend: direct / fft / auto), stat_max
+and stat_max_many throughput against bin count, locates the measured
+direct-vs-FFT equal-size crossover, times a full ``run_ssta`` pass on
+c432 per backend, and writes ``BENCH_dist.json`` next to the repo
+root.  Every future optimization of the hot path should move these
+numbers and nothing else.
 
-Run:  python scripts/bench_dist.py [--quick] [--out BENCH_dist.json]
+``--check-drift`` additionally asserts that FFT-vs-direct sink
+percentiles agree within tolerance (used by the CI benchmark smoke job
+to catch backend regressions pre-merge); the process exits non-zero on
+violation.
+
+Run:  python scripts/bench_dist.py [--quick] [--check-drift]
+                                   [--out BENCH_dist.json]
 """
 
 from __future__ import annotations
@@ -25,12 +31,18 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 import numpy as np  # noqa: E402
 
+from repro.config import AnalysisConfig  # noqa: E402
+from repro.dist.backends import available_backends  # noqa: E402
 from repro.dist.families import truncated_gaussian_pdf  # noqa: E402
 from repro.dist.ops import convolve, stat_max, stat_max_many  # noqa: E402
 
 #: Bin counts swept (sigma scales with the requested support width).
 BIN_COUNTS = [32, 128, 512, 2048, 8192]
 TRIM_EPS = 1e-9
+
+#: FFT-vs-direct percentile agreement required by ``--check-drift``
+#: (picoseconds, absolute, at every probed size and level).
+DRIFT_TOL_PS = 1e-6
 
 
 def _gaussian_with_bins(n_bins: int, center: float = 1000.0):
@@ -41,7 +53,7 @@ def _gaussian_with_bins(n_bins: int, center: float = 1000.0):
 
 def _time_op(fn, *, min_repeats: int = 5, min_seconds: float = 0.05) -> float:
     """Median seconds per call, adaptively repeated for stability."""
-    fn()  # warm-up (cache the operands' cumulative sums)
+    fn()  # warm-up (cache cumulative sums and FFT transforms)
     times = []
     budget_start = time.perf_counter()
     while len(times) < min_repeats or time.perf_counter() - budget_start < min_seconds:
@@ -53,49 +65,174 @@ def _time_op(fn, *, min_repeats: int = 5, min_seconds: float = 0.05) -> float:
     return float(np.median(times))
 
 
-def run(quick: bool = False) -> dict:
-    bin_counts = BIN_COUNTS[:3] if quick else BIN_COUNTS
+def _measured_crossover(lo: int = 64, hi: int = 4096):
+    """Smallest swept equal-operand size where FFT beats direct, or
+    ``None`` when FFT never wins within the sweep (recorded as-is so a
+    missing crossover is never mistaken for a measured one)."""
+    n = lo
+    while n <= hi:
+        a = _gaussian_with_bins(n, 1000.0)
+        b = _gaussian_with_bins(n, 1200.0)
+        t_direct = _time_op(lambda: convolve(a, b, backend="direct"),
+                            min_seconds=0.02)
+        t_fft = _time_op(lambda: convolve(a, b, backend="fft"),
+                         min_seconds=0.02)
+        if t_fft < t_direct:
+            return a.n_bins
+        n *= 2
+    return None
+
+
+def _bench_kernels(bin_counts) -> list:
     rows = []
     for n in bin_counts:
         a = _gaussian_with_bins(n, 1000.0)
         b = _gaussian_with_bins(n, 1200.0)
         fanin = [_gaussian_with_bins(n, 1000.0 + 40.0 * i) for i in range(4)]
-        t_conv = _time_op(lambda: convolve(a, b, trim_eps=TRIM_EPS))
+        row = {"bins": a.n_bins}
+        for backend in available_backends():
+            t = _time_op(
+                lambda: convolve(a, b, trim_eps=TRIM_EPS, backend=backend)
+            )
+            row[f"convolve_{backend}_us"] = round(t * 1e6, 3)
+            row[f"convolve_{backend}_ops_per_s"] = round(1.0 / t, 1)
         t_max = _time_op(lambda: stat_max(a, b, trim_eps=TRIM_EPS))
         t_many = _time_op(lambda: stat_max_many(fanin, trim_eps=TRIM_EPS))
-        rows.append(
-            {
-                "bins": a.n_bins,
-                "convolve_us": round(t_conv * 1e6, 3),
-                "stat_max_us": round(t_max * 1e6, 3),
-                "stat_max_many4_us": round(t_many * 1e6, 3),
-                "convolve_ops_per_s": round(1.0 / t_conv, 1),
-                "stat_max_ops_per_s": round(1.0 / t_max, 1),
-            }
-        )
+        row["stat_max_us"] = round(t_max * 1e6, 3)
+        row["stat_max_many4_us"] = round(t_many * 1e6, 3)
+        row["stat_max_ops_per_s"] = round(1.0 / t_max, 1)
+        rows.append(row)
         print(
-            f"bins={a.n_bins:6d}  convolve={t_conv * 1e6:9.1f} us  "
-            f"stat_max={t_max * 1e6:9.1f} us  "
-            f"stat_max_many(4)={t_many * 1e6:9.1f} us"
+            f"bins={row['bins']:6d}  "
+            f"convolve direct={row['convolve_direct_us']:9.1f} us  "
+            f"fft={row['convolve_fft_us']:9.1f} us  "
+            f"auto={row['convolve_auto_us']:9.1f} us  "
+            f"stat_max={row['stat_max_us']:8.1f} us"
         )
-    return {
+    return rows
+
+
+def _bench_ssta_c432() -> dict:
+    """End-to-end run_ssta wall time on c432 per backend (fresh model
+    each run so the delay-PDF cache does not leak across backends)."""
+    from repro.netlist.benchmarks import load
+    from repro.timing.delay_model import DelayModel
+    from repro.timing.graph import TimingGraph
+    from repro.timing.ssta import run_ssta
+
+    out = {}
+    for backend in available_backends():
+        cfg = AnalysisConfig(backend=backend)
+        circuit = load("c432")
+        graph = TimingGraph(circuit)
+        model = DelayModel(circuit, config=cfg)
+
+        def one_pass():
+            return run_ssta(graph, model, config=cfg)
+
+        t = _time_op(one_pass, min_repeats=3, min_seconds=0.2)
+        out[backend] = {
+            "run_ssta_ms": round(t * 1e3, 3),
+            "p99_ps": round(one_pass().percentile(0.99), 6),
+        }
+        print(f"run_ssta c432 [{backend:6s}]  {t * 1e3:8.2f} ms  "
+              f"p99={out[backend]['p99_ps']:.3f} ps")
+    return out
+
+
+def _check_drift(bin_counts) -> list:
+    """FFT-vs-direct drift, kernel-level and through a full SSTA pass.
+
+    Probes convolve percentiles at each swept size *and* the c17 sink
+    percentiles end to end (cheap: milliseconds), so a regression that
+    only manifests through the engine composition is still gated.
+    Raises on breach.
+    """
+    from repro.netlist.benchmarks import load
+    from repro.timing.delay_model import DelayModel
+    from repro.timing.graph import TimingGraph
+    from repro.timing.ssta import run_ssta
+
+    failures = []
+    report = []
+    for n in bin_counts:
+        a = _gaussian_with_bins(n, 1000.0)
+        b = _gaussian_with_bins(n, 1200.0)
+        d = convolve(a, b, trim_eps=TRIM_EPS, backend="direct")
+        f = convolve(a, b, trim_eps=TRIM_EPS, backend="fft")
+        worst = max(
+            abs(d.percentile(p) - f.percentile(p))
+            for p in (0.5, 0.9, 0.99)
+        )
+        tv = d.tv_distance(f)
+        report.append(
+            {"bins": a.n_bins, "max_percentile_drift_ps": worst, "tv": tv}
+        )
+        print(f"drift bins={a.n_bins:6d}  max|Δpercentile|={worst:.3e} ps  "
+              f"tv={tv:.3e}")
+        if worst > DRIFT_TOL_PS:
+            failures.append((a.n_bins, worst))
+
+    sinks = {}
+    for backend in ("direct", "fft"):
+        cfg = AnalysisConfig(backend=backend)
+        circuit = load("c17")
+        model = DelayModel(circuit, config=cfg)
+        sinks[backend] = run_ssta(TimingGraph(circuit), model,
+                                  config=cfg).sink_pdf
+    sink_drift = max(
+        abs(sinks["direct"].percentile(p) - sinks["fft"].percentile(p))
+        for p in (0.5, 0.9, 0.99)
+    )
+    report.append({"circuit": "c17", "max_sink_drift_ps": sink_drift})
+    print(f"drift c17 sink  max|Δpercentile|={sink_drift:.3e} ps")
+    if sink_drift > DRIFT_TOL_PS:
+        failures.append(("c17-sink", sink_drift))
+
+    if failures:
+        raise SystemExit(
+            f"FFT-vs-direct percentile drift exceeds {DRIFT_TOL_PS} ps: "
+            f"{failures}"
+        )
+    return report
+
+
+def run(quick: bool = False, check_drift: bool = False) -> dict:
+    bin_counts = BIN_COUNTS[:3] if quick else BIN_COUNTS
+    rows = _bench_kernels(bin_counts)
+    crossover = _measured_crossover(hi=1024 if quick else 4096)
+    if crossover is None:
+        print("direct/FFT equal-size crossover: not found within sweep")
+    else:
+        print(f"measured direct/FFT equal-size crossover: ~{crossover} bins")
+    payload = {
         "benchmark": "repro.dist kernel throughput",
         "trim_eps": TRIM_EPS,
         "python": platform.python_version(),
         "numpy": np.__version__,
         "machine": platform.machine(),
+        "backends": list(available_backends()),
+        "measured_crossover_bins": crossover,
         "rows": rows,
     }
+    if not quick:
+        payload["run_ssta_c432"] = _bench_ssta_c432()
+    if check_drift:
+        payload["drift"] = _check_drift(bin_counts)
+    return payload
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="small bin counts only (CI smoke run)")
+    parser.add_argument("--check-drift", action="store_true",
+                        help="fail if FFT-vs-direct percentile drift "
+                             f"exceeds {DRIFT_TOL_PS} ps")
     parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_dist.json"),
                         help="output JSON path (default: repo root)")
     args = parser.parse_args(argv)
-    payload = run(quick=args.quick)
+    payload = run(quick=args.quick, check_drift=args.check_drift)
     out = Path(args.out)
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {out}")

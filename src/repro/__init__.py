@@ -33,9 +33,15 @@ from .core import (
     default_objective,
 )
 from .dist import (
+    AutoBackend,
+    ConvolutionBackend,
+    DirectBackend,
     DiscretePDF,
+    FFTBackend,
     OpCounter,
+    available_backends,
     convolve,
+    get_backend,
     max_percentile_gap,
     sample_truncated_gaussian,
     stat_max,
@@ -86,6 +92,12 @@ __all__ = [
     # distributions
     "DiscretePDF",
     "OpCounter",
+    "ConvolutionBackend",
+    "DirectBackend",
+    "FFTBackend",
+    "AutoBackend",
+    "available_backends",
+    "get_backend",
     "convolve",
     "stat_max",
     "stat_max_many",

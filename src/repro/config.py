@@ -38,6 +38,19 @@ DEFAULT_TRUNCATION_SIGMA: float = 3.0
 #: fraction of the minimum width (the paper sizes by a fixed ``dw``).
 DEFAULT_DELTA_W: float = 0.25
 
+#: Convolution-backend names an :class:`AnalysisConfig` may select.
+#: ``direct`` is the O(n*m) ``np.convolve`` kernel (bit-for-bit the
+#: historical behavior), ``fft`` the real-FFT product kernel, and
+#: ``auto`` a size-based crossover between the two (see
+#: :mod:`repro.dist.backends` for the calibrated cost model).
+KNOWN_BACKENDS: tuple = ("direct", "fft", "auto")
+
+#: Default convolution backend.  ``auto`` dispatches to ``direct`` for
+#: every operand pair below the crossover — which covers the default
+#: 2 ps grid entirely — so historical results are reproduced bitwise
+#: while 8k-bin grids stop paying the O(n^2) wall.
+DEFAULT_BACKEND: str = "auto"
+
 #: Hard cap on the number of bins a single distribution may occupy; a
 #: guard against pathological configurations (dt too small for the
 #: circuit depth), not a tuning knob.
@@ -58,6 +71,7 @@ class AnalysisConfig:
     sigma_fraction: float = DEFAULT_SIGMA_FRACTION
     truncation_sigma: float = DEFAULT_TRUNCATION_SIGMA
     delta_w: float = DEFAULT_DELTA_W
+    backend: str = DEFAULT_BACKEND
 
     def __post_init__(self) -> None:
         if self.dt <= 0.0:
@@ -78,6 +92,10 @@ class AnalysisConfig:
             )
         if self.delta_w <= 0.0:
             raise ValueError(f"delta_w must be positive, got {self.delta_w}")
+        if self.backend not in KNOWN_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {KNOWN_BACKENDS}, got {self.backend!r}"
+            )
 
     def with_updates(self, **changes: object) -> "AnalysisConfig":
         """Return a copy with the given fields replaced."""

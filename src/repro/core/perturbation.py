@@ -47,6 +47,7 @@ from typing import Dict, List, Optional, Set
 
 import numpy as np
 
+from ..dist.backends import get_backend
 from ..dist.metrics import max_percentile_gap
 from ..dist.ops import OpCounter
 from ..dist.pdf import DiscretePDF
@@ -117,6 +118,10 @@ class PerturbationFront:
         self.objective = objective
         self.counter = counter
         self.drop_identical = drop_identical
+        # Resolve once from the analysis config: the front's bitwise
+        # exactness claim is against a full SSTA rerun *under the same
+        # backend*, so both must take the kernel from the same knob.
+        self._backend = get_backend(model.config.backend)
 
         #: perturbed arrival PDFs of live nodes (the paper's A'set entries)
         self._perturbed: Dict[int, DiscretePDF] = {}
@@ -219,6 +224,7 @@ class PerturbationFront:
                 self._get_delay_pdf,
                 trim_eps=cfg.tail_eps,
                 counter=self.counter,
+                backend=self._backend,
             )
             self.nodes_computed += 1
             self._retire_fanins(node)

@@ -123,8 +123,13 @@ class PrunedStatisticalSizer(SizerBase):
             for gate in candidates
         ]
 
-        # Min-heap of the current top-N finished (sensitivity, order, front);
-        # the pruning threshold is its smallest member once full.
+        # Min-heap of the current top-N finished fronts, keyed by
+        # (sensitivity, -candidate order): the heap minimum is the
+        # entry that loses to any contender — strictly smaller
+        # sensitivity, or an equal sensitivity at a *later* candidate
+        # position.  The order tiebreak mirrors the brute-force loop
+        # (first candidate wins among exact ties); without it the
+        # winner of a tie would depend on front completion order.
         top: List[Tuple[float, int, PerturbationFront]] = []
 
         def threshold() -> float:
@@ -137,9 +142,9 @@ class PrunedStatisticalSizer(SizerBase):
             if s <= 0.0:
                 return
             if len(top) < n_select:
-                heapq.heappush(top, (s, order, front))
-            elif s > top[0][0]:
-                heapq.heapreplace(top, (s, order, front))
+                heapq.heappush(top, (s, -order, front))
+            elif (s, -order) > top[0][:2]:
+                heapq.heapreplace(top, (s, -order, front))
 
         heap: List[Tuple[float, int, PerturbationFront]] = [
             (-f.smx, i, f) for i, f in enumerate(fronts)
@@ -165,7 +170,7 @@ class PrunedStatisticalSizer(SizerBase):
         stats.max_ops = counter.max_ops
         if not top:
             return Selection([], base_obj, base_obj, stats)
-        winners = sorted(top, key=lambda item: (-item[0], item[1]))
+        winners = sorted(top, key=lambda item: (-item[0], -item[1]))
         moves = [(front.gate, s) for s, _i, front in winners]
         estimate = base_obj - sum(s for _g, s in moves) * dw
         return Selection(moves, base_obj, estimate, stats)

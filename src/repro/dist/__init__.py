@@ -40,11 +40,26 @@ mutual inverses to machine precision; the pruning bound in
 :mod:`~repro.dist.metrics` evaluates the exact maximum of the same
 interpolants.
 
-Alternative backends (sparse grids, batched arrays) can slot in behind
-this API by honoring the same contract: identical-``dt`` closure,
-mass-1 normalization, and the piecewise-linear query semantics.
+The convolution *implementation* is pluggable on top of this contract:
+:mod:`~repro.dist.backends` defines the
+:class:`~repro.dist.backends.ConvolutionBackend` strategy with
+``direct`` (O(n*m) reference), ``fft`` (O(N log N) real-FFT product),
+and ``auto`` (calibrated size crossover) implementations, selected per
+analysis through :class:`repro.config.AnalysisConfig` and per call
+through every kernel's ``backend`` argument.  Further backends (sparse
+grids, batched arrays) slot in the same way by honoring the contract:
+identical-``dt`` closure, mass-1 normalization, and the
+piecewise-linear query semantics.
 """
 
+from .backends import (
+    AutoBackend,
+    ConvolutionBackend,
+    DirectBackend,
+    FFTBackend,
+    available_backends,
+    get_backend,
+)
 from .families import sample_truncated_gaussian, truncated_gaussian_pdf
 from .metrics import max_percentile_gap, stochastically_le
 from .ops import OpCounter, convolve, stat_max, stat_max_many
@@ -53,6 +68,12 @@ from .pdf import DiscretePDF
 __all__ = [
     "DiscretePDF",
     "OpCounter",
+    "ConvolutionBackend",
+    "DirectBackend",
+    "FFTBackend",
+    "AutoBackend",
+    "available_backends",
+    "get_backend",
     "convolve",
     "stat_max",
     "stat_max_many",

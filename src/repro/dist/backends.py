@@ -1,0 +1,303 @@
+"""Pluggable convolution backends for the ADD kernel.
+
+The paper's inner loop convolves discretized PDFs thousands of times
+per sizing iteration.  ``np.convolve`` is O(n*m) — unbeatable for the
+few-dozen-bin operands of the default 2 ps grid, but a wall past a few
+thousand bins (BENCH_dist.json: 42k ops/s at 33 bins collapsing to
+82 ops/s at 8193).  This module makes the kernel implementation a
+*backend*: a small strategy object that turns two mass vectors into
+their linear convolution, selected by name through
+:class:`~repro.config.AnalysisConfig` and threaded by the engines
+through every call site, so one knob switches the whole analysis.
+
+Three backends ship:
+
+* :class:`DirectBackend` — ``np.convolve``.  Exact to the last ulp and
+  the reference every other backend is tested against.
+* :class:`FFTBackend` — real-FFT pointwise product, O(N log N).  FFT
+  round-off can produce tiny negative ringing and lose a few ulp of
+  mass, which would violate the :class:`~repro.dist.pdf.DiscretePDF`
+  contract (non-negative masses, total 1); the backend therefore clamps
+  negatives to zero and rescales the result back to the operands' mass
+  product before handing it over.
+* :class:`AutoBackend` — per-call size dispatch between the two using a
+  calibrated cost model.  Direct costs ~``k_d * n_a * n_b`` multiplies;
+  FFT costs ~``k_f * N log2 N`` with ``N = n_a + n_b - 1``.  The
+  measured ratio ``k_f / k_d`` on the benchmark machine is ~25
+  (``scripts/bench_dist.py`` re-measures it), giving an equal-size
+  crossover of ~512 bins while keeping delta-function and strongly
+  asymmetric operands (where direct degenerates to O(N)) on the direct
+  path.  Below the crossover ``auto`` *is* ``direct``, bit for bit —
+  which is what lets it be the default without perturbing any
+  reproducibility guarantee on ordinary grids.
+
+Backends are deterministic and carry no *semantic* state: the same
+operand pair always takes the same path and produces the same bits
+(the FFT backend memoizes forward transforms of immutable mass
+vectors, which changes when work happens, never its result), so
+pruned-vs-brute-force bitwise equivalence holds under every backend —
+both sizers resolve the same backend from the same config.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Union
+
+import numpy as np
+
+from ..config import KNOWN_BACKENDS
+from ..errors import DistributionError
+
+try:  # Protocol is 3.8+; keep a soft fallback for exotic interpreters.
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+
+__all__ = [
+    "ConvolutionBackend",
+    "DirectBackend",
+    "FFTBackend",
+    "AutoBackend",
+    "BackendLike",
+    "get_backend",
+    "available_backends",
+    "AUTO_COST_RATIO",
+    "EQUAL_SIZE_CROSSOVER_BINS",
+]
+
+#: Calibrated ``k_f / k_d`` cost ratio of the auto dispatch (see the
+#: module docstring); ``scripts/bench_dist.py`` reports the measured
+#: equal-size crossover this ratio implies on the current machine.
+AUTO_COST_RATIO: float = 25.0
+
+#: Equal-size operand count at which the calibrated cost model flips
+#: from direct to FFT (n * n ~ AUTO_COST_RATIO * 2n * log2(2n)).
+#: Documentation/benchmark anchor, not used by the dispatch itself.
+EQUAL_SIZE_CROSSOVER_BINS: int = 512
+
+
+@runtime_checkable
+class ConvolutionBackend(Protocol):
+    """Strategy interface: linear convolution of two mass vectors.
+
+    Implementations must be pure functions of their operands (no
+    internal state), return a length ``n_a + n_b - 1`` non-negative
+    vector whose total equals ``a.sum() * b.sum()`` up to round-off,
+    and be deterministic — the reproducibility guarantees of the
+    pruned sizer rest on repeated calls giving identical bits.
+    """
+
+    name: str
+
+    def convolve_masses(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Linear convolution of ``a`` and ``b`` (1-D, non-negative)."""
+        ...
+
+
+class DirectBackend:
+    """O(n*m) ``np.convolve`` — the exact reference kernel."""
+
+    name = "direct"
+
+    def convolve_masses(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.convolve(a, b)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "DirectBackend()"
+
+
+def _next_fast_len(n: int) -> int:
+    """Smallest 5-smooth (2^a 3^b 5^c) integer >= ``n``.
+
+    numpy's pocketfft handles these sizes at full speed; padding to one
+    avoids the large-prime slow path without depending on scipy.
+    """
+    if n <= 6:
+        return n
+    best = 1 << (n - 1).bit_length()  # next power of two always works
+    p5 = 1
+    while p5 < best:
+        p35 = p5
+        while p35 < best:
+            x = p35
+            while x < n:
+                x *= 2
+            if x < best:
+                best = x
+            p35 *= 3
+        p5 *= 5
+    return best
+
+
+class FFTBackend:
+    """O(N log N) real-FFT product with the PDF-contract repairs.
+
+    The raw inverse transform carries round-off of order
+    ``eps * N`` spread over the support: entries that should be zero
+    come back as ~1e-17 values of either sign.  Negative entries are
+    clamped (the contract requires non-negative masses) and the result
+    is rescaled so its total equals ``a.sum() * b.sum()`` exactly as
+    the direct kernel would preserve it — without the rescale, clamping
+    would leak a few ulp of mass per convolution, which compounds over
+    deep circuits.
+
+    Forward transforms are memoized.  The SSTA inner loop convolves a
+    small set of *reused* operands (every gate's delay PDF comes out of
+    the :class:`~repro.timing.delay_model.DelayModel` cache; an arrival
+    feeds every fan-out arc), and :class:`~repro.dist.pdf.DiscretePDF`
+    mass vectors are immutable (read-only arrays), so their transforms
+    can be cached safely.  Entries are keyed by array identity with a
+    weak reference both to self-evict when the operand dies and to
+    guard against ``id`` reuse; memoization changes which computation
+    produces the bits, never the bits themselves (the same transform of
+    the same array is bit-deterministic).
+    """
+
+    name = "fft"
+
+    #: Skip the memo for transforms below this length — small FFTs cost
+    #: less than the bookkeeping, and caching them would churn entries.
+    MIN_CACHED_NFFT = 1024
+
+    #: Entry cap counting every stored transform — one per (array,
+    #: nfft) pair, so repeated pads of one long-lived operand are
+    #: bounded too; the cache is cleared wholesale when full.  An nfft
+    #: of 16384 holds ~128 KiB per entry, so the bound caps memory at
+    #: a few MiB while realistic working sets stay far below it.
+    MAX_CACHE_ENTRIES = 128
+
+    def __init__(self) -> None:
+        #: (id(array), nfft) -> (weakref to array, transform)
+        self._rfft_cache: dict = {}
+
+    def _rfft(self, arr: np.ndarray, nfft: int) -> np.ndarray:
+        if nfft < self.MIN_CACHED_NFFT:
+            return np.fft.rfft(arr, nfft)
+        key = (id(arr), nfft)
+        entry = self._rfft_cache.get(key)
+        if entry is not None:
+            ref, cached = entry
+            if ref() is arr:
+                return cached
+            del self._rfft_cache[key]  # id was recycled by a dead array
+        out = np.fft.rfft(arr, nfft)
+        try:
+            ref = weakref.ref(
+                arr, lambda _r, key=key: self._rfft_cache.pop(key, None)
+            )
+        except TypeError:  # pragma: no cover - plain ndarrays are
+            return out  # weakref-able; subclasses may not be
+        if len(self._rfft_cache) >= self.MAX_CACHE_ENTRIES:
+            self._rfft_cache.clear()
+        self._rfft_cache[key] = (ref, out)
+        return out
+
+    def convolve_masses(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        n = a.size + b.size - 1
+        nfft = _next_fast_len(n)
+        out = np.fft.irfft(self._rfft(a, nfft) * self._rfft(b, nfft), nfft)[:n]
+        np.maximum(out, 0.0, out=out)
+        total = out.sum()
+        if total <= 0.0:  # pragma: no cover - all-zero operands are
+            return out  # rejected upstream by DiscretePDF
+        out *= (a.sum() * b.sum()) / total
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FFTBackend(cached={len(self._rfft_cache)})"
+
+
+#: Process-wide kernel instances shared by the registry and every
+#: AutoBackend, so there is exactly one FFT transform memo.
+_DIRECT = DirectBackend()
+_FFT = FFTBackend()
+
+
+class AutoBackend:
+    """Size-based dispatch between :class:`DirectBackend` and
+    :class:`FFTBackend` using the calibrated cost model.
+
+    Parameters
+    ----------
+    cost_ratio:
+        The machine's ``k_f / k_d`` — FFT butterfly cost per
+        ``N log2 N`` over direct cost per multiply.  Larger values
+        favor direct longer.
+    """
+
+    name = "auto"
+
+    def __init__(self, cost_ratio: float = AUTO_COST_RATIO) -> None:
+        if cost_ratio <= 0.0:
+            raise DistributionError(
+                f"cost_ratio must be positive, got {cost_ratio}"
+            )
+        self.cost_ratio = cost_ratio
+        # Shared singletons: auto's large-operand path must hit the
+        # same transform memo as explicit "fft" calls, not a second
+        # cache holding duplicate transforms.
+        self._direct = _DIRECT
+        self._fft = _FFT
+
+    def chooses(self, n_a: int, n_b: int) -> str:
+        """Name of the kernel this operand pair dispatches to."""
+        n_out = n_a + n_b - 1
+        fft_cost = self.cost_ratio * n_out * np.log2(n_out + 1)
+        return "direct" if n_a * n_b <= fft_cost else "fft"
+
+    def convolve_masses(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        if self.chooses(a.size, b.size) == "direct":
+            return self._direct.convolve_masses(a, b)
+        return self._fft.convolve_masses(a, b)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AutoBackend(cost_ratio={self.cost_ratio:g})"
+
+
+#: Shared singletons — resolution never allocates, and "auto" routes
+#: its FFT-path calls through the same memo as "fft".
+_REGISTRY = {
+    "direct": _DIRECT,
+    "fft": _FFT,
+    "auto": AutoBackend(),
+}
+
+assert set(_REGISTRY) == set(KNOWN_BACKENDS), (
+    "repro.config.KNOWN_BACKENDS and the backend registry disagree"
+)
+
+#: What the kernel entry points accept: a registry name or any object
+#: honoring the :class:`ConvolutionBackend` protocol.
+BackendLike = Union[str, ConvolutionBackend]
+
+
+def available_backends() -> tuple:
+    """Names resolvable by :func:`get_backend`, in registry order."""
+    return tuple(_REGISTRY)
+
+
+def get_backend(spec: BackendLike) -> ConvolutionBackend:
+    """Resolve a backend name (or pass a backend instance through).
+
+    Raises :class:`~repro.errors.DistributionError` for unknown names
+    or objects that do not implement the protocol, so a typo'd config
+    fails loudly at the first kernel call rather than mid-analysis.
+    """
+    if isinstance(spec, str):
+        backend = _REGISTRY.get(spec)
+        if backend is None:
+            raise DistributionError(
+                f"unknown convolution backend {spec!r}; "
+                f"available: {', '.join(_REGISTRY)}"
+            )
+        return backend
+    if callable(getattr(spec, "convolve_masses", None)):
+        return spec
+    raise DistributionError(
+        f"{spec!r} is neither a backend name nor a ConvolutionBackend"
+    )

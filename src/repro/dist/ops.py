@@ -12,7 +12,19 @@ full SSTA **bitwise**.
 :class:`OpCounter` instruments the kernels transparently: every kernel
 takes an optional ``counter`` and tallies one unit per pairwise
 operation, giving the raw work statistics behind Table 2 without the
-call sites doing any accounting of their own.
+call sites doing any accounting of their own.  Tallies count
+*statistical* operations, so they are invariant under the convolution
+backend choice — a pairwise ADD is one convolution whether the direct
+or the FFT kernel computed it.
+
+The convolution implementation itself is pluggable (see
+:mod:`~repro.dist.backends`): every kernel takes a ``backend`` — a
+registry name or a :class:`~repro.dist.backends.ConvolutionBackend` —
+defaulting to ``auto``, which is bit-identical to the historical
+direct kernel below the crossover.  The MAX kernels accept the same
+argument for call-site uniformity (engines thread one backend choice
+through every operation); the independence max is a CDF product, not a
+convolution, so its numerics are backend-invariant by construction.
 """
 
 from __future__ import annotations
@@ -23,6 +35,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..errors import DistributionError, GridMismatchError
+from .backends import BackendLike, get_backend
 from .pdf import DiscretePDF
 
 __all__ = ["OpCounter", "convolve", "stat_max", "stat_max_many"]
@@ -80,15 +93,17 @@ def convolve(
     *,
     trim_eps: float = 0.0,
     counter: Optional[OpCounter] = None,
+    backend: BackendLike = "auto",
 ) -> DiscretePDF:
     """Distribution of the sum of two independent arrivals (ADD).
 
     Offsets add, so no regridding happens: the result lives on the same
     ``dt`` grid at offset ``a.offset + b.offset``.  ``trim_eps`` total
     tail mass is trimmed afterwards (split between the tails).
+    ``backend`` selects the convolution kernel (default ``auto``).
     """
     dt = _require_same_grid((a, b))
-    masses = np.convolve(a.masses, b.masses)
+    masses = get_backend(backend).convolve_masses(a.masses, b.masses)
     if counter is not None:
         counter.convolutions += 1
     return DiscretePDF(dt, a.offset + b.offset, masses).trimmed(trim_eps)
@@ -99,7 +114,16 @@ def _padded_cdfs(pdfs: Sequence[DiscretePDF]) -> tuple:
 
     Returns ``(lo_offset, matrix)`` where row i holds operand i's CDF
     sampled at each union bin: 0 below its support, its cumulative
-    masses within, and 1 above.
+    masses within, and exactly 1 above.
+
+    Each row is renormalized by its own final cumulative: tail trimming
+    and cumulative-sum round-off leave ``cs[-1]`` a few ulp shy of 1,
+    and carrying that deficit rightwards deflates the CDF product —
+    each mass-deficient operand drags the merged CDF down (never up),
+    biasing every MAX percentile late by up to ``k`` operands' combined
+    deficit.  Dividing by ``cs[-1]`` pins every row's plateau at
+    exactly 1.0 while preserving monotonicity (masses are non-negative,
+    so the cumulative never exceeds its final value).
     """
     lo = min(p.offset for p in pdfs)
     hi = max(p.offset + p.n_bins for p in pdfs)
@@ -108,12 +132,11 @@ def _padded_cdfs(pdfs: Sequence[DiscretePDF]) -> tuple:
     for i, p in enumerate(pdfs):
         start = p.offset - lo
         cs = p._cdf  # noqa: SLF001 - cached cumulative, shared with queries
+        if cs[-1] != 1.0:
+            cs = cs / cs[-1]
         grid[i, :start] = 0.0
         grid[i, start : start + p.n_bins] = cs
-        # Carry the operand's own final cumulative (1 up to rounding)
-        # rightwards so every row is exactly non-decreasing; the product
-        # then never produces a negative mass difference.
-        grid[i, start + p.n_bins :] = cs[-1]
+        grid[i, start + p.n_bins :] = 1.0
     return lo, grid
 
 
@@ -121,7 +144,9 @@ def _independence_max(
     pdfs: Sequence[DiscretePDF],
     trim_eps: float,
     counter: Optional[OpCounter],
+    backend: BackendLike,
 ) -> DiscretePDF:
+    get_backend(backend)  # validate eagerly; the max itself is backend-free
     dt = _require_same_grid(pdfs)
     lo, grid = _padded_cdfs(pdfs)
     cdf = np.prod(grid, axis=0)
@@ -137,14 +162,17 @@ def stat_max(
     *,
     trim_eps: float = 0.0,
     counter: Optional[OpCounter] = None,
+    backend: BackendLike = "auto",
 ) -> DiscretePDF:
     """Independence statistical maximum (MAX) of two arrivals.
 
     ``F_max = F_a * F_b`` bin by bin on the union grid — exact under
     the engine's global independence assumption, an upper bound on the
     true circuit-delay CDF in the presence of reconvergence [3].
+    ``backend`` is validated for call-site uniformity; the max numerics
+    are backend-invariant.
     """
-    return _independence_max((a, b), trim_eps, counter)
+    return _independence_max((a, b), trim_eps, counter, backend)
 
 
 def stat_max_many(
@@ -152,16 +180,20 @@ def stat_max_many(
     *,
     trim_eps: float = 0.0,
     counter: Optional[OpCounter] = None,
+    backend: BackendLike = "auto",
 ) -> DiscretePDF:
     """Independence MAX of any number of arrivals in one vectorized
     reduction (one CDF product over the stacked union grid).
 
     A single operand passes through untouched apart from trimming —
     convolution results already trimmed at the same ``trim_eps`` come
-    back identically, preserving bitwise reproducibility.
+    back identically, preserving bitwise reproducibility.  ``backend``
+    is validated for call-site uniformity; the max numerics are
+    backend-invariant.
     """
     if len(pdfs) == 0:
         raise DistributionError("stat_max_many needs at least one distribution")
     if len(pdfs) == 1:
+        get_backend(backend)
         return pdfs[0].trimmed(trim_eps)
-    return _independence_max(pdfs, trim_eps, counter)
+    return _independence_max(pdfs, trim_eps, counter, backend)

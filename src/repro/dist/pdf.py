@@ -23,7 +23,7 @@ from typing import Sequence, Union
 import numpy as np
 
 from ..config import MAX_BINS
-from ..errors import DistributionError
+from ..errors import DistributionError, GridMismatchError
 
 __all__ = ["DiscretePDF"]
 
@@ -61,9 +61,15 @@ class DiscretePDF:
                 f"distribution spans {masses.size} bins, exceeding MAX_BINS="
                 f"{MAX_BINS}; dt is too small for this analysis"
             )
-        if not np.all(np.isfinite(masses)) or np.any(masses < 0.0):
+        # min() propagates NaN (NaN >= 0 is False) and sum() turns any
+        # +inf into an infinite total, so two cheap reductions cover the
+        # finite-and-non-negative contract without a temporary bool
+        # array — this constructor sits on the convolution hot path.
+        if not float(masses.min()) >= 0.0:
             raise DistributionError("masses must be finite and non-negative")
         total = float(masses.sum())
+        if not np.isfinite(total):
+            raise DistributionError("masses must be finite and non-negative")
         if total <= 0.0:
             raise DistributionError("total probability mass must be positive")
         if total != 1.0:
@@ -252,28 +258,77 @@ class DiscretePDF:
         if trim_eps < 0.0:
             raise DistributionError(f"trim_eps must be >= 0, got {trim_eps}")
         half = trim_eps / 2.0
+        n = self.masses.size
+        # Fast path: at realistic trim_eps the cut lands within a few
+        # bins of each boundary, so probing a block avoids two full
+        # cumulative sums (the dominant cost of trimming large
+        # distributions).  A cumulative sum's leading entries are
+        # independent of the array tail, so when both probe blocks
+        # already exceed ``half`` the cut indices and lumped masses are
+        # bit-identical to the full computation below.
+        block = 64
+        if n >= 2 * block:
+            prefix = np.cumsum(self.masses[:block])
+            tail_block = np.cumsum(self.masses[n - block :][::-1])
+            if prefix[-1] > half and tail_block[-1] > half:
+                lo = int(np.searchsorted(prefix, half, side="right"))
+                hi_drop = int(np.searchsorted(tail_block, half, side="right"))
+                hi = n - hi_drop
+                if lo == 0 and hi == n:
+                    return self
+                kept = self.masses[lo:hi].copy()
+                if lo > 0:
+                    kept[0] += prefix[lo - 1]
+                if hi < n:
+                    kept[-1] += tail_block[hi_drop - 1]
+                return DiscretePDF(self.dt, self.offset + lo, kept)
         cdf = self._cdf
         # Largest prefix with cumulative mass <= half, and symmetrically
         # the largest suffix; always keep at least one bin.
         lo = int(np.searchsorted(cdf, half, side="right"))
         tail = np.cumsum(self.masses[::-1])
         hi_drop = int(np.searchsorted(tail, half, side="right"))
-        hi = self.masses.size - hi_drop
+        hi = n - hi_drop
         if lo >= hi:  # degenerate request: keep the heaviest single bin
             keep = int(np.argmax(self.masses))
             lo, hi = keep, keep + 1
-        if lo == 0 and hi == self.masses.size:
+        if lo == 0 and hi == n:
             return self
         kept = self.masses[lo:hi].copy()
         if lo > 0:
             kept[0] += cdf[lo - 1]
-        if hi < self.masses.size:
-            kept[-1] += tail[self.masses.size - hi - 1]
+        if hi < n:
+            kept[-1] += tail[n - hi - 1]
         return DiscretePDF(self.dt, self.offset + lo, kept)
 
     # ------------------------------------------------------------------
     # Comparison
     # ------------------------------------------------------------------
+    def tv_distance(self, other: "DiscretePDF") -> float:
+        """Total-variation distance ``0.5 * sum |a_i - b_i|`` on the
+        union grid.
+
+        The canonical "same distribution?" metric of the cross-backend
+        harness: 0 for identical mass vectors, 1 for disjoint supports,
+        and an upper bound on the absolute CDF difference at every
+        time, so a TV tolerance bounds percentile drift too.  Requires
+        matching ``dt`` (a :class:`~repro.errors.GridMismatchError`
+        otherwise — distributions on different grids are incomparable).
+        """
+        if self.dt != other.dt:
+            raise GridMismatchError(
+                f"cannot compare distributions with dt={self.dt} and "
+                f"dt={other.dt}"
+            )
+        lo = min(self.offset, other.offset)
+        hi = max(self.offset + self.n_bins, other.offset + other.n_bins)
+        diff = np.zeros(hi - lo)
+        diff[self.offset - lo : self.offset - lo + self.n_bins] = self.masses
+        diff[
+            other.offset - lo : other.offset - lo + other.n_bins
+        ] -= other.masses
+        return float(0.5 * np.abs(diff).sum())
+
     def allclose(
         self, other: "DiscretePDF", *, atol: float = 1e-9, rtol: float = 0.0
     ) -> bool:

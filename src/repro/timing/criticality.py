@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..config import AnalysisConfig
+from ..dist.backends import BackendLike, get_backend
 from ..dist.ops import OpCounter, convolve, stat_max_many
 from ..dist.pdf import DiscretePDF
 from ..errors import TimingError
@@ -51,11 +52,15 @@ class BackwardSSTAResult:
 
     ``to_sink[node]`` is the distribution of the longest remaining
     delay from ``node`` to the sink (zero at the sink itself).
+    ``backend`` records the convolution backend the pass ran under, so
+    downstream criticality queries default to the same kernel instead
+    of silently mixing backends within one analysis.
     """
 
     graph: TimingGraph
     to_sink: List[DiscretePDF]
     counter: OpCounter
+    backend: BackendLike = "auto"
 
     def to_sink_of_net(self, net: str) -> DiscretePDF:
         """Delay-to-sink PDF at a named net."""
@@ -77,6 +82,7 @@ def run_backward_ssta(
     """
     cfg = config if config is not None else model.config
     own = counter if counter is not None else OpCounter()
+    kernel = get_backend(cfg.backend)
     to_sink: List[Optional[DiscretePDF]] = [None] * graph.n_nodes
     to_sink[graph.sink] = DiscretePDF.delta(cfg.dt, 0.0)
     for node in reversed(graph.topo_nodes()):
@@ -94,10 +100,15 @@ def run_backward_ssta(
             else:
                 contribs.append(
                     convolve(dst_pdf, model.delay_pdf(edge.gate),
-                             trim_eps=cfg.tail_eps, counter=own)
+                             trim_eps=cfg.tail_eps, counter=own,
+                             backend=kernel)
                 )
-        to_sink[node] = stat_max_many(contribs, trim_eps=cfg.tail_eps, counter=own)
-    return BackwardSSTAResult(graph=graph, to_sink=to_sink, counter=own)  # type: ignore[arg-type]
+        to_sink[node] = stat_max_many(
+            contribs, trim_eps=cfg.tail_eps, counter=own, backend=kernel
+        )
+    return BackwardSSTAResult(
+        graph=graph, to_sink=to_sink, counter=own, backend=kernel  # type: ignore[arg-type]
+    )
 
 
 def node_criticality(
@@ -106,6 +117,7 @@ def node_criticality(
     net: str,
     *,
     percentile: float = 0.99,
+    backend: Optional[BackendLike] = None,
 ) -> float:
     """P(through-delay of ``net`` >= the circuit's p-percentile delay).
 
@@ -114,11 +126,16 @@ def node_criticality(
     the value is a *bound-flavored* criticality: 1.0 means paths through
     the net essentially set the circuit delay; near 0 means the net is
     statistically irrelevant.  Relative ranking is what the analysis
-    consumers use.
+    consumers use.  ``backend`` defaults to the kernel the backward
+    pass ran under, keeping one backend choice threaded through the
+    whole analysis.
     """
     graph = forward.graph
     node = graph.node_of_net(net)
-    through = convolve(forward.arrivals[node], backward.to_sink[node])
+    kernel = backward.backend if backend is None else backend
+    through = convolve(
+        forward.arrivals[node], backward.to_sink[node], backend=kernel
+    )
     target = forward.sink_pdf.percentile(percentile)
     return 1.0 - through.cdf_at(target)
 
@@ -139,6 +156,7 @@ def criticality_report(
     *,
     percentile: float = 0.99,
     top_k: int = 20,
+    backend: Optional[BackendLike] = None,
 ) -> List[CriticalityRow]:
     """The ``top_k`` most critical gate-output nets, ranked."""
     if top_k < 1:
@@ -151,7 +169,8 @@ def criticality_report(
             CriticalityRow(
                 net=net,
                 criticality=node_criticality(
-                    forward, backward, net, percentile=percentile
+                    forward, backward, net,
+                    percentile=percentile, backend=backend,
                 ),
                 arrival_mean=forward.arrival_of_net(net).mean(),
                 to_sink_mean=backward.to_sink_of_net(net).mean(),

@@ -24,6 +24,7 @@ from typing import Iterable, List, Optional, Set
 
 import numpy as np
 
+from ..dist.backends import get_backend
 from ..dist.ops import OpCounter
 from ..dist.pdf import DiscretePDF
 from ..netlist.circuit import Gate
@@ -63,6 +64,9 @@ def update_ssta_after_resize(
     """
     graph: TimingGraph = result.graph
     cfg = model.config
+    # Same backend resolution as the full pass — the bitwise-equality
+    # wave cutoff only works if both computed through the same kernel.
+    kernel = get_backend(cfg.backend)
     arrivals = result.arrivals
 
     seeds: Set[int] = set()
@@ -86,6 +90,7 @@ def update_ssta_after_resize(
             model.delay_pdf,
             trim_eps=cfg.tail_eps,
             counter=counter,
+            backend=kernel,
         )
         recomputed += 1
         if _identical(new_pdf, arrivals[node]):

@@ -24,6 +24,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..config import AnalysisConfig, DEFAULT_CONFIG
+from ..dist.backends import get_backend
 from ..dist.families import sample_truncated_gaussian
 from ..dist.pdf import DiscretePDF
 from ..errors import TimingError
@@ -89,6 +90,10 @@ def run_monte_carlo(
     O(nets * chunk).
     """
     cfg = config if config is not None else model.config
+    # Monte Carlo samples max/plus directly, so its numerics are
+    # backend-invariant; the backend is still resolved so that a bad
+    # config fails identically across every engine.
+    get_backend(cfg.backend)
     if n_samples < 1:
         raise TimingError("n_samples must be >= 1")
     rng = np.random.default_rng(seed)

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..config import AnalysisConfig, DEFAULT_CONFIG
+from ..dist.backends import BackendLike, get_backend
 from ..dist.ops import OpCounter, convolve, stat_max_many
 from ..dist.pdf import DiscretePDF
 from ..errors import TimingError
@@ -39,16 +40,21 @@ def compute_node_arrival(
     *,
     trim_eps: float,
     counter: Optional[OpCounter] = None,
+    backend: BackendLike = "auto",
 ) -> DiscretePDF:
     """Arrival PDF at ``node`` given fan-in arrivals and edge delays.
 
     Virtual (source/sink) arcs add zero delay; gate arcs convolve the
     fan-in arrival with the gate's pin-to-pin delay PDF; multiple arcs
-    merge through the independence max.
+    merge through the independence max.  ``backend`` selects the
+    convolution kernel for every arc — callers (full SSTA, incremental
+    updates, perturbation fronts) must pass the same choice to stay
+    bitwise interchangeable.
     """
     fanin = graph.fanin_edges(node)
     if not fanin:
         raise TimingError(f"node {node} has no fan-in")
+    kernel = get_backend(backend)
     contribs: List[DiscretePDF] = []
     for edge in fanin:
         src_pdf = get_arrival(edge.src)
@@ -57,9 +63,11 @@ def compute_node_arrival(
         else:
             contribs.append(
                 convolve(src_pdf, get_delay_pdf(edge.gate),
-                         trim_eps=trim_eps, counter=counter)
+                         trim_eps=trim_eps, counter=counter, backend=kernel)
             )
-    return stat_max_many(contribs, trim_eps=trim_eps, counter=counter)
+    return stat_max_many(
+        contribs, trim_eps=trim_eps, counter=counter, backend=kernel
+    )
 
 
 @dataclass
@@ -113,6 +121,7 @@ def run_ssta(
     """
     cfg = config if config is not None else model.config
     own_counter = counter if counter is not None else OpCounter()
+    kernel = get_backend(cfg.backend)
     arrivals: List[Optional[DiscretePDF]] = [None] * graph.n_nodes
     arrivals[graph.source] = DiscretePDF.delta(cfg.dt, 0.0)
     for node in graph.topo_nodes():
@@ -125,5 +134,6 @@ def run_ssta(
             model.delay_pdf,
             trim_eps=cfg.tail_eps,
             counter=own_counter,
+            backend=kernel,
         )
     return SSTAResult(graph=graph, arrivals=arrivals, counter=own_counter)  # type: ignore[arg-type]

@@ -22,11 +22,37 @@ from repro.netlist.circuit import Circuit
 #: Coarse grid for fast unit tests.
 FAST = AnalysisConfig(dt=8.0, delta_w=1.0)
 
+from repro.dist.backends import available_backends
+
+#: Every selectable convolution backend, straight from the registry so
+#: a newly added backend is parametrized into the cross-backend suites
+#: automatically.
+ALL_BACKENDS = available_backends()
+
 
 @pytest.fixture
 def fast_config():
     """Coarse-grid analysis config to keep unit tests quick."""
     return FAST
+
+
+@pytest.fixture(params=ALL_BACKENDS)
+def backend(request):
+    """Parametrizes a test over every convolution backend."""
+    return request.param
+
+
+@pytest.fixture
+def backend_config(backend):
+    """Default-grid config under each convolution backend — reruns the
+    consuming test (SSTA, sizers, incremental updates) per backend."""
+    return AnalysisConfig(backend=backend)
+
+
+@pytest.fixture
+def fast_backend_config(backend):
+    """Coarse-grid variant of :func:`backend_config` for sizer suites."""
+    return AnalysisConfig(dt=8.0, delta_w=1.0, backend=backend)
 
 
 @pytest.fixture

@@ -83,6 +83,22 @@ class TestExactEquivalence:
             s.sensitivity for s in pr.steps
         ]
 
+    def test_exact_sensitivity_tie_follows_candidate_order(self, fast_config):
+        """Regression: this generated circuit has two gates (N10, N11)
+        with *bit-identical* sensitivities.  The brute-force loop picks
+        the first candidate among exact ties; the pruned sizer used to
+        pick whichever perturbation front finished first, so the
+        selections diverged on ties."""
+        spec = CircuitSpec(
+            "tie", n_inputs=8, n_outputs=2, n_gates=19,
+            n_pin_edges=29, depth=3, seed=890,
+        )
+        bf, pr = run_pair(lambda: generate_circuit(spec), fast_config, 2)
+        assert [s.gate for s in bf.steps] == [s.gate for s in pr.steps]
+        assert [s.sensitivity for s in bf.steps] == [
+            s.sensitivity for s in pr.steps
+        ]
+
     def test_pruning_actually_prunes(self, fast_config):
         """The speed story requires most candidates to be eliminated
         before reaching the sink."""
