@@ -1,20 +1,29 @@
 #!/usr/bin/env python3
 """Micro-benchmark of the repro.dist kernels — the SSTA hot path.
 
-Measures convolve (under every backend: direct / fft / auto), stat_max
-and stat_max_many throughput against bin count, locates the measured
+Measures convolve (under every backend: direct / fft / auto, cold and
+through a warm :class:`ConvolutionCache` hit), batched
+``convolve_many`` against the looped kernels, stat_max and
+stat_max_many throughput against bin count, locates the measured
 direct-vs-FFT equal-size crossover, times a full ``run_ssta`` pass on
-c432 per backend, and writes ``BENCH_dist.json`` next to the repo
-root.  Every future optimization of the hot path should move these
-numbers and nothing else.
+c432 per backend, runs the c432 sizers end-to-end cache-on vs
+cache-off, and writes ``BENCH_dist.json`` next to the repo root.
+Every future optimization of the hot path should move these numbers
+and nothing else.
 
-``--check-drift`` additionally asserts that FFT-vs-direct sink
-percentiles agree within tolerance (used by the CI benchmark smoke job
-to catch backend regressions pre-merge); the process exits non-zero on
-violation.
+``--check-drift`` additionally asserts (used by the CI benchmark smoke
+job to catch regressions pre-merge; the process exits non-zero on
+violation):
+
+* FFT-vs-direct sink percentiles agree within tolerance;
+* cache-on vs cache-off sink percentiles are **exactly** equal per
+  backend (the cache's bitwise promise, probed end to end);
+* the quick c17 sizer run serves at least ``--min-hit-rate`` of its
+  kernel requests from the cache — a silently broken cache key fails
+  the build instead of quietly recomputing everything.
 
 Run:  python scripts/bench_dist.py [--quick] [--check-drift]
-                                   [--out BENCH_dist.json]
+                                   [--min-hit-rate R] [--out BENCH.json]
 """
 
 from __future__ import annotations
@@ -33,8 +42,14 @@ import numpy as np  # noqa: E402
 
 from repro.config import AnalysisConfig  # noqa: E402
 from repro.dist.backends import available_backends  # noqa: E402
+from repro.dist.cache import ConvolutionCache  # noqa: E402
 from repro.dist.families import truncated_gaussian_pdf  # noqa: E402
-from repro.dist.ops import convolve, stat_max, stat_max_many  # noqa: E402
+from repro.dist.ops import (  # noqa: E402
+    convolve,
+    convolve_many,
+    stat_max,
+    stat_max_many,
+)
 
 #: Bin counts swept (sigma scales with the requested support width).
 BIN_COUNTS = [32, 128, 512, 2048, 8192]
@@ -43,6 +58,15 @@ TRIM_EPS = 1e-9
 #: FFT-vs-direct percentile agreement required by ``--check-drift``
 #: (picoseconds, absolute, at every probed size and level).
 DRIFT_TOL_PS = 1e-6
+
+#: Minimum cache hit rate the quick sizer benchmark must reach under
+#: ``--check-drift`` (fraction of kernel requests served from the
+#: memo; the c17 run measures ~0.55, so 0.3 flags a broken key while
+#: tolerating workload drift).
+DEFAULT_MIN_HIT_RATE = 0.3
+
+#: Pairs per batch in the batched-vs-looped comparison.
+BATCH_SIZE = 8
 
 
 def _gaussian_with_bins(n_bins: int, center: float = 1000.0):
@@ -96,6 +120,13 @@ def _bench_kernels(bin_counts) -> list:
             )
             row[f"convolve_{backend}_us"] = round(t * 1e6, 3)
             row[f"convolve_{backend}_ops_per_s"] = round(1.0 / t, 1)
+        # Warm-hit path of the keyed result cache (cache-on row; the
+        # cold cache-off numbers are the per-backend rows above).
+        cache = ConvolutionCache()
+        t_hit = _time_op(
+            lambda: convolve(a, b, trim_eps=TRIM_EPS, cache=cache)
+        )
+        row["convolve_cached_hit_us"] = round(t_hit * 1e6, 3)
         t_max = _time_op(lambda: stat_max(a, b, trim_eps=TRIM_EPS))
         t_many = _time_op(lambda: stat_max_many(fanin, trim_eps=TRIM_EPS))
         row["stat_max_us"] = round(t_max * 1e6, 3)
@@ -107,9 +138,113 @@ def _bench_kernels(bin_counts) -> list:
             f"convolve direct={row['convolve_direct_us']:9.1f} us  "
             f"fft={row['convolve_fft_us']:9.1f} us  "
             f"auto={row['convolve_auto_us']:9.1f} us  "
+            f"cached-hit={row['convolve_cached_hit_us']:7.2f} us  "
             f"stat_max={row['stat_max_us']:8.1f} us"
         )
     return rows
+
+
+def _bench_batched(bin_counts) -> list:
+    """Batched ``convolve_many`` against a loop of ``convolve`` calls —
+    ``BATCH_SIZE`` same-shape pairs, the SSTA fan-in shape."""
+    rows = []
+    for n in bin_counts:
+        pairs = [
+            (
+                _gaussian_with_bins(n, 1000.0 + 7.0 * i),
+                _gaussian_with_bins(n, 1200.0 + 11.0 * i),
+            )
+            for i in range(BATCH_SIZE)
+        ]
+        row = {"bins": pairs[0][0].n_bins, "batch": BATCH_SIZE}
+        for backend in ("direct", "fft"):
+            t_loop = _time_op(
+                lambda: [
+                    convolve(a, b, trim_eps=TRIM_EPS, backend=backend)
+                    for a, b in pairs
+                ]
+            )
+            t_batch = _time_op(
+                lambda: convolve_many(
+                    pairs, trim_eps=TRIM_EPS, backend=backend
+                )
+            )
+            row[f"looped_{backend}_us"] = round(t_loop * 1e6, 3)
+            row[f"batched_{backend}_us"] = round(t_batch * 1e6, 3)
+            row[f"batched_{backend}_speedup"] = round(t_loop / t_batch, 3)
+        rows.append(row)
+        print(
+            f"batch of {BATCH_SIZE} @ bins={row['bins']:6d}  "
+            f"fft looped={row['looped_fft_us']:9.1f} us  "
+            f"batched={row['batched_fft_us']:9.1f} us  "
+            f"({row['batched_fft_speedup']:.2f}x)"
+        )
+    return rows
+
+
+def _sizer_case(sizer_cls, circuit_name: str, iterations: int, cache, **kw):
+    from repro.netlist.benchmarks import load
+
+    cfg = AnalysisConfig(cache=cache)
+    circuit = load(circuit_name)
+    t0 = time.perf_counter()
+    result = sizer_cls(
+        circuit, config=cfg, max_iterations=iterations, **kw
+    ).run()
+    wall = time.perf_counter() - t0
+    return {
+        "wall_s": wall,
+        "selected": [s.gate for s in result.steps],
+        "final_objective": result.final_objective,
+        "hit_rate": result.cache_hit_rate,
+    }
+
+
+def _bench_sizers(quick: bool) -> dict:
+    """End-to-end optimizer wall time, cache-off vs cache-on.
+
+    The cached run must select bitwise-identical gates and reach the
+    identical final objective (also locked by the sizer-golden tests);
+    the recorded speedups are the honest end-to-end numbers, with the
+    per-warm-iteration gain visible in the brute-force row where the
+    unpruned loop recomputes whole SSTAs the cache can serve.
+    """
+    from repro.core.brute_force_sizer import BruteForceStatisticalSizer
+    from repro.core.pruned_sizer import PrunedStatisticalSizer
+
+    cases = [("pruned_c17", PrunedStatisticalSizer, "c17", 6, {})]
+    if not quick:
+        cases = [
+            ("pruned_c432", PrunedStatisticalSizer, "c432", 20, {}),
+            ("brute_force_c432", BruteForceStatisticalSizer, "c432", 3, {}),
+        ]
+    out = {}
+    for name, cls, circuit, iters, kw in cases:
+        off = _sizer_case(cls, circuit, iters, None, **kw)
+        on = _sizer_case(cls, circuit, iters, ConvolutionCache(1 << 17), **kw)
+        identical = (
+            off["selected"] == on["selected"]
+            and off["final_objective"] == on["final_objective"]
+        )
+        out[name] = {
+            "iterations": iters,
+            "cache_off_s": round(off["wall_s"], 3),
+            "cache_on_s": round(on["wall_s"], 3),
+            "speedup": round(off["wall_s"] / on["wall_s"], 3),
+            "cache_hit_rate": round(on["hit_rate"], 4),
+            "identical_results": identical,
+        }
+        print(
+            f"sizer {name:18s} off={off['wall_s']:7.2f}s  "
+            f"on={on['wall_s']:7.2f}s  "
+            f"({out[name]['speedup']:.2f}x, hit rate "
+            f"{on['hit_rate']:.2f}, identical={identical})"
+        )
+        if not identical:
+            raise SystemExit(
+                f"cache-on selections diverged from cache-off in {name}"
+            )
+    return out
 
 
 def _bench_ssta_c432() -> dict:
@@ -140,13 +275,17 @@ def _bench_ssta_c432() -> dict:
     return out
 
 
-def _check_drift(bin_counts) -> list:
-    """FFT-vs-direct drift, kernel-level and through a full SSTA pass.
+def _check_drift(bin_counts, min_hit_rate: float) -> list:
+    """Numeric regression gates: FFT-vs-direct and cache-on/off drift,
+    kernel-level and through a full SSTA pass, plus the minimum cache
+    hit rate on the quick sizer benchmark.
 
     Probes convolve percentiles at each swept size *and* the c17 sink
     percentiles end to end (cheap: milliseconds), so a regression that
     only manifests through the engine composition is still gated.
-    Raises on breach.
+    Cache-on/off sink percentiles must be *exactly* equal per backend —
+    the cache promises bitwise transparency, so any drift at all means
+    a broken key or replay.  Raises on breach.
     """
     from repro.netlist.benchmarks import load
     from repro.timing.delay_model import DelayModel
@@ -189,17 +328,62 @@ def _check_drift(bin_counts) -> list:
     if sink_drift > DRIFT_TOL_PS:
         failures.append(("c17-sink", sink_drift))
 
+    # Cache-on vs cache-off: bitwise, per backend — zero drift allowed.
+    for backend in available_backends():
+        pair = {}
+        for cache in (None, 4096):
+            cfg = AnalysisConfig(backend=backend, cache=cache)
+            circuit = load("c17")
+            model = DelayModel(circuit, config=cfg)
+            pair[cache] = run_ssta(TimingGraph(circuit), model,
+                                   config=cfg).sink_pdf
+        cache_drift = max(
+            abs(pair[None].percentile(p) - pair[4096].percentile(p))
+            for p in (0.5, 0.9, 0.99)
+        )
+        bitwise = (
+            pair[None].offset == pair[4096].offset
+            and np.array_equal(pair[None].masses, pair[4096].masses)
+        )
+        report.append({
+            "circuit": "c17",
+            "backend": backend,
+            "cache_on_off_drift_ps": cache_drift,
+            "cache_on_off_bitwise": bitwise,
+        })
+        print(f"drift c17 cache-on/off [{backend:6s}]  "
+              f"max|Δpercentile|={cache_drift:.3e} ps  bitwise={bitwise}")
+        if cache_drift != 0.0 or not bitwise:
+            failures.append((f"c17-cache-{backend}", cache_drift))
+
+    # Minimum hit rate on the quick sizer benchmark: a silently broken
+    # cache key hits nothing and fails here.
+    sizer = _bench_sizers(quick=True)["pruned_c17"]
+    report.append({"sizer": "pruned_c17",
+                   "cache_hit_rate": sizer["cache_hit_rate"],
+                   "min_hit_rate": min_hit_rate})
+    if sizer["cache_hit_rate"] < min_hit_rate:
+        failures.append(("pruned-c17-hit-rate", sizer["cache_hit_rate"]))
+    if not sizer["identical_results"]:
+        failures.append(("pruned-c17-cache-divergence", 0.0))
+
     if failures:
         raise SystemExit(
-            f"FFT-vs-direct percentile drift exceeds {DRIFT_TOL_PS} ps: "
-            f"{failures}"
+            "kernel drift gates failed (FFT-vs-direct tolerance "
+            f"{DRIFT_TOL_PS} ps, cache-on/off bitwise, min hit rate "
+            f"{min_hit_rate}): {failures}"
         )
     return report
 
 
-def run(quick: bool = False, check_drift: bool = False) -> dict:
+def run(
+    quick: bool = False,
+    check_drift: bool = False,
+    min_hit_rate: float = DEFAULT_MIN_HIT_RATE,
+) -> dict:
     bin_counts = BIN_COUNTS[:3] if quick else BIN_COUNTS
     rows = _bench_kernels(bin_counts)
+    batched = _bench_batched(bin_counts)
     crossover = _measured_crossover(hi=1024 if quick else 4096)
     if crossover is None:
         print("direct/FFT equal-size crossover: not found within sweep")
@@ -214,11 +398,13 @@ def run(quick: bool = False, check_drift: bool = False) -> dict:
         "backends": list(available_backends()),
         "measured_crossover_bins": crossover,
         "rows": rows,
+        "batched_vs_looped": batched,
     }
     if not quick:
         payload["run_ssta_c432"] = _bench_ssta_c432()
+        payload["sizers"] = _bench_sizers(quick=False)
     if check_drift:
-        payload["drift"] = _check_drift(bin_counts)
+        payload["drift"] = _check_drift(bin_counts, min_hit_rate)
     return payload
 
 
@@ -227,12 +413,19 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="small bin counts only (CI smoke run)")
     parser.add_argument("--check-drift", action="store_true",
-                        help="fail if FFT-vs-direct percentile drift "
-                             f"exceeds {DRIFT_TOL_PS} ps")
+                        help="fail on FFT-vs-direct percentile drift > "
+                             f"{DRIFT_TOL_PS} ps, any cache-on/off drift, "
+                             "or a quick-sizer cache hit rate below "
+                             "--min-hit-rate")
+    parser.add_argument("--min-hit-rate", type=float,
+                        default=DEFAULT_MIN_HIT_RATE,
+                        help="minimum cache hit rate the quick sizer "
+                             "benchmark must reach under --check-drift")
     parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_dist.json"),
                         help="output JSON path (default: repo root)")
     args = parser.parse_args(argv)
-    payload = run(quick=args.quick, check_drift=args.check_drift)
+    payload = run(quick=args.quick, check_drift=args.check_drift,
+                  min_hit_rate=args.min_hit_rate)
     out = Path(args.out)
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {out}")

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Regenerate the sizer-outcome golden files.
+
+Writes ``tests/timing/golden/sizer_{c17,c432}.json``: the gate
+selections, final widths, and final objective (p99 sink delay) of the
+:class:`PrunedStatisticalSizer` and :class:`HeuristicStatisticalSizer`
+on the coarse test grid.  ``tests/timing/test_golden.py`` asserts that
+every future run — convolution cache on or off — reproduces these
+outcomes exactly, so a silently broken cache key (or any change to the
+optimizer's decision-making) fails loudly instead of shifting results.
+
+Run only when an *intentional* behavior change moves the trajectory:
+
+    python scripts/make_sizer_goldens.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+GOLDEN_DIR = REPO_ROOT / "tests" / "timing" / "golden"
+
+from repro.config import AnalysisConfig  # noqa: E402
+from repro.core.heuristic_sizer import HeuristicStatisticalSizer  # noqa: E402
+from repro.core.pruned_sizer import PrunedStatisticalSizer  # noqa: E402
+from repro.netlist.benchmarks import load  # noqa: E402
+
+#: Coarse grid (the test-suite FAST config) keeps each run sub-second;
+#: the outcomes are just as binding on the optimizer logic.
+CONFIG = dict(dt=8.0, delta_w=1.0)
+
+#: (circuit, iterations) — c432 runs fewer iterations to bound test
+#: time; each iteration still exercises hundreds of fronts.
+CASES = {"c17": 6, "c432": 3}
+
+BEAM_WIDTH = 4
+
+
+def outcome(sizer_cls, circuit_name: str, iterations: int, **kwargs) -> dict:
+    cfg = AnalysisConfig(**CONFIG)
+    circuit = load(circuit_name)
+    result = sizer_cls(
+        circuit, config=cfg, max_iterations=iterations, **kwargs
+    ).run()
+    return {
+        "selected_gates": [list(s.all_gates) for s in result.steps],
+        "sensitivities": [s.sensitivity for s in result.steps],
+        "final_widths": circuit.widths(),
+        "final_p99": result.final_objective,
+        "initial_p99": result.initial_objective,
+        "stop_reason": result.stop_reason,
+    }
+
+
+def main() -> int:
+    for circuit_name, iterations in CASES.items():
+        payload = {
+            "circuit": circuit_name,
+            "dt": CONFIG["dt"],
+            "delta_w": CONFIG["delta_w"],
+            "max_iterations": iterations,
+            "beam_width": BEAM_WIDTH,
+            "optimizers": {
+                "pruned-statistical": outcome(
+                    PrunedStatisticalSizer, circuit_name, iterations
+                ),
+                "heuristic-statistical": outcome(
+                    HeuristicStatisticalSizer,
+                    circuit_name,
+                    iterations,
+                    beam_width=BEAM_WIDTH,
+                ),
+            },
+        }
+        out = GOLDEN_DIR / f"sizer_{circuit_name}.json"
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

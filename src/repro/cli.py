@@ -22,8 +22,10 @@ import sys
 from typing import List, Optional
 
 from . import __version__
+from .config import DEFAULT_CONFIG
 from .core.deterministic_sizer import DeterministicSizer
 from .core.pruned_sizer import PrunedStatisticalSizer
+from .dist.cache import DEFAULT_CACHE_CAPACITY
 from .experiments import (
     fast_config,
     paper_config,
@@ -100,7 +102,15 @@ def cmd_bench_file(args: argparse.Namespace) -> int:
 def cmd_optimize(args: argparse.Namespace) -> int:
     circuit = load(args.circuit, scale=args.scale)
     sizer_cls = DeterministicSizer if args.deterministic else PrunedStatisticalSizer
-    result = sizer_cls(circuit, max_iterations=args.iterations).run()
+    config = DEFAULT_CONFIG
+    rows = []
+    if args.cache and not args.deterministic:
+        # The result cache changes cost, never answers (hits are
+        # bitwise); the hit rate row makes the saved work visible.
+        config = config.with_updates(cache=args.cache)
+    result = sizer_cls(circuit, config=config, max_iterations=args.iterations).run()
+    if config.cache is not None:
+        rows.append(("cache hit rate", result.cache_hit_rate))
     print(
         format_table(
             f"{result.optimizer} sizing — {circuit.name}",
@@ -113,7 +123,8 @@ def cmd_optimize(args: argparse.Namespace) -> int:
                 ("improvement (%)", result.improvement_percent),
                 ("size increase (%)", result.size_increase_percent),
                 ("total time (s)", result.total_time_s),
-            ],
+            ]
+            + rows,
         )
     )
     return 0
@@ -208,6 +219,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("circuit", choices=PAPER_SUITE + ["c17"])
     p.add_argument("-n", "--iterations", type=int, default=25)
     p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--cache", type=int, default=DEFAULT_CACHE_CAPACITY,
+                   metavar="ENTRIES",
+                   help="convolution-result cache capacity for the "
+                        "statistical sizer (0 disables; results are "
+                        "bitwise identical either way)")
     p.add_argument("--deterministic", action="store_true",
                    help="use the deterministic baseline instead")
     p.set_defaults(func=cmd_optimize)

@@ -63,6 +63,14 @@ class AnalysisConfig:
 
     Instances are immutable; use :meth:`with_updates` to derive variants
     (e.g. a coarser grid for a quick optimization pass).
+
+    ``cache`` enables the keyed convolution-result memo
+    (:class:`repro.dist.cache.ConvolutionCache`): ``None`` disables
+    caching (the default), an ``int`` creates a cache with that entry
+    capacity, and an existing instance is used as-is (and *shared* by
+    configs derived via :meth:`with_updates` — safe, because cache keys
+    include the grid spacing, trim epsilon, and backend).  Hits return
+    bit-identical results, so the knob changes cost, never answers.
     """
 
     dt: float = DEFAULT_DT_PS
@@ -72,6 +80,7 @@ class AnalysisConfig:
     truncation_sigma: float = DEFAULT_TRUNCATION_SIGMA
     delta_w: float = DEFAULT_DELTA_W
     backend: str = DEFAULT_BACKEND
+    cache: object = None
 
     def __post_init__(self) -> None:
         if self.dt <= 0.0:
@@ -96,6 +105,18 @@ class AnalysisConfig:
             raise ValueError(
                 f"backend must be one of {KNOWN_BACKENDS}, got {self.backend!r}"
             )
+        if self.cache is not None:
+            # Lazy import: repro.dist imports this module for the grid
+            # constants, so the dependency must stay one-directional at
+            # import time.  Coercion accepts an int capacity or a
+            # ConvolutionCache instance and raises otherwise.
+            from .dist.cache import ConvolutionCache
+
+            try:
+                coerced = ConvolutionCache.coerce(self.cache)
+            except Exception as exc:
+                raise ValueError(str(exc)) from exc
+            object.__setattr__(self, "cache", coerced)
 
     def with_updates(self, **changes: object) -> "AnalysisConfig":
         """Return a copy with the given fields replaced."""

@@ -46,6 +46,7 @@ class BruteForceStatisticalSizer(SizerBase):
                 best_gate = gate
         stats.convolutions = counter.convolutions
         stats.max_ops = counter.max_ops
+        stats.cache_hits = counter.cache_hits
         stats.finished_fronts = len(candidates)
         if best_gate is None:
             return Selection([], base_obj, base_obj, stats)

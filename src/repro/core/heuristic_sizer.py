@@ -30,7 +30,6 @@ from typing import List, Tuple
 from ..dist.ops import OpCounter
 from ..errors import OptimizationError
 from ..timing.ssta import run_ssta
-from .perturbation import PerturbationFront
 from .pruned_sizer import PrunedStatisticalSizer
 from .sizer_base import IterationStats, Selection
 
@@ -65,14 +64,12 @@ class HeuristicStatisticalSizer(PrunedStatisticalSizer):
         candidates = self._candidates()
         stats = IterationStats(candidates=len(candidates))
 
-        fronts = [
-            PerturbationFront(
-                self.graph, self.model, base, gate, dw, self.objective,
-                counter=counter, drop_identical=self.drop_identical,
-            )
-            for gate in candidates
-        ]
-        ranked = sorted(fronts, key=lambda f: -f.smx)
+        fronts = self._build_fronts(base, candidates, dw, counter)
+        # Rank by the post-Initialize bound — recorded at construction,
+        # so a front resumed from a previous iteration (cache enabled)
+        # ranks exactly as the freshly built front would, keeping the
+        # beam membership (and hence the selection) cache-invariant.
+        ranked = sorted(fronts, key=lambda f: -f.initial_smx)
         beam = ranked[: self.beam_width]
         stats.pruned = len(ranked) - len(beam)
 
@@ -85,9 +82,13 @@ class HeuristicStatisticalSizer(PrunedStatisticalSizer):
                 best_s = s
                 best_front = front
 
-        stats.nodes_computed = sum(f.nodes_computed for f in fronts)
+        baseline = self._nodes_baseline
+        stats.nodes_computed = sum(
+            f.nodes_computed - baseline.get(id(f), 0) for f in fronts
+        )
         stats.convolutions = counter.convolutions
         stats.max_ops = counter.max_ops
+        stats.cache_hits = counter.cache_hits
         if best_front is None:
             return Selection([], base_obj, base_obj, stats)
         return Selection(

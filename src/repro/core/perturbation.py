@@ -64,7 +64,14 @@ _NEG_INF = float("-inf")
 
 
 def _identical(a: DiscretePDF, b: DiscretePDF) -> bool:
-    """Bitwise equality of two distributions on the same grid."""
+    """Bitwise equality of two distributions on the same grid.
+
+    The identity shortcut matters with the convolution-result cache
+    enabled: an absorbed perturbation resolves to the *same object* the
+    base SSTA stored, so most checks never touch the mass vectors.
+    """
+    if a is b:
+        return True
     return (
         a.offset == b.offset
         and a.n_bins == b.n_bins
@@ -121,7 +128,13 @@ class PerturbationFront:
         # Resolve once from the analysis config: the front's bitwise
         # exactness claim is against a full SSTA rerun *under the same
         # backend*, so both must take the kernel from the same knob.
+        # The result cache rides along identically — and it is where
+        # the cache earns its keep: every front re-convolves the
+        # unperturbed arcs of each node it touches with exactly the
+        # operands the base SSTA (and every sibling front) already
+        # used.
         self._backend = get_backend(model.config.backend)
+        self._cache = model.config.cache
 
         #: perturbed arrival PDFs of live nodes (the paper's A'set entries)
         self._perturbed: Dict[int, DiscretePDF] = {}
@@ -133,6 +146,27 @@ class PerturbationFront:
         self._scheduled: Set[int] = set()
         #: perturbed delay PDFs, keyed by gate name
         self._perturbed_delay: Dict[str, DiscretePDF] = {}
+        #: gates whose delay PDFs this candidate perturbs (Figure 7)
+        self._affected: List[Gate] = []
+
+        # Dependency ledger for cross-iteration reuse (:meth:`try_rebase`):
+        # every unperturbed input the front has consumed so far, recorded
+        # *by object*.  With the convolution-result cache enabled,
+        # unchanged inputs stay object-identical across sizing
+        # iterations, so identity checks decide reusability exactly.
+        # Tracking costs two dict stores per consumed input; it is only
+        # enabled when a cache is configured (without one, base arrivals
+        # are rebuilt every iteration and reuse could never trigger).
+        self._track_deps = model.config.cache is not None
+        #: node -> unperturbed arrival object consumed there
+        self._dep_arrivals: Dict[int, DiscretePDF] = {}
+        #: gate output net -> (gate, unperturbed delay PDF object)
+        self._dep_delays: Dict[str, tuple] = {}
+
+        #: bound after Initialize (before any on-demand propagation) —
+        #: recorded so beam-style consumers can rank resumed fronts by
+        #: the same key a freshly built front would have produced.
+        self.initial_smx: float = _NEG_INF
 
         self.curr_level: int = 0
         self.levels_propagated: int = 0
@@ -173,6 +207,7 @@ class PerturbationFront:
     # ------------------------------------------------------------------
     def _initialize(self) -> None:
         affected = self.model.gates_affected_by_resize(self.gate)
+        self._affected = list(affected)
         original = self.gate.width
         self.gate.width = original + self.dw
         try:
@@ -187,6 +222,7 @@ class PerturbationFront:
         target = self.graph.level(self.graph.gate_output_node(self.gate))
         while self._scheduled and self.curr_level <= target:
             self.propagate_one_level()
+        self.initial_smx = self.smx
 
     # ------------------------------------------------------------------
     # PropagateOneLevel (Figure 9)
@@ -195,13 +231,19 @@ class PerturbationFront:
         pdf = self._perturbed.get(node)
         if pdf is not None:
             return pdf
-        return self.base.arrivals[node]
+        pdf = self.base.arrivals[node]
+        if self._track_deps:
+            self._dep_arrivals[node] = pdf
+        return pdf
 
     def _get_delay_pdf(self, gate: Gate) -> DiscretePDF:
         pdf = self._perturbed_delay.get(gate.output)
         if pdf is not None:
             return pdf
-        return self.model.delay_pdf(gate)
+        pdf = self.model.delay_pdf(gate)
+        if self._track_deps:
+            self._dep_delays[gate.output] = (gate, pdf)
+        return pdf
 
     def propagate_one_level(self) -> None:
         """Advance the front to the next level that has scheduled nodes
@@ -225,10 +267,13 @@ class PerturbationFront:
                 trim_eps=cfg.tail_eps,
                 counter=self.counter,
                 backend=self._backend,
+                cache=self._cache,
             )
             self.nodes_computed += 1
             self._retire_fanins(node)
             base_pdf = self.base.arrivals[node]
+            if self._track_deps:
+                self._dep_arrivals[node] = base_pdf
             if self.drop_identical and _identical(perturbed, base_pdf):
                 continue  # perturbation fully absorbed at this node
             if node == self.graph.sink:
@@ -238,7 +283,7 @@ class PerturbationFront:
                     self.objective.improvement(base_pdf, perturbed) / self.dw
                 )
                 continue
-            delta = max_percentile_gap(base_pdf, perturbed)
+            delta = self._percentile_gap(base_pdf, perturbed)
             fanouts = self.graph.fanout_edges(node)
             self._perturbed[node] = perturbed
             self._pending[node] = len(fanouts)
@@ -251,6 +296,24 @@ class PerturbationFront:
         self._refresh_smx()
         if not self._scheduled:
             self._finish()
+
+    def _percentile_gap(self, base: DiscretePDF, pert: DiscretePDF) -> float:
+        """Theorem-4 delta, memoized through the analysis cache.
+
+        The gap evaluation costs as much as the kernel work it
+        measures, and with cached kernels the same (base, perturbed)
+        pair recurs across sibling fronts and optimizer iterations.
+        Keys carry absolute offsets (see ``ConvolutionCache``), so a
+        hit is bit-exact — the pruning order cannot drift by an ulp.
+        """
+        cache = self._cache
+        if cache is None:
+            return max_percentile_gap(base, pert)
+        gap = cache.lookup_gap(base, pert)
+        if gap is None:
+            gap = max_percentile_gap(base, pert)
+            cache.store_gap(base, pert, gap)
+        return gap
 
     def _retire_fanins(self, node: int) -> None:
         """Decrement pending fan-out counts of this node's perturbed
@@ -285,6 +348,52 @@ class PerturbationFront:
         if self.sensitivity is None:
             self.sensitivity = 0.0
         self._smx = self.sensitivity
+
+    # ------------------------------------------------------------------
+    # Cross-iteration reuse
+    # ------------------------------------------------------------------
+    def try_rebase(self, new_base: SSTAResult) -> bool:
+        """Adopt a fresh base SSTA result if — and only if — every input
+        this front has consumed so far is unchanged, and return whether
+        that succeeded.
+
+        The check is exact and conservative: the perturbed delay PDFs
+        are re-derived at the candidate's *current* width and compared
+        by object identity against the ones the front was built from,
+        and every recorded unperturbed dependency (base arrivals read,
+        delay PDFs of unaffected gates) must be the identical object in
+        the new analysis state.  Object identity is a sound proxy for
+        content here because the convolution-result cache returns the
+        stored object for unchanged recomputations — which is also why
+        reuse is only attempted when a cache is configured.  On success
+        the front's state (including a finished front's exact
+        sensitivity) is bitwise the state a freshly built front would
+        reach at the same level under ``new_base``, by induction over
+        the identical inputs; propagation simply continues against the
+        new base.  On failure the caller rebuilds the front from
+        scratch — reuse can only ever skip work, never change answers.
+        """
+        if not self._track_deps:
+            return False
+        # The candidate's perturbation must re-derive identically at
+        # today's widths and loads (a resized neighbor, or the gate
+        # itself having won, shows up right here).
+        original = self.gate.width
+        self.gate.width = original + self.dw
+        try:
+            for g in self._affected:
+                if self.model.delay_pdf(g) is not self._perturbed_delay[g.output]:
+                    return False
+        finally:
+            self.gate.width = original
+        for node, pdf in self._dep_arrivals.items():
+            if new_base.arrivals[node] is not pdf:
+                return False
+        for _net, (gate, pdf) in self._dep_delays.items():
+            if self.model.delay_pdf(gate) is not pdf:
+                return False
+        self.base = new_base
+        return True
 
     # ------------------------------------------------------------------
     # Convenience

@@ -62,6 +62,20 @@ class PrunedStatisticalSizer(SizerBase):
         Bitwise identical results (see
         :mod:`repro.timing.incremental`); off by default to follow the
         paper's pseudocode literally.
+
+    When the analysis config carries a convolution-result cache, the
+    sizer additionally *reuses perturbation fronts across iterations*:
+    a candidate whose recorded dependencies are unchanged (see
+    :meth:`~repro.core.perturbation.PerturbationFront.try_rebase`)
+    resumes from its previous state — a finished front contributes its
+    exact sensitivity for free — instead of re-running ``Initialize``
+    and re-propagating.  This changes only *where* the heap starts each
+    front, never the selection: pruning uses bounds that are valid at
+    every level, the eventual winner's bound can never fall below the
+    selection threshold, and exact ties are resolved by candidate order
+    independent of completion order — so the selected gates, their
+    sensitivities, and the resulting sizes are bitwise identical with
+    the cache on or off (the sizer-golden tests pin this).
     """
 
     name = "pruned-statistical"
@@ -90,6 +104,9 @@ class PrunedStatisticalSizer(SizerBase):
         self.gates_per_iteration = gates_per_iteration
         self.incremental_ssta = incremental_ssta
         self._base: Optional[object] = None
+        #: previous iteration's fronts by gate name (cross-iteration
+        #: reuse; only consulted when the config carries a cache).
+        self._fronts: dict = {}
 
     def _after_apply(self, gates) -> None:
         if self.incremental_ssta and self._base is not None:
@@ -100,6 +117,38 @@ class PrunedStatisticalSizer(SizerBase):
             self._base = run_ssta(self.graph, self.model, counter=counter)
         return self._base
 
+    def _build_fronts(self, base, candidates, dw, counter):
+        """One front per candidate: resumed from the previous iteration
+        when its dependencies are unchanged, freshly initialized
+        otherwise.  ``nodes_computed`` baselines are snapshotted so the
+        iteration stats count only this iteration's work."""
+        previous = self._fronts
+        fronts = []
+        self._nodes_baseline = baseline = {}
+        for gate in candidates:
+            front = previous.get(gate.name)
+            if (
+                front is not None
+                and front.gate is gate
+                and front.try_rebase(base)
+            ):
+                front.counter = counter
+                baseline[id(front)] = front.nodes_computed
+            else:
+                front = PerturbationFront(
+                    self.graph,
+                    self.model,
+                    base,
+                    gate,
+                    dw,
+                    self.objective,
+                    counter=counter,
+                    drop_identical=self.drop_identical,
+                )
+            fronts.append(front)
+        self._fronts = {f.gate.name: f for f in fronts}
+        return fronts
+
     def _select_gate(self) -> Selection:
         dw = self.config.delta_w
         n_select = self.gates_per_iteration
@@ -109,19 +158,7 @@ class PrunedStatisticalSizer(SizerBase):
         candidates = self._candidates()
         stats = IterationStats(candidates=len(candidates))
 
-        fronts = [
-            PerturbationFront(
-                self.graph,
-                self.model,
-                base,
-                gate,
-                dw,
-                self.objective,
-                counter=counter,
-                drop_identical=self.drop_identical,
-            )
-            for gate in candidates
-        ]
+        fronts = self._build_fronts(base, candidates, dw, counter)
 
         # Min-heap of the current top-N finished fronts, keyed by
         # (sensitivity, -candidate order): the heap minimum is the
@@ -165,9 +202,13 @@ class PrunedStatisticalSizer(SizerBase):
             else:
                 heapq.heappush(heap, (-front.smx, idx, front))
 
-        stats.nodes_computed = sum(f.nodes_computed for f in fronts)
+        baseline = self._nodes_baseline
+        stats.nodes_computed = sum(
+            f.nodes_computed - baseline.get(id(f), 0) for f in fronts
+        )
         stats.convolutions = counter.convolutions
         stats.max_ops = counter.max_ops
+        stats.cache_hits = counter.cache_hits
         if not top:
             return Selection([], base_obj, base_obj, stats)
         winners = sorted(top, key=lambda item: (-item[0], -item[1]))

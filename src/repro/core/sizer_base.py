@@ -30,7 +30,14 @@ __all__ = ["IterationStats", "SizingStep", "SizingResult", "SizerBase"]
 
 @dataclass
 class IterationStats:
-    """Work performed during one sizing iteration (Table 2 raw data)."""
+    """Work performed during one sizing iteration (Table 2 raw data).
+
+    ``convolutions``/``max_ops`` count kernel operations actually
+    computed; ``cache_hits`` counts requests served from the
+    convolution-result cache (see :mod:`repro.dist.cache`), kept
+    separate so cached work is visible without inflating the computed
+    tallies — their sum is cache-invariant for a given trajectory.
+    """
 
     wall_time_s: float = 0.0
     candidates: int = 0
@@ -39,6 +46,7 @@ class IterationStats:
     nodes_computed: int = 0
     convolutions: int = 0
     max_ops: int = 0
+    cache_hits: int = 0
 
     @property
     def pruned_fraction(self) -> float:
@@ -46,6 +54,14 @@ class IterationStats:
         if self.candidates == 0:
             return 0.0
         return self.pruned / self.candidates
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """cache_hits over all kernel requests this iteration."""
+        requests = self.convolutions + self.max_ops + self.cache_hits
+        if requests == 0:
+            return 0.0
+        return self.cache_hits / requests
 
 
 @dataclass
@@ -139,6 +155,25 @@ class SizingResult:
         if self.initial_objective == 0.0:
             return 0.0
         return 100.0 * (self.initial_objective - self.final_objective) / self.initial_objective
+
+    @property
+    def cache_hits(self) -> int:
+        """Kernel requests served from the convolution-result cache
+        across the whole run."""
+        return sum(s.stats.cache_hits for s in self.steps)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """cache hits over all kernel requests across the run (0.0 for
+        cache-off runs) — the aggregate the CLI report, the benchmark
+        record, and the dead-cache tests all consume."""
+        hits = self.cache_hits
+        requests = hits + sum(
+            s.stats.convolutions + s.stats.max_ops for s in self.steps
+        )
+        if requests == 0:
+            return 0.0
+        return hits / requests
 
     @property
     def mean_iteration_time_s(self) -> float:

@@ -8,10 +8,15 @@ operations the paper's algorithms need:
 * :mod:`~repro.dist.pdf` — :class:`DiscretePDF`, the immutable value
   type (grid spacing ``dt``, integer bin ``offset``, normalized mass
   vector);
-* :mod:`~repro.dist.ops` — the propagation kernels: :func:`convolve`
-  (the ADD operation), :func:`stat_max` / :func:`stat_max_many` (the
-  independence MAX of Agarwal et al. [3]), and :class:`OpCounter`,
-  the transparent work-statistics instrument behind Table 2;
+* :mod:`~repro.dist.ops` — the propagation kernels: :func:`convolve` /
+  :func:`convolve_many` (the ADD operation, single and batched),
+  :func:`stat_max` / :func:`stat_max_many` (the independence MAX of
+  Agarwal et al. [3]), and :class:`OpCounter`, the transparent
+  work-statistics instrument behind Table 2 (cache hits tallied
+  distinctly from computed operations);
+* :mod:`~repro.dist.cache` — :class:`ConvolutionCache`, the keyed,
+  size-bounded, bitwise-transparent result memo over the ADD/MAX
+  kernels, enabled per analysis through ``AnalysisConfig(cache=...)``;
 * :mod:`~repro.dist.families` — the paper's Section-4 variation model:
   truncated Gaussians (sigma = 10% of nominal, cut at 3 sigma), both
   discretized and sampled;
@@ -60,21 +65,25 @@ from .backends import (
     available_backends,
     get_backend,
 )
+from .cache import CacheStats, ConvolutionCache
 from .families import sample_truncated_gaussian, truncated_gaussian_pdf
 from .metrics import max_percentile_gap, stochastically_le
-from .ops import OpCounter, convolve, stat_max, stat_max_many
+from .ops import OpCounter, convolve, convolve_many, stat_max, stat_max_many
 from .pdf import DiscretePDF
 
 __all__ = [
     "DiscretePDF",
     "OpCounter",
     "ConvolutionBackend",
+    "ConvolutionCache",
+    "CacheStats",
     "DirectBackend",
     "FFTBackend",
     "AutoBackend",
     "available_backends",
     "get_backend",
     "convolve",
+    "convolve_many",
     "stat_max",
     "stat_max_many",
     "truncated_gaussian_pdf",

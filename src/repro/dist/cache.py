@@ -1,0 +1,419 @@
+"""Keyed result cache for the ADD/MAX kernels (the optimizer memo).
+
+The sizing loop re-evaluates sensitivity by re-running SSTA
+perturbation fronts, and across candidate gates and optimizer
+iterations the *same* (arrival, delay-PDF) convolutions are recomputed
+thousands of times: every front re-convolves the unperturbed arcs of
+each node it touches with exactly the operands the base SSTA already
+used, and consecutive iterations re-time a circuit in which only one
+gate's cone changed.  :class:`ConvolutionCache` memoizes those results
+at the :func:`~repro.dist.ops.convolve` / ``stat_max_many`` level —
+the analogue, one layer up, of the FFT backend's forward-transform
+memo.
+
+Design constraints, in order:
+
+1. **Bitwise transparency.**  A cache hit must return exactly the bits
+   a fresh computation would produce.  Entries therefore store the
+   *raw* kernel output (the un-normalized convolved mass vector):
+   every downstream step — :class:`~repro.dist.pdf.DiscretePDF`
+   normalization and tail trimming — is a pure function of that vector
+   alone, so replaying it from the cache is bit-identical no matter
+   which operand *offsets* the hit arrives with.  When the offsets
+   match the original computation the stored (immutable) result object
+   is returned outright, which is the O(1) fast path the sizer loop
+   actually takes.
+2. **Content keys, not identity keys.**  Keys are fingerprints of the
+   operand mass vectors (plus ``dt``, relative offsets for MAX, the
+   trim epsilon, and the backend), so re-created but equal operands
+   hit, and a resized gate's new delay PDF — new masses, new
+   fingerprint — can never alias a stale entry.  Fingerprints are
+   SHA-1 digests of the immutable mass bytes, memoized per array
+   object so repeated lookups of long-lived operands cost O(1).
+3. **Bounded memory.**  The cache is an LRU over a fixed number of
+   entries (:data:`DEFAULT_CACHE_CAPACITY` by default); eviction churn
+   at tiny capacities is exercised by the property suite.
+
+The cache is *enabled per analysis* through
+``AnalysisConfig(cache=...)`` (see :mod:`repro.config`) and threaded
+by every engine the same way the backend knob is.  It carries no
+thread-safety machinery — like the rest of the package it assumes one
+analysis per thread.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import DistributionError
+from .pdf import DiscretePDF
+
+__all__ = ["ConvolutionCache", "CacheStats", "DEFAULT_CACHE_CAPACITY"]
+
+#: Default entry bound.  A c432 sizing iteration's working set is
+#: ~25k entries (one per distinct kernel request across the base SSTA
+#: and every perturbation front), and an undersized cache *thrashes* —
+#: each iteration evicts what the next would have hit.  32k entries
+#: hold the paper suite's working sets with room to spare while
+#: bounding memory at tens of MiB of ~100-bin float64 vectors.
+DEFAULT_CACHE_CAPACITY: int = 32768
+
+#: Process-wide fingerprint memo: ``id(masses) -> (weakref, digest)``.
+#: Mass vectors are immutable read-only arrays, so a digest computed
+#: once is valid for the array's lifetime; the weak reference both
+#: self-evicts when the array dies and guards against ``id`` reuse.
+_FP_MEMO: dict = {}
+
+
+def _fingerprint(arr: np.ndarray) -> bytes:
+    """Content digest of an immutable mass vector, memoized by identity."""
+    key = id(arr)
+    entry = _FP_MEMO.get(key)
+    if entry is not None:
+        ref, digest = entry
+        if ref() is arr:
+            return digest
+        del _FP_MEMO[key]  # id recycled by a dead array
+    digest = hashlib.sha1(arr.tobytes()).digest()
+    try:
+        ref = weakref.ref(arr, lambda _r, key=key: _FP_MEMO.pop(key, None))
+    except TypeError:  # pragma: no cover - plain ndarrays are weakref-able
+        return digest
+    _FP_MEMO[key] = (ref, digest)
+    return digest
+
+
+def _pdf_fingerprint(pdf: DiscretePDF) -> bytes:
+    """Fingerprint of a distribution's mass vector, cached on the
+    (immutable) instance.  Key construction runs several times per
+    kernel request, so the per-instance slot skips even the memo-dict
+    probe; the array-level memo still deduplicates shifted twins that
+    share one mass vector."""
+    d = pdf.__dict__
+    fp = d.get("_fp")
+    if fp is None:
+        fp = _fingerprint(pdf.masses)
+        d["_fp"] = fp
+    return fp
+
+
+@dataclass
+class CacheStats:
+    """Lifetime hit/miss/eviction tallies of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        """Total lookups served (hits plus misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """hits / requests (0.0 before any lookup)."""
+        if self.requests == 0:
+            return 0.0
+        return self.hits / self.requests
+
+    def reset(self) -> None:
+        """Zero all tallies (the entries themselves are untouched)."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+class _Entry:
+    """One memoized kernel result.
+
+    ``raw`` is the kernel's un-normalized output vector; ``result`` the
+    finished (normalized, trimmed) :class:`DiscretePDF` as computed at
+    ``anchor`` (the operand-offset sum for ADD, the minimum operand
+    offset for MAX); ``backend`` the resolved backend object the entry
+    was computed under, verified identically on hit so two distinct
+    backend instances sharing a name can never serve each other's bits.
+    """
+
+    __slots__ = ("raw", "result", "anchor", "backend")
+
+    def __init__(self, raw, result, anchor, backend) -> None:
+        self.raw = raw
+        self.result = result
+        self.anchor = anchor
+        self.backend = backend
+
+
+class ConvolutionCache:
+    """Size-bounded LRU memo over convolve / independence-MAX results.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of stored results (>= 1).  The least recently
+        used entry is evicted when the bound is reached.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CACHE_CAPACITY) -> None:
+        if not isinstance(capacity, int) or isinstance(capacity, bool):
+            raise DistributionError(
+                f"cache capacity must be an int, got {capacity!r}"
+            )
+        if capacity < 1:
+            raise DistributionError(
+                f"cache capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: "OrderedDict" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Coercion (the AnalysisConfig.cache knob)
+    # ------------------------------------------------------------------
+    @classmethod
+    def coerce(cls, spec) -> Optional["ConvolutionCache"]:
+        """Resolve the config knob: None (off), an int capacity, or an
+        existing instance (shared between derived configs)."""
+        if spec is None:
+            return None
+        if isinstance(spec, cls):
+            return spec
+        if isinstance(spec, int) and not isinstance(spec, bool):
+            return cls(capacity=spec)
+        raise DistributionError(
+            "cache must be None, an int capacity, or a ConvolutionCache; "
+            f"got {spec!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _convolve_key(
+        a: DiscretePDF, b: DiscretePDF, trim_eps: float, backend
+    ) -> tuple:
+        # Offsets are deliberately absent: the raw convolved masses
+        # depend only on the operand mass vectors, so one entry serves
+        # every translated occurrence of the same operand pair.
+        return (
+            "conv",
+            a.dt,
+            trim_eps,
+            getattr(backend, "name", type(backend).__name__),
+            _pdf_fingerprint(a),
+            _pdf_fingerprint(b),
+        )
+
+    @staticmethod
+    def _max_key(pdfs: Sequence[DiscretePDF], trim_eps: float) -> tuple:
+        # The MAX product depends on the *relative* operand alignment,
+        # so offsets enter the key relative to the leftmost operand;
+        # the absolute anchor is replayed from the hit context.  The
+        # MAX numerics are backend-invariant, so no backend component.
+        lo = min(p.offset for p in pdfs)
+        return (
+            "max",
+            pdfs[0].dt,
+            trim_eps,
+            tuple((p.offset - lo, _pdf_fingerprint(p)) for p in pdfs),
+        )
+
+    # ------------------------------------------------------------------
+    # LRU plumbing
+    # ------------------------------------------------------------------
+    def _get(self, key: tuple) -> Optional[_Entry]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def _put(self, key: tuple, entry: _Entry) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = entry
+            return
+        while len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[key] = entry
+
+    def _replay(
+        self, entry: _Entry, anchor: int, dt: float, trim_eps: float
+    ) -> DiscretePDF:
+        """Return the stored result, re-anchored if the operands arrive
+        at different offsets.  Normalization and trimming are pure
+        functions of the raw vector, so the replay is bit-identical to
+        a fresh computation at the new anchor."""
+        if anchor == entry.anchor:
+            return entry.result
+        return DiscretePDF(dt, anchor, entry.raw).trimmed(trim_eps)
+
+    # ------------------------------------------------------------------
+    # ADD (convolution)
+    # ------------------------------------------------------------------
+    def lookup_convolve(
+        self, a: DiscretePDF, b: DiscretePDF, trim_eps: float, backend
+    ) -> Optional[DiscretePDF]:
+        """Memoized ``convolve(a, b)`` result, or None on a miss."""
+        entry = self._get(self._convolve_key(a, b, trim_eps, backend))
+        if entry is None:
+            return None
+        if entry.backend is not backend:
+            # A distinct backend instance sharing the stored one's name:
+            # count it as the miss it is and let the caller recompute.
+            self.stats.hits -= 1
+            self.stats.misses += 1
+            return None
+        return self._replay(entry, a.offset + b.offset, a.dt, trim_eps)
+
+    def store_convolve(
+        self,
+        a: DiscretePDF,
+        b: DiscretePDF,
+        trim_eps: float,
+        backend,
+        raw: np.ndarray,
+        result: DiscretePDF,
+    ) -> None:
+        """Insert a freshly computed convolution (``raw`` is the kernel
+        output before normalization/trimming)."""
+        raw = np.asarray(raw)
+        raw.flags.writeable = False
+        self._put(
+            self._convolve_key(a, b, trim_eps, backend),
+            _Entry(raw, result, a.offset + b.offset, backend),
+        )
+
+    # ------------------------------------------------------------------
+    # MAX (independence statistical maximum)
+    # ------------------------------------------------------------------
+    def lookup_max(
+        self, pdfs: Sequence[DiscretePDF], trim_eps: float
+    ) -> Optional[DiscretePDF]:
+        """Memoized ``stat_max_many(pdfs)`` result, or None on a miss."""
+        entry = self._get(self._max_key(pdfs, trim_eps))
+        if entry is None:
+            return None
+        anchor = min(p.offset for p in pdfs)
+        return self._replay(entry, anchor, pdfs[0].dt, trim_eps)
+
+    def store_max(
+        self,
+        pdfs: Sequence[DiscretePDF],
+        trim_eps: float,
+        raw: np.ndarray,
+        result: DiscretePDF,
+    ) -> None:
+        raw = np.asarray(raw)
+        raw.flags.writeable = False
+        self._put(
+            self._max_key(pdfs, trim_eps),
+            _Entry(raw, result, min(p.offset for p in pdfs), None),
+        )
+
+    # ------------------------------------------------------------------
+    # Whole-node arrival memo (the engines' coarse-grained fast path)
+    # ------------------------------------------------------------------
+    # A timing node's arrival is a pure function of its fan-in operand
+    # contents *and absolute offsets*: memoizing at node granularity
+    # lets a perturbation front that re-visits a node with unchanged
+    # inputs (the dominant case across candidate fronts and optimizer
+    # iterations) skip the whole convolve-batch + MAX pipeline for one
+    # dict probe.  Keys use absolute offsets, so a hit returns the
+    # exact stored object a fresh computation would reproduce bitwise;
+    # a translated recurrence simply misses into the per-op caches.
+
+    def lookup_node(self, key: tuple, backend) -> Optional[DiscretePDF]:
+        """Memoized whole-node arrival for a key built by
+        :meth:`node_key`, or None.  Like the convolve lookup, the
+        resolved backend object is verified identically — two distinct
+        instances sharing a name (e.g. ``AutoBackend``s with different
+        cost ratios) must never serve each other's bits."""
+        entry = self._get(("node",) + key)
+        if entry is None:
+            return None
+        if entry.backend is not backend:
+            self.stats.hits -= 1
+            self.stats.misses += 1
+            return None
+        return entry.result
+
+    def store_node(self, key: tuple, result: DiscretePDF, backend) -> None:
+        self._put(("node",) + key, _Entry(None, result, 0, backend))
+
+    @staticmethod
+    def node_key(parts, trim_eps: float, backend) -> tuple:
+        """Node-memo key from ``(arrival, delay-or-None)`` fan-in parts
+        (absolute offsets; delay ``None`` marks a virtual arc)."""
+        return (
+            trim_eps,
+            getattr(backend, "name", type(backend).__name__),
+            tuple(
+                (
+                    arr.dt,
+                    arr.offset,
+                    _pdf_fingerprint(arr),
+                    None if d is None else d.offset,
+                    None if d is None else _pdf_fingerprint(d),
+                )
+                for arr, d in parts
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Percentile-gap memo (the Theorem-4 delta evaluations)
+    # ------------------------------------------------------------------
+    # ``max_percentile_gap(base, perturbed)`` costs as much as the
+    # kernel work it measures; with result objects shared through this
+    # cache the same (base, perturbed) pair recurs across fronts and
+    # iterations.  Keys again carry absolute offsets so a hit is the
+    # bit-exact value a fresh evaluation would produce — the pruning
+    # heap ordering (and hence the bitwise-selection guarantee) cannot
+    # be perturbed by an ulp-shifted translated evaluation.
+
+    @staticmethod
+    def _gap_key(a: DiscretePDF, b: DiscretePDF) -> tuple:
+        return (
+            "gap",
+            a.dt,
+            a.offset,
+            _pdf_fingerprint(a),
+            b.offset,
+            _pdf_fingerprint(b),
+        )
+
+    def lookup_gap(self, a: DiscretePDF, b: DiscretePDF) -> Optional[float]:
+        entry = self._get(self._gap_key(a, b))
+        if entry is None:
+            return None
+        return entry.result
+
+    def store_gap(self, a: DiscretePDF, b: DiscretePDF, gap: float) -> None:
+        self._put(self._gap_key(a, b), _Entry(None, gap, 0, None))
+
+    # ------------------------------------------------------------------
+    # Introspection / maintenance
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (stats are kept; see ``stats.reset()``)."""
+        self._entries.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.stats
+        return (
+            f"ConvolutionCache(entries={len(self._entries)}/"
+            f"{self.capacity}, hits={s.hits}, misses={s.misses}, "
+            f"evictions={s.evictions})"
+        )

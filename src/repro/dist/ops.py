@@ -25,6 +25,18 @@ direct kernel below the crossover.  The MAX kernels accept the same
 argument for call-site uniformity (engines thread one backend choice
 through every operation); the independence max is a CDF product, not a
 convolution, so its numerics are backend-invariant by construction.
+
+Two orthogonal accelerations ride on top of that contract:
+
+* every kernel takes an optional ``cache`` — a
+  :class:`~repro.dist.cache.ConvolutionCache` memoizing results keyed
+  by operand content, backend, and trim epsilon.  Hits return bits
+  identical to a fresh computation and are tallied on the counter as
+  *hits*, never as computed operations;
+* :func:`convolve_many` batches a node's fan-in ADDs through the
+  backend's ``convolve_many`` entry point, stacking same-shape operand
+  pairs into one 2-D transform (FFT path) or an equivalent loop
+  (direct path, bitwise identical to sequential calls).
 """
 
 from __future__ import annotations
@@ -36,9 +48,16 @@ import numpy as np
 
 from ..errors import DistributionError, GridMismatchError
 from .backends import BackendLike, get_backend
+from .cache import ConvolutionCache
 from .pdf import DiscretePDF
 
-__all__ = ["OpCounter", "convolve", "stat_max", "stat_max_many"]
+__all__ = [
+    "OpCounter",
+    "convolve",
+    "convolve_many",
+    "stat_max",
+    "stat_max_many",
+]
 
 
 @dataclass
@@ -49,30 +68,68 @@ class OpCounter:
     independence MAX (an n-way merge counts n - 1).  Counters are
     additive: thread one instance through an analysis to attribute all
     of its work, or keep separate instances and :meth:`merge` them.
+
+    Cache hits are tallied **distinctly**: a request served from a
+    :class:`~repro.dist.cache.ConvolutionCache` increments
+    :attr:`convolve_cache_hits` / :attr:`max_cache_hits` and leaves the
+    mult/add tallies untouched — :attr:`convolutions` and
+    :attr:`max_ops` count only the operations actually computed, so
+    cached work is visible without inflating the Table-2 statistics.
+    The invariant the tests pin: *computed + hits* equals the cache-off
+    tally of the same request sequence.
     """
 
     convolutions: int = 0
     max_ops: int = 0
+    convolve_cache_hits: int = 0
+    max_cache_hits: int = 0
 
     @property
     def total_ops(self) -> int:
-        """Convolutions plus max reductions."""
+        """Convolutions plus max reductions actually *computed*
+        (cache hits excluded)."""
         return self.convolutions + self.max_ops
 
+    @property
+    def cache_hits(self) -> int:
+        """Requests served from the result cache (ADD plus MAX)."""
+        return self.convolve_cache_hits + self.max_cache_hits
+
+    @property
+    def total_requests(self) -> int:
+        """Statistical operations *requested*: computed plus cached.
+        Invariant under the cache knob (and the backend choice)."""
+        return self.total_ops + self.cache_hits
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """cache_hits / total_requests (0.0 before any request)."""
+        if self.total_requests == 0:
+            return 0.0
+        return self.cache_hits / self.total_requests
+
     def merge(self, other: "OpCounter") -> None:
-        """Fold another counter's tallies into this one."""
+        """Fold another counter's tallies into this one (cache-hit
+        fields included — hits must survive aggregation distinctly,
+        never be folded into the computed-op tallies)."""
         self.convolutions += other.convolutions
         self.max_ops += other.max_ops
+        self.convolve_cache_hits += other.convolve_cache_hits
+        self.max_cache_hits += other.max_cache_hits
 
     def reset(self) -> None:
-        """Zero both tallies."""
+        """Zero every tally."""
         self.convolutions = 0
         self.max_ops = 0
+        self.convolve_cache_hits = 0
+        self.max_cache_hits = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"OpCounter(convolutions={self.convolutions}, "
-            f"max_ops={self.max_ops})"
+            f"max_ops={self.max_ops}, "
+            f"convolve_cache_hits={self.convolve_cache_hits}, "
+            f"max_cache_hits={self.max_cache_hits})"
         )
 
 
@@ -94,19 +151,100 @@ def convolve(
     trim_eps: float = 0.0,
     counter: Optional[OpCounter] = None,
     backend: BackendLike = "auto",
+    cache: Optional[ConvolutionCache] = None,
 ) -> DiscretePDF:
     """Distribution of the sum of two independent arrivals (ADD).
 
     Offsets add, so no regridding happens: the result lives on the same
     ``dt`` grid at offset ``a.offset + b.offset``.  ``trim_eps`` total
     tail mass is trimmed afterwards (split between the tails).
-    ``backend`` selects the convolution kernel (default ``auto``).
+    ``backend`` selects the convolution kernel (default ``auto``);
+    ``cache`` memoizes results keyed by operand content — hits are
+    bit-identical to fresh computations and tallied separately on the
+    counter (they are not computed work).
     """
     dt = _require_same_grid((a, b))
-    masses = get_backend(backend).convolve_masses(a.masses, b.masses)
+    kernel = get_backend(backend)
+    if cache is not None:
+        hit = cache.lookup_convolve(a, b, trim_eps, kernel)
+        if hit is not None:
+            if counter is not None:
+                counter.convolve_cache_hits += 1
+            return hit
+    masses = kernel.convolve_masses(a.masses, b.masses)
     if counter is not None:
         counter.convolutions += 1
-    return DiscretePDF(dt, a.offset + b.offset, masses).trimmed(trim_eps)
+    # Trusted construction: backend outputs are fresh, finite,
+    # non-negative vectors (the ConvolutionBackend contract).
+    result = DiscretePDF._trusted(dt, a.offset + b.offset, masses).trimmed(
+        trim_eps
+    )
+    if cache is not None:
+        cache.store_convolve(a, b, trim_eps, kernel, masses, result)
+    return result
+
+
+def convolve_many(
+    pairs: Sequence,
+    *,
+    trim_eps: float = 0.0,
+    counter: Optional[OpCounter] = None,
+    backend: BackendLike = "auto",
+    cache: Optional[ConvolutionCache] = None,
+) -> list:
+    """Batched ADD: one :func:`convolve` result per ``(a, b)`` pair.
+
+    The SSTA inner loop convolves every fan-in arrival with its arc's
+    delay PDF before one MAX reduction; this entry point hands all of a
+    node's pairs to the backend at once so same-shape operands share
+    one stacked transform (see ``ConvolutionBackend.convolve_many``).
+    Cached pairs are resolved first and never re-enter the batch.
+
+    Equivalence contract with the looped path: **bitwise identical per
+    pair regardless of batch composition**, for every shipped backend —
+    ``direct`` by construction, ``fft`` via per-transform-size
+    verification (the first batch at each ``nfft`` checks a row against
+    the singleton path and falls back to the loop at any size where the
+    platform's stacked transform is not row-bitwise; see
+    ``FFTBackend.convolve_many``).  This is load-bearing for the result
+    cache, which shares entries between batched and singleton
+    computations.  Backends without a ``convolve_many`` method fall
+    back to a ``convolve_masses`` loop.
+    """
+    pairs = list(pairs)
+    if not pairs:
+        return []
+    kernel = get_backend(backend)
+    results: list = [None] * len(pairs)
+    todo: list = []
+    for i, (a, b) in enumerate(pairs):
+        _require_same_grid((a, b))
+        if cache is not None:
+            hit = cache.lookup_convolve(a, b, trim_eps, kernel)
+            if hit is not None:
+                if counter is not None:
+                    counter.convolve_cache_hits += 1
+                results[i] = hit
+                continue
+        todo.append(i)
+    if todo:
+        batch = [(pairs[i][0].masses, pairs[i][1].masses) for i in todo]
+        batched = getattr(kernel, "convolve_many", None)
+        if callable(batched):
+            raws = batched(batch)
+        else:  # third-party backend without the batched entry point
+            raws = [kernel.convolve_masses(a, b) for a, b in batch]
+        if counter is not None:
+            counter.convolutions += len(todo)
+        for i, raw in zip(todo, raws):
+            a, b = pairs[i]
+            res = DiscretePDF._trusted(
+                a.dt, a.offset + b.offset, raw
+            ).trimmed(trim_eps)
+            if cache is not None:
+                cache.store_convolve(a, b, trim_eps, kernel, raw, res)
+            results[i] = res
+    return results
 
 
 def _padded_cdfs(pdfs: Sequence[DiscretePDF]) -> tuple:
@@ -131,12 +269,12 @@ def _padded_cdfs(pdfs: Sequence[DiscretePDF]) -> tuple:
     grid = np.empty((len(pdfs), width))
     for i, p in enumerate(pdfs):
         start = p.offset - lo
-        cs = p._cdf  # noqa: SLF001 - cached cumulative, shared with queries
-        if cs[-1] != 1.0:
-            cs = cs / cs[-1]
+        n = p.masses.size
+        # Cached per instance: the renormalizing division happens once
+        # per distribution, not once per MAX it participates in.
         grid[i, :start] = 0.0
-        grid[i, start : start + p.n_bins] = cs
-        grid[i, start + p.n_bins :] = 1.0
+        grid[i, start : start + n] = p._unit_cdf  # noqa: SLF001
+        grid[i, start + n :] = 1.0
     return lo, grid
 
 
@@ -145,15 +283,30 @@ def _independence_max(
     trim_eps: float,
     counter: Optional[OpCounter],
     backend: BackendLike,
+    cache: Optional[ConvolutionCache] = None,
 ) -> DiscretePDF:
     get_backend(backend)  # validate eagerly; the max itself is backend-free
     dt = _require_same_grid(pdfs)
+    if cache is not None:
+        hit = cache.lookup_max(pdfs, trim_eps)
+        if hit is not None:
+            if counter is not None:
+                counter.max_cache_hits += len(pdfs) - 1
+            return hit
     lo, grid = _padded_cdfs(pdfs)
     cdf = np.prod(grid, axis=0)
-    masses = np.diff(cdf, prepend=0.0)
+    # Adjacent difference, spelled out: bitwise np.diff(cdf, prepend=0)
+    # without the wrapper's concatenate/broadcast machinery (this runs
+    # once per MAX reduction).
+    masses = np.empty_like(cdf)
+    masses[0] = cdf[0]
+    np.subtract(cdf[1:], cdf[:-1], out=masses[1:])
     if counter is not None:
         counter.max_ops += len(pdfs) - 1
-    return DiscretePDF(dt, lo, masses).trimmed(trim_eps)
+    result = DiscretePDF(dt, lo, masses).trimmed(trim_eps)
+    if cache is not None:
+        cache.store_max(pdfs, trim_eps, masses, result)
+    return result
 
 
 def stat_max(
@@ -163,6 +316,7 @@ def stat_max(
     trim_eps: float = 0.0,
     counter: Optional[OpCounter] = None,
     backend: BackendLike = "auto",
+    cache: Optional[ConvolutionCache] = None,
 ) -> DiscretePDF:
     """Independence statistical maximum (MAX) of two arrivals.
 
@@ -170,9 +324,10 @@ def stat_max(
     the engine's global independence assumption, an upper bound on the
     true circuit-delay CDF in the presence of reconvergence [3].
     ``backend`` is validated for call-site uniformity; the max numerics
-    are backend-invariant.
+    are backend-invariant.  ``cache`` memoizes the product keyed by the
+    operands' contents and relative alignment.
     """
-    return _independence_max((a, b), trim_eps, counter, backend)
+    return _independence_max((a, b), trim_eps, counter, backend, cache)
 
 
 def stat_max_many(
@@ -181,14 +336,16 @@ def stat_max_many(
     trim_eps: float = 0.0,
     counter: Optional[OpCounter] = None,
     backend: BackendLike = "auto",
+    cache: Optional[ConvolutionCache] = None,
 ) -> DiscretePDF:
     """Independence MAX of any number of arrivals in one vectorized
     reduction (one CDF product over the stacked union grid).
 
     A single operand passes through untouched apart from trimming —
     convolution results already trimmed at the same ``trim_eps`` come
-    back identically, preserving bitwise reproducibility.  ``backend``
-    is validated for call-site uniformity; the max numerics are
+    back identically, preserving bitwise reproducibility (and skipping
+    the cache: trimming is cheaper than a lookup).  ``backend`` is
+    validated for call-site uniformity; the max numerics are
     backend-invariant.
     """
     if len(pdfs) == 0:
@@ -196,4 +353,4 @@ def stat_max_many(
     if len(pdfs) == 1:
         get_backend(backend)
         return pdfs[0].trimmed(trim_eps)
-    return _independence_max(pdfs, trim_eps, counter, backend)
+    return _independence_max(pdfs, trim_eps, counter, backend, cache)

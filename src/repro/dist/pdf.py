@@ -83,6 +83,38 @@ class DiscretePDF:
     # Constructors
     # ------------------------------------------------------------------
     @classmethod
+    def _trusted(cls, dt: float, offset: int, masses: np.ndarray) -> "DiscretePDF":
+        """Kernel-internal fast constructor.
+
+        Callers guarantee what ``__post_init__`` would otherwise check:
+        ``masses`` is a fresh (exclusively owned) 1-D float64 array of
+        finite, non-negative values with a positive total, and ``dt``
+        is positive.  The normalization arithmetic is bitwise the
+        public path's (one ``sum``, one division when the total is not
+        exactly 1), so trusted and validated construction of the same
+        vector yield identical distributions — only the validation
+        reductions and the defensive copy are skipped.  This sits on
+        the convolution/trim hot path where those checks dominate the
+        per-result cost.
+        """
+        if masses.size > MAX_BINS:
+            raise DistributionError(
+                f"distribution spans {masses.size} bins, exceeding MAX_BINS="
+                f"{MAX_BINS}; dt is too small for this analysis"
+            )
+        total = float(masses.sum())
+        if not total > 0.0:  # also traps NaN totals from misuse
+            raise DistributionError("total probability mass must be positive")
+        if total != 1.0:
+            masses = masses / total
+        masses.flags.writeable = False
+        self = object.__new__(cls)
+        object.__setattr__(self, "dt", dt)
+        object.__setattr__(self, "offset", int(offset))
+        object.__setattr__(self, "masses", masses)
+        return self
+
+    @classmethod
     def delta(cls, dt: float, time: float) -> "DiscretePDF":
         """Point mass at the grid bin nearest ``time``."""
         if dt <= 0.0:
@@ -172,6 +204,22 @@ class DiscretePDF:
         return cdf
 
     @cached_property
+    def _unit_cdf(self) -> np.ndarray:
+        """Cumulative masses with the final value pinned at exactly 1.
+
+        The renormalized row the MAX kernel stacks onto the union grid
+        (see ``repro.dist.ops._padded_cdfs`` for why the pin matters).
+        Memoized per instance: result-cache sharing makes the same
+        arrival feed many MAX reductions, and the division is bitwise
+        deterministic, so computing it once changes nothing but cost.
+        """
+        cs = self._cdf
+        if cs[-1] != 1.0:
+            cs = cs / cs[-1]
+            cs.flags.writeable = False
+        return cs
+
+    @cached_property
     def _knots(self) -> tuple:
         """(times, cumulative) knot arrays of the piecewise-linear CDF.
 
@@ -191,6 +239,13 @@ class DiscretePDF:
         xp.flags.writeable = False
         fp.flags.writeable = False
         return xp, fp
+
+    @cached_property
+    def _ramp_floor(self) -> int:
+        """Index of the first strictly-positive CDF knot (the clamp
+        floor of :meth:`_inverse`); cached because the pruning bound
+        evaluates inverses twice per perturbed node."""
+        return int(self._knots[1].searchsorted(0.0, side="right"))
 
     def cdf(self) -> np.ndarray:
         """Cumulative mass through each bin (aligned with :attr:`times`)."""
@@ -214,14 +269,13 @@ class DiscretePDF:
         ``p -> 0+`` limit, used by the gap metric's ramp level).
         """
         xp, fp = self._knots
-        idx = np.searchsorted(fp, ps, side="left")
+        idx = fp.searchsorted(ps, side="left")
         # Clamp onto the first strictly-positive knot so p == 0 (and any
         # leading zero-mass plateau) lands on a segment with positive
         # rise; for p > 0 this is a no-op, leaving fp[idx-1] < p <=
-        # fp[idx] with a positive denominator.
-        idx = np.clip(
-            idx, np.searchsorted(fp, 0.0, side="right"), fp.size - 1
-        )
+        # fp[idx] with a positive denominator.  (Array methods rather
+        # than np.* wrappers: this runs per pruning-bound evaluation.)
+        idx = idx.clip(self._ramp_floor, fp.size - 1)
         lo = idx - 1
         frac = (ps - fp[lo]) / (fp[idx] - fp[lo])
         return xp[lo] + frac * (xp[idx] - xp[lo])
@@ -257,6 +311,14 @@ class DiscretePDF:
         """
         if trim_eps < 0.0:
             raise DistributionError(f"trim_eps must be >= 0, got {trim_eps}")
+        # Idempotence memo: once trimmed at eps, every boundary bin
+        # carries more than eps/2 lumped mass, so a repeat trim at the
+        # same or a smaller eps provably drops nothing — skip the tail
+        # probes entirely.  (Stored out-of-band on the instance dict;
+        # the dataclass fields stay immutable.)
+        level = self.__dict__.get("_trim_level")
+        if level is not None and trim_eps <= level:
+            return self
         half = trim_eps / 2.0
         n = self.masses.size
         # Fast path: at realistic trim_eps the cut lands within a few
@@ -267,39 +329,46 @@ class DiscretePDF:
         # already exceed ``half`` the cut indices and lumped masses are
         # bit-identical to the full computation below.
         block = 64
+        masses = self.masses
         if n >= 2 * block:
-            prefix = np.cumsum(self.masses[:block])
-            tail_block = np.cumsum(self.masses[n - block :][::-1])
+            prefix = masses[:block].cumsum()
+            tail_block = masses[n - block :][::-1].cumsum()
             if prefix[-1] > half and tail_block[-1] > half:
-                lo = int(np.searchsorted(prefix, half, side="right"))
-                hi_drop = int(np.searchsorted(tail_block, half, side="right"))
+                lo = int(prefix.searchsorted(half, side="right"))
+                hi_drop = int(tail_block.searchsorted(half, side="right"))
                 hi = n - hi_drop
                 if lo == 0 and hi == n:
+                    self.__dict__["_trim_level"] = trim_eps
                     return self
-                kept = self.masses[lo:hi].copy()
+                kept = masses[lo:hi].copy()
                 if lo > 0:
                     kept[0] += prefix[lo - 1]
                 if hi < n:
                     kept[-1] += tail_block[hi_drop - 1]
-                return DiscretePDF(self.dt, self.offset + lo, kept)
+                out = DiscretePDF._trusted(self.dt, self.offset + lo, kept)
+                out.__dict__["_trim_level"] = trim_eps
+                return out
         cdf = self._cdf
         # Largest prefix with cumulative mass <= half, and symmetrically
         # the largest suffix; always keep at least one bin.
-        lo = int(np.searchsorted(cdf, half, side="right"))
-        tail = np.cumsum(self.masses[::-1])
-        hi_drop = int(np.searchsorted(tail, half, side="right"))
+        lo = int(cdf.searchsorted(half, side="right"))
+        tail = masses[::-1].cumsum()
+        hi_drop = int(tail.searchsorted(half, side="right"))
         hi = n - hi_drop
         if lo >= hi:  # degenerate request: keep the heaviest single bin
-            keep = int(np.argmax(self.masses))
+            keep = int(np.argmax(masses))
             lo, hi = keep, keep + 1
         if lo == 0 and hi == n:
+            self.__dict__["_trim_level"] = trim_eps
             return self
-        kept = self.masses[lo:hi].copy()
+        kept = masses[lo:hi].copy()
         if lo > 0:
             kept[0] += cdf[lo - 1]
         if hi < n:
             kept[-1] += tail[n - hi - 1]
-        return DiscretePDF(self.dt, self.offset + lo, kept)
+        out = DiscretePDF._trusted(self.dt, self.offset + lo, kept)
+        out.__dict__["_trim_level"] = trim_eps
+        return out
 
     # ------------------------------------------------------------------
     # Comparison

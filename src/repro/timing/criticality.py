@@ -30,7 +30,8 @@ from typing import Dict, List, Optional
 
 from ..config import AnalysisConfig
 from ..dist.backends import BackendLike, get_backend
-from ..dist.ops import OpCounter, convolve, stat_max_many
+from ..dist.cache import ConvolutionCache
+from ..dist.ops import OpCounter, convolve, convolve_many, stat_max_many
 from ..dist.pdf import DiscretePDF
 from ..errors import TimingError
 from .delay_model import DelayModel
@@ -52,15 +53,17 @@ class BackwardSSTAResult:
 
     ``to_sink[node]`` is the distribution of the longest remaining
     delay from ``node`` to the sink (zero at the sink itself).
-    ``backend`` records the convolution backend the pass ran under, so
-    downstream criticality queries default to the same kernel instead
-    of silently mixing backends within one analysis.
+    ``backend`` and ``cache`` record the convolution backend and result
+    cache the pass ran under, so downstream criticality queries default
+    to the same kernel and memo instead of silently mixing them within
+    one analysis.
     """
 
     graph: TimingGraph
     to_sink: List[DiscretePDF]
     counter: OpCounter
     backend: BackendLike = "auto"
+    cache: Optional[ConvolutionCache] = None
 
     def to_sink_of_net(self, net: str) -> DiscretePDF:
         """Delay-to-sink PDF at a named net."""
@@ -83,6 +86,7 @@ def run_backward_ssta(
     cfg = config if config is not None else model.config
     own = counter if counter is not None else OpCounter()
     kernel = get_backend(cfg.backend)
+    cache = cfg.cache
     to_sink: List[Optional[DiscretePDF]] = [None] * graph.n_nodes
     to_sink[graph.sink] = DiscretePDF.delta(cfg.dt, 0.0)
     for node in reversed(graph.topo_nodes()):
@@ -91,23 +95,33 @@ def run_backward_ssta(
         fanout = graph.fanout_edges(node)
         if not fanout:
             raise TimingError(f"node {node} has no fan-out (not a sink)")
-        contribs = []
-        for edge in fanout:
+        # Mirror of compute_node_arrival: slot order follows the edge
+        # order, gate arcs batch through one convolve_many call.
+        contribs: List[Optional[DiscretePDF]] = [None] * len(fanout)
+        pairs = []
+        pair_slots = []
+        for i, edge in enumerate(fanout):
             dst_pdf = to_sink[edge.dst]
             assert dst_pdf is not None
             if edge.gate is None:
-                contribs.append(dst_pdf)
+                contribs[i] = dst_pdf
             else:
-                contribs.append(
-                    convolve(dst_pdf, model.delay_pdf(edge.gate),
-                             trim_eps=cfg.tail_eps, counter=own,
-                             backend=kernel)
-                )
+                pairs.append((dst_pdf, model.delay_pdf(edge.gate)))
+                pair_slots.append(i)
+        if pairs:
+            for i, res in zip(
+                pair_slots,
+                convolve_many(pairs, trim_eps=cfg.tail_eps, counter=own,
+                              backend=kernel, cache=cache),
+            ):
+                contribs[i] = res
         to_sink[node] = stat_max_many(
-            contribs, trim_eps=cfg.tail_eps, counter=own, backend=kernel
+            contribs, trim_eps=cfg.tail_eps, counter=own, backend=kernel,
+            cache=cache,
         )
     return BackwardSSTAResult(
-        graph=graph, to_sink=to_sink, counter=own, backend=kernel  # type: ignore[arg-type]
+        graph=graph, to_sink=to_sink, counter=own, backend=kernel,  # type: ignore[arg-type]
+        cache=cache,
     )
 
 
@@ -127,14 +141,15 @@ def node_criticality(
     the net essentially set the circuit delay; near 0 means the net is
     statistically irrelevant.  Relative ranking is what the analysis
     consumers use.  ``backend`` defaults to the kernel the backward
-    pass ran under, keeping one backend choice threaded through the
-    whole analysis.
+    pass ran under (and the query reuses its result cache), keeping one
+    backend and memo choice threaded through the whole analysis.
     """
     graph = forward.graph
     node = graph.node_of_net(net)
     kernel = backward.backend if backend is None else backend
     through = convolve(
-        forward.arrivals[node], backward.to_sink[node], backend=kernel
+        forward.arrivals[node], backward.to_sink[node], backend=kernel,
+        cache=backward.cache,
     )
     target = forward.sink_pdf.percentile(percentile)
     return 1.0 - through.cdf_at(target)

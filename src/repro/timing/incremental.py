@@ -64,9 +64,12 @@ def update_ssta_after_resize(
     """
     graph: TimingGraph = result.graph
     cfg = model.config
-    # Same backend resolution as the full pass — the bitwise-equality
-    # wave cutoff only works if both computed through the same kernel.
+    # Same backend and result-cache resolution as the full pass — the
+    # bitwise-equality wave cutoff only works if both computed through
+    # the same kernel (cache hits are bitwise by construction, so the
+    # cache can only make the cutoff cheaper, never wrong).
     kernel = get_backend(cfg.backend)
+    cache = cfg.cache
     arrivals = result.arrivals
 
     seeds: Set[int] = set()
@@ -91,6 +94,7 @@ def update_ssta_after_resize(
             trim_eps=cfg.tail_eps,
             counter=counter,
             backend=kernel,
+            cache=cache,
         )
         recomputed += 1
         if _identical(new_pdf, arrivals[node]):

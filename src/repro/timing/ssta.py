@@ -22,7 +22,8 @@ from typing import Callable, Dict, List, Optional
 
 from ..config import AnalysisConfig, DEFAULT_CONFIG
 from ..dist.backends import BackendLike, get_backend
-from ..dist.ops import OpCounter, convolve, stat_max_many
+from ..dist.cache import ConvolutionCache
+from ..dist.ops import OpCounter, convolve_many, stat_max_many
 from ..dist.pdf import DiscretePDF
 from ..errors import TimingError
 from ..netlist.circuit import Gate
@@ -41,33 +42,76 @@ def compute_node_arrival(
     trim_eps: float,
     counter: Optional[OpCounter] = None,
     backend: BackendLike = "auto",
+    cache: Optional[ConvolutionCache] = None,
 ) -> DiscretePDF:
     """Arrival PDF at ``node`` given fan-in arrivals and edge delays.
 
     Virtual (source/sink) arcs add zero delay; gate arcs convolve the
     fan-in arrival with the gate's pin-to-pin delay PDF; multiple arcs
-    merge through the independence max.  ``backend`` selects the
-    convolution kernel for every arc — callers (full SSTA, incremental
-    updates, perturbation fronts) must pass the same choice to stay
-    bitwise interchangeable.
+    merge through the independence max.  All of a node's gate arcs go
+    through one batched :func:`~repro.dist.ops.convolve_many` call, so
+    same-shape operand pairs share a stacked transform and cached pairs
+    skip computation entirely.  ``backend`` selects the convolution
+    kernel and ``cache`` the result memo for every arc — callers (full
+    SSTA, incremental updates, perturbation fronts) must pass the same
+    choices to stay bitwise interchangeable.
     """
     fanin = graph.fanin_edges(node)
     if not fanin:
         raise TimingError(f"node {node} has no fan-in")
     kernel = get_backend(backend)
-    contribs: List[DiscretePDF] = []
-    for edge in fanin:
+    # Contribution order must match the edge order exactly: the MAX CDF
+    # product multiplies rows in sequence, so reordering would change
+    # round-off (and break bitwise reproducibility claims).
+    contribs: List[Optional[DiscretePDF]] = [None] * len(fanin)
+    pairs = []
+    pair_slots = []
+    for i, edge in enumerate(fanin):
         src_pdf = get_arrival(edge.src)
         if edge.gate is None:
-            contribs.append(src_pdf)
+            contribs[i] = src_pdf
         else:
-            contribs.append(
-                convolve(src_pdf, get_delay_pdf(edge.gate),
-                         trim_eps=trim_eps, counter=counter, backend=kernel)
-            )
-    return stat_max_many(
-        contribs, trim_eps=trim_eps, counter=counter, backend=kernel
+            pairs.append((src_pdf, get_delay_pdf(edge.gate)))
+            pair_slots.append(i)
+    node_key = None
+    if cache is not None:
+        # Whole-node fast path: the arrival is a pure function of the
+        # fan-in operands, so an unchanged node (the dominant case for
+        # perturbation fronts re-visiting base territory and for the
+        # per-iteration SSTA refresh) resolves in one probe.  The hits
+        # stand in for every kernel request the node would have made.
+        parts = []
+        pair_it = iter(pairs)
+        for i, edge in enumerate(fanin):
+            if edge.gate is None:
+                parts.append((contribs[i], None))
+            else:
+                parts.append(next(pair_it))
+        node_key = cache.node_key(parts, trim_eps, kernel)
+        hit = cache.lookup_node(node_key, kernel)
+        if hit is not None:
+            if counter is not None:
+                counter.convolve_cache_hits += len(pairs)
+                counter.max_cache_hits += len(fanin) - 1
+            return hit
+    if pairs:
+        for i, res in zip(
+            pair_slots,
+            convolve_many(pairs, trim_eps=trim_eps, counter=counter,
+                          backend=kernel, cache=cache),
+        ):
+            contribs[i] = res
+    # The per-op MAX cache still gets a look after a node-memo miss:
+    # usually the changed fan-in means it misses too, but an evicted
+    # node entry (the kinds share one LRU) or a translated recurrence
+    # can still be served here, and hits are bitwise either way.
+    result = stat_max_many(
+        contribs, trim_eps=trim_eps, counter=counter, backend=kernel,
+        cache=cache,
     )
+    if node_key is not None:
+        cache.store_node(node_key, result, kernel)
+    return result
 
 
 @dataclass
@@ -124,16 +168,18 @@ def run_ssta(
     kernel = get_backend(cfg.backend)
     arrivals: List[Optional[DiscretePDF]] = [None] * graph.n_nodes
     arrivals[graph.source] = DiscretePDF.delta(cfg.dt, 0.0)
+    get_arrival = arrivals.__getitem__
     for node in graph.topo_nodes():
         if node == graph.source:
             continue
         arrivals[node] = compute_node_arrival(
             graph,
             node,
-            lambda n: arrivals[n],  # type: ignore[arg-type,return-value]
+            get_arrival,  # type: ignore[arg-type]
             model.delay_pdf,
             trim_eps=cfg.tail_eps,
             counter=own_counter,
             backend=kernel,
+            cache=cfg.cache,
         )
     return SSTAResult(graph=graph, arrivals=arrivals, counter=own_counter)  # type: ignore[arg-type]

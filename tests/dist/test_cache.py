@@ -1,0 +1,480 @@
+"""Cached-vs-uncached equivalence harness for the kernel result cache.
+
+The :class:`~repro.dist.cache.ConvolutionCache` promises *bitwise
+transparency*: any sequence of kernel requests served through a cache
+— whatever its capacity, however much eviction churn it suffers —
+returns exactly the bits the uncached kernels would have produced.
+These tests pin that promise under every backend with adversarial
+operands (deltas, disjoint supports, repeated and translated operands,
+mass-deficient cumulative sums), plus the batched ``convolve_many``
+equivalence contract: bitwise against the looped path for every
+shipped backend — ``direct`` by construction, ``fft`` via its runtime
+row-bitwise probe (which falls back to the loop on builds whose
+stacked transform is not row-bitwise).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import AnalysisConfig
+from repro.dist.backends import FFTBackend, available_backends, get_backend
+from repro.dist.cache import (
+    DEFAULT_CACHE_CAPACITY,
+    CacheStats,
+    ConvolutionCache,
+)
+from repro.dist.ops import OpCounter, convolve, convolve_many, stat_max_many
+from repro.dist.pdf import DiscretePDF
+from repro.errors import DistributionError
+
+ALL_BACKENDS = available_backends()
+
+
+@st.composite
+def pdfs(draw, max_bins: int = 48, max_offset: int = 120):
+    """Random trimmed PDFs, adversarial for mass accounting (masses
+    spanning many decades leave cumulative sums shy of 1; ``n == 1``
+    produces deltas; random offsets produce disjoint supports)."""
+    n = draw(st.integers(min_value=1, max_value=max_bins))
+    exponents = draw(
+        st.lists(st.integers(min_value=-14, max_value=0), min_size=n, max_size=n)
+    )
+    mantissas = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    raw = [m * 10.0 ** e for m, e in zip(mantissas, exponents)]
+    if sum(raw) <= 0.0:
+        raw = [r + 1.0 for r in raw]
+    offset = draw(st.integers(min_value=-max_offset, max_value=max_offset))
+    pdf = DiscretePDF(2.0, offset, np.asarray(raw))
+    trim = draw(st.sampled_from([0.0, 0.0, 1e-12, 1e-6]))
+    return pdf.trimmed(trim)
+
+
+def assert_bitwise(a: DiscretePDF, b: DiscretePDF) -> None:
+    assert a.dt == b.dt
+    assert a.offset == b.offset
+    assert np.array_equal(a.masses, b.masses)
+
+
+class TestCachedConvolveBitwise:
+    @settings(max_examples=120, deadline=None)
+    @given(a=pdfs(), b=pdfs(), trim=st.sampled_from([0.0, 1e-9, 1e-6]))
+    def test_hit_is_bitwise_identical_per_backend(self, a, b, trim):
+        for backend in ALL_BACKENDS:
+            cache = ConvolutionCache(capacity=8)
+            plain = convolve(a, b, trim_eps=trim, backend=backend)
+            miss = convolve(a, b, trim_eps=trim, backend=backend, cache=cache)
+            hit = convolve(a, b, trim_eps=trim, backend=backend, cache=cache)
+            assert_bitwise(plain, miss)
+            assert_bitwise(plain, hit)
+            assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=pdfs())
+    def test_repeated_operand_squares(self, a):
+        """convolve(a, a) — one operand appearing twice in the key."""
+        cache = ConvolutionCache(capacity=4)
+        for backend in ALL_BACKENDS:
+            plain = convolve(a, a, backend=backend)
+            for _ in range(2):
+                assert_bitwise(
+                    plain, convolve(a, a, backend=backend, cache=cache)
+                )
+
+    def test_identical_offsets_return_the_stored_object(self):
+        """The O(1) fast path: same operands, same offsets — the hit is
+        the very object the miss produced (immutable, shareable)."""
+        rng = np.random.default_rng(7)
+        a = DiscretePDF(2.0, 3, rng.random(40))
+        b = DiscretePDF(2.0, -5, rng.random(25))
+        cache = ConvolutionCache()
+        first = convolve(a, b, trim_eps=1e-9, cache=cache)
+        second = convolve(a, b, trim_eps=1e-9, cache=cache)
+        assert second is first
+
+    def test_translated_operands_hit_and_stay_bitwise(self):
+        """Offsets are absent from the ADD key: a translated recurrence
+        of the same mass vectors hits, and the replayed result matches
+        the uncached convolution at the new offsets bit for bit."""
+        rng = np.random.default_rng(8)
+        raw_a, raw_b = rng.random(30), rng.random(20)
+        a = DiscretePDF(2.0, 0, raw_a)
+        b = DiscretePDF(2.0, 0, raw_b)
+        cache = ConvolutionCache()
+        convolve(a, b, trim_eps=1e-9, cache=cache)
+        # Same raw vectors normalized identically, new offsets: content-
+        # equal translations (shifted_bins would renormalize by the
+        # stored sum and perturb the last ulp — a legitimate miss).
+        a2 = DiscretePDF(2.0, 17, raw_a)
+        b2 = DiscretePDF(2.0, -4, raw_b)
+        plain = convolve(a2, b2, trim_eps=1e-9)
+        cached = convolve(a2, b2, trim_eps=1e-9, cache=cache)
+        assert cache.stats.hits == 1
+        assert_bitwise(plain, cached)
+
+    def test_deltas_and_disjoint_supports(self):
+        delta = DiscretePDF.delta(2.0, 40.0)
+        far = DiscretePDF(2.0, 100_000, np.random.default_rng(9).random(12))
+        cache = ConvolutionCache()
+        for backend in ALL_BACKENDS:
+            plain = convolve(delta, far, backend=backend)
+            convolve(delta, far, backend=backend, cache=cache)
+            hit = convolve(delta, far, backend=backend, cache=cache)
+            assert_bitwise(plain, hit)
+
+    def test_distinct_equal_content_operands_hit(self):
+        """Keys are content fingerprints, not object ids: a re-created
+        equal-valued operand hits the original entry."""
+        rng = np.random.default_rng(10)
+        raw = rng.random(33)
+        a1 = DiscretePDF(2.0, 2, raw.copy())
+        b = DiscretePDF(2.0, 0, rng.random(15))
+        cache = ConvolutionCache()
+        first = convolve(a1, b, cache=cache)
+        a2 = DiscretePDF(2.0, 2, raw.copy())
+        second = convolve(a2, b, cache=cache)
+        assert cache.stats.hits == 1
+        assert second is first
+
+    def test_trim_eps_and_backend_partition_the_key(self):
+        rng = np.random.default_rng(11)
+        a = DiscretePDF(2.0, 0, rng.random(700))
+        b = DiscretePDF(2.0, 0, rng.random(700))
+        cache = ConvolutionCache()
+        convolve(a, b, trim_eps=0.0, backend="direct", cache=cache)
+        convolve(a, b, trim_eps=1e-6, backend="direct", cache=cache)
+        convolve(a, b, trim_eps=0.0, backend="fft", cache=cache)
+        assert cache.stats.misses == 3 and cache.stats.hits == 0
+        # and each variant now hits its own entry, bitwise-correctly
+        d = convolve(a, b, trim_eps=0.0, backend="direct", cache=cache)
+        f = convolve(a, b, trim_eps=0.0, backend="fft", cache=cache)
+        assert cache.stats.hits == 2
+        assert_bitwise(d, convolve(a, b, trim_eps=0.0, backend="direct"))
+        assert_bitwise(f, convolve(a, b, trim_eps=0.0, backend="fft"))
+
+    def test_same_named_foreign_backend_cannot_serve_entry(self):
+        """Two distinct FFTBackend instances share a name; the entry
+        verifier must treat the second as a miss, never serve bits
+        computed under a different kernel object."""
+        rng = np.random.default_rng(12)
+        a = DiscretePDF(2.0, 0, rng.random(20))
+        b = DiscretePDF(2.0, 0, rng.random(20))
+        cache = ConvolutionCache()
+        mine = FFTBackend()
+        convolve(a, b, backend=mine, cache=cache)
+        out = convolve(a, b, backend=FFTBackend(), cache=cache)
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 2
+        assert_bitwise(out, convolve(a, b, backend="fft"))
+
+
+class TestCachedStatMaxBitwise:
+    @settings(max_examples=80, deadline=None)
+    @given(ops=st.lists(pdfs(max_bins=24), min_size=2, max_size=5))
+    def test_hit_is_bitwise_identical(self, ops):
+        cache = ConvolutionCache(capacity=8)
+        plain = stat_max_many(ops, trim_eps=1e-9)
+        miss = stat_max_many(ops, trim_eps=1e-9, cache=cache)
+        hit = stat_max_many(ops, trim_eps=1e-9, cache=cache)
+        assert_bitwise(plain, miss)
+        assert_bitwise(plain, hit)
+        assert hit is miss  # same anchor: the stored object comes back
+
+    def test_relative_alignment_is_the_key(self):
+        """Translating *all* operands together hits (same relative
+        alignment) and replays bitwise at the new anchor; translating
+        one operand alone is a different MAX and must miss."""
+        rng = np.random.default_rng(13)
+        raws = [rng.random(18) for _ in range(3)]
+        ops = [DiscretePDF(2.0, 3 * i, raw) for i, raw in enumerate(raws)]
+        cache = ConvolutionCache()
+        stat_max_many(ops, cache=cache)
+        together = [
+            DiscretePDF(2.0, p.offset + 11, raw)
+            for p, raw in zip(ops, raws)
+        ]
+        plain = stat_max_many(together)
+        cached = stat_max_many(together, cache=cache)
+        assert cache.stats.hits == 1
+        assert_bitwise(plain, cached)
+        skewed = [ops[0].shifted_bins(1), ops[1], ops[2]]
+        stat_max_many(skewed, cache=cache)
+        assert cache.stats.misses == 2  # the skewed call missed
+
+    def test_single_operand_bypasses_the_cache(self):
+        p = DiscretePDF(2.0, 0, np.random.default_rng(14).random(10))
+        cache = ConvolutionCache()
+        out = stat_max_many([p], trim_eps=0.0, cache=cache)
+        assert out is p
+        assert cache.stats.requests == 0
+
+
+class TestEvictionChurn:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ops=st.lists(pdfs(max_bins=16), min_size=4, max_size=7),
+        capacity=st.integers(min_value=1, max_value=3),
+    )
+    def test_tiny_capacity_stays_bitwise(self, ops, capacity):
+        """A thrashing cache loses hits, never correctness: every
+        result under churn equals the uncached one bitwise."""
+        cache = ConvolutionCache(capacity=capacity)
+        for _round in range(2):
+            for i in range(len(ops) - 1):
+                plain = convolve(ops[i], ops[i + 1], trim_eps=1e-9)
+                churned = convolve(
+                    ops[i], ops[i + 1], trim_eps=1e-9, cache=cache
+                )
+                assert_bitwise(plain, churned)
+        assert len(cache) <= capacity
+
+    def test_lru_eviction_order_and_stats(self):
+        rng = np.random.default_rng(15)
+        mk = lambda seed_row: DiscretePDF(2.0, 0, rng.random(8) + 0.01)
+        a, b, c, d = (mk(i) for i in range(4))
+        cache = ConvolutionCache(capacity=2)
+        convolve(a, b, cache=cache)  # entry 1
+        convolve(a, c, cache=cache)  # entry 2
+        convolve(a, b, cache=cache)  # touch entry 1 (now MRU)
+        convolve(a, d, cache=cache)  # evicts entry 2 (LRU)
+        assert cache.stats.evictions == 1
+        convolve(a, b, cache=cache)  # still cached
+        assert cache.stats.hits == 2
+        convolve(a, c, cache=cache)  # was evicted: a miss again
+        assert cache.stats.misses == 4
+
+    def test_clear_drops_entries_keeps_stats(self):
+        rng = np.random.default_rng(16)
+        a = DiscretePDF(2.0, 0, rng.random(10))
+        cache = ConvolutionCache()
+        convolve(a, a, cache=cache)
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.misses == 1
+        cache.stats.reset()
+        assert cache.stats.requests == 0
+
+
+class TestConvolveManyEquivalence:
+    """The batched entry point against the looped kernels."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(ops=st.lists(pdfs(max_bins=32), min_size=2, max_size=6))
+    def test_direct_batches_are_bitwise_the_loop(self, ops):
+        pairs = [(ops[i], ops[(i + 1) % len(ops)]) for i in range(len(ops))]
+        batched = convolve_many(pairs, trim_eps=1e-9, backend="direct")
+        for (a, b), out in zip(pairs, batched):
+            assert_bitwise(
+                out, convolve(a, b, trim_eps=1e-9, backend="direct")
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=st.lists(pdfs(max_bins=32), min_size=2, max_size=6))
+    def test_auto_below_crossover_is_bitwise_the_loop(self, ops):
+        pairs = [(ops[i], ops[(i + 1) % len(ops)]) for i in range(len(ops))]
+        batched = convolve_many(pairs, trim_eps=1e-9, backend="auto")
+        for (a, b), out in zip(pairs, batched):
+            assert_bitwise(out, convolve(a, b, trim_eps=1e-9, backend="auto"))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seeds=st.lists(
+            st.integers(min_value=0, max_value=2**16), min_size=2, max_size=5
+        ),
+        n=st.sampled_from([300, 700, 1100]),
+    )
+    def test_fft_batches_are_bitwise_the_loop(self, seeds, n):
+        """The batched-path contract is *bitwise* per pair: either the
+        platform's stacked transform is row-bitwise (probed once) or
+        the backend falls back to the loop — both make this exact.
+        Bitwise equality is what lets cached batched and singleton
+        computations share entries."""
+        pairs = [
+            (
+                DiscretePDF(1.0, 0, np.random.default_rng(s).random(n)),
+                DiscretePDF(1.0, 5, np.random.default_rng(s + 1).random(n)),
+            )
+            for s in seeds
+        ]
+        batched = convolve_many(pairs, backend="fft")
+        for (a, b), out in zip(pairs, batched):
+            assert_bitwise(out, convolve(a, b, backend="fft"))
+
+    def test_mixed_shapes_group_correctly(self):
+        rng = np.random.default_rng(17)
+        pairs = [
+            (DiscretePDF(2.0, 0, rng.random(20)), DiscretePDF(2.0, 0, rng.random(20))),
+            (DiscretePDF(2.0, 1, rng.random(33)), DiscretePDF(2.0, 2, rng.random(7))),
+            (DiscretePDF(2.0, 0, rng.random(20)), DiscretePDF(2.0, 3, rng.random(20))),
+            (DiscretePDF(2.0, -4, rng.random(1)), DiscretePDF(2.0, 0, rng.random(50))),
+        ]
+        for backend in ALL_BACKENDS:
+            batched = convolve_many(pairs, trim_eps=1e-9, backend=backend)
+            for (a, b), out in zip(pairs, batched):
+                assert_bitwise(
+                    out, convolve(a, b, trim_eps=1e-9, backend=backend)
+                )
+
+    def test_empty_batch(self):
+        assert convolve_many([]) == []
+
+    def test_cached_pairs_skip_the_batch_and_stay_bitwise(self):
+        rng = np.random.default_rng(18)
+        pairs = [
+            (DiscretePDF(2.0, 0, rng.random(25)), DiscretePDF(2.0, 0, rng.random(25)))
+            for _ in range(4)
+        ]
+        cache = ConvolutionCache()
+        counter = OpCounter()
+        first = convolve_many(
+            pairs, trim_eps=1e-9, cache=cache, counter=counter
+        )
+        second = convolve_many(
+            pairs, trim_eps=1e-9, cache=cache, counter=counter
+        )
+        assert counter.convolutions == 4
+        assert counter.convolve_cache_hits == 4
+        for x, y in zip(first, second):
+            assert y is x
+
+    def test_backend_without_convolve_many_falls_back(self):
+        class Minimal:
+            name = "minimal-direct"
+
+            def convolve_masses(self, a, b):
+                return np.convolve(a, b)
+
+        rng = np.random.default_rng(19)
+        pairs = [
+            (DiscretePDF(2.0, 0, rng.random(12)), DiscretePDF(2.0, 1, rng.random(9)))
+            for _ in range(3)
+        ]
+        out = convolve_many(pairs, backend=Minimal())
+        for (a, b), o in zip(pairs, out):
+            assert_bitwise(o, convolve(a, b, backend="direct"))
+
+
+class TestCacheConfigKnob:
+    def test_coerce_none_int_instance(self):
+        assert ConvolutionCache.coerce(None) is None
+        made = ConvolutionCache.coerce(16)
+        assert isinstance(made, ConvolutionCache) and made.capacity == 16
+        inst = ConvolutionCache(capacity=4)
+        assert ConvolutionCache.coerce(inst) is inst
+
+    @pytest.mark.parametrize("bad", ["big", 1.5, True, object()])
+    def test_coerce_rejects_junk(self, bad):
+        with pytest.raises(DistributionError):
+            ConvolutionCache.coerce(bad)
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_capacity_must_be_positive(self, bad):
+        with pytest.raises(DistributionError):
+            ConvolutionCache(capacity=bad)
+
+    def test_analysis_config_wires_the_knob(self):
+        assert AnalysisConfig().cache is None
+        cfg = AnalysisConfig(cache=128)
+        assert isinstance(cfg.cache, ConvolutionCache)
+        assert cfg.cache.capacity == 128
+        inst = ConvolutionCache()
+        assert inst.capacity == DEFAULT_CACHE_CAPACITY
+        assert AnalysisConfig(cache=inst).cache is inst
+
+    def test_with_updates_shares_the_instance(self):
+        cfg = AnalysisConfig(cache=64)
+        derived = cfg.with_updates(dt=1.0)
+        assert derived.cache is cfg.cache
+
+    def test_config_rejects_junk_cache(self):
+        with pytest.raises(ValueError):
+            AnalysisConfig(cache="huge")
+
+    def test_stats_hit_rate(self):
+        stats = CacheStats()
+        assert stats.hit_rate == 0.0
+        stats.hits, stats.misses = 3, 1
+        assert stats.requests == 4
+        assert stats.hit_rate == pytest.approx(0.75)
+
+
+class TestNodeMemoGuards:
+    def test_same_named_foreign_backend_cannot_serve_node_entry(self):
+        """Mirror of the convolve-level guard: the whole-node memo must
+        verify the backend instance, not just its name."""
+        from repro.timing.graph import TimingGraph
+        from repro.timing.ssta import compute_node_arrival
+
+        rng = np.random.default_rng(21)
+        arrival = DiscretePDF(2.0, 0, rng.random(10))
+        delay = DiscretePDF(2.0, 4, rng.random(6))
+        cache = ConvolutionCache()
+        kernel_a = FFTBackend()
+        kernel_b = FFTBackend()  # distinct instance, same name
+        key = cache.node_key([(arrival, delay)], 1e-9, kernel_a)
+        assert cache.node_key([(arrival, delay)], 1e-9, kernel_b) == key
+        result = convolve(arrival, delay, trim_eps=1e-9, backend=kernel_a)
+        cache.store_node(key, result, kernel_a)
+        assert cache.lookup_node(key, kernel_a) is result
+        assert cache.lookup_node(key, kernel_b) is None
+
+    def test_batched_fft_loop_fallback_is_bitwise(self, monkeypatch):
+        """A transform size the platform flagged as non-row-bitwise
+        must route through the (bitwise) convolve_masses loop."""
+        from repro.dist.backends import FFTBackend, _next_fast_len
+
+        rng = np.random.default_rng(23)
+        pairs = [
+            (
+                DiscretePDF(1.0, 0, rng.random(700)),
+                DiscretePDF(1.0, 1, rng.random(700)),
+            )
+            for _ in range(3)
+        ]
+        nfft = _next_fast_len(700 + 700 - 1)
+        monkeypatch.setitem(FFTBackend._batch_nfft_bitwise, nfft, False)
+        batched = convolve_many(pairs, backend="fft")
+        for (a, b), out in zip(pairs, batched):
+            assert_bitwise(out, convolve(a, b, backend="fft"))
+
+    def test_batched_fft_rows_do_not_pin_the_batch_matrix(self):
+        """Cached raw vectors from a batch must own their storage —
+        a view would keep the whole (k, nfft) matrix alive per entry."""
+        rng = np.random.default_rng(22)
+        pairs = [
+            (
+                DiscretePDF(1.0, 0, rng.random(600)),
+                DiscretePDF(1.0, 2, rng.random(600)),
+            )
+            for _ in range(4)
+        ]
+        raws = get_backend("fft").convolve_many(
+            [(a.masses, b.masses) for a, b in pairs]
+        )
+        for raw in raws:
+            assert raw.base is None  # owns its buffer, not a view
+            assert raw.size == 600 + 600 - 1
+
+
+class TestGapMemo:
+    def test_roundtrip_and_absolute_offset_keying(self):
+        from repro.dist.metrics import max_percentile_gap
+
+        rng = np.random.default_rng(20)
+        a = DiscretePDF(2.0, 0, rng.random(30))
+        b = DiscretePDF(2.0, 1, rng.random(30))
+        cache = ConvolutionCache()
+        assert cache.lookup_gap(a, b) is None
+        gap = max_percentile_gap(a, b)
+        cache.store_gap(a, b, gap)
+        assert cache.lookup_gap(a, b) == gap
+        # translated pair: absolute offsets differ -> no entry served
+        assert cache.lookup_gap(a.shifted_bins(2), b.shifted_bins(2)) is None

@@ -166,3 +166,86 @@ class TestOpCounter:
         without = convolve(g_small, g_large)
         assert with_c.offset == without.offset
         assert np.array_equal(with_c.masses, without.masses)
+
+
+class TestOpCounterCacheAccounting:
+    """Cache hits are recorded distinctly — they must never inflate
+    the computed mult/add tallies, and computed-plus-hits must be
+    invariant under the cache knob."""
+
+    def _run_sequence(self, g_small, g_large, cache):
+        counter = OpCounter()
+        g3 = truncated_gaussian_pdf(1.0, 60.0, 6.0)
+        for _ in range(3):  # repeats: the cacheable shape
+            convolve(g_small, g_large, counter=counter, cache=cache)
+            convolve(g_small, g3, counter=counter, cache=cache)
+            stat_max_many([g_small, g_large, g3], counter=counter, cache=cache)
+        return counter
+
+    def test_hits_tallied_separately_not_as_convolutions(
+        self, g_small, g_large
+    ):
+        from repro.dist.cache import ConvolutionCache
+
+        counter = OpCounter()
+        cache = ConvolutionCache()
+        convolve(g_small, g_large, counter=counter, cache=cache)
+        convolve(g_small, g_large, counter=counter, cache=cache)
+        assert counter.convolutions == 1
+        assert counter.convolve_cache_hits == 1
+        stat_max_many([g_small, g_large], counter=counter, cache=cache)
+        stat_max_many([g_small, g_large], counter=counter, cache=cache)
+        assert counter.max_ops == 1
+        assert counter.max_cache_hits == 1
+        assert counter.total_ops == 2  # computed work only
+        assert counter.cache_hits == 2
+        assert counter.total_requests == 4
+
+    def test_tallies_cache_invariant_for_misses(self, g_small, g_large):
+        """First-touch (all-miss) tallies equal the cache-off tallies,
+        and computed + hits always equals the cache-off totals."""
+        from repro.dist.cache import ConvolutionCache
+
+        off = self._run_sequence(g_small, g_large, None)
+        on = self._run_sequence(g_small, g_large, ConvolutionCache())
+        cold = self._run_sequence(
+            g_small, g_large, ConvolutionCache(capacity=1)
+        )  # capacity 1 churns: some repeats still miss
+        assert off.cache_hits == 0
+        assert on.convolutions + on.convolve_cache_hits == off.convolutions
+        assert on.max_ops + on.max_cache_hits == off.max_ops
+        assert on.total_requests == off.total_requests
+        assert cold.convolutions + cold.convolve_cache_hits == off.convolutions
+        assert cold.max_ops + cold.max_cache_hits == off.max_ops
+
+    def test_merge_preserves_hit_fields_distinctly(self):
+        a = OpCounter(convolutions=2, max_ops=1, convolve_cache_hits=5,
+                      max_cache_hits=2)
+        b = OpCounter(convolutions=1, max_ops=1, convolve_cache_hits=3,
+                      max_cache_hits=4)
+        a.merge(b)
+        assert a.convolutions == 3  # hits did not leak into mult/adds
+        assert a.max_ops == 2
+        assert a.convolve_cache_hits == 8
+        assert a.max_cache_hits == 6
+        a.reset()
+        assert a.total_requests == 0
+
+    def test_hit_rate(self):
+        c = OpCounter()
+        assert c.cache_hit_rate == 0.0
+        c.convolutions, c.convolve_cache_hits = 1, 3
+        assert c.cache_hit_rate == pytest.approx(0.75)
+
+    def test_cached_counting_does_not_change_results(self, g_small, g_large):
+        from repro.dist.cache import ConvolutionCache
+
+        cache = ConvolutionCache()
+        counter = OpCounter()
+        plain = convolve(g_small, g_large)
+        for _ in range(2):
+            cached = convolve(
+                g_small, g_large, counter=counter, cache=cache
+            )
+            assert cached.offset == plain.offset
+            assert np.array_equal(cached.masses, plain.masses)

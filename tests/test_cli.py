@@ -45,6 +45,23 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "pruned-statistical" in out
         assert "improvement" in out
+        assert "cache hit rate" in out  # the cache is on by default
+
+    def test_optimize_cache_disabled(self, capsys):
+        assert main(["optimize", "c17", "-n", "3", "--cache", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned-statistical" in out
+        assert "cache hit rate" not in out
+
+    def test_optimize_cached_and_uncached_report_same_objective(self, capsys):
+        assert main(["optimize", "c17", "-n", "3", "--cache", "0"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["optimize", "c17", "-n", "3"]) == 0
+        cached = capsys.readouterr().out
+        pick = lambda text: [
+            line for line in text.splitlines() if "final" in line
+        ]
+        assert pick(plain) == pick(cached)
 
     def test_optimize_deterministic(self, capsys):
         assert main(["optimize", "c17", "-n", "3", "--deterministic"]) == 0

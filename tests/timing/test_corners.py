@@ -119,3 +119,60 @@ class TestCornerInaccuracy:
         analysis = run_corners(graph, DelayModel(c17, library, fast_config))
         with pytest.raises(TimingError):
             analysis.pessimism_vs(0.0)
+
+
+class TestBehaviorPins:
+    """Additional pins on the corner API (satellite coverage), including
+    cache-config neutrality: corners are deterministic STA at derated
+    nominals — no distributions, so the convolution-result cache must
+    be completely inert here."""
+
+    def test_corner_is_frozen_and_hashable(self):
+        c = Corner("worst", 1.3)
+        with pytest.raises(Exception):
+            c.derate = 1.4
+        assert len({c, Corner("worst", 1.3)}) == 1
+
+    def test_negative_derate_rejected(self):
+        with pytest.raises(TimingError):
+            Corner("bad", -0.5)
+
+    def test_standard_corners_track_config_model(self):
+        cfg = AnalysisConfig(sigma_fraction=0.2, truncation_sigma=2.0)
+        corners = {c.name: c.derate for c in standard_corners(cfg)}
+        assert corners["best"] == pytest.approx(0.6)
+        assert corners["worst"] == pytest.approx(1.4)
+
+    def test_standard_corners_default_config(self):
+        corners = {c.name: c.derate for c in standard_corners()}
+        assert corners == {"best": 0.7, "typical": 1.0, "worst": 1.3}
+
+    def test_pessimism_vs_named_corner(self, c17, library, fast_config):
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        analysis = run_corners(graph, model)
+        typ = analysis.delay_at("typical")
+        assert analysis.pessimism_vs(typ, corner_name="typical") == 0.0
+        assert analysis.pessimism_vs(typ, corner_name="best") < 0.0
+
+    def test_cache_config_is_inert_for_corners(self, c17):
+        delays = {}
+        for cache in (None, 1024):
+            cfg = AnalysisConfig(dt=8.0, cache=cache)
+            graph = TimingGraph(c17)
+            analysis = run_corners(graph, DelayModel(c17, config=cfg))
+            delays[cache] = analysis.delays
+        assert delays[None] == delays[1024]
+
+    def test_corners_consistent_with_derated_ssta_means(
+        self, c17, library, fast_config
+    ):
+        """The typical corner equals the nominal longest path, which
+        upper-bounds every individual path mean — pinned against the
+        SSTA mean, which adds variance effects on top."""
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        analysis = run_corners(graph, model)
+        ssta = run_ssta(graph, model)
+        assert analysis.delay_at("typical") <= ssta.mean_delay()
+        assert analysis.delay_at("worst") > ssta.percentile(0.99) * 0.99

@@ -119,3 +119,71 @@ class TestYieldGain:
         after = run_ssta(graph, model).sink_pdf
         cmp = yield_gain(before, after)
         assert cmp.max_gain > 0.05
+
+
+class TestInputValidationAndEdges:
+    """Behavior pins for the paths no other module exercises."""
+
+    def test_unsupported_distribution_type_rejected(self):
+        for fn in (
+            lambda d: timing_yield(d, 1000.0),
+            lambda d: delay_at_yield(d, 0.5),
+            lambda d: yield_curve(d),
+        ):
+            with pytest.raises(TimingError, match="unsupported"):
+                fn([1.0, 2.0, 3.0])
+
+    def test_yield_curve_two_points(self, gaussian):
+        targets, yields = yield_curve(gaussian, n_points=2)
+        assert targets.shape == (2,)
+        assert yields[-1] == pytest.approx(1.0, abs=1e-9)
+
+    def test_zero_target_is_allowed(self, gaussian):
+        assert timing_yield(gaussian, 0.0) == 0.0
+
+    def test_delay_at_full_yield_is_support_end(self, gaussian):
+        assert delay_at_yield(gaussian, 1.0) == pytest.approx(
+            gaussian.support[1]
+        )
+
+    def test_empirical_cdf_step_semantics(self, c17, library, fast_config):
+        """The Monte Carlo CDF is right-continuous at sample points:
+        P(X <= x_i) counts x_i itself."""
+        from repro.timing.monte_carlo import run_monte_carlo
+
+        graph = TimingGraph(c17)
+        model = DelayModel(c17, library, fast_config)
+        mc = run_monte_carlo(graph, model, n_samples=50, seed=3)
+        xs = np.sort(mc.samples)
+        assert timing_yield(mc, float(xs[0])) >= 1.0 / xs.size
+        assert timing_yield(mc, float(xs[0]) - 1e-9) == 0.0
+        assert timing_yield(mc, float(xs[-1])) == 1.0
+
+
+class TestCacheConfigInvariance:
+    """Satellite pin: yield queries must be unaffected by the
+    convolution-result cache — the cached SSTA hands over a bitwise-
+    identical sink distribution, so every derived yield number is
+    equal, not merely close."""
+
+    def test_yield_numbers_identical_cache_on_off(self, c17):
+        from repro.config import AnalysisConfig
+        from repro.timing.ssta import run_ssta
+
+        sinks = {}
+        for cache in (None, 4096):
+            cfg = AnalysisConfig(dt=8.0, cache=cache)
+            circuit_cfgd = c17
+            graph = TimingGraph(circuit_cfgd)
+            model = DelayModel(circuit_cfgd, config=cfg)
+            sinks[cache] = run_ssta(graph, model, config=cfg).sink_pdf
+        off, on = sinks[None], sinks[4096]
+        assert np.array_equal(off.masses, on.masses)
+        for target in np.linspace(*off.support, 7):
+            assert timing_yield(off, float(target)) == timing_yield(
+                on, float(target)
+            )
+        for y in (0.1, 0.5, 0.99):
+            assert delay_at_yield(off, y) == delay_at_yield(on, y)
+        cmp = yield_gain(off, on)
+        assert cmp.max_gain == 0.0 and cmp.mean_gain == 0.0
