@@ -7,9 +7,11 @@ through a warm :class:`ConvolutionCache` hit), batched
 stat_max_many throughput against bin count, locates the measured
 direct-vs-FFT equal-size crossover, times a full ``run_ssta`` pass on
 c432 per backend, runs the c432 sizers end-to-end cache-on vs
-cache-off, and writes ``BENCH_dist.json`` next to the repo root.
-Every future optimization of the hot path should move these numbers
-and nothing else.
+cache-off, compares level-batched against sequential propagation
+(full SSTA per backend and the pruned-sizer cache-off miss path — the
+``levels`` section), and writes ``BENCH_dist.json`` next to the repo
+root.  Every future optimization of the hot path should move these
+numbers and nothing else.
 
 ``--check-drift`` additionally asserts (used by the CI benchmark smoke
 job to catch regressions pre-merge; the process exits non-zero on
@@ -18,6 +20,9 @@ violation):
 * FFT-vs-direct sink percentiles agree within tolerance;
 * cache-on vs cache-off sink percentiles are **exactly** equal per
   backend (the cache's bitwise promise, probed end to end);
+* level-batched vs sequential sink distributions are **bitwise
+  identical** per backend, cache on and off (the level scheduler's
+  promise — any inequality at all fails the gate);
 * the quick c17 sizer run serves at least ``--min-hit-rate`` of its
   kernel requests from the cache — a silently broken cache key fails
   the build instead of quietly recomputing everything.
@@ -247,6 +252,77 @@ def _bench_sizers(quick: bool) -> dict:
     return out
 
 
+def _bench_levels(quick: bool) -> dict:
+    """Level-batched vs sequential propagation.
+
+    Two views: a full ``run_ssta`` pass per backend (pure engine
+    dispatch overhead), and the pruned sizer run **cache-off** — the
+    miss path this PR targets, where every kernel request is computed
+    and the per-node Python dispatch used to dominate.  Both modes must
+    agree exactly (selections and objectives; bitwise sink equality is
+    gated separately by ``--check-drift``).
+    """
+    from repro.core.pruned_sizer import PrunedStatisticalSizer
+    from repro.netlist.benchmarks import load
+    from repro.timing.delay_model import DelayModel
+    from repro.timing.graph import TimingGraph
+    from repro.timing.ssta import run_ssta
+
+    out = {"run_ssta": {}, "sizer_miss_path": {}}
+    for circuit_name in ["c17"] if quick else ["c432", "c880"]:
+        per_backend = {}
+        for backend in available_backends():
+            row = {}
+            for level_batch in (True, False):
+                cfg = AnalysisConfig(backend=backend,
+                                     level_batch=level_batch)
+                circuit = load(circuit_name)
+                graph = TimingGraph(circuit)
+                model = DelayModel(circuit, config=cfg)
+                t = _time_op(lambda: run_ssta(graph, model, config=cfg),
+                             min_repeats=3, min_seconds=0.2)
+                key = "batched_ms" if level_batch else "sequential_ms"
+                row[key] = round(t * 1e3, 3)
+            row["speedup"] = round(row["sequential_ms"] / row["batched_ms"],
+                                   3)
+            per_backend[backend] = row
+            print(f"run_ssta {circuit_name} [{backend:6s}]  "
+                  f"sequential={row['sequential_ms']:8.2f} ms  "
+                  f"batched={row['batched_ms']:8.2f} ms  "
+                  f"({row['speedup']:.2f}x)")
+        out["run_ssta"][circuit_name] = per_backend
+    for circuit_name, iters in (
+        [("c17", 6)] if quick else [("c432", 8), ("c880", 4)]
+    ):
+        row = {"iterations": iters}
+        outcomes = {}
+        for level_batch in (True, False):
+            cfg = AnalysisConfig(level_batch=level_batch)
+            circuit = load(circuit_name)
+            t0 = time.perf_counter()
+            result = PrunedStatisticalSizer(
+                circuit, config=cfg, max_iterations=iters
+            ).run()
+            wall = time.perf_counter() - t0
+            key = "batched_s" if level_batch else "sequential_s"
+            row[key] = round(wall, 3)
+            outcomes[level_batch] = (
+                [s.all_gates for s in result.steps],
+                result.final_objective,
+            )
+        if outcomes[True] != outcomes[False]:
+            raise SystemExit(
+                f"level-batched selections diverged from sequential in "
+                f"pruned {circuit_name}"
+            )
+        row["speedup"] = round(row["sequential_s"] / row["batched_s"], 3)
+        out["sizer_miss_path"][circuit_name] = row
+        print(f"pruned miss-path {circuit_name}  "
+              f"sequential={row['sequential_s']:7.2f}s  "
+              f"batched={row['batched_s']:7.2f}s  ({row['speedup']:.2f}x)")
+    return out
+
+
 def _bench_ssta_c432() -> dict:
     """End-to-end run_ssta wall time on c432 per backend (fresh model
     each run so the delay-PDF cache does not leak across backends)."""
@@ -356,6 +432,37 @@ def _check_drift(bin_counts, min_hit_rate: float) -> list:
         if cache_drift != 0.0 or not bitwise:
             failures.append((f"c17-cache-{backend}", cache_drift))
 
+    # Level-batched vs sequential: bitwise, per backend, cache on and
+    # off — the level scheduler promises exact equivalence, so any sink
+    # inequality at all is a failure.
+    for backend in available_backends():
+        for cache_capacity in (None, 4096):
+            pair = {}
+            for level_batch in (True, False):
+                cfg = AnalysisConfig(backend=backend, cache=cache_capacity,
+                                     level_batch=level_batch)
+                circuit = load("c17")
+                model = DelayModel(circuit, config=cfg)
+                pair[level_batch] = run_ssta(TimingGraph(circuit), model,
+                                             config=cfg).sink_pdf
+            bitwise = (
+                pair[True].offset == pair[False].offset
+                and np.array_equal(pair[True].masses, pair[False].masses)
+            )
+            label = "on" if cache_capacity else "off"
+            report.append({
+                "circuit": "c17",
+                "backend": backend,
+                "cache": label,
+                "level_batch_bitwise": bitwise,
+            })
+            print(f"drift c17 batched/sequential [{backend:6s} "
+                  f"cache-{label:3s}]  bitwise={bitwise}")
+            if not bitwise:
+                failures.append(
+                    (f"c17-level-batch-{backend}-cache-{label}", 1.0)
+                )
+
     # Minimum hit rate on the quick sizer benchmark: a silently broken
     # cache key hits nothing and fails here.
     sizer = _bench_sizers(quick=True)["pruned_c17"]
@@ -384,6 +491,7 @@ def run(
     bin_counts = BIN_COUNTS[:3] if quick else BIN_COUNTS
     rows = _bench_kernels(bin_counts)
     batched = _bench_batched(bin_counts)
+    levels = _bench_levels(quick)
     crossover = _measured_crossover(hi=1024 if quick else 4096)
     if crossover is None:
         print("direct/FFT equal-size crossover: not found within sweep")
@@ -399,6 +507,7 @@ def run(
         "measured_crossover_bins": crossover,
         "rows": rows,
         "batched_vs_looped": batched,
+        "levels": levels,
     }
     if not quick:
         payload["run_ssta_c432"] = _bench_ssta_c432()
@@ -415,7 +524,9 @@ def main(argv=None) -> int:
     parser.add_argument("--check-drift", action="store_true",
                         help="fail on FFT-vs-direct percentile drift > "
                              f"{DRIFT_TOL_PS} ps, any cache-on/off drift, "
-                             "or a quick-sizer cache hit rate below "
+                             "any batched-vs-sequential sink inequality "
+                             "(exact, per backend, cache on/off), or a "
+                             "quick-sizer cache hit rate below "
                              "--min-hit-rate")
     parser.add_argument("--min-hit-rate", type=float,
                         default=DEFAULT_MIN_HIT_RATE,

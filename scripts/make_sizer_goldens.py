@@ -1,15 +1,23 @@
 #!/usr/bin/env python3
-"""Regenerate the sizer-outcome golden files.
+"""Regenerate the golden files of the timing/optimizer harness.
 
-Writes ``tests/timing/golden/sizer_{c17,c432}.json``: the gate
-selections, final widths, and final objective (p99 sink delay) of the
-:class:`PrunedStatisticalSizer` and :class:`HeuristicStatisticalSizer`
-on the coarse test grid.  ``tests/timing/test_golden.py`` asserts that
-every future run — convolution cache on or off — reproduces these
-outcomes exactly, so a silently broken cache key (or any change to the
-optimizer's decision-making) fails loudly instead of shifting results.
+Two families of goldens, one generator:
 
-Run only when an *intentional* behavior change moves the trajectory:
+* **Sink goldens** (``tests/timing/golden/{c17,c432,c880,c1908}.json``):
+  the full-SSTA sink statistics (mean/std/p50/p90/p99, bin count, op
+  counts) on the default grid under the ``direct`` backend.  Locked by
+  ``TestGoldenSinkStatistics``, which also asserts that level-batched
+  and sequential propagation reproduce them identically.
+* **Sizer goldens** (``tests/timing/golden/sizer_{c17,c432}.json``):
+  the gate selections, final widths, and final objective (p99 sink
+  delay) of the :class:`PrunedStatisticalSizer` and
+  :class:`HeuristicStatisticalSizer` on the coarse test grid, asserted
+  exact for every cache variant by ``TestSizerGoldenOutcomes``.
+
+Either way a silently broken cache key, level-batch divergence, or any
+change to the optimizer's decision-making fails loudly instead of
+shifting results.  Run only when an *intentional* behavior change moves
+the numbers:
 
     python scripts/make_sizer_goldens.py
 """
@@ -28,7 +36,11 @@ GOLDEN_DIR = REPO_ROOT / "tests" / "timing" / "golden"
 from repro.config import AnalysisConfig  # noqa: E402
 from repro.core.heuristic_sizer import HeuristicStatisticalSizer  # noqa: E402
 from repro.core.pruned_sizer import PrunedStatisticalSizer  # noqa: E402
+from repro.dist.ops import OpCounter  # noqa: E402
 from repro.netlist.benchmarks import load  # noqa: E402
+from repro.timing.delay_model import DelayModel  # noqa: E402
+from repro.timing.graph import TimingGraph  # noqa: E402
+from repro.timing.ssta import run_ssta  # noqa: E402
 
 #: Coarse grid (the test-suite FAST config) keeps each run sub-second;
 #: the outcomes are just as binding on the optimizer logic.
@@ -38,7 +50,43 @@ CONFIG = dict(dt=8.0, delta_w=1.0)
 #: time; each iteration still exercises hundreds of fronts.
 CASES = {"c17": 6, "c432": 3}
 
+#: Circuits whose full-SSTA sink statistics are locked on the default
+#: grid (the two seed circuits plus the PR-4 additions).
+SINK_CIRCUITS = ("c17", "c432", "c880", "c1908")
+
 BEAM_WIDTH = 4
+
+
+def sink_golden(circuit_name: str) -> dict:
+    """Default-grid SSTA sink statistics under the reference backend.
+
+    ``backend="direct"`` pins the generator to the reference kernel
+    (``auto`` must reproduce it bitwise at default-grid sizes, which
+    the golden tests then assert); level batching is the default mode
+    and batched == sequential is separately enforced, so the recorded
+    numbers are mode-independent.
+    """
+    cfg = AnalysisConfig(backend="direct")
+    circuit = load(circuit_name)
+    counter = OpCounter()
+    result = run_ssta(
+        TimingGraph(circuit), DelayModel(circuit, config=cfg),
+        config=cfg, counter=counter,
+    )
+    sink = result.sink_pdf
+    return {
+        "circuit": circuit_name,
+        "dt": cfg.dt,
+        "generator_backend": "direct",
+        "mean": sink.mean(),
+        "std": sink.std(),
+        "p50": sink.percentile(0.50),
+        "p90": sink.percentile(0.90),
+        "p99": sink.percentile(0.99),
+        "n_bins": sink.n_bins,
+        "convolutions": counter.convolutions,
+        "max_ops": counter.max_ops,
+    }
 
 
 def outcome(sizer_cls, circuit_name: str, iterations: int, **kwargs) -> dict:
@@ -58,6 +106,10 @@ def outcome(sizer_cls, circuit_name: str, iterations: int, **kwargs) -> dict:
 
 
 def main() -> int:
+    for circuit_name in SINK_CIRCUITS:
+        out = GOLDEN_DIR / f"{circuit_name}.json"
+        out.write_text(json.dumps(sink_golden(circuit_name), indent=2) + "\n")
+        print(f"wrote {out}")
     for circuit_name, iterations in CASES.items():
         payload = {
             "circuit": circuit_name,

@@ -45,6 +45,7 @@ from .dist import (
     max_percentile_gap,
     sample_truncated_gaussian,
     stat_max,
+    stat_max_groups,
     stat_max_many,
     stochastically_le,
     truncated_gaussian_pdf,
@@ -101,6 +102,7 @@ __all__ = [
     "convolve",
     "stat_max",
     "stat_max_many",
+    "stat_max_groups",
     "truncated_gaussian_pdf",
     "sample_truncated_gaussian",
     "max_percentile_gap",

@@ -59,12 +59,21 @@ def _experiment_config(args: argparse.Namespace):
     return builder(**kwargs)
 
 
-def _analyze_circuit(circuit, mc_samples: int) -> str:
+def _analysis_config(args: argparse.Namespace):
+    """Resolve the shared analysis knobs (level batching is bitwise
+    transparent, so the flag changes cost, never answers)."""
+    config = DEFAULT_CONFIG
+    if getattr(args, "no_level_batch", False):
+        config = config.with_updates(level_batch=False)
+    return config
+
+
+def _analyze_circuit(circuit, mc_samples: int, config=DEFAULT_CONFIG) -> str:
     graph = TimingGraph(circuit)
-    model = DelayModel(circuit)
+    model = DelayModel(circuit, config=config)
     sta = run_sta(graph, model)
-    ssta = run_ssta(graph, model)
-    mc = run_monte_carlo(graph, model, n_samples=mc_samples)
+    ssta = run_ssta(graph, model, config=config)
+    mc = run_monte_carlo(graph, model, n_samples=mc_samples, config=config)
     corners = run_corners(graph, model)
     return format_table(
         f"Timing summary — {circuit.name}",
@@ -90,19 +99,21 @@ def _analyze_circuit(circuit, mc_samples: int) -> str:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
-    print(_analyze_circuit(load(args.circuit, scale=args.scale), args.mc_samples))
+    print(_analyze_circuit(load(args.circuit, scale=args.scale),
+                           args.mc_samples, _analysis_config(args)))
     return 0
 
 
 def cmd_bench_file(args: argparse.Namespace) -> int:
-    print(_analyze_circuit(parse_bench_file(args.path), args.mc_samples))
+    print(_analyze_circuit(parse_bench_file(args.path), args.mc_samples,
+                           _analysis_config(args)))
     return 0
 
 
 def cmd_optimize(args: argparse.Namespace) -> int:
     circuit = load(args.circuit, scale=args.scale)
     sizer_cls = DeterministicSizer if args.deterministic else PrunedStatisticalSizer
-    config = DEFAULT_CONFIG
+    config = _analysis_config(args)
     rows = []
     if args.cache and not args.deterministic:
         # The result cache changes cost, never answers (hits are
@@ -195,6 +206,15 @@ def _add_experiment_flags(parser: argparse.ArgumentParser) -> None:
                         help="sizing iterations per optimizer run")
 
 
+def _add_level_batch_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--no-level-batch", action="store_true",
+                        help="propagate node by node instead of batching "
+                             "each topological level through one kernel "
+                             "dispatch (bitwise-identical results; the "
+                             "sequential mode exists for differential "
+                             "testing and timing comparisons)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-ssta",
@@ -208,11 +228,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("circuit", choices=PAPER_SUITE + ["c17"])
     p.add_argument("--scale", type=float, default=1.0)
     p.add_argument("--mc-samples", type=int, default=4000)
+    _add_level_batch_flag(p)
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("bench", help="analyze an external .bench netlist")
     p.add_argument("path")
     p.add_argument("--mc-samples", type=int, default=4000)
+    _add_level_batch_flag(p)
     p.set_defaults(func=cmd_bench_file)
 
     p = sub.add_parser("optimize", help="run a sizing optimization")
@@ -226,6 +248,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "bitwise identical either way)")
     p.add_argument("--deterministic", action="store_true",
                    help="use the deterministic baseline instead")
+    _add_level_batch_flag(p)
     p.set_defaults(func=cmd_optimize)
 
     p = sub.add_parser("yield", help="timing-yield queries on a benchmark")

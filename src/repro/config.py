@@ -71,6 +71,18 @@ class AnalysisConfig:
     configs derived via :meth:`with_updates` — safe, because cache keys
     include the grid spacing, trim epsilon, and backend).  Hits return
     bit-identical results, so the knob changes cost, never answers.
+
+    ``level_batch`` selects the execution mode of every engine that
+    walks the timing graph: when true (the default) a whole topological
+    level's fan-in convolutions go through one batched
+    ``convolve_many`` dispatch and its MAX reductions through one
+    grouped sweep (see :func:`repro.timing.ssta.compute_level_arrivals`)
+    instead of per-node kernel calls.  Like the backend and cache
+    knobs it changes cost, never answers: batched propagation is
+    bitwise identical to the sequential per-node path — the invariant
+    the level-batching differential suite and the CI drift gate
+    enforce.  The sequential path is retained (``level_batch=False``)
+    as the differential-testing reference.
     """
 
     dt: float = DEFAULT_DT_PS
@@ -81,6 +93,7 @@ class AnalysisConfig:
     delta_w: float = DEFAULT_DELTA_W
     backend: str = DEFAULT_BACKEND
     cache: object = None
+    level_batch: bool = True
 
     def __post_init__(self) -> None:
         if self.dt <= 0.0:
@@ -104,6 +117,10 @@ class AnalysisConfig:
         if self.backend not in KNOWN_BACKENDS:
             raise ValueError(
                 f"backend must be one of {KNOWN_BACKENDS}, got {self.backend!r}"
+            )
+        if not isinstance(self.level_batch, bool):
+            raise ValueError(
+                f"level_batch must be a bool, got {self.level_batch!r}"
             )
         if self.cache is not None:
             # Lazy import: repro.dist imports this module for the grid

@@ -55,7 +55,12 @@ from ..errors import OptimizationError
 from ..netlist.circuit import Gate
 from ..timing.delay_model import DelayModel
 from ..timing.graph import TimingGraph
-from ..timing.ssta import SSTAResult, compute_node_arrival
+from ..timing.ssta import (
+    SSTAResult,
+    compute_level_arrivals,
+    compute_node_arrival,
+    node_fanin_parts,
+)
 from .objectives import Objective
 
 __all__ = ["PerturbationFront"]
@@ -247,7 +252,18 @@ class PerturbationFront:
 
     def propagate_one_level(self) -> None:
         """Advance the front to the next level that has scheduled nodes
-        and compute the perturbed arrivals there."""
+        and compute the perturbed arrivals there.
+
+        Under ``config.level_batch`` (the default) the level's nodes —
+        mutually independent, like every level batch — run through the
+        shared scheduler: one ``convolve_many`` dispatch, one grouped
+        MAX sweep.  Gathering every node's fan-in operands before any
+        computation is equivalent to the sequential interleave because
+        the per-node bookkeeping below only ever retires a perturbed
+        fan-in once its *last* outstanding arc is consumed — a fan-in
+        feeding two nodes of this level survives the first node's
+        retirement exactly as it does sequentially.
+        """
         if not self._scheduled:
             self._finish()
             return
@@ -257,18 +273,37 @@ class PerturbationFront:
             n for n in self._scheduled if self.graph.level(n) == level
         )
         cfg = self.model.config
-        for node in prop_nodes:
-            self._scheduled.discard(node)
-            perturbed = compute_node_arrival(
-                self.graph,
-                node,
-                self._get_arrival,
-                self._get_delay_pdf,
+        if cfg.level_batch:
+            parts_list = [
+                node_fanin_parts(
+                    self.graph, node, self._get_arrival, self._get_delay_pdf
+                )
+                for node in prop_nodes
+            ]
+            perturbed_list = compute_level_arrivals(
+                parts_list,
                 trim_eps=cfg.tail_eps,
                 counter=self.counter,
                 backend=self._backend,
                 cache=self._cache,
             )
+        else:
+            perturbed_list = None
+        for pos, node in enumerate(prop_nodes):
+            self._scheduled.discard(node)
+            if perturbed_list is not None:
+                perturbed = perturbed_list[pos]
+            else:
+                perturbed = compute_node_arrival(
+                    self.graph,
+                    node,
+                    self._get_arrival,
+                    self._get_delay_pdf,
+                    trim_eps=cfg.tail_eps,
+                    counter=self.counter,
+                    backend=self._backend,
+                    cache=self._cache,
+                )
             self.nodes_computed += 1
             self._retire_fanins(node)
             base_pdf = self.base.arrivals[node]

@@ -10,7 +10,8 @@ operations the paper's algorithms need:
   vector);
 * :mod:`~repro.dist.ops` — the propagation kernels: :func:`convolve` /
   :func:`convolve_many` (the ADD operation, single and batched),
-  :func:`stat_max` / :func:`stat_max_many` (the independence MAX of
+  :func:`stat_max` / :func:`stat_max_many` / :func:`stat_max_groups`
+  (the independence MAX of
   Agarwal et al. [3]), and :class:`OpCounter`, the transparent
   work-statistics instrument behind Table 2 (cache hits tallied
   distinctly from computed operations);
@@ -68,7 +69,14 @@ from .backends import (
 from .cache import CacheStats, ConvolutionCache
 from .families import sample_truncated_gaussian, truncated_gaussian_pdf
 from .metrics import max_percentile_gap, stochastically_le
-from .ops import OpCounter, convolve, convolve_many, stat_max, stat_max_many
+from .ops import (
+    OpCounter,
+    convolve,
+    convolve_many,
+    stat_max,
+    stat_max_groups,
+    stat_max_many,
+)
 from .pdf import DiscretePDF
 
 __all__ = [
@@ -86,6 +94,7 @@ __all__ = [
     "convolve_many",
     "stat_max",
     "stat_max_many",
+    "stat_max_groups",
     "truncated_gaussian_pdf",
     "sample_truncated_gaussian",
     "max_percentile_gap",

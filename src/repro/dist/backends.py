@@ -113,7 +113,10 @@ class ConvolutionBackend(Protocol):
         the platform batches row-bitwise); third-party backends may
         omit this
         method — the kernel layer falls back to a
-        :meth:`convolve_masses` loop.
+        :meth:`convolve_masses` loop.  An empty batch returns ``[]``
+        without performing any work (the level-batched engines dispatch
+        whatever a level needs, which can be nothing once the result
+        cache has resolved every pair).
         """
         ...
 
@@ -289,6 +292,8 @@ class FFTBackend:
         ``(k, nfft)`` storage.
         """
         pairs = list(pairs)
+        if not pairs:
+            return []
         out: list = [None] * len(pairs)
         groups: dict = {}
         for i, (a, b) in enumerate(pairs):
@@ -380,6 +385,8 @@ class AutoBackend:
         the default config's reproducibility rests on), the rest go
         through the FFT backend's batched transform."""
         pairs = list(pairs)
+        if not pairs:
+            return []
         out: list = [None] * len(pairs)
         fft_idx: list = []
         for i, (a, b) in enumerate(pairs):

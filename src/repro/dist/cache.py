@@ -194,10 +194,18 @@ class ConvolutionCache:
     # ------------------------------------------------------------------
     # Keys
     # ------------------------------------------------------------------
+    # The key builders are public API: batched callers (``convolve_many``,
+    # ``stat_max_groups``, the level scheduler) build each request's key
+    # once, probe with it, deduplicate identical requests within one
+    # batch against it, and store under it — a key is never derived
+    # twice for one request.
+
     @staticmethod
-    def _convolve_key(
+    def convolve_key(
         a: DiscretePDF, b: DiscretePDF, trim_eps: float, backend
     ) -> tuple:
+        """Cache key of ``convolve(a, b)`` under the given trim epsilon
+        and (resolved) backend."""
         # Offsets are deliberately absent: the raw convolved masses
         # depend only on the operand mass vectors, so one entry serves
         # every translated occurrence of the same operand pair.
@@ -211,7 +219,9 @@ class ConvolutionCache:
         )
 
     @staticmethod
-    def _max_key(pdfs: Sequence[DiscretePDF], trim_eps: float) -> tuple:
+    def max_key(pdfs: Sequence[DiscretePDF], trim_eps: float) -> tuple:
+        """Cache key of ``stat_max_many(pdfs)`` at the given trim
+        epsilon."""
         # The MAX product depends on the *relative* operand alignment,
         # so offsets enter the key relative to the leftmost operand;
         # the absolute anchor is replayed from the hit context.  The
@@ -261,10 +271,20 @@ class ConvolutionCache:
     # ADD (convolution)
     # ------------------------------------------------------------------
     def lookup_convolve(
-        self, a: DiscretePDF, b: DiscretePDF, trim_eps: float, backend
+        self,
+        a: DiscretePDF,
+        b: DiscretePDF,
+        trim_eps: float,
+        backend,
+        *,
+        key: Optional[tuple] = None,
     ) -> Optional[DiscretePDF]:
-        """Memoized ``convolve(a, b)`` result, or None on a miss."""
-        entry = self._get(self._convolve_key(a, b, trim_eps, backend))
+        """Memoized ``convolve(a, b)`` result, or None on a miss.
+        ``key`` accepts a precomputed :meth:`convolve_key` (the batched
+        callers build it once per request)."""
+        if key is None:
+            key = self.convolve_key(a, b, trim_eps, backend)
+        entry = self._get(key)
         if entry is None:
             return None
         if entry.backend is not backend:
@@ -283,24 +303,32 @@ class ConvolutionCache:
         backend,
         raw: np.ndarray,
         result: DiscretePDF,
+        *,
+        key: Optional[tuple] = None,
     ) -> None:
         """Insert a freshly computed convolution (``raw`` is the kernel
         output before normalization/trimming)."""
         raw = np.asarray(raw)
         raw.flags.writeable = False
-        self._put(
-            self._convolve_key(a, b, trim_eps, backend),
-            _Entry(raw, result, a.offset + b.offset, backend),
-        )
+        if key is None:
+            key = self.convolve_key(a, b, trim_eps, backend)
+        self._put(key, _Entry(raw, result, a.offset + b.offset, backend))
 
     # ------------------------------------------------------------------
     # MAX (independence statistical maximum)
     # ------------------------------------------------------------------
     def lookup_max(
-        self, pdfs: Sequence[DiscretePDF], trim_eps: float
+        self,
+        pdfs: Sequence[DiscretePDF],
+        trim_eps: float,
+        *,
+        key: Optional[tuple] = None,
     ) -> Optional[DiscretePDF]:
-        """Memoized ``stat_max_many(pdfs)`` result, or None on a miss."""
-        entry = self._get(self._max_key(pdfs, trim_eps))
+        """Memoized ``stat_max_many(pdfs)`` result, or None on a miss.
+        ``key`` accepts a precomputed :meth:`max_key`."""
+        if key is None:
+            key = self.max_key(pdfs, trim_eps)
+        entry = self._get(key)
         if entry is None:
             return None
         anchor = min(p.offset for p in pdfs)
@@ -312,13 +340,14 @@ class ConvolutionCache:
         trim_eps: float,
         raw: np.ndarray,
         result: DiscretePDF,
+        *,
+        key: Optional[tuple] = None,
     ) -> None:
         raw = np.asarray(raw)
         raw.flags.writeable = False
-        self._put(
-            self._max_key(pdfs, trim_eps),
-            _Entry(raw, result, min(p.offset for p in pdfs), None),
-        )
+        if key is None:
+            key = self.max_key(pdfs, trim_eps)
+        self._put(key, _Entry(raw, result, min(p.offset for p in pdfs), None))
 
     # ------------------------------------------------------------------
     # Whole-node arrival memo (the engines' coarse-grained fast path)

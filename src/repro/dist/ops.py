@@ -36,7 +36,22 @@ Two orthogonal accelerations ride on top of that contract:
 * :func:`convolve_many` batches a node's fan-in ADDs through the
   backend's ``convolve_many`` entry point, stacking same-shape operand
   pairs into one 2-D transform (FFT path) or an equivalent loop
-  (direct path, bitwise identical to sequential calls).
+  (direct path, bitwise identical to sequential calls);
+* :func:`stat_max_groups` batches many independent MAX reductions —
+  a whole topological level's worth — into stacked CDF products over
+  same-shape groups, each group bitwise identical to its own
+  :func:`stat_max_many` call.
+
+Batched entry points replicate the *sequential request stream* when a
+cache is attached: requests are resolved against the cache in order,
+duplicate requests within one batch are served from the entry their
+first occurrence stores (computed once, tallied as hits — exactly what
+a sequential loop would do), and an empty or fully cached batch never
+invokes the backend at all.  This is what keeps kernel tallies and
+cache statistics invariant between the level-batched and per-node
+execution modes of the timing engines whenever the cache holds its
+working set (an eviction-thrashing cache may hit and miss differently
+between the orders, but every value stays bitwise).
 """
 
 from __future__ import annotations
@@ -57,6 +72,7 @@ __all__ = [
     "convolve_many",
     "stat_max",
     "stat_max_many",
+    "stat_max_groups",
 ]
 
 
@@ -210,6 +226,13 @@ def convolve_many(
     cache, which shares entries between batched and singleton
     computations.  Backends without a ``convolve_many`` method fall
     back to a ``convolve_masses`` loop.
+
+    With a cache attached the *tallies* match the looped path too:
+    duplicate pairs within one batch are computed once and the repeats
+    served from the just-stored entry (counted as hits), exactly as a
+    sequential loop's later calls would hit the earlier call's entry.
+    A batch that is empty — or whose every pair resolves from the
+    cache — never touches the backend.
     """
     pairs = list(pairs)
     if not pairs:
@@ -217,15 +240,29 @@ def convolve_many(
     kernel = get_backend(backend)
     results: list = [None] * len(pairs)
     todo: list = []
+    keys: list = [None] * len(pairs)
+    dups: list = []
+    seen: set = set()
     for i, (a, b) in enumerate(pairs):
         _require_same_grid((a, b))
         if cache is not None:
-            hit = cache.lookup_convolve(a, b, trim_eps, kernel)
+            key = cache.convolve_key(a, b, trim_eps, kernel)
+            keys[i] = key
+            if key in seen:
+                # Same request again within this batch: a sequential
+                # loop would hit the first occurrence's stored entry —
+                # resolve it after the stores below (probing now would
+                # register a spurious miss the sequential stream never
+                # sees).
+                dups.append(i)
+                continue
+            hit = cache.lookup_convolve(a, b, trim_eps, kernel, key=key)
             if hit is not None:
                 if counter is not None:
                     counter.convolve_cache_hits += 1
                 results[i] = hit
                 continue
+            seen.add(key)
         todo.append(i)
     if todo:
         batch = [(pairs[i][0].masses, pairs[i][1].masses) for i in todo]
@@ -242,8 +279,26 @@ def convolve_many(
                 a.dt, a.offset + b.offset, raw
             ).trimmed(trim_eps)
             if cache is not None:
-                cache.store_convolve(a, b, trim_eps, kernel, raw, res)
+                cache.store_convolve(a, b, trim_eps, kernel, raw, res,
+                                     key=keys[i])
             results[i] = res
+    for i in dups:
+        a, b = pairs[i]
+        hit = cache.lookup_convolve(a, b, trim_eps, kernel, key=keys[i])
+        if hit is None:
+            # The representative's entry was already evicted (tiny
+            # capacity churn) — recompute, as the sequential loop would.
+            raw = kernel.convolve_masses(a.masses, b.masses)
+            if counter is not None:
+                counter.convolutions += 1
+            hit = DiscretePDF._trusted(
+                a.dt, a.offset + b.offset, raw
+            ).trimmed(trim_eps)
+            cache.store_convolve(a, b, trim_eps, kernel, raw, hit,
+                                 key=keys[i])
+        elif counter is not None:
+            counter.convolve_cache_hits += 1
+        results[i] = hit
     return results
 
 
@@ -278,6 +333,20 @@ def _padded_cdfs(pdfs: Sequence[DiscretePDF]) -> tuple:
     return lo, grid
 
 
+def _max_masses(pdfs: Sequence[DiscretePDF]) -> tuple:
+    """``(lo_offset, raw mass vector)`` of the independence MAX —
+    the numeric kernel shared by the per-call and grouped paths."""
+    lo, grid = _padded_cdfs(pdfs)
+    cdf = np.prod(grid, axis=0)
+    # Adjacent difference, spelled out: bitwise np.diff(cdf, prepend=0)
+    # without the wrapper's concatenate/broadcast machinery (this runs
+    # once per MAX reduction).
+    masses = np.empty_like(cdf)
+    masses[0] = cdf[0]
+    np.subtract(cdf[1:], cdf[:-1], out=masses[1:])
+    return lo, masses
+
+
 def _independence_max(
     pdfs: Sequence[DiscretePDF],
     trim_eps: float,
@@ -293,20 +362,64 @@ def _independence_max(
             if counter is not None:
                 counter.max_cache_hits += len(pdfs) - 1
             return hit
-    lo, grid = _padded_cdfs(pdfs)
-    cdf = np.prod(grid, axis=0)
-    # Adjacent difference, spelled out: bitwise np.diff(cdf, prepend=0)
-    # without the wrapper's concatenate/broadcast machinery (this runs
-    # once per MAX reduction).
-    masses = np.empty_like(cdf)
-    masses[0] = cdf[0]
-    np.subtract(cdf[1:], cdf[:-1], out=masses[1:])
+    lo, masses = _max_masses(pdfs)
     if counter is not None:
         counter.max_ops += len(pdfs) - 1
     result = DiscretePDF(dt, lo, masses).trimmed(trim_eps)
     if cache is not None:
         cache.store_max(pdfs, trim_eps, masses, result)
     return result
+
+
+#: Per-fan-in-count verdicts: is the platform's stacked ``(g, k, W)``
+#: CDF product bitwise identical, row for row, to the per-group
+#: ``(k, W)`` product?  The reduction order over the ``k`` operand rows
+#: depends only on ``k`` and the row-major layout — identical in both
+#: shapes on every NumPy tested — but it is a build property, not an
+#: API guarantee, so it is measured (first grouped batch at each ``k``
+#: verifies its first group against :func:`_max_masses`), never
+#: assumed; a ``k`` that fails falls back to the per-group loop
+#: forever after.  Mirrors ``FFTBackend._batch_nfft_bitwise``.
+_GROUPED_MAX_BITWISE: dict = {}
+
+
+def _grouped_max_masses(groups: list) -> list:
+    """``_max_masses`` for several same-shape operand groups through
+    one stacked CDF product.
+
+    Every group must hold ``k`` operands spanning a ``width``-bin union
+    range (the caller partitions by that shape).  Returns one
+    ``(lo, masses)`` per group, bitwise identical to per-group
+    :func:`_max_masses` calls — enforced by the first-group check
+    behind :data:`_GROUPED_MAX_BITWISE`.
+    """
+    k = len(groups[0][1])
+    verdict = _GROUPED_MAX_BITWISE.get(k)
+    if verdict is False:  # pragma: no cover - exotic reduce builds
+        return [_max_masses(pdfs) for _lo, pdfs, _w in groups]
+    width = groups[0][2]
+    grid = np.empty((len(groups), k, width))
+    for gi, (lo, pdfs, _w) in enumerate(groups):
+        for ki, p in enumerate(pdfs):
+            start = p.offset - lo
+            n = p.masses.size
+            row = grid[gi, ki]
+            row[:start] = 0.0
+            row[start : start + n] = p._unit_cdf  # noqa: SLF001
+            row[start + n :] = 1.0
+    cdf = np.prod(grid, axis=1)
+    masses = np.empty_like(cdf)
+    masses[:, 0] = cdf[:, 0]
+    np.subtract(cdf[:, 1:], cdf[:, :-1], out=masses[:, 1:])
+    if verdict is None:
+        _lo0, ref = _max_masses(groups[0][1])
+        verdict = bool(np.array_equal(masses[0], ref))
+        _GROUPED_MAX_BITWISE[k] = verdict
+        if not verdict:  # pragma: no cover - exotic reduce builds
+            return [_max_masses(pdfs) for _lo, pdfs, _w in groups]
+    # Rows are copied out of the batch matrix so long-lived results
+    # (and cache entries built from them) never pin the full stack.
+    return [(lo, masses[gi].copy()) for gi, (lo, _p, _w) in enumerate(groups)]
 
 
 def stat_max(
@@ -354,3 +467,111 @@ def stat_max_many(
         get_backend(backend)
         return pdfs[0].trimmed(trim_eps)
     return _independence_max(pdfs, trim_eps, counter, backend, cache)
+
+
+def stat_max_groups(
+    groups: Sequence,
+    *,
+    trim_eps: float = 0.0,
+    counter: Optional[OpCounter] = None,
+    backend: BackendLike = "auto",
+    cache: Optional[ConvolutionCache] = None,
+) -> list:
+    """Batched MAX: one :func:`stat_max_many` result per operand group.
+
+    The level-batched engines merge every node of a topological level
+    in one call; groups sharing a shape (operand count, union width)
+    stack into a single CDF product (see :func:`_grouped_max_masses`),
+    amortizing the per-reduction dispatch the per-node path pays.
+
+    Equivalence contract, mirroring :func:`convolve_many`: every group's
+    result is **bitwise identical** to its own ``stat_max_many`` call,
+    whatever the batch composition, and with a cache attached the
+    request stream matches a sequential loop — groups resolve against
+    the cache in order, duplicate groups within one batch compute once
+    and replay as hits, and single-operand groups pass through trimming
+    without touching cache or counter (exactly as ``stat_max_many``
+    does).  An empty batch is a no-op.
+    """
+    groups = [list(g) for g in groups]
+    if not groups:
+        return []
+    get_backend(backend)  # validate once; the max itself is backend-free
+    results: list = [None] * len(groups)
+    todo: list = []
+    keys: list = [None] * len(groups)
+    dups: list = []
+    seen: set = set()
+    for i, pdfs in enumerate(groups):
+        if len(pdfs) == 0:
+            raise DistributionError(
+                "stat_max_groups needs at least one distribution per group"
+            )
+        _require_same_grid(pdfs)
+        if len(pdfs) == 1:
+            results[i] = pdfs[0].trimmed(trim_eps)
+            continue
+        if cache is not None:
+            key = cache.max_key(pdfs, trim_eps)
+            keys[i] = key
+            if key in seen:
+                # Resolved after the stores below, mirroring the hit a
+                # sequential loop's later call would see.
+                dups.append(i)
+                continue
+            hit = cache.lookup_max(pdfs, trim_eps, key=key)
+            if hit is not None:
+                if counter is not None:
+                    counter.max_cache_hits += len(pdfs) - 1
+                results[i] = hit
+                continue
+            seen.add(key)
+        todo.append(i)
+    if todo:
+        # Partition by exact (operand count, union width): every mass
+        # vector leaves the stacked product at precisely the width its
+        # own reduction would produce, so downstream normalization and
+        # trimming see bit-identical inputs (no cross-width padding).
+        shapes: dict = {}
+        spans: dict = {}
+        for i in todo:
+            pdfs = groups[i]
+            lo = min(p.offset for p in pdfs)
+            width = max(p.offset + p.n_bins for p in pdfs) - lo
+            spans[i] = (lo, width)
+            shapes.setdefault((len(pdfs), width), []).append(i)
+        computed: dict = {}
+        for (_k, _width), idxs in shapes.items():
+            if len(idxs) == 1:
+                i = idxs[0]
+                computed[i] = _max_masses(groups[i])
+            else:
+                stacked = _grouped_max_masses(
+                    [(spans[i][0], groups[i], spans[i][1]) for i in idxs]
+                )
+                for i, lo_masses in zip(idxs, stacked):
+                    computed[i] = lo_masses
+        for i in todo:  # original order: store order matches sequential
+            pdfs = groups[i]
+            lo, masses = computed[i]
+            if counter is not None:
+                counter.max_ops += len(pdfs) - 1
+            result = DiscretePDF(pdfs[0].dt, lo, masses).trimmed(trim_eps)
+            if cache is not None:
+                cache.store_max(pdfs, trim_eps, masses, result, key=keys[i])
+            results[i] = result
+    for i in dups:
+        pdfs = groups[i]
+        hit = cache.lookup_max(pdfs, trim_eps, key=keys[i])
+        if hit is None:
+            # Representative entry already evicted (tiny capacity):
+            # recompute, as a sequential loop would at this point.
+            lo, masses = _max_masses(pdfs)
+            if counter is not None:
+                counter.max_ops += len(pdfs) - 1
+            hit = DiscretePDF(pdfs[0].dt, lo, masses).trimmed(trim_eps)
+            cache.store_max(pdfs, trim_eps, masses, hit, key=keys[i])
+        elif counter is not None:
+            counter.max_cache_hits += len(pdfs) - 1
+        results[i] = hit
+    return results

@@ -34,7 +34,13 @@ from .yield_analysis import (
     yield_curve,
     yield_gain,
 )
-from .ssta import SSTAResult, compute_node_arrival, run_ssta
+from .ssta import (
+    SSTAResult,
+    compute_level_arrivals,
+    compute_node_arrival,
+    node_fanin_parts,
+    run_ssta,
+)
 
 __all__ = [
     "TimingGraph",
@@ -45,6 +51,8 @@ __all__ = [
     "SSTAResult",
     "run_ssta",
     "compute_node_arrival",
+    "compute_level_arrivals",
+    "node_fanin_parts",
     "MonteCarloResult",
     "run_monte_carlo",
     "PathHistogram",

@@ -36,7 +36,7 @@ from ..dist.pdf import DiscretePDF
 from ..errors import TimingError
 from .delay_model import DelayModel
 from .graph import TimingGraph
-from .ssta import SSTAResult
+from .ssta import SSTAResult, compute_level_arrivals
 
 __all__ = [
     "BackwardSSTAResult",
@@ -70,6 +70,24 @@ class BackwardSSTAResult:
         return self.to_sink[self.graph.node_of_net(net)]
 
 
+def _node_fanout_parts(graph, model, to_sink, node):
+    """A node's fan-out operands ``(to-sink PDF, delay-or-None)`` in
+    edge order — the backward mirror of
+    :func:`~repro.timing.ssta.node_fanin_parts`."""
+    fanout = graph.fanout_edges(node)
+    if not fanout:
+        raise TimingError(f"node {node} has no fan-out (not a sink)")
+    parts = []
+    for edge in fanout:
+        dst_pdf = to_sink[edge.dst]
+        assert dst_pdf is not None
+        if edge.gate is None:
+            parts.append((dst_pdf, None))
+        else:
+            parts.append((dst_pdf, model.delay_pdf(edge.gate)))
+    return parts
+
+
 def run_backward_ssta(
     graph: TimingGraph,
     model: DelayModel,
@@ -81,7 +99,12 @@ def run_backward_ssta(
 
     Mirrors :func:`~repro.timing.ssta.run_ssta`: an outgoing arc adds
     the arc's gate delay by convolution, and multiple fan-out arcs
-    merge through the independence max (upper bound).
+    merge through the independence max (upper bound).  Under
+    ``config.level_batch`` (the default) each topological level — whose
+    nodes are mutually independent in the backward direction too —
+    runs through the batched level scheduler, bitwise identical to the
+    sequential walk (which never consulted the whole-node memo, hence
+    ``node_memo=False``).
     """
     cfg = config if config is not None else model.config
     own = counter if counter is not None else OpCounter()
@@ -89,36 +112,58 @@ def run_backward_ssta(
     cache = cfg.cache
     to_sink: List[Optional[DiscretePDF]] = [None] * graph.n_nodes
     to_sink[graph.sink] = DiscretePDF.delta(cfg.dt, 0.0)
-    for node in reversed(graph.topo_nodes()):
-        if node == graph.sink:
-            continue
-        fanout = graph.fanout_edges(node)
-        if not fanout:
-            raise TimingError(f"node {node} has no fan-out (not a sink)")
-        # Mirror of compute_node_arrival: slot order follows the edge
-        # order, gate arcs batch through one convolve_many call.
-        contribs: List[Optional[DiscretePDF]] = [None] * len(fanout)
-        pairs = []
-        pair_slots = []
-        for i, edge in enumerate(fanout):
-            dst_pdf = to_sink[edge.dst]
-            assert dst_pdf is not None
-            if edge.gate is None:
-                contribs[i] = dst_pdf
-            else:
-                pairs.append((dst_pdf, model.delay_pdf(edge.gate)))
-                pair_slots.append(i)
-        if pairs:
-            for i, res in zip(
-                pair_slots,
-                convolve_many(pairs, trim_eps=cfg.tail_eps, counter=own,
-                              backend=kernel, cache=cache),
+    if cfg.level_batch:
+        # Sink alone occupies the top level; walk the rest downward,
+        # visiting nodes within a level in the sequential (reversed
+        # topological) order so the cache request stream matches.
+        for level in range(graph.max_level - 1, -1, -1):
+            nodes = list(reversed(graph.nodes_at_level(level)))
+            if not nodes:
+                continue
+            parts_list = [
+                _node_fanout_parts(graph, model, to_sink, node)
+                for node in nodes
+            ]
+            for node, pdf in zip(
+                nodes,
+                compute_level_arrivals(
+                    parts_list,
+                    trim_eps=cfg.tail_eps,
+                    counter=own,
+                    backend=kernel,
+                    cache=cache,
+                    node_memo=False,
+                ),
             ):
-                contribs[i] = res
-        to_sink[node] = stat_max_many(
-            contribs, trim_eps=cfg.tail_eps, counter=own, backend=kernel,
-            cache=cache,
-        )
+                to_sink[node] = pdf
+    else:
+        for node in reversed(graph.topo_nodes()):
+            if node == graph.sink:
+                continue
+            # Mirror of compute_node_arrival: slot order follows the
+            # edge order, gate arcs batch through one convolve_many
+            # call.
+            parts = _node_fanout_parts(graph, model, to_sink, node)
+            contribs: List[Optional[DiscretePDF]] = [None] * len(parts)
+            pairs = []
+            pair_slots = []
+            for i, (pdf, delay) in enumerate(parts):
+                if delay is None:
+                    contribs[i] = pdf
+                else:
+                    pairs.append((pdf, delay))
+                    pair_slots.append(i)
+            if pairs:
+                for i, res in zip(
+                    pair_slots,
+                    convolve_many(pairs, trim_eps=cfg.tail_eps, counter=own,
+                                  backend=kernel, cache=cache),
+                ):
+                    contribs[i] = res
+            to_sink[node] = stat_max_many(
+                contribs, trim_eps=cfg.tail_eps, counter=own, backend=kernel,
+                cache=cache,
+            )
     return BackwardSSTAResult(
         graph=graph, to_sink=to_sink, counter=own, backend=kernel,  # type: ignore[arg-type]
         cache=cache,

@@ -30,7 +30,12 @@ from ..dist.pdf import DiscretePDF
 from ..netlist.circuit import Gate
 from .delay_model import DelayModel
 from .graph import TimingGraph
-from .ssta import SSTAResult, compute_node_arrival
+from .ssta import (
+    SSTAResult,
+    compute_level_arrivals,
+    compute_node_arrival,
+    node_fanin_parts,
+)
 
 __all__ = ["update_ssta_after_resize"]
 
@@ -77,31 +82,58 @@ def update_ssta_after_resize(
         for g in model.gates_affected_by_resize(gate):
             seeds.add(graph.gate_output_node(g))
 
-    # Level-ordered worklist (a node may be enqueued once).
+    # Level-ordered worklist (a node may be enqueued once).  Under
+    # ``config.level_batch`` every queued node of the current level is
+    # popped and recomputed through one batched scheduler call — nodes
+    # of one level are mutually independent, and fan-out pushes only
+    # target higher levels, so the wave front *is* a level batch.
     heap: List = [(graph.level(n), n) for n in seeds]
     heapq.heapify(heap)
     queued: Set[int] = set(seeds)
     recomputed = 0
+    get_arrival = arrivals.__getitem__
 
     while heap:
-        _lvl, node = heapq.heappop(heap)
+        lvl, node = heapq.heappop(heap)
         queued.discard(node)
-        new_pdf = compute_node_arrival(
-            graph,
-            node,
-            lambda n: arrivals[n],
-            model.delay_pdf,
-            trim_eps=cfg.tail_eps,
-            counter=counter,
-            backend=kernel,
-            cache=cache,
-        )
-        recomputed += 1
-        if _identical(new_pdf, arrivals[node]):
-            continue  # wave dies here
-        arrivals[node] = new_pdf
-        for edge in graph.fanout_edges(node):
-            if edge.dst not in queued:
-                queued.add(edge.dst)
-                heapq.heappush(heap, (graph.level(edge.dst), edge.dst))
+        batch = [node]
+        if cfg.level_batch:
+            while heap and heap[0][0] == lvl:
+                _lvl, nxt = heapq.heappop(heap)
+                queued.discard(nxt)
+                batch.append(nxt)
+            parts_list = [
+                node_fanin_parts(graph, n, get_arrival, model.delay_pdf)
+                for n in batch
+            ]
+            news = compute_level_arrivals(
+                parts_list,
+                trim_eps=cfg.tail_eps,
+                counter=counter,
+                backend=kernel,
+                cache=cache,
+            )
+        else:
+            news = [
+                compute_node_arrival(
+                    graph,
+                    n,
+                    get_arrival,
+                    model.delay_pdf,
+                    trim_eps=cfg.tail_eps,
+                    counter=counter,
+                    backend=kernel,
+                    cache=cache,
+                )
+                for n in batch
+            ]
+        for n, new_pdf in zip(batch, news):
+            recomputed += 1
+            if _identical(new_pdf, arrivals[n]):
+                continue  # wave dies here
+            arrivals[n] = new_pdf
+            for edge in graph.fanout_edges(n):
+                if edge.dst not in queued:
+                    queued.add(edge.dst)
+                    heapq.heappush(heap, (graph.level(edge.dst), edge.dst))
     return recomputed

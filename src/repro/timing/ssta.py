@@ -8,29 +8,139 @@ bound on the exact circuit-delay CDF of Agarwal et al. DAC'03 [3]
 (tight in practice — validated against Monte Carlo in the Figure 10
 experiment).
 
-The per-node kernel :func:`compute_node_arrival` is shared with the
-perturbation-front machinery of the optimizer (`repro.core.
-perturbation`): a perturbed propagation is the same kernel with some
-arrivals/delay-PDFs overridden, which guarantees the pruned sizer and
-the brute-force sizer see bit-identical statistics.
+Two execution modes share one numeric contract:
+
+* the **sequential** per-node kernel :func:`compute_node_arrival`, the
+  paper-literal reference path retained for differential testing;
+* the **level-batched** scheduler :func:`compute_level_arrivals` (the
+  default, ``AnalysisConfig(level_batch=True)``): all fan-in ADD pairs
+  of a topological level go through one
+  :func:`~repro.dist.ops.convolve_many` dispatch and all of its MAX
+  reductions through one :func:`~repro.dist.ops.stat_max_groups`
+  sweep, cutting the per-node Python dispatch that dominates the
+  miss-path cost of the sizing loop.
+
+Both modes are **bitwise interchangeable**: the same arrival mass
+vectors and offsets on every backend, cache on or off.  The accounting
+matches too — identical :class:`~repro.dist.ops.OpCounter` tallies and
+cache request stream — whenever the cache holds its working set; a
+*thrashing* cache (capacity below the level's request count) may
+evict entries between the orders' differently-interleaved stores, so
+hit/miss patterns can then legitimately differ while the values stay
+bitwise.  Nodes of one topological level never depend on each other
+(every timing arc crosses levels), so batching a level reorders only
+independent work; the level-batching differential suite and the CI
+drift gate enforce the equivalence end to end.
+
+The kernels are shared with the perturbation-front machinery of the
+optimizer (`repro.core.perturbation`): a perturbed propagation is the
+same computation with some arrivals/delay-PDFs overridden, which
+guarantees the pruned sizer and the brute-force sizer see bit-identical
+statistics.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..config import AnalysisConfig, DEFAULT_CONFIG
 from ..dist.backends import BackendLike, get_backend
 from ..dist.cache import ConvolutionCache
-from ..dist.ops import OpCounter, convolve_many, stat_max_many
+from ..dist.ops import OpCounter, convolve_many, stat_max_groups, stat_max_many
 from ..dist.pdf import DiscretePDF
 from ..errors import TimingError
 from ..netlist.circuit import Gate
 from .delay_model import DelayModel
 from .graph import TimingGraph
 
-__all__ = ["SSTAResult", "run_ssta", "compute_node_arrival"]
+__all__ = [
+    "SSTAResult",
+    "run_ssta",
+    "compute_node_arrival",
+    "compute_level_arrivals",
+    "node_fanin_parts",
+]
+
+#: One node's merge inputs: ``(arrival, delay-or-None)`` per incoming
+#: arc, in edge order.  ``None`` marks a zero-delay virtual arc whose
+#: arrival enters the MAX directly; a gate arc convolves first.
+NodeParts = List[Tuple[DiscretePDF, Optional[DiscretePDF]]]
+
+
+def node_fanin_parts(
+    graph: TimingGraph,
+    node: int,
+    get_arrival: Callable[[int], DiscretePDF],
+    get_delay_pdf: Callable[[Gate], DiscretePDF],
+) -> NodeParts:
+    """Gather a node's fan-in operands in edge order.
+
+    The contribution order must match the edge order exactly: the MAX
+    CDF product multiplies rows in sequence, so reordering would change
+    round-off (and break bitwise reproducibility claims).
+    """
+    fanin = graph.fanin_edges(node)
+    if not fanin:
+        raise TimingError(f"node {node} has no fan-in")
+    parts: NodeParts = []
+    for edge in fanin:
+        src_pdf = get_arrival(edge.src)
+        if edge.gate is None:
+            parts.append((src_pdf, None))
+        else:
+            parts.append((src_pdf, get_delay_pdf(edge.gate)))
+    return parts
+
+
+def _node_hit_tally(counter: Optional[OpCounter], parts: NodeParts) -> None:
+    """Tally a whole-node memo hit: it stands in for every kernel
+    request the node would have made (one ADD per gate arc, an n-way
+    MAX merge)."""
+    if counter is not None:
+        counter.convolve_cache_hits += sum(
+            1 for _pdf, delay in parts if delay is not None
+        )
+        counter.max_cache_hits += len(parts) - 1
+
+
+def _merge_parts(
+    parts: NodeParts,
+    trim_eps: float,
+    counter: Optional[OpCounter],
+    kernel,
+    cache: Optional[ConvolutionCache],
+    node_key: Optional[tuple],
+) -> DiscretePDF:
+    """Sequential ADD-then-MAX merge of one node's parts (the kernel
+    body shared with :func:`compute_node_arrival`'s historical code)."""
+    contribs: List[Optional[DiscretePDF]] = [None] * len(parts)
+    pairs = []
+    pair_slots = []
+    for i, (pdf, delay) in enumerate(parts):
+        if delay is None:
+            contribs[i] = pdf
+        else:
+            pairs.append((pdf, delay))
+            pair_slots.append(i)
+    if pairs:
+        for i, res in zip(
+            pair_slots,
+            convolve_many(pairs, trim_eps=trim_eps, counter=counter,
+                          backend=kernel, cache=cache),
+        ):
+            contribs[i] = res
+    # The per-op MAX cache still gets a look after a node-memo miss:
+    # usually the changed fan-in means it misses too, but an evicted
+    # node entry (the kinds share one LRU) or a translated recurrence
+    # can still be served here, and hits are bitwise either way.
+    result = stat_max_many(
+        contribs, trim_eps=trim_eps, counter=counter, backend=kernel,
+        cache=cache,
+    )
+    if node_key is not None:
+        cache.store_node(node_key, result, kernel)
+    return result
 
 
 def compute_node_arrival(
@@ -55,24 +165,13 @@ def compute_node_arrival(
     kernel and ``cache`` the result memo for every arc — callers (full
     SSTA, incremental updates, perturbation fronts) must pass the same
     choices to stay bitwise interchangeable.
+
+    This is the sequential reference kernel; the level-batched
+    scheduler (:func:`compute_level_arrivals`) reproduces a loop of
+    these calls bitwise.
     """
-    fanin = graph.fanin_edges(node)
-    if not fanin:
-        raise TimingError(f"node {node} has no fan-in")
     kernel = get_backend(backend)
-    # Contribution order must match the edge order exactly: the MAX CDF
-    # product multiplies rows in sequence, so reordering would change
-    # round-off (and break bitwise reproducibility claims).
-    contribs: List[Optional[DiscretePDF]] = [None] * len(fanin)
-    pairs = []
-    pair_slots = []
-    for i, edge in enumerate(fanin):
-        src_pdf = get_arrival(edge.src)
-        if edge.gate is None:
-            contribs[i] = src_pdf
-        else:
-            pairs.append((src_pdf, get_delay_pdf(edge.gate)))
-            pair_slots.append(i)
+    parts = node_fanin_parts(graph, node, get_arrival, get_delay_pdf)
     node_key = None
     if cache is not None:
         # Whole-node fast path: the arrival is a pure function of the
@@ -80,38 +179,131 @@ def compute_node_arrival(
         # perturbation fronts re-visiting base territory and for the
         # per-iteration SSTA refresh) resolves in one probe.  The hits
         # stand in for every kernel request the node would have made.
-        parts = []
-        pair_it = iter(pairs)
-        for i, edge in enumerate(fanin):
-            if edge.gate is None:
-                parts.append((contribs[i], None))
-            else:
-                parts.append(next(pair_it))
         node_key = cache.node_key(parts, trim_eps, kernel)
         hit = cache.lookup_node(node_key, kernel)
         if hit is not None:
-            if counter is not None:
-                counter.convolve_cache_hits += len(pairs)
-                counter.max_cache_hits += len(fanin) - 1
+            _node_hit_tally(counter, parts)
             return hit
+    return _merge_parts(parts, trim_eps, counter, kernel, cache, node_key)
+
+
+def compute_level_arrivals(
+    parts_list: Sequence[NodeParts],
+    *,
+    trim_eps: float,
+    counter: Optional[OpCounter] = None,
+    backend: BackendLike = "auto",
+    cache: Optional[ConvolutionCache] = None,
+    node_memo: bool = True,
+) -> List[DiscretePDF]:
+    """The level scheduler: merged arrivals for a whole topological
+    level of mutually independent nodes, one per parts list.
+
+    Instead of dispatching kernels node by node, the scheduler
+
+    1. probes the whole-node memo for every node (``node_memo=True``;
+       nodes whose fan-in is unchanged resolve in one probe each, and
+       a node repeating an earlier node's key within the level resolves
+       from the entry that node stores — as it would sequentially);
+    2. gathers every remaining gate-arc ADD of the level into **one**
+       :func:`~repro.dist.ops.convolve_many` dispatch (cache hits are
+       filtered out of the batch inside, misses inserted after);
+    3. merges every node's contributions through **one**
+       :func:`~repro.dist.ops.stat_max_groups` sweep.
+
+    The result is bitwise identical to looping
+    :func:`compute_node_arrival` over the same parts lists in order —
+    and so are the counter tallies and the cache request stream as long
+    as the cache holds its working set (a thrashing cache may evict
+    between the orders' differently-interleaved stores, legitimately
+    shifting hit/miss patterns while the values stay bitwise; both
+    regimes are pinned by the differential suite, per backend and cache
+    configuration).  A level with nothing left to compute (empty, or
+    every node/pair served from the cache) never touches the backend.
+
+    ``node_memo=False`` reproduces a caller that skips the whole-node
+    memo (the backward pass does; its sequential reference never
+    consulted it).
+    """
+    n = len(parts_list)
+    results: List[Optional[DiscretePDF]] = [None] * n
+    kernel = get_backend(backend)
+    node_keys: List[Optional[tuple]] = [None] * n
+    todo: List[int] = []
+    dups: List[int] = []
+    if cache is not None and node_memo:
+        seen: set = set()
+        for i, parts in enumerate(parts_list):
+            key = cache.node_key(parts, trim_eps, kernel)
+            node_keys[i] = key
+            if key in seen:
+                # Identical node computed earlier in this level: its
+                # store below serves this one, exactly as a sequential
+                # walk's later node-memo probe would hit (probing now
+                # would register a miss the sequential stream never
+                # sees).
+                dups.append(i)
+                continue
+            hit = cache.lookup_node(key, kernel)
+            if hit is not None:
+                _node_hit_tally(counter, parts)
+                results[i] = hit
+                continue
+            seen.add(key)
+            todo.append(i)
+    else:
+        todo = list(range(n))
+
+    # One batched ADD dispatch for the whole level.
+    pairs = []
+    pair_slots: List[Tuple[int, int]] = []
+    contribs_by_node: Dict[int, List[Optional[DiscretePDF]]] = {}
+    for i in todo:
+        parts = parts_list[i]
+        contribs: List[Optional[DiscretePDF]] = [None] * len(parts)
+        for slot, (pdf, delay) in enumerate(parts):
+            if delay is None:
+                contribs[slot] = pdf
+            else:
+                pairs.append((pdf, delay))
+                pair_slots.append((i, slot))
+        contribs_by_node[i] = contribs
     if pairs:
-        for i, res in zip(
+        for (i, slot), res in zip(
             pair_slots,
             convolve_many(pairs, trim_eps=trim_eps, counter=counter,
                           backend=kernel, cache=cache),
         ):
-            contribs[i] = res
-    # The per-op MAX cache still gets a look after a node-memo miss:
-    # usually the changed fan-in means it misses too, but an evicted
-    # node entry (the kinds share one LRU) or a translated recurrence
-    # can still be served here, and hits are bitwise either way.
-    result = stat_max_many(
-        contribs, trim_eps=trim_eps, counter=counter, backend=kernel,
-        cache=cache,
-    )
-    if node_key is not None:
-        cache.store_node(node_key, result, kernel)
-    return result
+            contribs_by_node[i][slot] = res
+
+    # One batched MAX sweep for the whole level.
+    if todo:
+        for i, res in zip(
+            todo,
+            stat_max_groups(
+                [contribs_by_node[i] for i in todo],
+                trim_eps=trim_eps, counter=counter, backend=kernel,
+                cache=cache,
+            ),
+        ):
+            results[i] = res
+            if node_keys[i] is not None:
+                cache.store_node(node_keys[i], res, kernel)
+
+    # Intra-level node duplicates replay through the now-warm memo.
+    for i in dups:
+        parts = parts_list[i]
+        hit = cache.lookup_node(node_keys[i], kernel)
+        if hit is None:
+            # Entry already evicted (tiny capacity churn): recompute
+            # sequentially, as the per-node walk would at this point.
+            hit = _merge_parts(
+                parts, trim_eps, counter, kernel, cache, node_keys[i]
+            )
+        else:
+            _node_hit_tally(counter, parts)
+        results[i] = hit
+    return results  # type: ignore[return-value]
 
 
 @dataclass
@@ -161,7 +353,10 @@ def run_ssta(
     Runtime is linear in circuit size (one convolution per gate arc and
     one max reduction per multi-fan-in node), the property that makes
     the brute-force sensitivity loop O(N*E) per sizing iteration and
-    motivates the paper's pruning algorithm.
+    motivates the paper's pruning algorithm.  With
+    ``config.level_batch`` (the default) each topological level runs
+    through the batched scheduler; the sequential per-node walk is
+    bitwise identical and retained for differential testing.
     """
     cfg = config if config is not None else model.config
     own_counter = counter if counter is not None else OpCounter()
@@ -169,17 +364,40 @@ def run_ssta(
     arrivals: List[Optional[DiscretePDF]] = [None] * graph.n_nodes
     arrivals[graph.source] = DiscretePDF.delta(cfg.dt, 0.0)
     get_arrival = arrivals.__getitem__
-    for node in graph.topo_nodes():
-        if node == graph.source:
-            continue
-        arrivals[node] = compute_node_arrival(
-            graph,
-            node,
-            get_arrival,  # type: ignore[arg-type]
-            model.delay_pdf,
-            trim_eps=cfg.tail_eps,
-            counter=own_counter,
-            backend=kernel,
-            cache=cfg.cache,
-        )
+    if cfg.level_batch:
+        # Level 0 holds exactly the source; every other level's nodes
+        # are mutually independent (arcs always cross levels).
+        for level in range(1, graph.max_level + 1):
+            nodes = graph.nodes_at_level(level)
+            if not nodes:
+                continue
+            parts_list = [
+                node_fanin_parts(graph, node, get_arrival, model.delay_pdf)
+                for node in nodes
+            ]
+            for node, pdf in zip(
+                nodes,
+                compute_level_arrivals(
+                    parts_list,
+                    trim_eps=cfg.tail_eps,
+                    counter=own_counter,
+                    backend=kernel,
+                    cache=cfg.cache,
+                ),
+            ):
+                arrivals[node] = pdf
+    else:
+        for node in graph.topo_nodes():
+            if node == graph.source:
+                continue
+            arrivals[node] = compute_node_arrival(
+                graph,
+                node,
+                get_arrival,  # type: ignore[arg-type]
+                model.delay_pdf,
+                trim_eps=cfg.tail_eps,
+                counter=own_counter,
+                backend=kernel,
+                cache=cfg.cache,
+            )
     return SSTAResult(graph=graph, arrivals=arrivals, counter=own_counter)  # type: ignore[arg-type]

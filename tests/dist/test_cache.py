@@ -478,3 +478,144 @@ class TestGapMemo:
         assert cache.lookup_gap(a, b) == gap
         # translated pair: absolute offsets differ -> no entry served
         assert cache.lookup_gap(a.shifted_bins(2), b.shifted_bins(2)) is None
+
+
+class TestBatchDedupAgainstSequential:
+    """Batched requests must replicate the *sequential* cache stream:
+    duplicate pairs within one ``convolve_many`` batch compute once and
+    replay as hits (PR-4 level batching folds a whole topological
+    level into one batch, so intra-batch duplicates became the norm)."""
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_duplicate_pairs_compute_once_and_hit(self, backend):
+        rng = np.random.default_rng(41)
+        a = DiscretePDF(2.0, 0, rng.random(24))
+        b = DiscretePDF(2.0, 3, rng.random(18))
+        c = DiscretePDF(2.0, -2, rng.random(30))
+        pairs = [(a, b), (c, b), (a, b), (a, b)]
+        cache = ConvolutionCache()
+        counter = OpCounter()
+        batched = convolve_many(
+            pairs, trim_eps=1e-9, counter=counter, backend=backend,
+            cache=cache,
+        )
+        assert counter.convolutions == 2      # (a,b) once, (c,b) once
+        assert counter.convolve_cache_hits == 2
+        assert cache.stats.misses == 2
+        assert cache.stats.hits == 2
+        # Duplicates replay the stored object itself (same offsets).
+        assert batched[2] is batched[0]
+        assert batched[3] is batched[0]
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_translated_duplicate_replays_bitwise(self, backend):
+        """A duplicate at shifted offsets shares the raw entry and is
+        re-anchored exactly as a sequential translated hit would be.
+        Exactly-normalized (dyadic) masses make the shifted twins share
+        the mass vector — and hence the content key — bitwise."""
+        a = DiscretePDF(2.0, 0, np.asarray([0.25, 0.5, 0.125, 0.125]))
+        b = DiscretePDF(2.0, 1, np.asarray([0.5, 0.25, 0.25]))
+        pairs = [(a, b), (a.shifted_bins(7), b.shifted_bins(-2))]
+        cache = ConvolutionCache()
+        counter = OpCounter()
+        batched = convolve_many(
+            pairs, trim_eps=1e-9, counter=counter, backend=backend,
+            cache=cache,
+        )
+        assert counter.convolutions == 1
+        assert counter.convolve_cache_hits == 1
+        seq = convolve(
+            a.shifted_bins(7), b.shifted_bins(-2), trim_eps=1e-9,
+            backend=backend, cache=ConvolutionCache(),
+        )
+        assert_bitwise(batched[1], seq)
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_tallies_and_stats_match_a_sequential_loop(self, backend):
+        """End-to-end invariance: one batch with repeats and translated
+        twins produces exactly the tallies and cache statistics of the
+        equivalent ``convolve`` loop."""
+        rng = np.random.default_rng(47)
+        a = DiscretePDF(2.0, 0, rng.random(22))
+        b = DiscretePDF(2.0, 2, rng.random(26))
+        c = DiscretePDF(2.0, -1, rng.random(22))
+        pairs = [(a, b), (a, c), (a, b), (a.shifted_bins(3), b), (c, c)]
+        cache_b, cache_s = ConvolutionCache(), ConvolutionCache()
+        cb, cs = OpCounter(), OpCounter()
+        batched = convolve_many(
+            pairs, trim_eps=1e-9, counter=cb, backend=backend,
+            cache=cache_b,
+        )
+        looped = [
+            convolve(x, y, trim_eps=1e-9, counter=cs, backend=backend,
+                     cache=cache_s)
+            for x, y in pairs
+        ]
+        for bb, ss in zip(batched, looped):
+            assert_bitwise(bb, ss)
+        assert (cb.convolutions, cb.convolve_cache_hits) == (
+            cs.convolutions, cs.convolve_cache_hits
+        )
+        assert (cache_b.stats.hits, cache_b.stats.misses) == (
+            cache_s.stats.hits, cache_s.stats.misses
+        )
+
+    def test_without_cache_duplicates_are_recomputed(self):
+        """No cache, no dedupe: the sequential loop computes every
+        request, so the batch must too (tally invariance)."""
+        rng = np.random.default_rng(53)
+        a = DiscretePDF(2.0, 0, rng.random(16))
+        b = DiscretePDF(2.0, 1, rng.random(16))
+        counter = OpCounter()
+        convolve_many([(a, b), (a, b)], counter=counter)
+        assert counter.convolutions == 2
+        assert counter.convolve_cache_hits == 0
+
+    def test_tiny_capacity_dup_resolution_stays_bitwise(self):
+        """Capacity 1: the representative's entry is evicted before the
+        duplicate resolves, forcing the recompute path — results must
+        still be bitwise the loop's."""
+        rng = np.random.default_rng(59)
+        a = DiscretePDF(2.0, 0, rng.random(24))
+        b = DiscretePDF(2.0, 1, rng.random(24))
+        c = DiscretePDF(2.0, 2, rng.random(20))
+        pairs = [(a, b), (c, a), (a, b)]
+        cache = ConvolutionCache(capacity=1)
+        batched = convolve_many(pairs, trim_eps=1e-9, cache=cache)
+        plain = [convolve(x, y, trim_eps=1e-9) for x, y in pairs]
+        for bb, ss in zip(batched, plain):
+            assert_bitwise(bb, ss)
+
+
+class TestBatchAwareKeyAPI:
+    """The public key builders + key-accepting lookups the batched
+    callers use must agree with the internal key derivation."""
+
+    def test_convolve_key_roundtrip(self):
+        from repro.dist.backends import get_backend
+
+        rng = np.random.default_rng(61)
+        a = DiscretePDF(2.0, 0, rng.random(12))
+        b = DiscretePDF(2.0, 5, rng.random(14))
+        kernel = get_backend("direct")
+        cache = ConvolutionCache()
+        res = convolve(a, b, trim_eps=1e-9, backend=kernel, cache=cache)
+        key = cache.convolve_key(a, b, 1e-9, kernel)
+        assert cache.lookup_convolve(a, b, 1e-9, kernel, key=key) is res
+        # The precomputed key is authoritative: a wrong key misses.
+        wrong = cache.convolve_key(b, a, 1e-9, kernel)
+        assert cache.lookup_convolve(a, b, 1e-9, kernel, key=wrong) is None
+
+    def test_max_key_roundtrip(self):
+        pdfs_ = [
+            DiscretePDF(2.0, 0, np.asarray([0.25, 0.25, 0.5])),
+            DiscretePDF(2.0, 4, np.asarray([0.5, 0.125, 0.375])),
+        ]
+        cache = ConvolutionCache()
+        res = stat_max_many(pdfs_, trim_eps=1e-9, cache=cache)
+        key = cache.max_key(pdfs_, 1e-9)
+        assert cache.lookup_max(pdfs_, 1e-9, key=key) is res
+        # Relative alignment is the key: translating the whole group
+        # shares the entry (re-anchored), per the PR-3 contract.
+        shifted = [p.shifted_bins(3) for p in pdfs_]
+        assert cache.max_key(shifted, 1e-9) == key

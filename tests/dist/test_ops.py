@@ -249,3 +249,99 @@ class TestOpCounterCacheAccounting:
             )
             assert cached.offset == plain.offset
             assert np.array_equal(cached.masses, plain.masses)
+
+
+class TestStatMaxGroups:
+    """The grouped MAX sweep: per-group results and tallies must be
+    indistinguishable from looping ``stat_max_many``."""
+
+    def _groups(self, g_small, g_large):
+        g3 = truncated_gaussian_pdf(1.0, 65.0, 6.0)
+        far = truncated_gaussian_pdf(1.0, 500.0, 4.0)  # disjoint support
+        return [
+            [g_small, g_large],
+            [g_small, far],
+            [g_small, g_large, g3],
+            [g3],                       # single operand: trim-through
+            [g_small, g_large],         # duplicate of group 0
+        ]
+
+    def test_bitwise_vs_looped(self, g_small, g_large):
+        from repro.dist.ops import stat_max_groups
+
+        groups = self._groups(g_small, g_large)
+        batched = stat_max_groups(groups, trim_eps=1e-9)
+        looped = [stat_max_many(g, trim_eps=1e-9) for g in groups]
+        for b, s in zip(batched, looped):
+            assert b.offset == s.offset
+            assert np.array_equal(b.masses, s.masses)
+
+    def test_single_operand_passthrough_matches_stat_max_many(self, g_small):
+        from repro.dist.ops import stat_max_groups
+
+        counter = OpCounter()
+        (out,) = stat_max_groups([[g_small]], counter=counter)
+        assert out is g_small  # trimmed() returns self when untouched
+        assert counter.total_requests == 0
+
+    def test_empty_batch(self):
+        from repro.dist.ops import stat_max_groups
+
+        assert stat_max_groups([]) == []
+
+    def test_empty_group_rejected(self, g_small):
+        from repro.dist.ops import stat_max_groups
+
+        with pytest.raises(DistributionError):
+            stat_max_groups([[g_small], []])
+
+    def test_grid_mismatch_rejected(self, g_small):
+        from repro.dist.ops import stat_max_groups
+
+        other = truncated_gaussian_pdf(2.0, 50.0, 5.0)
+        with pytest.raises(GridMismatchError):
+            stat_max_groups([[g_small, other]])
+
+    def test_tallies_match_looped_with_and_without_cache(
+        self, g_small, g_large
+    ):
+        """The satellite invariant: computed op counts *and* cache-hit
+        tallies are identical between the grouped sweep and the
+        sequential loop, cache on and off."""
+        from repro.dist.cache import ConvolutionCache
+        from repro.dist.ops import stat_max_groups
+
+        groups = self._groups(g_small, g_large)
+        for spec in (None, 4096):
+            cb, cs = OpCounter(), OpCounter()
+            cache_b = None if spec is None else ConvolutionCache(spec)
+            cache_s = None if spec is None else ConvolutionCache(spec)
+            stat_max_groups(groups, counter=cb, cache=cache_b)
+            for g in groups:
+                stat_max_many(g, counter=cs, cache=cache_s)
+            assert (cb.max_ops, cb.max_cache_hits) == (
+                cs.max_ops, cs.max_cache_hits
+            )
+            assert (cb.convolutions, cb.convolve_cache_hits) == (0, 0)
+            if spec is not None:
+                assert (
+                    cache_b.stats.hits, cache_b.stats.misses
+                ) == (cache_s.stats.hits, cache_s.stats.misses)
+
+    def test_mixed_shapes_partition_correctly(self):
+        """Groups of different operand counts and union widths stack
+        into separate products yet come back in input order."""
+        from repro.dist.ops import stat_max_groups
+
+        mk = lambda c, s: truncated_gaussian_pdf(1.0, c, s)  # noqa: E731
+        groups = [
+            [mk(50.0, 5.0), mk(52.0, 5.0)],     # shape A
+            [mk(90.0, 9.0), mk(94.0, 9.0), mk(92.0, 9.0)],
+            [mk(51.0, 5.0), mk(53.0, 5.0)],     # shape A again
+            [DiscretePDF.delta(1.0, 10.0), DiscretePDF.delta(1.0, 12.0)],
+        ]
+        batched = stat_max_groups(groups)
+        for b, g in zip(batched, groups):
+            ref = stat_max_many(g)
+            assert b.offset == ref.offset
+            assert np.array_equal(b.masses, ref.masses)

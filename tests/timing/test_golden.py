@@ -2,12 +2,15 @@
 
 Two protections layered together:
 
-* **Golden files** (``tests/timing/golden/*.json``) lock the c17 and
-  c432 sink statistics at their seed values.  Any change to the
-  kernels, the variation model, or the mass accounting that moves a
-  sink percentile shows up here first — including an accidental change
-  of the default backend's numerics, since ``auto`` must reproduce the
-  direct goldens *bitwise* at default-grid sizes.
+* **Golden files** (``tests/timing/golden/*.json``) lock the c17,
+  c432, c880, and c1908 sink statistics at their recorded values.  Any
+  change to the kernels, the variation model, or the mass accounting
+  that moves a sink percentile shows up here first — including an
+  accidental change of the default backend's numerics, since ``auto``
+  must reproduce the direct goldens *bitwise* at default-grid sizes,
+  and any divergence of the level-batched scheduler, since batched and
+  sequential propagation must reproduce the goldens (and each other)
+  bitwise under every backend, cache on and off.
 * **Cross-backend reruns** drive the existing engine contracts (SSTA
   vs Monte Carlo, incremental-vs-full bitwise equality, pruned-vs-
   brute-force exactness) under every convolution backend via the
@@ -39,7 +42,12 @@ from repro.timing.monte_carlo import run_monte_carlo
 from repro.timing.ssta import run_ssta
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
-GOLDEN_CIRCUITS = ("c17", "c432")
+#: Circuits with full-SSTA sink goldens (default grid).
+GOLDEN_CIRCUITS = ("c17", "c432", "c880", "c1908")
+#: Circuits with sizer-trajectory goldens (coarse grid; the larger two
+#: would cost minutes per variant for no additional coverage of the
+#: optimizer logic).
+SIZER_GOLDEN_CIRCUITS = ("c17", "c432")
 
 #: direct and auto must reproduce the goldens to round-off of the
 #: recorded decimal literals; fft carries ~1e-15 relative kernel error
@@ -101,6 +109,32 @@ class TestGoldenSinkStatistics:
         else:
             assert result.sink_pdf.n_bins == gold["n_bins"]
 
+    @pytest.mark.parametrize("cache", [None, 4096])
+    @pytest.mark.parametrize("circuit", GOLDEN_CIRCUITS)
+    def test_batched_equals_sequential_equals_golden(
+        self, circuit, backend_config, backend, cache
+    ):
+        """The PR-4 acceptance gate: level-batched == sequential,
+        bitwise, on every golden circuit under every backend with the
+        cache on and off — and both reproduce the golden percentiles.
+        Fresh cache instances per mode so neither run warms the other.
+        """
+        gold = golden(circuit)
+        results = {}
+        for level_batch in (True, False):
+            cfg = backend_config.with_updates(
+                level_batch=level_batch,
+                cache=None if cache is None else ConvolutionCache(cache),
+            )
+            results[level_batch], _, _ = ssta_for(circuit, cfg)
+        for pb, ps in zip(results[True].arrivals, results[False].arrivals):
+            assert pb.offset == ps.offset
+            assert np.array_equal(pb.masses, ps.masses)
+        sink = results[True].sink_pdf
+        tol = PERCENTILE_TOL[backend]
+        assert sink.percentile(0.50) == pytest.approx(gold["p50"], abs=tol)
+        assert sink.percentile(0.99) == pytest.approx(gold["p99"], abs=tol)
+
 
 SIZER_CLASSES = {
     "pruned-statistical": PrunedStatisticalSizer,
@@ -143,7 +177,7 @@ class TestSizerGoldenOutcomes:
     bit-identical results, not close ones.
     """
 
-    @pytest.mark.parametrize("circuit", GOLDEN_CIRCUITS)
+    @pytest.mark.parametrize("circuit", SIZER_GOLDEN_CIRCUITS)
     @pytest.mark.parametrize("optimizer", sorted(SIZER_CLASSES))
     @pytest.mark.parametrize("variant", sorted(CACHE_VARIANTS))
     def test_outcomes_match_golden(self, circuit, optimizer, variant):
