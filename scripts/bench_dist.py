@@ -23,6 +23,9 @@ violation):
 * level-batched vs sequential sink distributions are **bitwise
   identical** per backend, cache on and off (the level scheduler's
   promise — any inequality at all fails the gate);
+* the c432 sink under ``jobs=2`` (sharded-parallel execution) is
+  **bitwise identical** to the serial sink and reproduces the golden
+  percentiles — the execution-plan layer's promise;
 * the quick c17 sizer run serves at least ``--min-hit-rate`` of its
   kernel requests from the cache — a silently broken cache key fails
   the build instead of quietly recomputing everything.
@@ -291,6 +294,50 @@ def _bench_levels(quick: bool) -> dict:
                   f"batched={row['batched_ms']:8.2f} ms  "
                   f"({row['speedup']:.2f}x)")
         out["run_ssta"][circuit_name] = per_backend
+    # Sharded-parallel execution: full run_ssta per jobs count.  The
+    # numbers are honest about pool overhead — on few-core machines
+    # (or default-grid operands, where a whole level's kernel work is
+    # a couple of milliseconds) the per-level IPC round trip dominates
+    # and jobs > 1 *loses*; sharding pays when per-level kernel work
+    # dominates the payload pickling, i.e. wide levels on fine grids
+    # with real cores to spread across.  Bitwise equality against
+    # jobs=1 is asserted here and gated in --check-drift.
+    import os
+
+    from repro.exec import shutdown_executors
+
+    out["parallel"] = {"cpu_count": os.cpu_count()}
+    for circuit_name in ["c17"] if quick else ["c432", "c880"]:
+        row = {}
+        sinks = {}
+        for jobs in (1, 2, 4):
+            cfg = AnalysisConfig(jobs=jobs)
+            circuit = load(circuit_name)
+            graph = TimingGraph(circuit)
+            model = DelayModel(circuit, config=cfg)
+            # Warm the pool (spawn cost is a one-time tax, not a
+            # per-pass cost) before timing.
+            sinks[jobs] = run_ssta(graph, model, config=cfg).sink_pdf
+            t = _time_op(lambda: run_ssta(graph, model, config=cfg),
+                         min_repeats=3, min_seconds=0.2)
+            row[f"jobs{jobs}_ms"] = round(t * 1e3, 3)
+        for jobs in (2, 4):
+            if (sinks[jobs].offset != sinks[1].offset
+                    or not np.array_equal(sinks[jobs].masses,
+                                          sinks[1].masses)):
+                raise SystemExit(
+                    f"parallel jobs={jobs} sink diverged from serial on "
+                    f"{circuit_name}"
+                )
+            row[f"jobs{jobs}_speedup"] = round(
+                row["jobs1_ms"] / row[f"jobs{jobs}_ms"], 3
+            )
+        out["parallel"][circuit_name] = row
+        print(f"parallel {circuit_name}  "
+              f"jobs1={row['jobs1_ms']:8.2f} ms  "
+              f"jobs2={row['jobs2_ms']:8.2f} ms ({row['jobs2_speedup']:.2f}x)  "
+              f"jobs4={row['jobs4_ms']:8.2f} ms ({row['jobs4_speedup']:.2f}x)")
+    shutdown_executors()
     for circuit_name, iters in (
         [("c17", 6)] if quick else [("c432", 8), ("c880", 4)]
     ):
@@ -463,6 +510,45 @@ def _check_drift(bin_counts, min_hit_rate: float) -> list:
                     (f"c17-level-batch-{backend}-cache-{label}", 1.0)
                 )
 
+    # Sharded-parallel vs serial: the c432 golden check under jobs=2 —
+    # the sink must be bitwise the serial one AND reproduce the golden
+    # percentiles recorded in tests/timing/golden/c432.json.  Any
+    # inequality at all fails the gate (the execution plan promises
+    # exact equivalence, not closeness).
+    golden = json.loads(
+        (REPO_ROOT / "tests" / "timing" / "golden" / "c432.json").read_text()
+    )
+    pair = {}
+    for jobs in (1, 2):
+        cfg = AnalysisConfig(jobs=jobs)
+        circuit = load("c432")
+        model = DelayModel(circuit, config=cfg)
+        pair[jobs] = run_ssta(TimingGraph(circuit), model,
+                              config=cfg).sink_pdf
+    bitwise = (
+        pair[1].offset == pair[2].offset
+        and np.array_equal(pair[1].masses, pair[2].masses)
+    )
+    golden_ok = all(
+        abs(pair[2].percentile(p) - golden[key]) <= DRIFT_TOL_PS
+        for p, key in ((0.5, "p50"), (0.9, "p90"), (0.99, "p99"))
+    )
+    report.append({
+        "circuit": "c432",
+        "jobs": 2,
+        "parallel_serial_bitwise": bitwise,
+        "parallel_matches_golden": golden_ok,
+    })
+    print(f"drift c432 parallel/serial [jobs=2]  bitwise={bitwise}  "
+          f"golden={golden_ok}")
+    if not bitwise:
+        failures.append(("c432-parallel-jobs2-bitwise", 1.0))
+    if not golden_ok:
+        failures.append(("c432-parallel-jobs2-golden", 1.0))
+    from repro.exec import shutdown_executors
+
+    shutdown_executors()
+
     # Minimum hit rate on the quick sizer benchmark: a silently broken
     # cache key hits nothing and fails here.
     sizer = _bench_sizers(quick=True)["pruned_c17"]
@@ -525,9 +611,10 @@ def main(argv=None) -> int:
                         help="fail on FFT-vs-direct percentile drift > "
                              f"{DRIFT_TOL_PS} ps, any cache-on/off drift, "
                              "any batched-vs-sequential sink inequality "
-                             "(exact, per backend, cache on/off), or a "
-                             "quick-sizer cache hit rate below "
-                             "--min-hit-rate")
+                             "(exact, per backend, cache on/off), any "
+                             "c432 jobs=2 parallel-vs-serial sink "
+                             "inequality, or a quick-sizer cache hit "
+                             "rate below --min-hit-rate")
     parser.add_argument("--min-hit-rate", type=float,
                         default=DEFAULT_MIN_HIT_RATE,
                         help="minimum cache hit rate the quick sizer "

@@ -25,7 +25,7 @@ from . import __version__
 from .config import DEFAULT_CONFIG
 from .core.deterministic_sizer import DeterministicSizer
 from .core.pruned_sizer import PrunedStatisticalSizer
-from .dist.cache import DEFAULT_CACHE_CAPACITY
+from .dist.cache import ConvolutionCache, DEFAULT_CACHE_CAPACITY
 from .experiments import (
     fast_config,
     paper_config,
@@ -60,11 +60,15 @@ def _experiment_config(args: argparse.Namespace):
 
 
 def _analysis_config(args: argparse.Namespace):
-    """Resolve the shared analysis knobs (level batching is bitwise
-    transparent, so the flag changes cost, never answers)."""
+    """Resolve the shared analysis knobs (level batching and the jobs
+    plan are bitwise transparent, so the flags change cost, never
+    answers)."""
     config = DEFAULT_CONFIG
     if getattr(args, "no_level_batch", False):
         config = config.with_updates(level_batch=False)
+    jobs = getattr(args, "jobs", 1)
+    if jobs != 1:
+        config = config.with_updates(jobs=jobs)
     return config
 
 
@@ -115,13 +119,46 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     sizer_cls = DeterministicSizer if args.deterministic else PrunedStatisticalSizer
     config = _analysis_config(args)
     rows = []
-    if args.cache and not args.deterministic:
+    cache_path = None
+    if args.cache_file and args.deterministic:
+        # The deterministic baseline never touches the statistical
+        # kernels, so there is nothing to snapshot; dropping the
+        # explicitly requested knob silently would be a no-op the
+        # user only discovers later.
+        raise SystemExit(
+            "--cache-file has no effect with --deterministic"
+        )
+    if args.cache_file and not args.cache:
+        # An explicit --cache 0 promises an uncached run; silently
+        # re-enabling the cache to honor the snapshot would corrupt
+        # benchmarks. Make the contradiction loud instead.
+        raise SystemExit(
+            "--cache-file needs the result cache: drop --cache 0 "
+            "or the --cache-file option"
+        )
+    if args.cache_file:
+        # Persistent cross-run warm start: entries are content-keyed
+        # (fingerprints of the operand mass vectors), so a snapshot
+        # from an earlier run of the same circuit family replays its
+        # kernel results bitwise instead of recomputing them.
+        from pathlib import Path
+
+        cache_path = Path(args.cache_file)
+        if cache_path.exists():
+            cache_obj = ConvolutionCache.load(cache_path, capacity=args.cache)
+            rows.append(("cache entries loaded", len(cache_obj)))
+        else:
+            cache_obj = ConvolutionCache(args.cache)
+        config = config.with_updates(cache=cache_obj)
+    elif args.cache and not args.deterministic:
         # The result cache changes cost, never answers (hits are
         # bitwise); the hit rate row makes the saved work visible.
         config = config.with_updates(cache=args.cache)
     result = sizer_cls(circuit, config=config, max_iterations=args.iterations).run()
     if config.cache is not None:
         rows.append(("cache hit rate", result.cache_hit_rate))
+    if cache_path is not None:
+        rows.append(("cache entries saved", config.cache.save(cache_path)))
     print(
         format_table(
             f"{result.optimizer} sizing — {circuit.name}",
@@ -213,6 +250,11 @@ def _add_level_batch_flag(parser: argparse.ArgumentParser) -> None:
                              "dispatch (bitwise-identical results; the "
                              "sequential mode exists for differential "
                              "testing and timing comparisons)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes sharding each level's "
+                             "kernel batches (1 = in-process; parallel "
+                             "results are bitwise identical to serial — "
+                             "the knob changes wall-clock cost only)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -246,6 +288,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="convolution-result cache capacity for the "
                         "statistical sizer (0 disables; results are "
                         "bitwise identical either way)")
+    p.add_argument("--cache-file", default=None, metavar="PATH",
+                   help="persistent cache snapshot: load it if it "
+                        "exists (warm-starting this run bitwise), and "
+                        "save the cache back to it afterwards. The "
+                        "file is a pickle — load only snapshots you "
+                        "wrote yourself")
     p.add_argument("--deterministic", action="store_true",
                    help="use the deterministic baseline instead")
     _add_level_batch_flag(p)

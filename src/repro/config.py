@@ -83,6 +83,19 @@ class AnalysisConfig:
     the level-batching differential suite and the CI drift gate
     enforce.  The sequential path is retained (``level_batch=False``)
     as the differential-testing reference.
+
+    ``jobs`` selects the execution plan the level batches run under
+    (see :mod:`repro.exec`): 1 (the default) executes kernel batches
+    in-process; ``N > 1`` shards each batch across a persistent pool
+    of ``N`` worker processes.  Parallel execution is the third knob
+    in the cost-not-answers family: every shard's kernel output is
+    bitwise identical to the in-process computation, per-shard op
+    tallies sum to the sequential tally, and the result cache (which
+    never leaves the coordinating process) sees the exact sequential
+    request stream — enforced end to end by the parallel differential
+    suite and the CI drift gate.  Level batching is a prerequisite:
+    with ``level_batch=False`` there are no batches to shard and the
+    knob is inert.
     """
 
     dt: float = DEFAULT_DT_PS
@@ -94,6 +107,7 @@ class AnalysisConfig:
     backend: str = DEFAULT_BACKEND
     cache: object = None
     level_batch: bool = True
+    jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.dt <= 0.0:
@@ -121,6 +135,14 @@ class AnalysisConfig:
         if not isinstance(self.level_batch, bool):
             raise ValueError(
                 f"level_batch must be a bool, got {self.level_batch!r}"
+            )
+        if (
+            not isinstance(self.jobs, int)
+            or isinstance(self.jobs, bool)
+            or self.jobs < 1
+        ):
+            raise ValueError(
+                f"jobs must be an int >= 1, got {self.jobs!r}"
             )
         if self.cache is not None:
             # Lazy import: repro.dist imports this module for the grid

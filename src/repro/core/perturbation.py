@@ -52,6 +52,7 @@ from ..dist.metrics import max_percentile_gap
 from ..dist.ops import OpCounter
 from ..dist.pdf import DiscretePDF
 from ..errors import OptimizationError
+from ..exec import get_executor
 from ..netlist.circuit import Gate
 from ..timing.delay_model import DelayModel
 from ..timing.graph import TimingGraph
@@ -140,6 +141,13 @@ class PerturbationFront:
         # used.
         self._backend = get_backend(model.config.backend)
         self._cache = model.config.cache
+        # Execution plan, resolved once like the backend: front levels
+        # are usually narrow (a cone cut), so the plan's small-batch
+        # fold-down matters more here than raw parallel width.
+        self._executor = (
+            get_executor(model.config.jobs)
+            if model.config.level_batch else None
+        )
 
         #: perturbed arrival PDFs of live nodes (the paper's A'set entries)
         self._perturbed: Dict[int, DiscretePDF] = {}
@@ -286,6 +294,7 @@ class PerturbationFront:
                 counter=self.counter,
                 backend=self._backend,
                 cache=self._cache,
+                executor=self._executor,
             )
         else:
             perturbed_list = None

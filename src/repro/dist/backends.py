@@ -66,6 +66,7 @@ __all__ = [
     "BackendLike",
     "get_backend",
     "available_backends",
+    "is_registry_backend",
     "AUTO_COST_RATIO",
     "EQUAL_SIZE_CROSSOVER_BINS",
 ]
@@ -424,6 +425,20 @@ BackendLike = Union[str, ConvolutionBackend]
 def available_backends() -> tuple:
     """Names resolvable by :func:`get_backend`, in registry order."""
     return tuple(_REGISTRY)
+
+
+def is_registry_backend(kernel) -> bool:
+    """True when ``kernel`` is one of the registry singletons — the
+    only case where its *name* uniquely identifies the implementation
+    in another process or a later run.  Both the parallel executor
+    (shipping kernels to workers by name) and the cache snapshots
+    (persisting entries under a backend name) gate on this: a custom
+    instance aliasing a registry name must never be resolved by name
+    into the registry kernel's bits."""
+    name = getattr(kernel, "name", None)
+    if not isinstance(name, str):
+        return False
+    return _REGISTRY.get(name) is kernel
 
 
 def get_backend(spec: BackendLike) -> ConvolutionBackend:

@@ -44,6 +44,8 @@ analysis per thread.
 from __future__ import annotations
 
 import hashlib
+import os
+import pickle
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -128,6 +130,19 @@ class CacheStats:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+
+    def merge(self, other: "CacheStats") -> None:
+        """Fold another stats record into this one — the aggregation
+        helper for reporting across several caches or runs (e.g.
+        summing per-circuit warm-start snapshots).  Pure integer
+        addition, so merging any number of records in any order yields
+        the same aggregate (pinned by the merge-semantics suite).
+        Note the sharded-parallel executor does *not* need this:
+        the cache never leaves the coordinating process, so its stats
+        are single-writer by design."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
 
 
 class _Entry:
@@ -428,6 +443,119 @@ class ConvolutionCache:
 
     def store_gap(self, a: DiscretePDF, b: DiscretePDF, gap: float) -> None:
         self._put(self._gap_key(a, b), _Entry(None, gap, 0, None))
+
+    # ------------------------------------------------------------------
+    # Persistence (cross-run warm starts)
+    # ------------------------------------------------------------------
+    # Keys are content fingerprints (SHA-1 of mass bytes) plus grid,
+    # epsilon, offset, and backend-*name* components — nothing
+    # process-specific — so entries are valid in any process that
+    # resolves the same registry kernels.  Snapshots ride the same
+    # memo-stripped serialization the parallel IPC layer uses
+    # (``DiscretePDF.__getstate__``): an entry is its key, its raw
+    # kernel output, its finished result, its anchor, and its backend
+    # name.  Only registry-kernel entries are saved — a non-registry
+    # backend instance cannot be identified by name alone, and writing
+    # it under its name could alias a different implementation's
+    # entries on load.
+
+    #: Snapshot format version (bump on any layout change).
+    SNAPSHOT_FORMAT: int = 1
+
+    def save(self, path) -> int:
+        """Write every (registry-kernel) entry to ``path`` in LRU
+        order, returning the number of entries written.  Loading the
+        file into a fresh cache (:meth:`load`) reproduces the entries
+        and their recency order; statistics are not persisted."""
+        from .backends import is_registry_backend
+
+        entries = []
+        for key, entry in self._entries.items():
+            backend = entry.backend
+            if backend is None:
+                name = None
+            elif is_registry_backend(backend):
+                name = backend.name
+            else:
+                continue
+            entries.append((key, entry.raw, entry.result, entry.anchor, name))
+        payload = {
+            "format": self.SNAPSHOT_FORMAT,
+            "capacity": self.capacity,
+            "entries": entries,
+        }
+        # Atomic replace: a crash or full disk mid-dump must not
+        # destroy the previous good snapshot (warm starts depend on
+        # it surviving every run that reads it).
+        path = os.fspath(path)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return len(entries)
+
+    @classmethod
+    def load(cls, path, *, capacity: Optional[int] = None) -> "ConvolutionCache":
+        """Rebuild a cache from a :meth:`save` snapshot.
+
+        ``capacity`` overrides the recorded bound (the oldest entries
+        are dropped if the snapshot exceeds it).  Backend names are
+        resolved against the current registry, so hits served from
+        loaded entries pass the same identity check fresh entries do.
+        Snapshots are trusted input (they are pickles): load only
+        files you wrote.
+        """
+        from .backends import get_backend
+
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+        except (
+            pickle.UnpicklingError, EOFError, AttributeError, ImportError,
+        ) as exc:
+            # ImportError covers foreign pickles referencing modules
+            # this build does not have (including snapshots written by
+            # a version that has since moved a class).
+            raise DistributionError(
+                f"corrupt cache snapshot {path!r}: {exc}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise DistributionError(
+                f"corrupt cache snapshot {path!r}: not a snapshot payload"
+            )
+        fmt = payload.get("format")
+        if fmt != cls.SNAPSHOT_FORMAT:
+            raise DistributionError(
+                f"unsupported cache snapshot format {fmt!r} "
+                f"(expected {cls.SNAPSHOT_FORMAT})"
+            )
+        try:
+            cache = cls(
+                capacity if capacity is not None else payload["capacity"]
+            )
+            for key, raw, result, anchor, name in payload["entries"]:
+                if raw is not None:
+                    raw.flags.writeable = False
+                backend = None if name is None else get_backend(name)
+                cache._entries[key] = _Entry(raw, result, anchor, backend)
+        except DistributionError:
+            raise
+        except (KeyError, ValueError, TypeError, AttributeError) as exc:
+            # A payload that unpickled but has the wrong shape (hand
+            # edit, partial write that still parses) is corruption too.
+            raise DistributionError(
+                f"corrupt cache snapshot {path!r}: {exc}"
+            ) from exc
+        while len(cache._entries) > cache.capacity:
+            cache._entries.popitem(last=False)
+        return cache
 
     # ------------------------------------------------------------------
     # Introspection / maintenance

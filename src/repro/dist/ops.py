@@ -70,6 +70,8 @@ __all__ = [
     "OpCounter",
     "convolve",
     "convolve_many",
+    "convolve_batch_raws",
+    "max_batch_raws",
     "stat_max",
     "stat_max_many",
     "stat_max_groups",
@@ -200,6 +202,27 @@ def convolve(
     return result
 
 
+def convolve_batch_raws(kernel, mass_pairs: Sequence) -> list:
+    """Raw kernel outputs for a batch of ``(a_masses, b_masses)``
+    operand pairs — the shardable ADD work unit of the execution layer.
+
+    A pure function of the operand vectors: no cache, no counter, no
+    trimming — exactly the compute step :func:`convolve_many` performs
+    after cache resolution, factored out so an
+    :class:`~repro.exec.Executor` can run it in a worker process.  Each
+    output is **bitwise** the vector ``kernel.convolve_masses`` would
+    return for its pair, whatever the batch composition (the
+    ``ConvolutionBackend.convolve_many`` contract), which is why any
+    contiguous sharding of a batch reproduces the unsharded batch bit
+    for bit.  Backends without the batched entry point fall back to a
+    ``convolve_masses`` loop.
+    """
+    batched = getattr(kernel, "convolve_many", None)
+    if callable(batched):
+        return batched(mass_pairs)
+    return [kernel.convolve_masses(a, b) for a, b in mass_pairs]
+
+
 def convolve_many(
     pairs: Sequence,
     *,
@@ -207,6 +230,7 @@ def convolve_many(
     counter: Optional[OpCounter] = None,
     backend: BackendLike = "auto",
     cache: Optional[ConvolutionCache] = None,
+    executor=None,
 ) -> list:
     """Batched ADD: one :func:`convolve` result per ``(a, b)`` pair.
 
@@ -233,6 +257,14 @@ def convolve_many(
     sequential loop's later calls would hit the earlier call's entry.
     A batch that is empty — or whose every pair resolves from the
     cache — never touches the backend.
+
+    ``executor`` (an :class:`~repro.exec.Executor`) takes over the raw
+    compute step for the cache-resolved batch — the serial executor
+    runs :func:`convolve_batch_raws` in-process, the process executor
+    shards it across workers.  Cache resolution, dedupe, result
+    construction, and stores always stay in the calling process, so
+    the cache request stream is independent of the executor choice;
+    ``None`` keeps the historical inline path.
     """
     pairs = list(pairs)
     if not pairs:
@@ -266,13 +298,15 @@ def convolve_many(
         todo.append(i)
     if todo:
         batch = [(pairs[i][0].masses, pairs[i][1].masses) for i in todo]
-        batched = getattr(kernel, "convolve_many", None)
-        if callable(batched):
-            raws = batched(batch)
-        else:  # third-party backend without the batched entry point
-            raws = [kernel.convolve_masses(a, b) for a, b in batch]
-        if counter is not None:
-            counter.convolutions += len(todo)
+        if executor is not None:
+            raws = executor.run_convolve_batch(kernel, batch, counter=counter)
+        else:
+            # Inline twin of SerialExecutor.run_convolve_batch, kept so
+            # repro.dist never imports repro.exec; the executor suite
+            # pins the two (and the per-shard worker tally) equal.
+            raws = convolve_batch_raws(kernel, batch)
+            if counter is not None:
+                counter.convolutions += len(todo)
         for i, raw in zip(todo, raws):
             a, b = pairs[i]
             res = DiscretePDF._trusted(
@@ -422,6 +456,44 @@ def _grouped_max_masses(groups: list) -> list:
     return [(lo, masses[gi].copy()) for gi, (lo, _p, _w) in enumerate(groups)]
 
 
+def max_batch_raws(groups: Sequence) -> list:
+    """``(lo_offset, raw mass vector)`` of the independence MAX for
+    every operand group — the shardable MAX work unit of the execution
+    layer.
+
+    A pure function of the groups' operand contents and alignments: no
+    cache, no counter, no trimming — exactly the compute step
+    :func:`stat_max_groups` performs after cache resolution, factored
+    out so an :class:`~repro.exec.Executor` can run it in a worker
+    process.  Groups are partitioned by exact (operand count, union
+    width); same-shape runs stack into one CDF product, each group
+    bitwise its own :func:`_max_masses` call (the
+    :data:`_GROUPED_MAX_BITWISE` guard), so any contiguous sharding of
+    a batch reproduces the unsharded batch bit for bit.  Results come
+    back in input order.
+    """
+    n = len(groups)
+    out: list = [None] * n
+    shapes: dict = {}
+    spans: dict = {}
+    for i, pdfs in enumerate(groups):
+        lo = min(p.offset for p in pdfs)
+        width = max(p.offset + p.n_bins for p in pdfs) - lo
+        spans[i] = (lo, width)
+        shapes.setdefault((len(pdfs), width), []).append(i)
+    for (_k, _width), idxs in shapes.items():
+        if len(idxs) == 1:
+            i = idxs[0]
+            out[i] = _max_masses(groups[i])
+        else:
+            stacked = _grouped_max_masses(
+                [(spans[i][0], groups[i], spans[i][1]) for i in idxs]
+            )
+            for i, lo_masses in zip(idxs, stacked):
+                out[i] = lo_masses
+    return out
+
+
 def stat_max(
     a: DiscretePDF,
     b: DiscretePDF,
@@ -476,6 +548,7 @@ def stat_max_groups(
     counter: Optional[OpCounter] = None,
     backend: BackendLike = "auto",
     cache: Optional[ConvolutionCache] = None,
+    executor=None,
 ) -> list:
     """Batched MAX: one :func:`stat_max_many` result per operand group.
 
@@ -492,6 +565,11 @@ def stat_max_groups(
     and replay as hits, and single-operand groups pass through trimming
     without touching cache or counter (exactly as ``stat_max_many``
     does).  An empty batch is a no-op.
+
+    ``executor`` mirrors :func:`convolve_many`: it takes over the raw
+    compute step (:func:`max_batch_raws`) for the cache-resolved
+    groups, while cache resolution, dedupe, result construction, and
+    stores stay in the calling process.
     """
     groups = [list(g) for g in groups]
     if not groups:
@@ -528,34 +606,22 @@ def stat_max_groups(
             seen.add(key)
         todo.append(i)
     if todo:
-        # Partition by exact (operand count, union width): every mass
-        # vector leaves the stacked product at precisely the width its
-        # own reduction would produce, so downstream normalization and
-        # trimming see bit-identical inputs (no cross-width padding).
-        shapes: dict = {}
-        spans: dict = {}
-        for i in todo:
-            pdfs = groups[i]
-            lo = min(p.offset for p in pdfs)
-            width = max(p.offset + p.n_bins for p in pdfs) - lo
-            spans[i] = (lo, width)
-            shapes.setdefault((len(pdfs), width), []).append(i)
-        computed: dict = {}
-        for (_k, _width), idxs in shapes.items():
-            if len(idxs) == 1:
-                i = idxs[0]
-                computed[i] = _max_masses(groups[i])
-            else:
-                stacked = _grouped_max_masses(
-                    [(spans[i][0], groups[i], spans[i][1]) for i in idxs]
-                )
-                for i, lo_masses in zip(idxs, stacked):
-                    computed[i] = lo_masses
-        for i in todo:  # original order: store order matches sequential
-            pdfs = groups[i]
-            lo, masses = computed[i]
+        # The raw compute (shape partition + stacked CDF products)
+        # lives in max_batch_raws; the executor may shard it across
+        # workers — either way every group's output is bitwise its own
+        # _max_masses call, so commit order below stays sequential.
+        todo_groups = [groups[i] for i in todo]
+        if executor is not None:
+            computed = executor.run_max_batch(todo_groups, counter=counter)
+        else:
+            # Inline twin of SerialExecutor.run_max_batch (see
+            # convolve_many for why the duplication is deliberate).
+            computed = max_batch_raws(todo_groups)
             if counter is not None:
-                counter.max_ops += len(pdfs) - 1
+                counter.max_ops += sum(len(g) - 1 for g in todo_groups)
+        for i, (lo, masses) in zip(todo, computed):
+            # original order: store order matches sequential
+            pdfs = groups[i]
             result = DiscretePDF(pdfs[0].dt, lo, masses).trimmed(trim_eps)
             if cache is not None:
                 cache.store_max(pdfs, trim_eps, masses, result, key=keys[i])

@@ -80,6 +80,28 @@ class DiscretePDF:
         object.__setattr__(self, "masses", masses)
 
     # ------------------------------------------------------------------
+    # Serialization (pickle / IPC)
+    # ------------------------------------------------------------------
+    # Instances accumulate per-instance memos in ``__dict__`` — the
+    # cached CDF/knot arrays, the ``_unit_cdf`` row, ``_ramp_floor``,
+    # the trim-level marker, and the cache-key fingerprint.  All of
+    # them are pure deterministic functions of ``(dt, offset, masses)``
+    # and every consumer rebuilds them on demand, so pickling ships
+    # only the defining triple: payloads stay compact (the parallel
+    # executor serializes whole level shards of these), and a
+    # round-trip is bitwise — same grid, same offset, same mass bytes.
+
+    def __getstate__(self) -> tuple:
+        return (self.dt, self.offset, self.masses)
+
+    def __setstate__(self, state: tuple) -> None:
+        dt, offset, masses = state
+        masses.flags.writeable = False
+        object.__setattr__(self, "dt", dt)
+        object.__setattr__(self, "offset", offset)
+        object.__setattr__(self, "masses", masses)
+
+    # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
     @classmethod

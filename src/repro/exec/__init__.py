@@ -1,0 +1,73 @@
+"""Execution plans for the timing engines: serial or sharded-parallel.
+
+The level-batched scheduler of PR 4 turned SSTA propagation into a
+sequence of *batches* — all of a topological level's fan-in ADD pairs,
+then all of its MAX reductions — where every item in a batch is
+independent of every other.  This package makes the execution of those
+batches a pluggable **execution plan**:
+
+* :class:`SerialExecutor` runs each batch in-process — today's
+  behavior, and the differential reference;
+* :class:`ProcessExecutor` shards each batch by contiguous item range
+  across a persistent pool of worker processes (``spawn`` context, so
+  workers are initialized once — importing the library and warming the
+  kernel registry — and never inherit ambient state).
+
+The split of responsibilities is what makes parallel execution exactly
+equivalent to serial, not just statistically close:
+
+* **planning stays in the coordinator.**  Cache probes, intra-batch
+  dedupe, node-memo resolution, result construction, counter hit
+  tallies, and cache stores all run in the calling process (see
+  ``repro.dist.ops.convolve_many`` / ``stat_max_groups``), so the
+  cache request stream — and hence :class:`~repro.dist.cache.CacheStats`
+  — is *identical* to the serial run by construction;
+* **workers compute raw kernel outputs only.**  A shard is a pure
+  function of its operand payloads
+  (:func:`~repro.dist.ops.convolve_batch_raws` /
+  :func:`~repro.dist.ops.max_batch_raws`), and the PR-2/PR-4 verified
+  contracts — batched == looped, bitwise, per transform size and per
+  fan-in count — guarantee any contiguous sharding of a batch
+  reproduces the unsharded batch bit for bit;
+* **merge is deterministic.**  Shard outputs are reassembled in item
+  order, and per-shard :class:`~repro.dist.ops.OpCounter` deltas are
+  summed — integer addition, so merge order cannot matter (pinned by
+  the counter-merge property suite).
+
+Engines resolve their plan from ``AnalysisConfig(jobs=N)`` via
+:func:`get_executor`; the CLI exposes it as ``--jobs``.
+"""
+
+from .executor import (
+    Executor,
+    SerialExecutor,
+    SERIAL_EXECUTOR,
+    get_executor,
+    shutdown_executors,
+)
+from .plan import ConvolveBatch, MaxBatch, shard_ranges
+
+
+def __getattr__(name: str):
+    # ProcessExecutor re-exports lazily (PEP 562): the pool module
+    # drags in multiprocessing/concurrent.futures, which serial runs —
+    # and every spawn worker's own library import — should not pay
+    # for.  ``get_executor(jobs > 1)`` imports it on first need.
+    if name == "ProcessExecutor":
+        from .pool import ProcessExecutor
+
+        return ProcessExecutor
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "SERIAL_EXECUTOR",
+    "ProcessExecutor",
+    "ConvolveBatch",
+    "MaxBatch",
+    "shard_ranges",
+    "get_executor",
+    "shutdown_executors",
+]

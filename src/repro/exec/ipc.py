@@ -1,0 +1,45 @@
+"""Compact IPC payloads between the coordinator and worker processes.
+
+Everything crossing the process boundary is defined here, so the wire
+contract is auditable in one place:
+
+* **operands** travel as plain NumPy mass vectors (ADD) or
+  memo-stripped :class:`~repro.dist.pdf.DiscretePDF` instances (MAX) —
+  the PDF's ``__getstate__`` ships only ``(dt, offset, masses)``, so a
+  level shard's payload is a few hundred bytes per operand and pickle's
+  object memo deduplicates the heavily shared ones (every gate's delay
+  PDF, an arrival feeding several fan-in lists) automatically;
+* **results** travel as a :class:`ShardResult`: the shard's raw kernel
+  outputs in item order plus the shard's
+  :class:`~repro.dist.ops.OpCounter` delta.  Raw outputs are
+  un-normalized mass vectors — bit-for-bit what the in-process kernel
+  would have produced — and the coordinator performs every downstream
+  step (normalization, trimming, cache stores) itself, so worker
+  results are indistinguishable from local ones;
+* counter deltas contain **computed** tallies only (cache hits are a
+  coordinator-side concept), and merging them is commutative integer
+  addition, so shard completion order can never leak into the
+  accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dist.ops import OpCounter
+
+__all__ = ["ShardResult"]
+
+
+@dataclass
+class ShardResult:
+    """One worker shard's outputs plus its operation-count delta.
+
+    ``outputs`` is aligned with the shard's item order: raw convolved
+    mass vectors for a :class:`~repro.exec.plan.ConvolveBatch` shard,
+    ``(lo_offset, raw mass vector)`` tuples for a
+    :class:`~repro.exec.plan.MaxBatch` shard.
+    """
+
+    outputs: list
+    counter: OpCounter = field(default_factory=OpCounter)

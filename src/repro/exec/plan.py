@@ -1,0 +1,90 @@
+"""Shardable work descriptions and the shard geometry.
+
+The engines no longer hand operand batches straight to a kernel; they
+describe the work — *which* raw computations a level still needs after
+cache resolution — and an :class:`~repro.exec.Executor` decides where
+it runs.  Two batch shapes cover the whole SSTA inner loop:
+
+* :class:`ConvolveBatch` — one raw linear convolution per ``(a, b)``
+  mass-vector pair, under a named backend (the ADD side);
+* :class:`MaxBatch` — one independence-MAX CDF product per operand
+  group (the MAX side; backend-invariant numerics).
+
+Both are pure data: operand payloads plus enough context to resolve
+the kernel in another process.  Items within a batch are mutually
+independent by construction (the level schedulers only batch
+independent work), so *any* partition into shards computes the same
+bits; :func:`shard_ranges` picks the canonical one — contiguous,
+balanced, at most ``jobs`` shards, never slicing below
+``min_items_per_shard`` — so small batches do not drown in per-shard
+dispatch overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["ConvolveBatch", "MaxBatch", "shard_ranges"]
+
+#: Smallest shard worth a worker round trip.  Below this, the pickle +
+#: queue cost per item exceeds the kernel cost of typical default-grid
+#: operands, so the shard planner folds tiny batches into fewer shards
+#: (a single shard degenerates to in-process execution).
+MIN_ITEMS_PER_SHARD: int = 2
+
+
+@dataclass(frozen=True)
+class ConvolveBatch:
+    """Raw ADD work: ``pairs[i]`` is an ``(a_masses, b_masses)`` tuple
+    of 1-D float64 vectors; the kernel is resolved from
+    ``backend_name`` in the executing process (registry backends only —
+    a backend instance cannot be shipped, its identity is its name)."""
+
+    backend_name: str
+    pairs: tuple
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+
+@dataclass(frozen=True)
+class MaxBatch:
+    """Raw MAX work: ``groups[i]`` is a tuple of
+    :class:`~repro.dist.pdf.DiscretePDF` operands (offsets matter —
+    the CDF product runs on the union grid).  The independence MAX is
+    backend-invariant, so no kernel context is needed."""
+
+    groups: tuple
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+
+def shard_ranges(
+    n_items: int,
+    jobs: int,
+    *,
+    min_items_per_shard: int = MIN_ITEMS_PER_SHARD,
+) -> List[Tuple[int, int]]:
+    """Contiguous ``[start, stop)`` shard bounds covering ``n_items``.
+
+    At most ``jobs`` shards, sized within one item of each other
+    (earlier shards take the remainder), and no more shards than
+    ``n_items // min_items_per_shard`` so tiny batches are not split
+    below the worthwhile granularity — with fewer items than
+    ``min_items_per_shard`` a single shard covers everything.  The
+    concatenation of the ranges is always exactly ``range(n_items)``,
+    which is what makes the shard merge order-deterministic.
+    """
+    if n_items <= 0:
+        return []
+    n_shards = min(jobs, max(1, n_items // max(1, min_items_per_shard)))
+    base, extra = divmod(n_items, n_shards)
+    bounds: List[Tuple[int, int]] = []
+    start = 0
+    for s in range(n_shards):
+        stop = start + base + (1 if s < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds

@@ -1,0 +1,230 @@
+"""The process execution plan: a persistent spawn-safe worker pool.
+
+:class:`ProcessExecutor` shards each kernel batch by contiguous item
+range (:func:`~repro.exec.plan.shard_ranges`) across ``jobs`` worker
+processes.  The pool is built from the ``spawn`` multiprocessing
+context — workers never inherit forked state (locks, warm kernel
+memos, open files); they are initialized exactly once per pool
+lifetime by :func:`_worker_init`, which imports the library and warms
+the kernel registry, and then serve shard messages for the life of the
+process.  Spawn start-up costs a few hundred milliseconds per worker
+(a NumPy import), which is why pools persist across analyses (see
+:func:`~repro.exec.executor.get_executor`) instead of being rebuilt
+per pass.
+
+Correctness notes:
+
+* only **registry** backends are shipped (by name — resolution inside
+  the worker lands on the same singleton kernel the coordinator
+  resolved, so results are computed by the identical implementation).
+  A non-registry kernel instance cannot be identified by name alone;
+  those batches silently run the serial plan instead, which is always
+  bitwise-equivalent anyway;
+* shard outputs are collected **in shard order** before any
+  coordinator state is touched, so a worker failure surfaces before a
+  half-merged batch exists.  A broken pool (a killed worker) downgrades
+  the batch to in-process execution — bitwise the same results — and
+  latches the executor serial for its lifetime (an explicit
+  :meth:`ProcessExecutor.close` clears the latch), so a sick
+  environment pays one spawn/crash cycle, not one per level;
+* batches smaller than one worthwhile shard skip IPC entirely and run
+  in-process (same bits, no round trip).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from concurrent.futures import ProcessPoolExecutor as _Pool
+from concurrent.futures.process import BrokenProcessPool
+from typing import Optional
+
+from ..dist.backends import (
+    available_backends,
+    get_backend,
+    is_registry_backend,
+)
+from ..dist.ops import OpCounter, convolve_batch_raws, max_batch_raws
+from .executor import Executor, SERIAL_EXECUTOR
+from .ipc import ShardResult
+from .plan import MIN_ITEMS_PER_SHARD, ConvolveBatch, MaxBatch, shard_ranges
+
+__all__ = ["ProcessExecutor"]
+
+
+def _worker_init(backend_names: tuple) -> None:
+    """Per-worker one-time initialization: import the library and
+    resolve every registry backend so the first shard pays no import
+    or registry cost."""
+    for name in backend_names:
+        get_backend(name)
+
+
+def _run_convolve_shard(batch: ConvolveBatch) -> ShardResult:
+    """Worker entry point for one ADD shard (module-level so the spawn
+    pickle can address it by qualified name)."""
+    kernel = get_backend(batch.backend_name)
+    raws = convolve_batch_raws(kernel, batch.pairs)
+    return ShardResult(raws, OpCounter(convolutions=len(raws)))
+
+
+def _run_max_shard(batch: MaxBatch) -> ShardResult:
+    """Worker entry point for one MAX shard."""
+    outs = max_batch_raws(batch.groups)
+    return ShardResult(
+        outs, OpCounter(max_ops=sum(len(g) - 1 for g in batch.groups))
+    )
+
+
+def _spawn_main_importable() -> bool:
+    """Can a spawn child re-import this process's ``__main__``?
+
+    Spawn re-runs the parent's main module by path when it has a
+    ``__file__`` and no importable ``__spec__`` — which explodes for
+    programs fed on stdin (``__file__`` is ``'<stdin>'``).  ``python
+    -c`` and REPLs carry no ``__file__`` and are skipped by spawn's
+    preparation step, so they are fine.  A False verdict downgrades
+    the plan to in-process execution up front — bitwise the same
+    results, none of the worker-crash noise the late
+    ``BrokenProcessPool`` fallback would produce.
+    """
+    main = sys.modules.get("__main__")
+    if main is None or getattr(main, "__spec__", None) is not None:
+        return True
+    path = getattr(main, "__file__", None)
+    if path is None:
+        return True
+    return os.path.exists(path)
+
+
+
+
+class ProcessExecutor(Executor):
+    """Execution plan backed by a persistent ``jobs``-worker pool.
+
+    Construction is cheap; the pool itself spawns lazily on the first
+    dispatched shard and persists until :meth:`close`.  Every batch is
+    bitwise-equivalent to the serial plan — sharding only re-partitions
+    work whose items are independent and whose batched kernels are
+    verified partition-invariant (see the package docstring).
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        *,
+        min_items_per_shard: int = MIN_ITEMS_PER_SHARD,
+    ) -> None:
+        if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 2:
+            raise ValueError(
+                f"ProcessExecutor needs jobs >= 2, got {jobs!r}"
+            )
+        self.jobs = jobs
+        self.min_items_per_shard = min_items_per_shard
+        self._pool: Optional[_Pool] = None
+        # Evaluated once per executor: __main__ importability cannot
+        # change after interpreter start.
+        self._spawn_ok = _spawn_main_importable()
+        # Latched on the first BrokenProcessPool: an environment that
+        # kills workers (OOM caps, seccomp) would otherwise pay a full
+        # pool spawn/crash cycle per batch.  One failed attempt per
+        # executor lifetime; everything after runs in-process.
+        self._broken = False
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> _Pool:
+        if self._pool is None:
+            self._pool = _Pool(
+                max_workers=self.jobs,
+                mp_context=multiprocessing.get_context("spawn"),
+                initializer=_worker_init,
+                initargs=(tuple(available_backends()),),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent).  It respawns on next use —
+        and an explicit close also clears the broken latch, so a
+        caller that fixed its environment can retry parallel
+        execution."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+        self._broken = False
+
+    def _mark_broken(self) -> None:
+        """A worker died mid-batch: drop the pool and stop attempting
+        parallel dispatch for this executor's lifetime (serial results
+        are bitwise the same; respawning per batch would turn a sick
+        environment into a per-level spawn/crash cycle)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+        self._broken = True
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+    def _dispatch(self, worker, shards, counter: Optional[OpCounter]) -> list:
+        """Run shard payloads through the pool and merge determinately:
+        outputs concatenated in shard (= item) order, counter deltas
+        summed.  Collection completes before any merge, so a raised
+        shard leaves the coordinator untouched."""
+        pool = self._ensure_pool()
+        futures = [pool.submit(worker, shard) for shard in shards]
+        results = [f.result() for f in futures]
+        outputs: list = []
+        for res in results:
+            outputs.extend(res.outputs)
+            if counter is not None:
+                counter.merge(res.counter)
+        return outputs
+
+    def run_convolve_batch(self, kernel, pairs, *, counter=None):
+        pairs = list(pairs)
+        bounds = shard_ranges(
+            len(pairs), self.jobs,
+            min_items_per_shard=self.min_items_per_shard,
+        )
+        if (len(bounds) <= 1 or self._broken or not self._spawn_ok
+                or not is_registry_backend(kernel)):
+            return SERIAL_EXECUTOR.run_convolve_batch(
+                kernel, pairs, counter=counter
+            )
+        name = kernel.name
+        shards = [
+            ConvolveBatch(name, tuple(pairs[start:stop]))
+            for start, stop in bounds
+        ]
+        try:
+            return self._dispatch(_run_convolve_shard, shards, counter)
+        except BrokenProcessPool:
+            self._mark_broken()
+            return SERIAL_EXECUTOR.run_convolve_batch(
+                kernel, pairs, counter=counter
+            )
+
+    def run_max_batch(self, groups, *, counter=None):
+        groups = list(groups)
+        bounds = shard_ranges(
+            len(groups), self.jobs,
+            min_items_per_shard=self.min_items_per_shard,
+        )
+        if len(bounds) <= 1 or self._broken or not self._spawn_ok:
+            return SERIAL_EXECUTOR.run_max_batch(groups, counter=counter)
+        shards = [
+            MaxBatch(tuple(tuple(g) for g in groups[start:stop]))
+            for start, stop in bounds
+        ]
+        try:
+            return self._dispatch(_run_max_shard, shards, counter)
+        except BrokenProcessPool:
+            self._mark_broken()
+            return SERIAL_EXECUTOR.run_max_batch(groups, counter=counter)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "idle" if self._pool is None else "live"
+        return f"ProcessExecutor(jobs={self.jobs}, pool={state})"

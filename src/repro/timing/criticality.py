@@ -34,6 +34,7 @@ from ..dist.cache import ConvolutionCache
 from ..dist.ops import OpCounter, convolve, convolve_many, stat_max_many
 from ..dist.pdf import DiscretePDF
 from ..errors import TimingError
+from ..exec import get_executor
 from .delay_model import DelayModel
 from .graph import TimingGraph
 from .ssta import SSTAResult, compute_level_arrivals
@@ -113,6 +114,7 @@ def run_backward_ssta(
     to_sink: List[Optional[DiscretePDF]] = [None] * graph.n_nodes
     to_sink[graph.sink] = DiscretePDF.delta(cfg.dt, 0.0)
     if cfg.level_batch:
+        executor = get_executor(cfg.jobs)
         # Sink alone occupies the top level; walk the rest downward,
         # visiting nodes within a level in the sequential (reversed
         # topological) order so the cache request stream matches.
@@ -133,6 +135,7 @@ def run_backward_ssta(
                     backend=kernel,
                     cache=cache,
                     node_memo=False,
+                    executor=executor,
                 ),
             ):
                 to_sink[node] = pdf

@@ -27,6 +27,7 @@ import numpy as np
 from ..dist.backends import get_backend
 from ..dist.ops import OpCounter
 from ..dist.pdf import DiscretePDF
+from ..exec import get_executor
 from ..netlist.circuit import Gate
 from .delay_model import DelayModel
 from .graph import TimingGraph
@@ -75,6 +76,7 @@ def update_ssta_after_resize(
     # cache can only make the cutoff cheaper, never wrong).
     kernel = get_backend(cfg.backend)
     cache = cfg.cache
+    executor = get_executor(cfg.jobs) if cfg.level_batch else None
     arrivals = result.arrivals
 
     seeds: Set[int] = set()
@@ -112,6 +114,7 @@ def update_ssta_after_resize(
                 counter=counter,
                 backend=kernel,
                 cache=cache,
+                executor=executor,
             )
         else:
             news = [

@@ -50,6 +50,7 @@ from ..dist.cache import ConvolutionCache
 from ..dist.ops import OpCounter, convolve_many, stat_max_groups, stat_max_many
 from ..dist.pdf import DiscretePDF
 from ..errors import TimingError
+from ..exec import get_executor
 from ..netlist.circuit import Gate
 from .delay_model import DelayModel
 from .graph import TimingGraph
@@ -195,6 +196,7 @@ def compute_level_arrivals(
     backend: BackendLike = "auto",
     cache: Optional[ConvolutionCache] = None,
     node_memo: bool = True,
+    executor=None,
 ) -> List[DiscretePDF]:
     """The level scheduler: merged arrivals for a whole topological
     level of mutually independent nodes, one per parts list.
@@ -224,6 +226,14 @@ def compute_level_arrivals(
     ``node_memo=False`` reproduces a caller that skips the whole-node
     memo (the backward pass does; its sequential reference never
     consulted it).
+
+    ``executor`` (an :class:`~repro.exec.Executor`, resolved by the
+    engines from ``AnalysisConfig.jobs``) decides *where* the two raw
+    kernel dispatches run — in-process, or sharded by node range
+    across a worker pool.  All planning (memo probes, dedupe, cache
+    resolution and stores) stays in the calling process either way, so
+    the executor choice changes wall-clock cost, never values,
+    tallies, or the cache request stream.
     """
     n = len(parts_list)
     results: List[Optional[DiscretePDF]] = [None] * n
@@ -272,7 +282,7 @@ def compute_level_arrivals(
         for (i, slot), res in zip(
             pair_slots,
             convolve_many(pairs, trim_eps=trim_eps, counter=counter,
-                          backend=kernel, cache=cache),
+                          backend=kernel, cache=cache, executor=executor),
         ):
             contribs_by_node[i][slot] = res
 
@@ -283,7 +293,7 @@ def compute_level_arrivals(
             stat_max_groups(
                 [contribs_by_node[i] for i in todo],
                 trim_eps=trim_eps, counter=counter, backend=kernel,
-                cache=cache,
+                cache=cache, executor=executor,
             ),
         ):
             results[i] = res
@@ -355,8 +365,10 @@ def run_ssta(
     the brute-force sensitivity loop O(N*E) per sizing iteration and
     motivates the paper's pruning algorithm.  With
     ``config.level_batch`` (the default) each topological level runs
-    through the batched scheduler; the sequential per-node walk is
-    bitwise identical and retained for differential testing.
+    through the batched scheduler, under the execution plan resolved
+    from ``config.jobs`` (in-process for 1, a sharded worker pool for
+    more — bitwise identical either way); the sequential per-node walk
+    is bitwise identical and retained for differential testing.
     """
     cfg = config if config is not None else model.config
     own_counter = counter if counter is not None else OpCounter()
@@ -365,6 +377,7 @@ def run_ssta(
     arrivals[graph.source] = DiscretePDF.delta(cfg.dt, 0.0)
     get_arrival = arrivals.__getitem__
     if cfg.level_batch:
+        executor = get_executor(cfg.jobs)
         # Level 0 holds exactly the source; every other level's nodes
         # are mutually independent (arcs always cross levels).
         for level in range(1, graph.max_level + 1):
@@ -383,6 +396,7 @@ def run_ssta(
                     counter=own_counter,
                     backend=kernel,
                     cache=cfg.cache,
+                    executor=executor,
                 ),
             ):
                 arrivals[node] = pdf

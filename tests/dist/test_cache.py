@@ -25,6 +25,7 @@ from repro.dist.cache import (
     CacheStats,
     ConvolutionCache,
 )
+from repro.dist.families import truncated_gaussian_pdf
 from repro.dist.ops import OpCounter, convolve, convolve_many, stat_max_many
 from repro.dist.pdf import DiscretePDF
 from repro.errors import DistributionError
@@ -619,3 +620,183 @@ class TestBatchAwareKeyAPI:
         # shares the entry (re-anchored), per the PR-3 contract.
         shifted = [p.shifted_bins(3) for p in pdfs_]
         assert cache.max_key(shifted, 1e-9) == key
+
+
+class TestCacheStatsMerge:
+    """Per-shard stats aggregation: commutative, field-distinct."""
+
+    @given(
+        records=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=100),
+                st.integers(min_value=0, max_value=100),
+                st.integers(min_value=0, max_value=100),
+            ),
+            min_size=0,
+            max_size=10,
+        ),
+        order_seed=st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_merge_is_order_invariant(self, records, order_seed):
+        shards = [
+            CacheStats(hits=h, misses=m, evictions=e) for h, m, e in records
+        ]
+        sequential = CacheStats()
+        for s in shards:
+            sequential.merge(s)
+        shuffled = list(shards)
+        order_seed.shuffle(shuffled)
+        scrambled = CacheStats()
+        for s in shuffled:
+            scrambled.merge(s)
+        assert (scrambled.hits, scrambled.misses, scrambled.evictions) == (
+            sequential.hits, sequential.misses, sequential.evictions
+        )
+        assert scrambled.requests == sum(s.requests for s in shards)
+
+    def test_merge_then_hit_rate(self):
+        a = CacheStats(hits=3, misses=1)
+        a.merge(CacheStats(hits=1, misses=3))
+        assert a.requests == 8
+        assert a.hit_rate == 0.5
+
+
+class TestSnapshotPersistence:
+    """``save``/``load`` round trips: entries replay bitwise in a
+    fresh process-equivalent cache, LRU order survives, and
+    non-registry-kernel entries are refused at save time."""
+
+    def _warm_cache(self, backend="auto"):
+        kernel = get_backend(backend)
+        cache = ConvolutionCache()
+        a = truncated_gaussian_pdf(2.0, 500.0, 40.0)
+        b = truncated_gaussian_pdf(2.0, 300.0, 25.0)
+        c = truncated_gaussian_pdf(2.0, 900.0, 60.0)
+        conv = convolve(a, b, trim_eps=1e-9, backend=kernel, cache=cache)
+        mx = stat_max_many([conv, c], trim_eps=1e-9, backend=kernel,
+                           cache=cache)
+        return cache, (a, b, c), (conv, mx), kernel
+
+    def test_roundtrip_replays_bitwise(self, tmp_path, backend):
+        cache, (a, b, c), (conv, mx), kernel = self._warm_cache(backend)
+        path = tmp_path / "snap.cache"
+        n = cache.save(path)
+        assert n == len(cache) > 0
+
+        loaded = ConvolutionCache.load(path)
+        assert len(loaded) == len(cache)
+        hit = loaded.lookup_convolve(a, b, 1e-9, kernel)
+        assert hit is not None
+        assert_bitwise(hit, conv)
+        hit_mx = loaded.lookup_max([conv, c], 1e-9)
+        assert hit_mx is not None
+        assert_bitwise(hit_mx, mx)
+        assert loaded.stats.misses == 0
+
+    def test_translated_replay_from_snapshot(self, tmp_path):
+        """Raw vectors survive the round trip: a loaded entry serves a
+        *translated* recurrence of the operand pair (different
+        offsets), re-anchored bitwise — same contract as a live one.
+        Exactly-normalized masses, so translation preserves the
+        fingerprint (a renormalizing shift would change the content,
+        and rightly miss)."""
+        kernel = get_backend("direct")
+        cache = ConvolutionCache()
+        a = DiscretePDF(2.0, 10, np.asarray([0.25, 0.25, 0.5]))
+        b = DiscretePDF(2.0, -4, np.asarray([0.5, 0.5]))
+        convolve(a, b, trim_eps=1e-9, backend=kernel, cache=cache)
+        path = tmp_path / "snap.cache"
+        cache.save(path)
+        loaded = ConvolutionCache.load(path)
+        live = convolve(a.shifted_bins(5), b, trim_eps=1e-9, backend=kernel)
+        hit = loaded.lookup_convolve(a.shifted_bins(5), b, 1e-9, kernel)
+        assert hit is not None
+        assert_bitwise(hit, live)
+
+    def test_capacity_override_keeps_most_recent(self, tmp_path):
+        cache = ConvolutionCache()
+        kernel = get_backend("direct")
+        pdfs_ = [truncated_gaussian_pdf(2.0, 200.0 + 40 * i, 15.0 + 3 * i)
+                 for i in range(6)]
+        for i in range(5):
+            convolve(pdfs_[i], pdfs_[i + 1], backend=kernel, cache=cache)
+        assert len(cache) == 5  # distinct contents, distinct keys
+        path = tmp_path / "snap.cache"
+        cache.save(path)
+        loaded = ConvolutionCache.load(path, capacity=2)
+        assert len(loaded) == 2
+        # The most recently used entries survive the trim.
+        assert loaded.lookup_convolve(pdfs_[4], pdfs_[5], 0.0, kernel) is not None
+
+    def test_non_registry_backend_entries_skipped(self, tmp_path):
+        class Custom:
+            name = "direct"  # deliberately aliases the registry name
+
+            def convolve_masses(self, x, y):
+                return np.convolve(x, y)
+
+        custom = Custom()
+        cache = ConvolutionCache()
+        a = truncated_gaussian_pdf(2.0, 500.0, 40.0)
+        b = truncated_gaussian_pdf(2.0, 300.0, 25.0)
+        convolve(a, b, backend=custom, cache=cache)
+        path = tmp_path / "snap.cache"
+        assert cache.save(path) == 0  # alias refused, nothing written
+        assert len(ConvolutionCache.load(path)) == 0
+
+    def test_unknown_format_rejected(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "bad.cache"
+        path.write_bytes(pickle.dumps({"format": 99, "entries": []}))
+        with pytest.raises(DistributionError):
+            ConvolutionCache.load(path)
+
+    def test_truncated_snapshot_rejected_cleanly(self, tmp_path):
+        """An interrupted write must surface as a DistributionError,
+        not a raw pickle traceback (and save() itself replaces
+        atomically, so a good snapshot is never half-overwritten)."""
+        cache, _, _, _ = self._warm_cache("direct")
+        path = tmp_path / "snap.cache"
+        cache.save(path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(DistributionError, match="corrupt"):
+            ConvolutionCache.load(path)
+        # No temp litter left behind by save().
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_wrong_shape_snapshot_rejected_cleanly(self, tmp_path):
+        """Payloads that unpickle but have the wrong structure are
+        corruption too — DistributionError, not KeyError/TypeError."""
+        import pickle
+
+        for payload in (
+            {"format": 1},                              # missing keys
+            {"format": 1, "capacity": 8, "entries": [("k",)]},  # bad arity
+            [1, 2, 3],                                  # not a dict
+        ):
+            path = tmp_path / "bad.cache"
+            path.write_bytes(pickle.dumps(payload))
+            with pytest.raises(DistributionError, match="corrupt"):
+                ConvolutionCache.load(path)
+
+    def test_foreign_pickle_rejected_cleanly(self, tmp_path):
+        """A pickle referencing a module this build lacks (e.g. a
+        snapshot from a version that moved a class) must surface as
+        DistributionError, not a raw ModuleNotFoundError."""
+        path = tmp_path / "foreign.cache"
+        # Hand-rolled pickle opcodes: GLOBAL nosuchmodule.Thing
+        path.write_bytes(b"cnosuchmodule\nThing\n.")
+        with pytest.raises(DistributionError, match="corrupt"):
+            ConvolutionCache.load(path)
+
+    def test_gap_entries_roundtrip(self, tmp_path):
+        cache = ConvolutionCache()
+        a = truncated_gaussian_pdf(2.0, 500.0, 40.0)
+        b = truncated_gaussian_pdf(2.0, 520.0, 40.0)
+        cache.store_gap(a, b, 3.25)
+        path = tmp_path / "snap.cache"
+        cache.save(path)
+        assert ConvolutionCache.load(path).lookup_gap(a, b) == 3.25

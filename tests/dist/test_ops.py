@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.dist.families import truncated_gaussian_pdf
 from repro.dist.metrics import stochastically_le
@@ -166,6 +168,54 @@ class TestOpCounter:
         without = convolve(g_small, g_large)
         assert with_c.offset == without.offset
         assert np.array_equal(with_c.masses, without.masses)
+
+    @given(
+        deltas=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=50),
+                st.integers(min_value=0, max_value=50),
+                st.integers(min_value=0, max_value=50),
+                st.integers(min_value=0, max_value=50),
+            ),
+            min_size=0,
+            max_size=12,
+        ),
+        order_seed=st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_merge_is_order_invariant(self, deltas, order_seed):
+        """The parallel execution layer's accounting contract: merging
+        N per-shard counters in *any* order equals the sequential
+        tally.  Shard completion order is nondeterministic, so the
+        aggregate must not depend on it."""
+        shards = [
+            OpCounter(convolutions=c, max_ops=m,
+                      convolve_cache_hits=ch, max_cache_hits=mh)
+            for c, m, ch, mh in deltas
+        ]
+        sequential = OpCounter()
+        for shard in shards:
+            sequential.merge(shard)
+        shuffled = list(shards)
+        order_seed.shuffle(shuffled)
+        scrambled = OpCounter()
+        for shard in shuffled:
+            scrambled.merge(shard)
+        assert (
+            scrambled.convolutions,
+            scrambled.max_ops,
+            scrambled.convolve_cache_hits,
+            scrambled.max_cache_hits,
+        ) == (
+            sequential.convolutions,
+            sequential.max_ops,
+            sequential.convolve_cache_hits,
+            sequential.max_cache_hits,
+        )
+        # Merging never leaks shard-local tallies into other fields.
+        assert scrambled.total_requests == sum(
+            s.total_requests for s in shards
+        )
 
 
 class TestOpCounterCacheAccounting:

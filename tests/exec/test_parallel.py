@@ -1,0 +1,222 @@
+"""Differential harness: sharded-parallel SSTA == serial, bitwise.
+
+The PR-5 tentpole makes ``AnalysisConfig(jobs=N)`` shard every level
+batch across a persistent worker pool.  This suite pins the contract
+that makes the knob safe:
+
+* **bitwise values** — identical mass vectors and offsets at every
+  node, across random DAGs, jobs in {1, 2, 4}, all three backends,
+  and cache off / ample / tiny (eviction churn mid-level);
+* **jobs-invariant accounting** — OpCounter computed tallies and hit
+  tallies, and ConvolutionCache statistics, are identical across jobs
+  counts at every cache capacity: the cache never leaves the
+  coordinator, so unlike the level-batch knob there is no thrashing
+  caveat — the request stream is the serial one *by construction*;
+* **every engine** — forward SSTA, backward SSTA, incremental update
+  waves, and perturbation fronts all ride the same executor seam.
+
+The pools are the process-wide shared ones (`get_executor`), so the
+suite pays the spawn cost once.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import AnalysisConfig
+from repro.core.objectives import default_objective
+from repro.core.perturbation import PerturbationFront
+from repro.dist.cache import ConvolutionCache
+from repro.dist.ops import OpCounter
+from repro.netlist.generate import CircuitSpec, generate_circuit
+from repro.timing.criticality import run_backward_ssta
+from repro.timing.delay_model import DelayModel
+from repro.timing.graph import TimingGraph
+from repro.timing.incremental import update_ssta_after_resize
+from repro.timing.ssta import run_ssta
+
+from tests.conftest import ALL_BACKENDS, build_two_path
+
+JOBS = (1, 2, 4)
+CACHE_SPECS = (None, 1 << 14, 32)
+
+
+def _cfg(backend, cache_spec, jobs, **kw):
+    cache = None if cache_spec is None else ConvolutionCache(cache_spec)
+    return AnalysisConfig(dt=8.0, backend=backend, cache=cache, jobs=jobs,
+                          **kw)
+
+
+def _assert_bitwise(pdfs_a, pdfs_b):
+    for a, b in zip(pdfs_a, pdfs_b):
+        assert a.offset == b.offset
+        assert a.dt == b.dt
+        assert np.array_equal(a.masses, b.masses)
+
+
+def _tallies(counter):
+    return (
+        counter.convolutions,
+        counter.max_ops,
+        counter.convolve_cache_hits,
+        counter.max_cache_hits,
+    )
+
+
+def _stats(cache):
+    if cache is None:
+        return None
+    return (cache.stats.hits, cache.stats.misses, cache.stats.evictions)
+
+
+@st.composite
+def circuits(draw):
+    n_gates = draw(st.integers(min_value=5, max_value=32))
+    depth = draw(st.integers(min_value=2, max_value=min(7, n_gates)))
+    edges = draw(
+        st.integers(min_value=int(1.5 * n_gates), max_value=int(2.5 * n_gates))
+    )
+    seed = draw(st.integers(min_value=0, max_value=9999))
+    spec = CircuitSpec(
+        name="hyp",
+        n_inputs=draw(st.integers(min_value=3, max_value=8)),
+        n_outputs=2,
+        n_gates=n_gates,
+        n_pin_edges=min(edges, 4 * n_gates),
+        depth=depth,
+        seed=seed,
+    )
+    return generate_circuit(spec)
+
+
+def _forward(circuit, backend, cache_spec, jobs):
+    cfg = _cfg(backend, cache_spec, jobs)
+    c = circuit.copy()
+    graph = TimingGraph(c)
+    model = DelayModel(c, config=cfg)
+    counter = OpCounter()
+    result = run_ssta(graph, model, config=cfg, counter=counter)
+    return result, counter, cfg.cache
+
+
+class TestForwardDifferential:
+    @settings(max_examples=8, deadline=None)
+    @given(circuit=circuits())
+    def test_arrivals_bitwise_and_accounting_jobs_invariant(self, circuit):
+        for backend in ALL_BACKENDS:
+            for cache_spec in CACHE_SPECS:
+                ref, ref_counter, ref_cache = _forward(
+                    circuit, backend, cache_spec, 1
+                )
+                for jobs in JOBS[1:]:
+                    got, counter, cache = _forward(
+                        circuit, backend, cache_spec, jobs
+                    )
+                    _assert_bitwise(got.arrivals, ref.arrivals)
+                    # No thrashing caveat here: the cache request
+                    # stream is jobs-independent even at capacity 32.
+                    assert _tallies(counter) == _tallies(ref_counter)
+                    assert _stats(cache) == _stats(ref_cache)
+
+    def test_two_path_all_jobs(self, backend):
+        circuit = build_two_path()
+        ref, _, _ = _forward(circuit, backend, None, 1)
+        for jobs in JOBS[1:]:
+            got, _, _ = _forward(circuit, backend, None, jobs)
+            _assert_bitwise(got.arrivals, ref.arrivals)
+
+
+class TestBackwardDifferential:
+    @settings(max_examples=5, deadline=None)
+    @given(circuit=circuits())
+    def test_to_sink_bitwise_and_counters(self, circuit):
+        for backend in ALL_BACKENDS:
+            for cache_spec in (None, 1 << 14):
+                out = {}
+                for jobs in (1, 2):
+                    cfg = _cfg(backend, cache_spec, jobs)
+                    c = circuit.copy()
+                    graph = TimingGraph(c)
+                    model = DelayModel(c, config=cfg)
+                    counter = OpCounter()
+                    out[jobs] = (
+                        run_backward_ssta(
+                            graph, model, config=cfg, counter=counter
+                        ),
+                        counter,
+                    )
+                _assert_bitwise(out[1][0].to_sink, out[2][0].to_sink)
+                assert _tallies(out[1][1]) == _tallies(out[2][1])
+
+
+class TestIncrementalDifferential:
+    @settings(max_examples=5, deadline=None)
+    @given(circuit=circuits(), which=st.integers(min_value=0, max_value=999))
+    def test_update_wave_bitwise_and_same_work(self, circuit, which):
+        for backend in ("direct", "auto"):
+            for cache_spec in (None, 1 << 14):
+                out = {}
+                for jobs in (1, 2):
+                    cfg = _cfg(backend, cache_spec, jobs)
+                    c = circuit.copy()
+                    graph = TimingGraph(c)
+                    model = DelayModel(c, config=cfg)
+                    base = run_ssta(graph, model, config=cfg)
+                    gates = c.topo_gates()
+                    gate = gates[which % len(gates)]
+                    gate.width += 1.0
+                    n = update_ssta_after_resize(base, model, [gate])
+                    out[jobs] = (base, n)
+                _assert_bitwise(out[1][0].arrivals, out[2][0].arrivals)
+                assert out[1][1] == out[2][1]  # recomputed count
+
+
+class TestPerturbationFrontDifferential:
+    @settings(max_examples=5, deadline=None)
+    @given(circuit=circuits(), which=st.integers(min_value=0, max_value=999))
+    def test_front_sensitivity_and_trajectory(self, circuit, which):
+        for backend in ("direct", "fft"):
+            for cache_spec in (None, 32):
+                out = {}
+                for jobs in (1, 2):
+                    cfg = _cfg(backend, cache_spec, jobs, delta_w=1.0)
+                    c = circuit.copy()
+                    graph = TimingGraph(c)
+                    model = DelayModel(c, config=cfg)
+                    base = run_ssta(graph, model, config=cfg)
+                    gates = c.topo_gates()
+                    gate = gates[which % len(gates)]
+                    front = PerturbationFront(
+                        graph, model, base, gate, cfg.delta_w,
+                        default_objective(),
+                    )
+                    trajectory = [front.smx]
+                    while not front.is_done:
+                        front.propagate_one_level()
+                        trajectory.append(front.smx)
+                    out[jobs] = (front, trajectory)
+                fa, ta = out[1]
+                fb, tb = out[2]
+                assert ta == tb
+                assert fa.sensitivity == fb.sensitivity
+                assert fa.nodes_computed == fb.nodes_computed
+                assert fa.reached_sink == fb.reached_sink
+                if fa.sink_pdf is not None:
+                    assert fb.sink_pdf is not None
+                    _assert_bitwise([fa.sink_pdf], [fb.sink_pdf])
+
+
+class TestSequentialModeUnaffected:
+    def test_jobs_inert_without_level_batch(self, backend):
+        """``level_batch=False`` has no batches to shard: jobs must be
+        inert — same bits, and no pool ever consulted (the sequential
+        engines never resolve an executor)."""
+        circuit = build_two_path()
+        out = {}
+        for jobs in (1, 4):
+            cfg = _cfg(backend, None, jobs, level_batch=False)
+            c = circuit.copy()
+            graph = TimingGraph(c)
+            model = DelayModel(c, config=cfg)
+            out[jobs] = run_ssta(graph, model, config=cfg)
+        _assert_bitwise(out[1].arrivals, out[4].arrivals)

@@ -67,6 +67,71 @@ class TestCommands:
         assert main(["optimize", "c17", "-n", "3", "--deterministic"]) == 0
         assert "deterministic" in capsys.readouterr().out
 
+    def test_analyze_jobs_matches_serial(self, capsys):
+        """--jobs shards level batches across workers; every reported
+        statistic must be identical to the serial run (the knob is
+        bitwise-transparent end to end)."""
+        assert main(["analyze", "c17", "--mc-samples", "200"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["analyze", "c17", "--mc-samples", "200",
+                     "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_optimize_jobs_matches_serial(self, capsys):
+        assert main(["optimize", "c17", "-n", "2"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["optimize", "c17", "-n", "2", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        pick = lambda text: [
+            line for line in text.splitlines()
+            if "final" in line or "iterations" in line
+        ]
+        assert pick(serial) == pick(parallel)
+
+    def test_optimize_cache_file_conflicts_with_cache_zero(self, tmp_path):
+        """--cache 0 promises an uncached run; combining it with a
+        snapshot file must fail loudly, not silently re-enable."""
+        with pytest.raises(SystemExit, match="cache"):
+            main(["optimize", "c17", "-n", "1", "--cache", "0",
+                  "--cache-file", str(tmp_path / "x.cache")])
+        assert not (tmp_path / "x.cache").exists()
+
+    def test_optimize_cache_file_conflicts_with_deterministic(self, tmp_path):
+        """The deterministic baseline has nothing to snapshot; the
+        knob must fail loudly rather than silently no-op."""
+        with pytest.raises(SystemExit, match="deterministic"):
+            main(["optimize", "c17", "-n", "1", "--deterministic",
+                  "--cache-file", str(tmp_path / "x.cache")])
+        assert not (tmp_path / "x.cache").exists()
+
+    def test_optimize_cache_file_warm_start(self, tmp_path, capsys):
+        """Second run against the same snapshot resolves its kernel
+        work from the loaded entries and reports the same objective."""
+        snap = tmp_path / "c17.cache"
+        assert main(["optimize", "c17", "-n", "2",
+                     "--cache-file", str(snap)]) == 0
+        first = capsys.readouterr().out
+        assert snap.exists()
+        assert "cache entries saved" in first
+        assert "cache entries loaded" not in first
+
+        assert main(["optimize", "c17", "-n", "2",
+                     "--cache-file", str(snap)]) == 0
+        second = capsys.readouterr().out
+        assert "cache entries loaded" in second
+
+        def grab(text, label):
+            return [ln for ln in text.splitlines() if label in ln]
+
+        assert grab(first, "final") == grab(second, "final")
+
+        def hit_rate(text):
+            (line,) = grab(text, "cache hit rate")
+            return float(line.split("|")[-1])
+
+        assert hit_rate(second) > hit_rate(first)
+
     def test_figure2_runs(self, capsys):
         assert main(["figure2", "c432", "--iterations", "2"]) == 0
         assert "Figure 2" in capsys.readouterr().out

@@ -8,9 +8,12 @@ Two protections layered together:
   that moves a sink percentile shows up here first — including an
   accidental change of the default backend's numerics, since ``auto``
   must reproduce the direct goldens *bitwise* at default-grid sizes,
-  and any divergence of the level-batched scheduler, since batched and
+  any divergence of the level-batched scheduler, since batched and
   sequential propagation must reproduce the goldens (and each other)
-  bitwise under every backend, cache on and off.
+  bitwise under every backend, cache on and off, and any divergence of
+  the sharded-parallel execution plan, since ``jobs=2``/``jobs=4``
+  must reproduce the serial arrivals bitwise with jobs-invariant
+  tallies (``TestParallelGolden``).
 * **Cross-backend reruns** drive the existing engine contracts (SSTA
   vs Monte Carlo, incremental-vs-full bitwise equality, pruned-vs-
   brute-force exactness) under every convolution backend via the
@@ -131,6 +134,69 @@ class TestGoldenSinkStatistics:
             assert pb.offset == ps.offset
             assert np.array_equal(pb.masses, ps.masses)
         sink = results[True].sink_pdf
+        tol = PERCENTILE_TOL[backend]
+        assert sink.percentile(0.50) == pytest.approx(gold["p50"], abs=tol)
+        assert sink.percentile(0.99) == pytest.approx(gold["p99"], abs=tol)
+
+
+#: Serial (jobs=1) reference runs for the parallel golden gate, built
+#: once per (circuit, backend, cache on/off) — the parallel variants
+#: only need something bitwise to diff against.
+_SERIAL_REFS: dict = {}
+
+
+def _serial_reference(circuit, backend, cached):
+    key = (circuit, backend, cached)
+    ref = _SERIAL_REFS.get(key)
+    if ref is None:
+        cfg = AnalysisConfig(
+            backend=backend,
+            cache=ConvolutionCache(4096) if cached else None,
+        )
+        result, _, _ = ssta_for(circuit, cfg)
+        ref = _SERIAL_REFS[key] = result
+    return ref
+
+
+class TestParallelGolden:
+    """The PR-5 acceptance gate: ``jobs=2`` and ``jobs=4`` reproduce
+    the ``jobs=1`` arrivals bitwise on every golden circuit, under
+    every backend, cache on and off — and the computed OpCounter
+    tallies are jobs-invariant (the golden-locked counts, exactly)."""
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    @pytest.mark.parametrize("cached", [False, True])
+    @pytest.mark.parametrize("circuit", GOLDEN_CIRCUITS)
+    def test_parallel_reproduces_serial_bitwise(
+        self, circuit, backend_config, backend, cached, jobs
+    ):
+        gold = golden(circuit)
+        cfg = backend_config.with_updates(
+            jobs=jobs,
+            cache=ConvolutionCache(4096) if cached else None,
+        )
+        result, _, _ = ssta_for(circuit, cfg)
+        ref = _serial_reference(circuit, backend, cached)
+        for pp, ps in zip(result.arrivals, ref.arrivals):
+            assert pp.offset == ps.offset
+            assert np.array_equal(pp.masses, ps.masses)
+        # Tallies are jobs-invariant (computed *and* hits); cache-off
+        # computed counts additionally match the golden-locked values.
+        assert (
+            result.counter.convolutions,
+            result.counter.max_ops,
+            result.counter.convolve_cache_hits,
+            result.counter.max_cache_hits,
+        ) == (
+            ref.counter.convolutions,
+            ref.counter.max_ops,
+            ref.counter.convolve_cache_hits,
+            ref.counter.max_cache_hits,
+        )
+        if not cached:
+            assert result.counter.convolutions == gold["convolutions"]
+            assert result.counter.max_ops == gold["max_ops"]
+        sink = result.sink_pdf
         tol = PERCENTILE_TOL[backend]
         assert sink.percentile(0.50) == pytest.approx(gold["p50"], abs=tol)
         assert sink.percentile(0.99) == pytest.approx(gold["p99"], abs=tol)
