@@ -9,9 +9,12 @@ direct-vs-FFT equal-size crossover, times a full ``run_ssta`` pass on
 c432 per backend, runs the c432 sizers end-to-end cache-on vs
 cache-off, compares level-batched against sequential propagation
 (full SSTA per backend and the pruned-sizer cache-off miss path — the
-``levels`` section), and writes ``BENCH_dist.json`` next to the repo
-root.  Every future optimization of the hot path should move these
-numbers and nothing else.
+``levels`` section), drives the analysis service under four concurrent
+sessions sharing the process-wide cache (the ``service`` section:
+aggregate hit rate vs isolated sessions, p50/p99 request latency, with
+bitwise-vs-local and golden-file gates), and writes ``BENCH_dist.json``
+next to the repo root.  Every future optimization of the hot path
+should move these numbers and nothing else.
 
 ``--check-drift`` additionally asserts (used by the CI benchmark smoke
 job to catch regressions pre-merge; the process exits non-zero on
@@ -370,6 +373,197 @@ def _bench_levels(quick: bool) -> dict:
     return out
 
 
+#: Concurrent service workload: four sessions, pairwise-overlapping
+#: circuits so sharing the process-wide cache pays.
+SERVICE_WORKLOADS = [
+    ("c17", 1.0),
+    ("c17", 1.0),
+    ("c432", 0.25),
+    ("c432", 0.25),
+]
+SERVICE_ITERATIONS = 3
+
+
+def _bench_service(quick: bool) -> dict:
+    """The analysis service under concurrent sessions.
+
+    Runs ``SERVICE_WORKLOADS`` (analyze + optimize per session) twice:
+    once isolated (each session against its own cold server — the
+    no-sharing reference) and once concurrently against ONE server
+    sharing the process-wide cache.  Records the aggregate kernel hit
+    rate against the best isolated rate plus p50/p99 request latency,
+    and **asserts** (SystemExit on breach, like the other bench gates):
+
+    * every concurrent session's sink is bitwise identical to a serial
+      local run, and its sizing trajectory matches exactly;
+    * the c17 service sink reproduces the golden percentiles within
+      ``DRIFT_TOL_PS``;
+    * the aggregate hit rate exceeds the best isolated session's rate
+      (sharing must pay, or the service has no reason to exist).
+    """
+    import threading
+
+    from repro.config import DEFAULT_CONFIG
+    from repro.core.pruned_sizer import PrunedStatisticalSizer
+    from repro.netlist.benchmarks import load
+    from repro.service import ServiceClient, ServiceState, start_server
+    from repro.timing.delay_model import DelayModel
+    from repro.timing.graph import TimingGraph
+    from repro.timing.ssta import run_ssta
+
+    def serve_one():
+        state = ServiceState(config=DEFAULT_CONFIG, cache=1 << 17)
+        server = start_server(state)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        return server, thread
+
+    def stop(server, thread):
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+    def run_workload(url, circuit, scale):
+        client = ServiceClient(url)
+        client.open_session()
+        analysis = client.analyze(circuit, scale=scale)
+        sizing = client.optimize(circuit, scale=scale,
+                                 iterations=SERVICE_ITERATIONS)
+        summary = client.close_session()
+        return analysis, sizing, summary
+
+    # Isolated reference: per-session cold caches, serial.
+    isolated_rates = []
+    for circuit, scale in SERVICE_WORKLOADS:
+        server, thread = serve_one()
+        try:
+            _, _, summary = run_workload(server.url, circuit, scale)
+            isolated_rates.append(summary["hit_rate"])
+        finally:
+            stop(server, thread)
+
+    # Shared run: every session concurrent against one server.
+    server, thread = serve_one()
+    results = [None] * len(SERVICE_WORKLOADS)
+    errors = []
+    barrier = threading.Barrier(len(SERVICE_WORKLOADS))
+
+    def worker(idx, circuit, scale):
+        try:
+            barrier.wait(timeout=60)
+            results[idx] = run_workload(server.url, circuit, scale)
+        except Exception as exc:
+            errors.append((idx, repr(exc)))
+
+    t0 = time.perf_counter()
+    try:
+        workers = [
+            threading.Thread(target=worker, args=(i, c, s))
+            for i, (c, s) in enumerate(SERVICE_WORKLOADS)
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join(timeout=600)
+        wall = time.perf_counter() - t0
+        if errors:
+            raise SystemExit(f"service sessions failed: {errors}")
+        stats = ServiceClient(server.url).stats()
+    finally:
+        stop(server, thread)
+
+    # Gate 1: bitwise equality with serial local runs, per session.
+    cfg = DEFAULT_CONFIG.with_updates(cache=None, jobs=1)
+    for (circuit, scale), (analysis, sizing, _) in zip(
+        SERVICE_WORKLOADS, results
+    ):
+        fresh = load(circuit, scale=scale)
+        local_sink = run_ssta(
+            TimingGraph(fresh), DelayModel(fresh, config=cfg), config=cfg
+        ).sink_pdf
+        if (analysis.sink.offset != local_sink.offset
+                or not np.array_equal(analysis.sink.masses,
+                                      local_sink.masses)):
+            raise SystemExit(
+                f"service sink diverged from local serial run on "
+                f"{circuit}@{scale}"
+            )
+        local = PrunedStatisticalSizer(
+            load(circuit, scale=scale), config=cfg,
+            max_iterations=SERVICE_ITERATIONS,
+        ).run()
+        remote = sizing.result
+        if (
+            [s.gate for s in remote.steps] != [s.gate for s in local.steps]
+            or [s.objective_after for s in remote.steps]
+            != [s.objective_after for s in local.steps]
+            or remote.final_objective != local.final_objective
+        ):
+            raise SystemExit(
+                f"service sizing trajectory diverged from local serial "
+                f"run on {circuit}@{scale}"
+            )
+
+    # Gate 2: golden-file agreement on the c17 sink through the wire.
+    golden = json.loads(
+        (REPO_ROOT / "tests" / "timing" / "golden" / "c17.json").read_text()
+    )
+    c17_sink = results[0][0].sink
+    golden_ok = all(
+        abs(c17_sink.percentile(p) - golden[key]) <= DRIFT_TOL_PS
+        for p, key in ((0.5, "p50"), (0.9, "p90"), (0.99, "p99"))
+    )
+    if not golden_ok:
+        raise SystemExit("service c17 sink diverged from golden file")
+
+    # Gate 3: sharing pays.
+    shared_hits = sum(s["kernel_hits"] for _, _, s in results)
+    shared_requests = sum(s["kernel_requests"] for _, _, s in results)
+    aggregate_rate = shared_hits / shared_requests
+    if aggregate_rate <= max(isolated_rates):
+        raise SystemExit(
+            f"shared-cache aggregate hit rate {aggregate_rate:.3f} did "
+            f"not beat the best isolated session {max(isolated_rates):.3f}"
+        )
+
+    latency = {
+        endpoint: {
+            "count": row["count"],
+            "p50_ms": round(row["p50_ms"], 3),
+            "p99_ms": round(row["p99_ms"], 3),
+        }
+        for endpoint, row in sorted(stats["requests"].items())
+    }
+    out = {
+        "sessions": len(SERVICE_WORKLOADS),
+        "workloads": [list(w) for w in SERVICE_WORKLOADS],
+        "iterations": SERVICE_ITERATIONS,
+        "wall_s": round(wall, 3),
+        "aggregate_hit_rate": round(aggregate_rate, 4),
+        "isolated_hit_rates": [round(r, 4) for r in isolated_rates],
+        "best_isolated_hit_rate": round(max(isolated_rates), 4),
+        "cache": {
+            "entries": stats["cache"]["entries"],
+            "hits": stats["cache"]["hits"],
+            "misses": stats["cache"]["misses"],
+            "hit_rate": round(stats["cache"]["hit_rate"], 4),
+        },
+        "latency": latency,
+        "bitwise_vs_local": True,
+        "golden_ok": golden_ok,
+    }
+    analyze_lat = latency.get("POST /analyze", {})
+    print(
+        f"service {len(SERVICE_WORKLOADS)} concurrent sessions  "
+        f"wall={out['wall_s']:.2f}s  "
+        f"aggregate hit rate={aggregate_rate:.3f} "
+        f"(best isolated {max(isolated_rates):.3f})  "
+        f"analyze p50={analyze_lat.get('p50_ms', 0):.1f} ms "
+        f"p99={analyze_lat.get('p99_ms', 0):.1f} ms"
+    )
+    return out
+
+
 def _bench_ssta_c432() -> dict:
     """End-to-end run_ssta wall time on c432 per backend (fresh model
     each run so the delay-PDF cache does not leak across backends)."""
@@ -594,6 +788,7 @@ def run(
         "rows": rows,
         "batched_vs_looped": batched,
         "levels": levels,
+        "service": _bench_service(quick),
     }
     if not quick:
         payload["run_ssta_c432"] = _bench_ssta_c432()

@@ -10,9 +10,15 @@
     repro-ssta figure2 c432               # CDF perturbation data
     repro-ssta figure10 c3540             # area-delay curves
     repro-ssta bench path/to/file.bench   # analyze a real .bench file
+    repro-ssta serve --port 8731          # persistent analysis service
+    repro-ssta client analyze c432        # run analyses via the service
 
 All experiment subcommands accept ``--full`` (paper-scale circuits and
 iteration counts) and ``--iterations``.
+
+The ``serve``/``client`` pair keeps circuits and the convolution-result
+cache resident in one long-lived process; server-mediated results are
+bitwise identical to local runs (see :mod:`repro.service`).
 """
 
 from __future__ import annotations
@@ -154,11 +160,18 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         # The result cache changes cost, never answers (hits are
         # bitwise); the hit rate row makes the saved work visible.
         config = config.with_updates(cache=args.cache)
-    result = sizer_cls(circuit, config=config, max_iterations=args.iterations).run()
+    try:
+        result = sizer_cls(circuit, config=config, max_iterations=args.iterations).run()
+    finally:
+        # Snapshot even when the run raises: entries are content-keyed
+        # and hits replay bitwise, so a crashed run's partial warm
+        # state still shortens the next attempt.
+        if cache_path is not None:
+            saved = config.cache.save(cache_path)
     if config.cache is not None:
         rows.append(("cache hit rate", result.cache_hit_rate))
     if cache_path is not None:
-        rows.append(("cache entries saved", config.cache.save(cache_path)))
+        rows.append(("cache entries saved", saved))
     print(
         format_table(
             f"{result.optimizer} sizing — {circuit.name}",
@@ -208,6 +221,151 @@ def cmd_export(args: argparse.Namespace) -> int:
         print(f"wrote {circuit.name} ({circuit.n_gates} gates) to {args.output}")
     else:
         print(text, end="")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service import ServiceState, serve
+
+    budget = None
+    if args.cache_budget_mb is not None:
+        budget = int(args.cache_budget_mb * 1024 * 1024)
+    state = ServiceState(
+        config=_analysis_config(args),
+        cache=args.cache,
+        cache_file=args.cache_file,
+        ttl_s=args.circuit_ttl,
+        session_ttl_s=args.session_ttl,
+        max_resident=args.max_resident,
+        cache_budget_bytes=budget,
+    )
+
+    def _ready(server) -> None:
+        print(f"repro-ssta service listening on {server.url}", flush=True)
+        if state.loaded_entries:
+            print(
+                f"warm-started {state.loaded_entries} cache entries "
+                f"from {state.cache_file}",
+                flush=True,
+            )
+
+    return serve(
+        state,
+        args.host,
+        args.port,
+        flush_interval_s=args.flush_interval,
+        quiet=not args.verbose,
+        ready_callback=_ready,
+    )
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    from .service import ServiceClient
+
+    client = ServiceClient(args.url, timeout_s=args.timeout)
+    client.health()  # also checks the protocol version
+    return args.client_func(client, args)
+
+
+def _client_analyze(client, args: argparse.Namespace) -> int:
+    rep = client.analyze(args.circuit, scale=args.scale)
+    rows = [
+        ("gates", rep.gates),
+        ("STA delay (ps)", rep.sta_delay),
+        ("SSTA mean (ps)", rep.mean),
+        ("SSTA sigma (ps)", rep.std),
+    ]
+    rows += [
+        (f"SSTA {100 * p:g}% bound (ps)", v) for p, v in rep.percentiles
+    ]
+    hits = rep.kernel.get("cache_hits", 0)
+    requests = rep.kernel.get("requests", 0)
+    rows.append(("server cache hit rate",
+                 hits / requests if requests else 0.0))
+    print(format_table(
+        f"Timing summary (service) — {rep.circuit}",
+        ["metric", "value"], rows,
+    ))
+    return 0
+
+
+def _client_optimize(client, args: argparse.Namespace) -> int:
+    rep = client.optimize(
+        args.circuit,
+        iterations=args.iterations,
+        scale=args.scale,
+        sizer=args.sizer,
+    )
+    result = rep.result
+    print(format_table(
+        f"{result.optimizer} sizing (service) — {rep.circuit}",
+        ["metric", "value"],
+        [
+            ("iterations", result.n_iterations),
+            ("stop reason", result.stop_reason),
+            (f"initial {result.objective_name} (ps)",
+             result.initial_objective),
+            (f"final {result.objective_name} (ps)",
+             result.final_objective),
+            ("improvement (%)", result.improvement_percent),
+            ("size increase (%)", result.size_increase_percent),
+            ("total time (s)", result.total_time_s),
+            ("server cache hit rate", rep.cache_hit_rate),
+        ],
+    ))
+    return 0
+
+
+def _client_yield(client, args: argparse.Namespace) -> int:
+    rep = client.yield_query(args.circuit, scale=args.scale,
+                             target=args.target)
+    rows = []
+    if rep.yield_at_target is not None:
+        rows.append((f"yield at {args.target:g} ps", rep.yield_at_target))
+    rows += [
+        (f"delay at {100 * y:g}% yield (ps)", d)
+        for y, d in rep.delay_at_yield
+    ]
+    print(format_table(
+        f"Timing yield (service) — {rep.circuit}",
+        ["metric", "value"], rows,
+    ))
+    print()
+    print(format_table(
+        "yield curve", ["target (ps)", "yield"],
+        [(t, y) for t, y in rep.yield_curve],
+    ))
+    return 0
+
+
+def _client_stats(client, args: argparse.Namespace) -> int:
+    stats = client.stats()
+    cache = stats["cache"]
+    rows = [
+        ("uptime (s)", stats["uptime_s"]),
+        ("cache entries", cache["entries"]),
+        ("cache capacity", cache["capacity"]),
+        ("cache approx bytes", cache["approx_bytes"]),
+        ("cache hits", cache["hits"]),
+        ("cache misses", cache["misses"]),
+        ("cache evictions", cache["evictions"]),
+        ("cache hit rate", cache["hit_rate"]),
+        ("entries from snapshot", cache["loaded_from_snapshot"]),
+        ("open sessions", len(stats["sessions"])),
+        ("resident circuits", len(stats["resident_circuits"])),
+    ]
+    print(format_table("Service statistics", ["metric", "value"], rows))
+    latency = stats.get("requests", {})
+    if latency:
+        print()
+        print(format_table(
+            "request latency",
+            ["endpoint", "count", "p50 (ms)", "p99 (ms)"],
+            [
+                (ep, m["count"], m["p50_ms"], m["p99_ms"])
+                for ep, m in sorted(latency.items())
+            ],
+        ))
     return 0
 
 
@@ -311,6 +469,79 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", default=None)
     p.add_argument("--scale", type=float, default=1.0)
     p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the persistent analysis service (see repro.service)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8731,
+                   help="TCP port (0 picks a free one; the resolved "
+                        "URL is printed at startup)")
+    p.add_argument("--cache", type=int, default=DEFAULT_CACHE_CAPACITY,
+                   metavar="ENTRIES",
+                   help="capacity of the process-wide shared "
+                        "convolution-result cache")
+    p.add_argument("--cache-file", default=None, metavar="PATH",
+                   help="persistent snapshot: warm-start from it if it "
+                        "exists, flush back periodically and on "
+                        "shutdown (pickle — load only snapshots you "
+                        "wrote yourself)")
+    p.add_argument("--cache-budget-mb", type=float, default=None,
+                   metavar="MB",
+                   help="approximate memory budget for the shared "
+                        "cache; trimmed LRU-first after each request")
+    p.add_argument("--flush-interval", type=float, default=300.0,
+                   metavar="SECONDS",
+                   help="periodic snapshot flush interval "
+                        "(0 disables; shutdown still flushes)")
+    p.add_argument("--max-resident", type=int, default=32,
+                   help="resident (circuit, config) entries kept "
+                        "loaded, LRU-evicted beyond this")
+    p.add_argument("--circuit-ttl", type=float, default=3600.0,
+                   metavar="SECONDS",
+                   help="idle time before a resident circuit is "
+                        "dropped")
+    p.add_argument("--session-ttl", type=float, default=3600.0,
+                   metavar="SECONDS",
+                   help="idle time before a session is dropped")
+    p.add_argument("--verbose", action="store_true",
+                   help="log each HTTP request")
+    _add_level_batch_flag(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "client",
+        help="run analyses through a repro-ssta service",
+    )
+    p.add_argument("--url", default="http://127.0.0.1:8731",
+                   help="service base URL")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="per-request timeout (s)")
+    csub = p.add_subparsers(dest="client_command", required=True)
+
+    c = csub.add_parser("analyze", help="SSTA + STA via the service")
+    c.add_argument("circuit", choices=PAPER_SUITE + ["c17"])
+    c.add_argument("--scale", type=float, default=1.0)
+    c.set_defaults(func=cmd_client, client_func=_client_analyze)
+
+    c = csub.add_parser("optimize", help="sizing run via the service")
+    c.add_argument("circuit", choices=PAPER_SUITE + ["c17"])
+    c.add_argument("-n", "--iterations", type=int, default=25)
+    c.add_argument("--scale", type=float, default=1.0)
+    c.add_argument("--sizer", default="pruned",
+                   choices=["pruned", "heuristic", "brute",
+                            "deterministic"])
+    c.set_defaults(func=cmd_client, client_func=_client_optimize)
+
+    c = csub.add_parser("yield", help="yield queries via the service")
+    c.add_argument("circuit", choices=PAPER_SUITE + ["c17"])
+    c.add_argument("--target", type=float, default=None)
+    c.add_argument("--scale", type=float, default=1.0)
+    c.set_defaults(func=cmd_client, client_func=_client_yield)
+
+    c = csub.add_parser("stats", help="cache/session/latency report")
+    c.set_defaults(func=cmd_client, client_func=_client_stats)
 
     p = sub.add_parser("table1", help="regenerate Table 1")
     p.add_argument("--suite", nargs="+", choices=PAPER_SUITE, default=None)

@@ -36,9 +36,20 @@ Design constraints, in order:
 
 The cache is *enabled per analysis* through
 ``AnalysisConfig(cache=...)`` (see :mod:`repro.config`) and threaded
-by every engine the same way the backend knob is.  It carries no
-thread-safety machinery — like the rest of the package it assumes one
-analysis per thread.
+by every engine the same way the backend knob is.
+
+**Thread safety.**  One instance may be shared by any number of
+threads (the analysis service holds a single process-wide cache under
+a :class:`~socketserver.ThreadingMixIn` server).  Every public
+operation — lookup, store, save, clear, byte-budget eviction — runs
+under one internal mutex, so the LRU order, the entry map, the byte
+accounting, and the :class:`CacheStats` tallies are updated
+atomically per operation; a lookup and the store that follows its
+miss are deliberately *not* one atomic unit (two threads may race to
+compute the same entry — the second store replaces the first with a
+bitwise-identical result, so values never depend on the interleaving,
+only the hit/miss split does).  The lock is never held while kernel
+work runs: the cache does no computation of its own.
 """
 
 from __future__ import annotations
@@ -46,6 +57,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import threading
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -70,6 +82,11 @@ DEFAULT_CACHE_CAPACITY: int = 32768
 #: Mass vectors are immutable read-only arrays, so a digest computed
 #: once is valid for the array's lifetime; the weak reference both
 #: self-evicts when the array dies and guards against ``id`` reuse.
+#: Unlocked by design: individual dict probes/inserts are atomic under
+#: the GIL, and a race between two threads fingerprinting the same
+#: array merely computes the same digest twice — ``pop`` (never
+#: ``del``) removes stale ids so a concurrent weakref callback cannot
+#: raise.
 _FP_MEMO: dict = {}
 
 
@@ -81,7 +98,7 @@ def _fingerprint(arr: np.ndarray) -> bytes:
         ref, digest = entry
         if ref() is arr:
             return digest
-        del _FP_MEMO[key]  # id recycled by a dead array
+        _FP_MEMO.pop(key, None)  # id recycled by a dead array
     digest = hashlib.sha1(arr.tobytes()).digest()
     try:
         ref = weakref.ref(arr, lambda _r, key=key: _FP_MEMO.pop(key, None))
@@ -107,11 +124,37 @@ def _pdf_fingerprint(pdf: DiscretePDF) -> bytes:
 
 @dataclass
 class CacheStats:
-    """Lifetime hit/miss/eviction tallies of one cache instance."""
+    """Lifetime hit/miss/eviction tallies of one cache instance.
+
+    Thread-safe: every mutation (:meth:`record`, :meth:`reset`,
+    :meth:`merge`) runs under an internal lock, and multi-field reads
+    go through :meth:`snapshot` for a consistent view.  Bare ``+=`` on
+    the fields is not atomic in CPython — concurrent writers must use
+    :meth:`record` (the owning :class:`ConvolutionCache` does, under
+    its own operation lock as well), which is what makes the final
+    tallies equal the merged per-thread deltas in the threaded stress
+    suite.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_lock", threading.Lock())
+
+    # The lock is an implementation detail: it must not participate in
+    # dataclass equality/repr and cannot ride a pickle.
+    def __getstate__(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.__dict__["_lock"] = threading.Lock()
 
     @property
     def requests(self) -> int:
@@ -121,15 +164,34 @@ class CacheStats:
     @property
     def hit_rate(self) -> float:
         """hits / requests (0.0 before any lookup)."""
-        if self.requests == 0:
+        hits, misses, _ = self.snapshot()
+        if hits + misses == 0:
             return 0.0
-        return self.hits / self.requests
+        return hits / (hits + misses)
+
+    def record(
+        self, *, hits: int = 0, misses: int = 0, evictions: int = 0
+    ) -> None:
+        """Atomically add deltas to the tallies (the only mutation path
+        that is safe under concurrent writers)."""
+        with self._lock:
+            self.hits += hits
+            self.misses += misses
+            self.evictions += evictions
+
+    def snapshot(self) -> tuple:
+        """Consistent ``(hits, misses, evictions)`` triple — reading
+        the fields one by one can interleave with a concurrent
+        :meth:`record`."""
+        with self._lock:
+            return (self.hits, self.misses, self.evictions)
 
     def reset(self) -> None:
         """Zero all tallies (the entries themselves are untouched)."""
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     def merge(self, other: "CacheStats") -> None:
         """Fold another stats record into this one — the aggregation
@@ -140,9 +202,8 @@ class CacheStats:
         Note the sharded-parallel executor does *not* need this:
         the cache never leaves the coordinating process, so its stats
         are single-writer by design."""
-        self.hits += other.hits
-        self.misses += other.misses
-        self.evictions += other.evictions
+        hits, misses, evictions = other.snapshot()
+        self.record(hits=hits, misses=misses, evictions=evictions)
 
 
 class _Entry:
@@ -163,6 +224,23 @@ class _Entry:
         self.result = result
         self.anchor = anchor
         self.backend = backend
+
+
+#: Coarse per-entry bookkeeping overhead (key tuple, OrderedDict slot,
+#: object headers) used by the byte accounting.  The dominant term is
+#: the mass vectors, which are measured exactly; this constant only
+#: keeps many-small-entry caches from reading as free.
+_ENTRY_OVERHEAD_BYTES = 256
+
+
+def _entry_nbytes(entry: _Entry) -> int:
+    """Approximate resident size of one entry in bytes."""
+    n = _ENTRY_OVERHEAD_BYTES
+    if entry.raw is not None:
+        n += entry.raw.nbytes
+    if isinstance(entry.result, DiscretePDF):
+        n += entry.result.masses.nbytes
+    return n
 
 
 class ConvolutionCache:
@@ -187,6 +265,22 @@ class ConvolutionCache:
         self.capacity = capacity
         self.stats = CacheStats()
         self._entries: "OrderedDict" = OrderedDict()
+        # Operation mutex: every public lookup/store/save/evict runs
+        # under it (see the module docstring's thread-safety contract).
+        # A plain (non-reentrant) Lock — internal helpers never call
+        # back into public methods while holding it.
+        self._lock = threading.Lock()
+        self._bytes = 0
+
+    # The lock cannot ride a pickle; everything else can.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Coercion (the AnalysisConfig.cache knob)
@@ -253,23 +347,29 @@ class ConvolutionCache:
     # LRU plumbing
     # ------------------------------------------------------------------
     def _get(self, key: tuple) -> Optional[_Entry]:
+        # Caller holds self._lock.
         entry = self._entries.get(key)
         if entry is None:
-            self.stats.misses += 1
+            self.stats.record(misses=1)
             return None
         self._entries.move_to_end(key)
-        self.stats.hits += 1
+        self.stats.record(hits=1)
         return entry
 
     def _put(self, key: tuple, entry: _Entry) -> None:
-        if key in self._entries:
+        # Caller holds self._lock.
+        old = self._entries.get(key)
+        if old is not None:
             self._entries.move_to_end(key)
             self._entries[key] = entry
+            self._bytes += _entry_nbytes(entry) - _entry_nbytes(old)
             return
         while len(self._entries) >= self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+            _k, evicted = self._entries.popitem(last=False)
+            self._bytes -= _entry_nbytes(evicted)
+            self.stats.record(evictions=1)
         self._entries[key] = entry
+        self._bytes += _entry_nbytes(entry)
 
     def _replay(
         self, entry: _Entry, anchor: int, dt: float, trim_eps: float
@@ -299,15 +399,18 @@ class ConvolutionCache:
         callers build it once per request)."""
         if key is None:
             key = self.convolve_key(a, b, trim_eps, backend)
-        entry = self._get(key)
-        if entry is None:
-            return None
-        if entry.backend is not backend:
-            # A distinct backend instance sharing the stored one's name:
-            # count it as the miss it is and let the caller recompute.
-            self.stats.hits -= 1
-            self.stats.misses += 1
-            return None
+        with self._lock:
+            entry = self._get(key)
+            if entry is None:
+                return None
+            if entry.backend is not backend:
+                # A distinct backend instance sharing the stored one's
+                # name: count it as the miss it is and let the caller
+                # recompute.
+                self.stats.record(hits=-1, misses=1)
+                return None
+        # Replay outside the lock: entries are immutable, and the
+        # re-anchor path constructs a fresh DiscretePDF.
         return self._replay(entry, a.offset + b.offset, a.dt, trim_eps)
 
     def store_convolve(
@@ -327,7 +430,8 @@ class ConvolutionCache:
         raw.flags.writeable = False
         if key is None:
             key = self.convolve_key(a, b, trim_eps, backend)
-        self._put(key, _Entry(raw, result, a.offset + b.offset, backend))
+        with self._lock:
+            self._put(key, _Entry(raw, result, a.offset + b.offset, backend))
 
     # ------------------------------------------------------------------
     # MAX (independence statistical maximum)
@@ -343,7 +447,8 @@ class ConvolutionCache:
         ``key`` accepts a precomputed :meth:`max_key`."""
         if key is None:
             key = self.max_key(pdfs, trim_eps)
-        entry = self._get(key)
+        with self._lock:
+            entry = self._get(key)
         if entry is None:
             return None
         anchor = min(p.offset for p in pdfs)
@@ -362,7 +467,9 @@ class ConvolutionCache:
         raw.flags.writeable = False
         if key is None:
             key = self.max_key(pdfs, trim_eps)
-        self._put(key, _Entry(raw, result, min(p.offset for p in pdfs), None))
+        anchor = min(p.offset for p in pdfs)
+        with self._lock:
+            self._put(key, _Entry(raw, result, anchor, None))
 
     # ------------------------------------------------------------------
     # Whole-node arrival memo (the engines' coarse-grained fast path)
@@ -382,17 +489,18 @@ class ConvolutionCache:
         resolved backend object is verified identically — two distinct
         instances sharing a name (e.g. ``AutoBackend``s with different
         cost ratios) must never serve each other's bits."""
-        entry = self._get(("node",) + key)
-        if entry is None:
-            return None
-        if entry.backend is not backend:
-            self.stats.hits -= 1
-            self.stats.misses += 1
-            return None
-        return entry.result
+        with self._lock:
+            entry = self._get(("node",) + key)
+            if entry is None:
+                return None
+            if entry.backend is not backend:
+                self.stats.record(hits=-1, misses=1)
+                return None
+            return entry.result
 
     def store_node(self, key: tuple, result: DiscretePDF, backend) -> None:
-        self._put(("node",) + key, _Entry(None, result, 0, backend))
+        with self._lock:
+            self._put(("node",) + key, _Entry(None, result, 0, backend))
 
     @staticmethod
     def node_key(parts, trim_eps: float, backend) -> tuple:
@@ -436,13 +544,17 @@ class ConvolutionCache:
         )
 
     def lookup_gap(self, a: DiscretePDF, b: DiscretePDF) -> Optional[float]:
-        entry = self._get(self._gap_key(a, b))
-        if entry is None:
-            return None
-        return entry.result
+        key = self._gap_key(a, b)
+        with self._lock:
+            entry = self._get(key)
+            if entry is None:
+                return None
+            return entry.result
 
     def store_gap(self, a: DiscretePDF, b: DiscretePDF, gap: float) -> None:
-        self._put(self._gap_key(a, b), _Entry(None, gap, 0, None))
+        key = self._gap_key(a, b)
+        with self._lock:
+            self._put(key, _Entry(None, gap, 0, None))
 
     # ------------------------------------------------------------------
     # Persistence (cross-run warm starts)
@@ -470,7 +582,13 @@ class ConvolutionCache:
         from .backends import is_registry_backend
 
         entries = []
-        for key, entry in self._entries.items():
+        # Snapshot the LRU order under the lock (cheap walk); the
+        # pickle dump below runs unlocked on the gathered immutable
+        # entry fields, so a long flush never stalls concurrent
+        # lookups for the disk write's duration.
+        with self._lock:
+            items = list(self._entries.items())
+        for key, entry in items:
             backend = entry.backend
             if backend is None:
                 name = None
@@ -555,6 +673,9 @@ class ConvolutionCache:
             ) from exc
         while len(cache._entries) > cache.capacity:
             cache._entries.popitem(last=False)
+        cache._bytes = sum(
+            _entry_nbytes(e) for e in cache._entries.values()
+        )
         return cache
 
     # ------------------------------------------------------------------
@@ -563,9 +684,39 @@ class ConvolutionCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    @property
+    def approx_bytes(self) -> int:
+        """Approximate resident size of the stored entries (exact for
+        the mass vectors, a fixed per-entry constant for bookkeeping)
+        — the quantity the service's memory budget is enforced
+        against."""
+        with self._lock:
+            return self._bytes
+
+    def evict_to_bytes(self, budget_bytes: int) -> int:
+        """Evict LRU entries until :attr:`approx_bytes` fits within
+        ``budget_bytes`` (which may be 0 to drop everything), returning
+        the number of entries evicted.  The eviction tally counts them
+        like capacity evictions."""
+        if budget_bytes < 0:
+            raise DistributionError(
+                f"byte budget must be >= 0, got {budget_bytes}"
+            )
+        evicted = 0
+        with self._lock:
+            while self._entries and self._bytes > budget_bytes:
+                _k, entry = self._entries.popitem(last=False)
+                self._bytes -= _entry_nbytes(entry)
+                evicted += 1
+            if evicted:
+                self.stats.record(evictions=evicted)
+        return evicted
+
     def clear(self) -> None:
         """Drop every entry (stats are kept; see ``stats.reset()``)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         s = self.stats

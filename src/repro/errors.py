@@ -44,3 +44,8 @@ class TimingError(ReproError):
 
 class OptimizationError(ReproError):
     """A sizing optimization was configured or converged incorrectly."""
+
+
+class ServiceError(ReproError):
+    """A timing-analysis-service request failed (bad request payload,
+    unknown session, or a transport/HTTP failure in the client)."""

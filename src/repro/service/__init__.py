@@ -1,0 +1,56 @@
+"""Timing-analysis service: a persistent server over a shared cache.
+
+The batch CLI pays the full cost of loading circuits, building delay
+models, and computing convolutions on every invocation.  This package
+keeps all of that resident in one long-lived process: circuits and
+their timing graphs stay loaded, and ONE process-wide
+content-addressed :class:`~repro.dist.cache.ConvolutionCache` is
+shared by every request — so a second analysis of a sized variant, or
+a second *user's* analysis of the same circuit family, replays most of
+its kernel work bitwise from the cache instead of recomputing.
+
+Layers (each its own module):
+
+* :mod:`~repro.service.protocol` — bitwise-faithful JSON wire codecs;
+* :mod:`~repro.service.state` — :class:`ServiceState`, the shared
+  domain state with its documented lock discipline and eviction
+  policy;
+* :mod:`~repro.service.server` — the stdlib ThreadingHTTPServer front
+  and the :func:`serve` lifecycle (warm-start, periodic flush,
+  SIGTERM drain);
+* :mod:`~repro.service.client` — the stdlib urllib client that
+  re-materializes real result objects.
+
+Everything is stdlib + the library's own numpy dependency; no web
+framework.  CLI entry points: ``repro-ssta serve`` and
+``repro-ssta client``.
+"""
+
+from .client import AnalyzeReply, OptimizeReply, ServiceClient, YieldReply
+from .protocol import (
+    PROTOCOL_VERSION,
+    pdf_from_wire,
+    pdf_to_wire,
+    sizing_result_from_wire,
+    sizing_result_to_wire,
+)
+from .server import AnalysisServer, serve, start_server
+from .state import OVERRIDABLE_CONFIG_FIELDS, SIZERS, ServiceState
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "AnalysisServer",
+    "AnalyzeReply",
+    "OptimizeReply",
+    "ServiceClient",
+    "ServiceState",
+    "YieldReply",
+    "OVERRIDABLE_CONFIG_FIELDS",
+    "SIZERS",
+    "pdf_from_wire",
+    "pdf_to_wire",
+    "serve",
+    "sizing_result_from_wire",
+    "sizing_result_to_wire",
+    "start_server",
+]

@@ -1,0 +1,253 @@
+"""Stdlib HTTP client for the analysis service.
+
+:class:`ServiceClient` wraps :mod:`urllib.request` — no third-party
+dependency — and re-materializes real library objects from the wire:
+``analyze``/``yield_query`` hand back the sink as a genuine
+:class:`~repro.dist.pdf.DiscretePDF` (decoded bitwise, see
+:mod:`repro.service.protocol`) and ``optimize`` returns a genuine
+:class:`~repro.core.sizer_base.SizingResult`, so callers keep using
+the same result APIs whether an analysis ran locally or server-side.
+
+Transport and HTTP-level failures surface as
+:class:`~repro.errors.ServiceError` carrying the server's error
+message when one was sent.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..core.sizer_base import SizingResult
+from ..dist.pdf import DiscretePDF
+from ..errors import ServiceError
+from .protocol import PROTOCOL_VERSION, pdf_from_wire, sizing_result_from_wire
+
+__all__ = ["ServiceClient", "AnalyzeReply", "YieldReply", "OptimizeReply"]
+
+
+@dataclass
+class AnalyzeReply:
+    """An /analyze response with the sink decoded back to a PDF."""
+
+    circuit: str
+    scale: float
+    gates: int
+    sta_delay: float
+    mean: float
+    std: float
+    percentiles: List[Tuple[float, float]]
+    sink: DiscretePDF
+    kernel: dict = field(default_factory=dict)
+    raw: dict = field(default_factory=dict, repr=False)
+
+
+@dataclass
+class YieldReply:
+    """A /yield response with the sink decoded back to a PDF."""
+
+    circuit: str
+    scale: float
+    delay_at_yield: List[Tuple[float, float]]
+    yield_curve: List[Tuple[float, float]]
+    sink: DiscretePDF
+    yield_at_target: Optional[float] = None
+    raw: dict = field(default_factory=dict, repr=False)
+
+
+@dataclass
+class OptimizeReply:
+    """An /optimize response with a reconstructed SizingResult."""
+
+    circuit: str
+    scale: float
+    sizer: str
+    cache_hit_rate: float
+    result: SizingResult
+    raw: dict = field(default_factory=dict, repr=False)
+
+
+class ServiceClient:
+    """A connection to one analysis server, optionally one session.
+
+    ``open_session`` binds config overrides server-side; subsequent
+    requests from this client carry the session id automatically.
+    Usable as a context manager — closes the session on exit.
+    """
+
+    def __init__(self, url: str, *, timeout_s: float = 300.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout_s = float(timeout_s)
+        self.session_id: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 payload: Optional[dict] = None) -> dict:
+        body = None
+        headers = {}
+        if method == "POST":
+            body = json.dumps(payload or {}).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            self.url + path, data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                reply = json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read()).get("error", str(exc))
+            except Exception:
+                detail = str(exc)
+            raise ServiceError(
+                f"{method} {path} failed ({exc.code}): {detail}"
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.url}: {exc.reason}"
+            ) from exc
+        except json.JSONDecodeError as exc:
+            raise ServiceError(
+                f"service sent a non-JSON reply to {path}"
+            ) from exc
+        if not isinstance(reply, dict):
+            raise ServiceError(f"service sent a non-object reply to {path}")
+        return reply
+
+    def _with_session(self, payload: dict) -> dict:
+        if self.session_id is not None and "session" not in payload:
+            payload["session"] = self.session_id
+        return payload
+
+    # ------------------------------------------------------------------
+    # Sessions + lifecycle
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        reply = self._request("GET", "/health")
+        proto = reply.get("protocol")
+        if proto != PROTOCOL_VERSION:
+            raise ServiceError(
+                f"protocol mismatch: server speaks {proto}, "
+                f"client speaks {PROTOCOL_VERSION}"
+            )
+        return reply
+
+    def open_session(self, config: Optional[dict] = None) -> str:
+        reply = self._request("POST", "/session", {"config": config or {}})
+        self.session_id = reply["session"]
+        return self.session_id
+
+    def close_session(self) -> Optional[dict]:
+        if self.session_id is None:
+            return None
+        reply = self._request(
+            "POST", "/session/close", {"session": self.session_id}
+        )
+        self.session_id = None
+        return reply.get("summary")
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        try:
+            self.close_session()
+        except ServiceError:
+            pass
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def flush(self) -> dict:
+        return self._request("POST", "/flush")
+
+    def shutdown(self) -> dict:
+        return self._request("POST", "/shutdown")
+
+    # ------------------------------------------------------------------
+    # Analyses
+    # ------------------------------------------------------------------
+    def analyze(
+        self,
+        circuit: str,
+        *,
+        scale: float = 1.0,
+        config: Optional[dict] = None,
+        percentiles=None,
+    ) -> AnalyzeReply:
+        payload = self._with_session({
+            "circuit": circuit,
+            "scale": scale,
+            "config": config,
+        })
+        if percentiles is not None:
+            payload["percentiles"] = [float(p) for p in percentiles]
+        reply = self._request("POST", "/analyze", payload)
+        return AnalyzeReply(
+            circuit=reply["circuit"],
+            scale=reply["scale"],
+            gates=reply["gates"],
+            sta_delay=reply["sta_delay"],
+            mean=reply["mean"],
+            std=reply["std"],
+            percentiles=[(p, v) for p, v in reply["percentiles"]],
+            sink=pdf_from_wire(reply["sink"]),
+            kernel=reply.get("kernel", {}),
+            raw=reply,
+        )
+
+    def optimize(
+        self,
+        circuit: str,
+        *,
+        iterations: int = 25,
+        scale: float = 1.0,
+        sizer: str = "pruned",
+        config: Optional[dict] = None,
+    ) -> OptimizeReply:
+        reply = self._request("POST", "/optimize", self._with_session({
+            "circuit": circuit,
+            "iterations": iterations,
+            "scale": scale,
+            "sizer": sizer,
+            "config": config,
+        }))
+        return OptimizeReply(
+            circuit=reply["circuit"],
+            scale=reply["scale"],
+            sizer=reply["sizer"],
+            cache_hit_rate=reply["cache_hit_rate"],
+            result=sizing_result_from_wire(reply["result"]),
+            raw=reply,
+        )
+
+    def yield_query(
+        self,
+        circuit: str,
+        *,
+        scale: float = 1.0,
+        target: Optional[float] = None,
+        n_points: int = 12,
+        config: Optional[dict] = None,
+    ) -> YieldReply:
+        reply = self._request("POST", "/yield", self._with_session({
+            "circuit": circuit,
+            "scale": scale,
+            "target": target,
+            "n_points": n_points,
+            "config": config,
+        }))
+        return YieldReply(
+            circuit=reply["circuit"],
+            scale=reply["scale"],
+            delay_at_yield=[(y, d) for y, d in reply["delay_at_yield"]],
+            yield_curve=[(t, y) for t, y in reply["yield_curve"]],
+            sink=pdf_from_wire(reply["sink"]),
+            yield_at_target=reply.get("yield_at_target"),
+            raw=reply,
+        )

@@ -1,0 +1,329 @@
+"""JSON-over-HTTP front of the analysis service.
+
+A deliberately thin, dependency-light request layer (stdlib
+:class:`~http.server.ThreadingHTTPServer`) over the long-lived shared
+domain state in :class:`~repro.service.state.ServiceState` — the
+Kalmukov conference-management-system shape: requests are cheap
+adapters, all interesting state lives one layer down and survives
+across requests.
+
+Endpoints (all bodies JSON):
+
+=======  =================  ==============================================
+Method   Path               Action
+=======  =================  ==============================================
+GET      /health            liveness + versions
+GET      /stats             cache/session/latency aggregates
+POST     /session           open a session ``{"config": {...}}`` -> id
+POST     /session/close     close ``{"session": id}``
+POST     /analyze           SSTA+STA ``{"circuit", "scale", ...}``
+POST     /optimize          sizing run ``{"circuit", "iterations", ...}``
+POST     /yield             yield queries ``{"circuit", "target", ...}``
+POST     /flush             write the cache snapshot now
+POST     /shutdown          graceful drain (responds, then stops serving)
+=======  =================  ==============================================
+
+Every request's wall-clock is recorded into the state's latency
+window (the p50/p99 numbers served by /stats and recorded in
+``BENCH_dist.json``'s ``service`` section).
+
+Lifecycle: :func:`serve` wires warm-start (``cache_file``), a periodic
+snapshot flusher, ``atexit`` flush, and SIGTERM/SIGINT drain — the
+process stops accepting connections, finishes in-flight requests
+(daemon handler threads), flushes the snapshot, and exits 0.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from .. import __version__
+from ..errors import ReproError, ServiceError
+from .protocol import PROTOCOL_VERSION
+from .state import ServiceState
+
+__all__ = ["AnalysisServer", "start_server", "serve"]
+
+
+class AnalysisServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer bound to one :class:`ServiceState`."""
+
+    #: In-flight requests must never pin the process at shutdown.
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], state: ServiceState,
+                 *, quiet: bool = True) -> None:
+        self.state = state
+        self.quiet = quiet
+        super().__init__(address, _Handler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = f"repro-ssta-service/{__version__}"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, fmt, *args):  # pragma: no cover - log noise
+        if not getattr(self.server, "quiet", True):
+            super().log_message(fmt, *args)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return {}
+        body = self.rfile.read(length)
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(f"request body is not JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ServiceError("request body must be a JSON object")
+        return payload
+
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _dispatch(self, method: str) -> None:
+        state: ServiceState = self.server.state
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        t0 = time.perf_counter()
+        try:
+            handler = _ROUTES.get((method, path))
+            if handler is None:
+                self._send_json(
+                    {"error": f"no such endpoint: {method} {path}"},
+                    status=404,
+                )
+                return
+            payload = self._read_json() if method == "POST" else {}
+            result = handler(self, state, payload)
+            self._send_json(result)
+        except ServiceError as exc:
+            self._send_json({"error": str(exc)}, status=400)
+        except ReproError as exc:
+            # A domain error (bad netlist, sizing failure): the
+            # request was understood but the analysis failed.
+            self._send_json(
+                {"error": f"{type(exc).__name__}: {exc}"}, status=422
+            )
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_json(
+                {"error": f"internal error: {type(exc).__name__}: {exc}"},
+                status=500,
+            )
+        finally:
+            state.record_latency(f"{method} {path}",
+                                 time.perf_counter() - t0)
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+
+# ----------------------------------------------------------------------
+# Routes (thin adapters; the domain logic lives in ServiceState)
+# ----------------------------------------------------------------------
+
+def _route_health(handler, state: ServiceState, payload: dict) -> dict:
+    return {
+        "status": "ok",
+        "version": __version__,
+        "protocol": PROTOCOL_VERSION,
+    }
+
+
+def _route_stats(handler, state: ServiceState, payload: dict) -> dict:
+    return state.stats()
+
+
+def _route_session_open(handler, state, payload: dict) -> dict:
+    return {"session": state.open_session(payload.get("config"))}
+
+
+def _route_session_close(handler, state, payload: dict) -> dict:
+    session = payload.get("session")
+    if not session:
+        raise ServiceError("'session' is required")
+    return {"closed": session, "summary": state.close_session(session)}
+
+
+def _require_circuit(payload: dict) -> str:
+    circuit = payload.get("circuit")
+    if not isinstance(circuit, str) or not circuit:
+        raise ServiceError("'circuit' (a benchmark name) is required")
+    return circuit
+
+
+def _route_analyze(handler, state: ServiceState, payload: dict) -> dict:
+    kwargs = {}
+    if payload.get("percentiles") is not None:
+        kwargs["percentiles"] = payload["percentiles"]
+    return state.analyze(
+        _require_circuit(payload),
+        scale=payload.get("scale", 1.0),
+        session_id=payload.get("session"),
+        config_overrides=payload.get("config"),
+        **kwargs,
+    )
+
+
+def _route_optimize(handler, state: ServiceState, payload: dict) -> dict:
+    return state.optimize(
+        _require_circuit(payload),
+        iterations=payload.get("iterations", 25),
+        scale=payload.get("scale", 1.0),
+        sizer=payload.get("sizer", "pruned"),
+        session_id=payload.get("session"),
+        config_overrides=payload.get("config"),
+    )
+
+
+def _route_yield(handler, state: ServiceState, payload: dict) -> dict:
+    return state.yield_query(
+        _require_circuit(payload),
+        scale=payload.get("scale", 1.0),
+        target=payload.get("target"),
+        n_points=payload.get("n_points", 12),
+        session_id=payload.get("session"),
+        config_overrides=payload.get("config"),
+    )
+
+
+def _route_flush(handler, state: ServiceState, payload: dict) -> dict:
+    return {"entries_saved": state.flush(), "file": state.cache_file}
+
+
+def _route_shutdown(handler, state: ServiceState, payload: dict) -> dict:
+    server: AnalysisServer = handler.server
+    # shutdown() blocks until serve_forever() returns, so it must run
+    # off the handler thread; the response goes out first either way.
+    threading.Thread(target=server.shutdown, daemon=True).start()
+    return {"shutting_down": True, "entries_saved": state.flush()}
+
+
+_ROUTES = {
+    ("GET", "/health"): _route_health,
+    ("GET", "/stats"): _route_stats,
+    ("POST", "/session"): _route_session_open,
+    ("POST", "/session/close"): _route_session_close,
+    ("POST", "/analyze"): _route_analyze,
+    ("POST", "/optimize"): _route_optimize,
+    ("POST", "/yield"): _route_yield,
+    ("POST", "/flush"): _route_flush,
+    ("POST", "/shutdown"): _route_shutdown,
+}
+
+
+# ----------------------------------------------------------------------
+# Lifecycle helpers
+# ----------------------------------------------------------------------
+
+def start_server(
+    state: ServiceState,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    quiet: bool = True,
+) -> AnalysisServer:
+    """Bind an :class:`AnalysisServer` (port 0 picks a free port).
+    The caller drives ``serve_forever`` — tests and the benchmark run
+    it on a background thread; the CLI runs it in the main thread."""
+    return AnalysisServer((host, port), state, quiet=quiet)
+
+
+class _PeriodicFlusher(threading.Thread):
+    """Background snapshot writer: flush every ``interval_s`` seconds
+    until stopped (the final flush at shutdown is the server's)."""
+
+    def __init__(self, state: ServiceState, interval_s: float) -> None:
+        super().__init__(name="cache-flusher", daemon=True)
+        self.state = state
+        self.interval_s = interval_s
+        self._stop = threading.Event()
+
+    def run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.state.flush()
+            except Exception:  # pragma: no cover - disk-full etc.
+                # A failed periodic flush must not kill the server;
+                # the exit flush will retry (and surface) the error.
+                pass
+
+    def stop(self) -> None:
+        self._stop.set()
+
+
+def serve(
+    state: ServiceState,
+    host: str = "127.0.0.1",
+    port: int = 8731,
+    *,
+    flush_interval_s: Optional[float] = 300.0,
+    quiet: bool = True,
+    ready_callback=None,
+) -> int:
+    """Run the service until SIGTERM/SIGINT, with snapshot lifecycle.
+
+    Blocks in ``serve_forever``.  On signal: stop accepting work, let
+    in-flight requests finish, flush the snapshot, return 0.
+    ``ready_callback(server)`` fires after binding (the CLI prints the
+    resolved URL there, which is how ``--port 0`` callers learn the
+    port).
+    """
+    server = start_server(state, host, port, quiet=quiet)
+    flusher = None
+    if state.cache_file is not None and flush_interval_s:
+        flusher = _PeriodicFlusher(state, float(flush_interval_s))
+        flusher.start()
+    # The exit flush runs however the process ends; flush() is
+    # idempotent and internally serialized.
+    atexit.register(state.flush)
+
+    def _drain(signum, frame):  # pragma: no cover - signal timing
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {}
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[sig] = signal.signal(sig, _drain)
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
+    try:
+        if ready_callback is not None:
+            ready_callback(server)
+        server.serve_forever(poll_interval=0.1)
+    except KeyboardInterrupt:  # pragma: no cover - ^C without handler
+        pass
+    finally:
+        for sig, old in previous.items():
+            try:
+                signal.signal(sig, old)
+            except ValueError:  # pragma: no cover
+                pass
+        if flusher is not None:
+            flusher.stop()
+        server.server_close()
+        state.flush()
+    return 0

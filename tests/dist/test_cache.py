@@ -800,3 +800,246 @@ class TestSnapshotPersistence:
         path = tmp_path / "snap.cache"
         cache.save(path)
         assert ConvolutionCache.load(path).lookup_gap(a, b) == 3.25
+
+
+class TestThreadSafety:
+    """Concurrency contract of the shared cache (the analysis service
+    holds ONE process-wide instance under a threading HTTP server).
+
+    N threads hammering lookup/store concurrently must never corrupt
+    the LRU order, the entry map, the byte accounting, or the stats
+    tallies — and the final :class:`CacheStats` must equal the merge
+    of the per-thread deltas each thread observed locally.
+    """
+
+    N_THREADS = 8
+    ROUNDS = 60
+
+    @staticmethod
+    def _operands(n_pairs: int, seed: int = 7):
+        rng = np.random.default_rng(seed)
+        pairs = []
+        for i in range(n_pairs):
+            a = DiscretePDF(2.0, i, rng.random(6) + 1e-3)
+            b = DiscretePDF(2.0, -i, rng.random(5) + 1e-3)
+            pairs.append((a, b))
+        return pairs
+
+    def _hammer(self, cache, capacity_note, n_pairs):
+        """Run the stress loop; return per-thread observed deltas."""
+        import threading
+
+        backend = get_backend("direct")
+        pairs = self._operands(n_pairs)
+        barrier = threading.Barrier(self.N_THREADS)
+        deltas = []
+        errors = []
+
+        def worker(tid: int):
+            local = CacheStats()
+            try:
+                barrier.wait()
+                for r in range(self.ROUNDS):
+                    # Each thread walks the pair list at its own phase
+                    # so lookups and stores interleave heavily.
+                    for j in range(len(pairs)):
+                        a, b = pairs[(j + tid * 3 + r) % len(pairs)]
+                        hit = cache.lookup_convolve(a, b, 1e-9, backend)
+                        if hit is not None:
+                            local.record(hits=1)
+                        else:
+                            local.record(misses=1)
+                            res = convolve(a, b, trim_eps=1e-9,
+                                           backend=backend)
+                            cache.store_convolve(
+                                a, b, 1e-9, backend,
+                                res.masses.copy(), res,
+                            )
+            except BaseException as exc:  # pragma: no cover - fail loud
+                errors.append((tid, exc))
+            deltas.append(local)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,))
+            for t in range(self.N_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, f"worker raised under {capacity_note}: {errors}"
+        return deltas
+
+    def test_stats_equal_merged_thread_deltas_ample_capacity(self):
+        cache = ConvolutionCache(1 << 12)
+        deltas = self._hammer(cache, "ample capacity", n_pairs=24)
+        merged = CacheStats()
+        for d in deltas:
+            merged.merge(d)
+        assert cache.stats.requests == self.N_THREADS * self.ROUNDS * 24
+        assert (cache.stats.hits, cache.stats.misses) == (
+            merged.hits, merged.misses,
+        )
+        # Ample capacity: nothing was ever evicted, and every distinct
+        # pair is resident exactly once.
+        assert cache.stats.evictions == 0
+        assert len(cache) == 24
+
+    def test_lru_and_bytes_stay_consistent_under_churn(self):
+        capacity = 8
+        cache = ConvolutionCache(capacity)
+        deltas = self._hammer(cache, "churn capacity", n_pairs=24)
+        merged = CacheStats()
+        for d in deltas:
+            merged.merge(d)
+        # Tallies still merge exactly even while evicting constantly.
+        assert (cache.stats.hits, cache.stats.misses) == (
+            merged.hits, merged.misses,
+        )
+        assert cache.stats.requests == merged.requests
+        # The LRU invariants survived: bounded, uncorrupted, and the
+        # running byte tally equals a fresh walk of the entries.
+        assert len(cache) <= capacity
+        entries = list(cache._entries.items())
+        assert len(entries) == len(cache)
+        from repro.dist.cache import _entry_nbytes
+
+        assert cache.approx_bytes == sum(
+            _entry_nbytes(e) for _k, e in entries
+        )
+        # Every resident entry still replays bitwise.
+        backend = get_backend("direct")
+        for a, b in self._operands(24):
+            hit = cache.lookup_convolve(a, b, 1e-9, backend)
+            if hit is not None:
+                fresh = convolve(a, b, trim_eps=1e-9, backend=backend)
+                assert hit.offset == fresh.offset
+                assert np.array_equal(hit.masses, fresh.masses)
+
+    def test_concurrent_mixed_kind_requests(self):
+        """ADD, MAX, node, and gap entries share one locked LRU."""
+        import threading
+
+        cache = ConvolutionCache(1 << 10)
+        backend = get_backend("direct")
+        pairs = self._operands(12)
+        barrier = threading.Barrier(4)
+        errors = []
+
+        def adds():
+            try:
+                barrier.wait()
+                for _ in range(40):
+                    for a, b in pairs:
+                        if cache.lookup_convolve(a, b, 1e-9, backend) is None:
+                            r = convolve(a, b, trim_eps=1e-9, backend=backend)
+                            cache.store_convolve(a, b, 1e-9, backend,
+                                                 r.masses.copy(), r)
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def maxes():
+            try:
+                barrier.wait()
+                for _ in range(40):
+                    for a, b in pairs:
+                        if cache.lookup_max([a, b], 1e-9) is None:
+                            r = stat_max_many([a, b], trim_eps=1e-9)
+                            cache.store_max([a, b], 1e-9,
+                                            r.masses.copy(), r)
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def gaps():
+            try:
+                barrier.wait()
+                for _ in range(40):
+                    for a, b in pairs:
+                        if cache.lookup_gap(a, b) is None:
+                            cache.store_gap(a, b, 0.25)
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def evictor():
+            try:
+                barrier.wait()
+                for _ in range(40):
+                    cache.evict_to_bytes(max(0, cache.approx_bytes - 4096))
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=f)
+                   for f in (adds, maxes, gaps, evictor)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        snap_hits, snap_misses, snap_evictions = cache.stats.snapshot()
+        assert snap_hits + snap_misses == cache.stats.requests
+        assert snap_evictions >= 0
+        assert len(cache) <= cache.capacity
+
+
+class TestByteBudget:
+    def test_approx_bytes_tracks_entries(self):
+        cache = ConvolutionCache(64)
+        assert cache.approx_bytes == 0
+        a = DiscretePDF(2.0, 0, np.ones(8))
+        b = DiscretePDF(2.0, 1, np.ones(4))
+        r = convolve(a, b, trim_eps=1e-9, backend="direct")
+        cache.store_convolve(a, b, 1e-9, get_backend("direct"),
+                             r.masses.copy(), r)
+        one = cache.approx_bytes
+        assert one > 0
+        cache.clear()
+        assert cache.approx_bytes == 0
+        assert len(cache) == 0
+
+    def test_evict_to_bytes_drops_lru_first(self):
+        backend = get_backend("direct")
+        cache = ConvolutionCache(64)
+        rng = np.random.default_rng(3)
+        pairs = []
+        for i in range(6):
+            a = DiscretePDF(2.0, i, rng.random(8) + 1e-3)
+            b = DiscretePDF(2.0, 2 * i, rng.random(8) + 1e-3)
+            r = convolve(a, b, trim_eps=1e-9, backend=backend)
+            cache.store_convolve(a, b, 1e-9, backend, r.masses.copy(), r)
+            pairs.append((a, b))
+        full = cache.approx_bytes
+        evicted = cache.evict_to_bytes(full // 2)
+        assert evicted > 0
+        assert cache.approx_bytes <= full // 2
+        assert cache.stats.evictions == evicted
+        # The survivors are the most recently used (the last stores).
+        hits = [
+            cache.lookup_convolve(a, b, 1e-9, backend) is not None
+            for a, b in pairs
+        ]
+        assert hits == sorted(hits)  # False... then True...
+        assert any(hits) and not all(hits)
+
+    def test_evict_to_zero_and_negative_budget(self):
+        backend = get_backend("direct")
+        cache = ConvolutionCache(8)
+        a = DiscretePDF(2.0, 0, np.ones(4))
+        b = DiscretePDF(2.0, 0, np.ones(3))
+        r = convolve(a, b, trim_eps=1e-9, backend=backend)
+        cache.store_convolve(a, b, 1e-9, backend, r.masses.copy(), r)
+        assert cache.evict_to_bytes(0) == 1
+        assert len(cache) == 0
+        with pytest.raises(DistributionError, match="budget"):
+            cache.evict_to_bytes(-1)
+
+    def test_snapshot_load_restores_byte_accounting(self, tmp_path):
+        backend = get_backend("direct")
+        cache = ConvolutionCache(8)
+        a = DiscretePDF(2.0, 0, np.ones(4))
+        b = DiscretePDF(2.0, 0, np.ones(3))
+        r = convolve(a, b, trim_eps=1e-9, backend=backend)
+        cache.store_convolve(a, b, 1e-9, backend, r.masses.copy(), r)
+        path = tmp_path / "snap.cache"
+        cache.save(path)
+        loaded = ConvolutionCache.load(path)
+        assert loaded.approx_bytes == cache.approx_bytes

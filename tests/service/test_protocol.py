@@ -1,0 +1,101 @@
+"""Wire-codec tests: every round trip must be bitwise faithful."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import AnalysisConfig
+from repro.core.pruned_sizer import PrunedStatisticalSizer
+from repro.dist.families import truncated_gaussian_pdf
+from repro.dist.pdf import DiscretePDF
+from repro.errors import ServiceError
+from repro.netlist.bench import C17_BENCH, parse_bench
+from repro.service.protocol import (
+    pdf_from_wire,
+    pdf_to_wire,
+    sizing_result_from_wire,
+    sizing_result_to_wire,
+)
+
+FAST = AnalysisConfig(dt=8.0, delta_w=1.0)
+
+
+def _round_trip_json(payload):
+    """The wire dict must survive real JSON text, not just dict copies."""
+    return json.loads(json.dumps(payload))
+
+
+class TestPdfRoundTrip:
+    def test_bitwise_round_trip(self):
+        pdf = truncated_gaussian_pdf(0.7, 100.0, 7.3)
+        back = pdf_from_wire(_round_trip_json(pdf_to_wire(pdf)))
+        assert back.dt == pdf.dt
+        assert back.offset == pdf.offset
+        assert np.array_equal(
+            np.asarray(back.masses), np.asarray(pdf.masses)
+        )
+
+    def test_derived_statistics_identical(self):
+        pdf = truncated_gaussian_pdf(1.0, 250.0, 12.0)
+        back = pdf_from_wire(_round_trip_json(pdf_to_wire(pdf)))
+        for p in (0.01, 0.5, 0.9, 0.99):
+            assert back.percentile(p) == pdf.percentile(p)
+        assert back.mean() == pdf.mean()
+        assert back.std() == pdf.std()
+
+    def test_awkward_float_masses_survive(self):
+        # Masses deliberately not summing to one bit-exactly: the
+        # decode path must not renormalize.
+        masses = np.array([0.1, 0.2, 0.30000000000000004, 0.4 - 1e-17])
+        pdf = DiscretePDF(1.0, -3, masses / masses.sum())
+        raw = np.asarray(pdf.masses).copy()
+        back = pdf_from_wire(_round_trip_json(pdf_to_wire(pdf)))
+        assert np.array_equal(np.asarray(back.masses), raw)
+        assert back.offset == -3
+
+    @pytest.mark.parametrize("payload", [
+        {},
+        {"dt": 1.0, "offset": 0},
+        {"dt": 1.0, "offset": 0, "masses_b64": "###"},
+        {"dt": 1.0, "offset": 0, "masses_b64": ""},
+        {"dt": "x", "offset": 0, "masses_b64": "AAAAAAAA8D8="},
+        # 7 bytes: not a whole number of float64s
+        {"dt": 1.0, "offset": 0, "masses_b64": "AAAAAAAA8A=="},
+    ])
+    def test_malformed_payload_raises_service_error(self, payload):
+        with pytest.raises(ServiceError):
+            pdf_from_wire(payload)
+
+
+class TestSizingResultRoundTrip:
+    @pytest.fixture(scope="class")
+    def result(self):
+        circuit = parse_bench(C17_BENCH, name="c17")
+        return PrunedStatisticalSizer(
+            circuit, config=FAST, max_iterations=3
+        ).run()
+
+    def test_round_trip_equals_original(self, result):
+        back = sizing_result_from_wire(
+            _round_trip_json(sizing_result_to_wire(result))
+        )
+        assert back == result
+
+    def test_round_trip_preserves_derived_metrics(self, result):
+        back = sizing_result_from_wire(
+            _round_trip_json(sizing_result_to_wire(result))
+        )
+        assert back.cache_hits == result.cache_hits
+        assert back.cache_hit_rate == result.cache_hit_rate
+        assert back.improvement_percent == result.improvement_percent
+        assert back.n_iterations == result.n_iterations
+        assert [s.stats for s in back.steps] == [
+            s.stats for s in result.steps
+        ]
+
+    def test_malformed_payload_raises_service_error(self, result):
+        wire = sizing_result_to_wire(result)
+        del wire["steps"]
+        with pytest.raises(ServiceError):
+            sizing_result_from_wire(wire)

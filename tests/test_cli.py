@@ -1,5 +1,7 @@
 """Tests for the repro-ssta command-line interface."""
 
+import threading
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -132,6 +134,54 @@ class TestCommands:
 
         assert hit_rate(second) > hit_rate(first)
 
+    def test_optimize_cache_file_accumulates_entries(self, tmp_path, capsys):
+        """The snapshot is re-saved after every run: the second run's
+        saved entry count can only grow (append-on-exit semantics)."""
+        snap = tmp_path / "c17.cache"
+
+        def saved(text):
+            (line,) = [
+                ln for ln in text.splitlines()
+                if "cache entries saved" in ln
+            ]
+            return int(line.split("|")[-1])
+
+        assert main(["optimize", "c17", "-n", "2",
+                     "--cache-file", str(snap)]) == 0
+        first = saved(capsys.readouterr().out)
+        assert first > 0
+
+        assert main(["optimize", "c17", "-n", "4",
+                     "--cache-file", str(snap)]) == 0
+        second_out = capsys.readouterr().out
+        assert "cache entries saved" in second_out  # re-saved, not just loaded
+        assert saved(second_out) >= first
+
+    def test_optimize_cache_file_saved_even_when_run_raises(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """A crashed run must still snapshot its warm state."""
+        import repro.cli as cli_mod
+
+        class ExplodingSizer(cli_mod.PrunedStatisticalSizer):
+            def run(self):
+                # Do real kernel work first so the cache has entries.
+                super().run()
+                raise RuntimeError("boom after real work")
+
+        monkeypatch.setattr(
+            cli_mod, "PrunedStatisticalSizer", ExplodingSizer
+        )
+        snap = tmp_path / "crash.cache"
+        with pytest.raises(RuntimeError, match="boom"):
+            main(["optimize", "c17", "-n", "2",
+                  "--cache-file", str(snap)])
+        assert snap.exists()
+
+        from repro.dist.cache import ConvolutionCache
+
+        assert len(ConvolutionCache.load(snap)) > 0
+
     def test_figure2_runs(self, capsys):
         assert main(["figure2", "c432", "--iterations", "2"]) == 0
         assert "Figure 2" in capsys.readouterr().out
@@ -166,3 +216,91 @@ class TestYieldAndExport:
         out = capsys.readouterr().out
         assert "corner best/typ/worst" in out
         assert "pessimism" in out
+
+
+@pytest.fixture
+def service_url():
+    """An in-process analysis server for exercising the client verbs
+    (the serve verb's own lifecycle is covered in tests/service/)."""
+    from repro.config import DEFAULT_CONFIG
+    from repro.service import ServiceState, start_server
+
+    # Default grid so service-side numbers are comparable with the
+    # local `analyze` output (c17 keeps this fast).
+    state = ServiceState(config=DEFAULT_CONFIG)
+    server = start_server(state)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server.url
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+class TestClientCommands:
+    def test_client_analyze(self, service_url, capsys):
+        assert main(["client", "--url", service_url,
+                     "analyze", "c17"]) == 0
+        out = capsys.readouterr().out
+        assert "Timing summary (service)" in out
+        assert "SSTA 99% bound" in out
+        assert "server cache hit rate" in out
+
+    def test_client_analyze_matches_local_numbers(self, service_url,
+                                                  capsys):
+        """The service and the local path print byte-identical SSTA
+        statistics (shared rows of the two summary tables)."""
+        assert main(["client", "--url", service_url,
+                     "analyze", "c17"]) == 0
+        remote = capsys.readouterr().out
+        assert main(["analyze", "c17", "--mc-samples", "200"]) == 0
+        local = capsys.readouterr().out
+
+        def rows(text, labels):
+            picked = {}
+            for line in text.splitlines():
+                for label in labels:
+                    if label in line:
+                        picked[label] = line.split("|")[-1].strip()
+            return picked
+
+        labels = ["STA delay", "SSTA mean", "SSTA sigma",
+                  "SSTA 99% bound"]
+        assert rows(remote, labels) == rows(local, labels)
+
+    def test_client_optimize(self, service_url, capsys):
+        assert main(["client", "--url", service_url, "optimize",
+                     "c17", "-n", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "sizing (service)" in out
+        assert "final 99-percentile delay" in out
+
+    def test_client_yield(self, service_url, capsys):
+        assert main(["client", "--url", service_url, "yield",
+                     "c17", "--target", "290"]) == 0
+        out = capsys.readouterr().out
+        assert "Timing yield (service)" in out
+        assert "yield curve" in out
+
+    def test_client_stats(self, service_url, capsys):
+        assert main(["client", "--url", service_url,
+                     "analyze", "c17"]) == 0
+        capsys.readouterr()
+        assert main(["client", "--url", service_url, "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "Service statistics" in out
+        assert "cache hit rate" in out
+        assert "request latency" in out
+
+    def test_client_unreachable_server(self):
+        from repro.errors import ServiceError
+
+        with pytest.raises(ServiceError, match="cannot reach"):
+            main(["client", "--url", "http://127.0.0.1:1",
+                  "stats"])
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8731
+        assert args.cache_file is None
+        assert args.func.__name__ == "cmd_serve"
