@@ -28,7 +28,12 @@ violation):
   promise — any inequality at all fails the gate);
 * the c432 sink under ``jobs=2`` (sharded-parallel execution) is
   **bitwise identical** to the serial sink and reproduces the golden
-  percentiles — the execution-plan layer's promise;
+  percentiles, under **both** operand transports (the shared-memory
+  arena, dispatch forced, and the pickle wire format) — the
+  execution-plan layer's promise;
+* the arena payload gate: with dispatch forced, shm shard payloads
+  pickle to <10% of the pickle transport's bytes on c432 (index
+  tuples, not mass vectors, cross the process boundary);
 * the quick c17 sizer run serves at least ``--min-hit-rate`` of its
   kernel requests from the cache — a silently broken cache key fails
   the build instead of quietly recomputing everything.
@@ -258,6 +263,50 @@ def _bench_sizers(quick: bool) -> dict:
     return out
 
 
+def _audit_payload(circuit_name: str) -> dict:
+    """Per-level wire-payload accounting for one ``run_ssta`` pass at
+    ``jobs=2`` under each transport, with dispatch *forced* (the shm
+    cost gate zeroed) so every level crosses the process boundary:
+    pickled shard bytes, shard and dispatch counts, and the shm
+    reduction factor the arena buys over the pickle wire format."""
+    from repro.exec import get_executor
+    from repro.netlist.benchmarks import load
+    from repro.timing.delay_model import DelayModel
+    from repro.timing.graph import TimingGraph
+    from repro.timing.ssta import run_ssta
+
+    audit = {}
+    for transport in ("shm", "pickle"):
+        ex = get_executor(2, transport)
+        saved = ex.min_dispatch_cost_us
+        ex.min_dispatch_cost_us = 0.0
+        ex.payload_audit = True
+        ex.payload_bytes = ex.payload_shards = ex.dispatches = 0
+        try:
+            cfg = AnalysisConfig(jobs=2, transport=transport)
+            circuit = load(circuit_name)
+            model = DelayModel(circuit, config=cfg)
+            run_ssta(TimingGraph(circuit), model, config=cfg)
+            audit[transport] = {
+                "payload_bytes": ex.payload_bytes,
+                "shards": ex.payload_shards,
+                "dispatched_levels": ex.dispatches,
+                "bytes_per_level": round(
+                    ex.payload_bytes / max(1, ex.dispatches), 1
+                ),
+            }
+        finally:
+            ex.payload_audit = False
+            ex.min_dispatch_cost_us = saved
+    shm_b = audit["shm"]["payload_bytes"]
+    pkl_b = audit["pickle"]["payload_bytes"]
+    audit["shm_reduction_x"] = round(pkl_b / max(1, shm_b), 2)
+    print(f"payload {circuit_name}  shm={shm_b} B  pickle={pkl_b} B  "
+          f"({audit['shm_reduction_x']:.1f}x smaller, "
+          f"{audit['shm']['dispatched_levels']} dispatched levels)")
+    return audit
+
+
 def _bench_levels(quick: bool) -> dict:
     """Level-batched vs sequential propagation.
 
@@ -297,49 +346,80 @@ def _bench_levels(quick: bool) -> dict:
                   f"batched={row['batched_ms']:8.2f} ms  "
                   f"({row['speedup']:.2f}x)")
         out["run_ssta"][circuit_name] = per_backend
-    # Sharded-parallel execution: full run_ssta per jobs count.  The
-    # numbers are honest about pool overhead — on few-core machines
-    # (or default-grid operands, where a whole level's kernel work is
-    # a couple of milliseconds) the per-level IPC round trip dominates
-    # and jobs > 1 *loses*; sharding pays when per-level kernel work
-    # dominates the payload pickling, i.e. wide levels on fine grids
-    # with real cores to spread across.  Bitwise equality against
-    # jobs=1 is asserted here and gated in --check-drift.
+    # Sharded-parallel execution: full run_ssta per jobs count under
+    # both operand transports.  The wall-clock numbers are honest
+    # about this machine: with the default dispatch cost gate the shm
+    # plan folds cheap default-grid levels inline (a whole ISCAS level
+    # is well under the ~1 ms worker round trip), so jobs > 1 tracks
+    # serial (~1.0x) instead of losing to IPC latency; the pickle rows
+    # keep the ungated PR-5 behaviour for reference.  The payload rows
+    # (dispatch *forced*) record what each level actually ships across
+    # the process boundary — the multi-core projection: once per-level
+    # kernel work exceeds the round trip (fine grids, wide levels),
+    # speedup is bounded by level width and cores, not payload bytes,
+    # because index tuples are ~20x smaller than pickled mass vectors.
+    # Bitwise equality against jobs=1 is asserted here for every
+    # (transport, jobs) plan and gated again in --check-drift.
     import os
 
     from repro.exec import shutdown_executors
 
-    out["parallel"] = {"cpu_count": os.cpu_count()}
+    out["parallel"] = {
+        "cpu_count": os.cpu_count(),
+        "note": (
+            "1-CPU container: the default dispatch cost gate folds "
+            "default-grid levels inline, so shm jobs>1 tracks serial "
+            "(~1.0x +/- timing noise) while the ungated pickle rows "
+            "keep paying full IPC. Multi-core projection: the gate "
+            "opens on fine-grid/wide levels (>~5 ms kernel work per "
+            "level); with index-tuple payloads ~20x smaller than "
+            "pickled vectors (payload rows below, dispatch forced), "
+            "speedup there is bounded by level width and cores, not "
+            "serialization."
+        ),
+    }
     for circuit_name in ["c17"] if quick else ["c432", "c880"]:
         row = {}
-        sinks = {}
-        for jobs in (1, 2, 4):
-            cfg = AnalysisConfig(jobs=jobs)
-            circuit = load(circuit_name)
-            graph = TimingGraph(circuit)
-            model = DelayModel(circuit, config=cfg)
-            # Warm the pool (spawn cost is a one-time tax, not a
-            # per-pass cost) before timing.
-            sinks[jobs] = run_ssta(graph, model, config=cfg).sink_pdf
-            t = _time_op(lambda: run_ssta(graph, model, config=cfg),
-                         min_repeats=3, min_seconds=0.2)
-            row[f"jobs{jobs}_ms"] = round(t * 1e3, 3)
-        for jobs in (2, 4):
-            if (sinks[jobs].offset != sinks[1].offset
-                    or not np.array_equal(sinks[jobs].masses,
-                                          sinks[1].masses)):
-                raise SystemExit(
-                    f"parallel jobs={jobs} sink diverged from serial on "
-                    f"{circuit_name}"
+        cfg1 = AnalysisConfig(jobs=1)
+        circuit = load(circuit_name)
+        graph = TimingGraph(circuit)
+        model = DelayModel(circuit, config=cfg1)
+        serial_sink = run_ssta(graph, model, config=cfg1).sink_pdf
+        t = _time_op(lambda: run_ssta(graph, model, config=cfg1),
+                     min_repeats=3, min_seconds=0.2)
+        row["jobs1_ms"] = round(t * 1e3, 3)
+        for transport in ("shm", "pickle"):
+            trow = {}
+            for jobs in (2, 4):
+                cfg = AnalysisConfig(jobs=jobs, transport=transport)
+                circuit = load(circuit_name)
+                graph = TimingGraph(circuit)
+                model = DelayModel(circuit, config=cfg)
+                # Warm the pool (spawn cost is a one-time tax, not a
+                # per-pass cost) before timing.
+                sink = run_ssta(graph, model, config=cfg).sink_pdf
+                if (sink.offset != serial_sink.offset
+                        or not np.array_equal(sink.masses,
+                                              serial_sink.masses)):
+                    raise SystemExit(
+                        f"parallel {transport} jobs={jobs} sink diverged "
+                        f"from serial on {circuit_name}"
+                    )
+                t = _time_op(lambda: run_ssta(graph, model, config=cfg),
+                             min_repeats=3, min_seconds=0.2)
+                trow[f"jobs{jobs}_ms"] = round(t * 1e3, 3)
+                trow[f"jobs{jobs}_speedup"] = round(
+                    row["jobs1_ms"] / trow[f"jobs{jobs}_ms"], 3
                 )
-            row[f"jobs{jobs}_speedup"] = round(
-                row["jobs1_ms"] / row[f"jobs{jobs}_ms"], 3
-            )
+            row[transport] = trow
+            print(f"parallel {circuit_name} [{transport:6s}]  "
+                  f"jobs1={row['jobs1_ms']:8.2f} ms  "
+                  f"jobs2={trow['jobs2_ms']:8.2f} ms "
+                  f"({trow['jobs2_speedup']:.2f}x)  "
+                  f"jobs4={trow['jobs4_ms']:8.2f} ms "
+                  f"({trow['jobs4_speedup']:.2f}x)")
+        row["payload"] = _audit_payload(circuit_name)
         out["parallel"][circuit_name] = row
-        print(f"parallel {circuit_name}  "
-              f"jobs1={row['jobs1_ms']:8.2f} ms  "
-              f"jobs2={row['jobs2_ms']:8.2f} ms ({row['jobs2_speedup']:.2f}x)  "
-              f"jobs4={row['jobs4_ms']:8.2f} ms ({row['jobs4_speedup']:.2f}x)")
     shutdown_executors()
     for circuit_name, iters in (
         [("c17", 6)] if quick else [("c432", 8), ("c880", 4)]
@@ -704,43 +784,67 @@ def _check_drift(bin_counts, min_hit_rate: float) -> list:
                     (f"c17-level-batch-{backend}-cache-{label}", 1.0)
                 )
 
-    # Sharded-parallel vs serial: the c432 golden check under jobs=2 —
-    # the sink must be bitwise the serial one AND reproduce the golden
+    # Sharded-parallel vs serial: the c432 golden check under jobs=2
+    # for BOTH operand transports (the shared-memory arena with its
+    # cost gate forced open, and the pickle wire format) — each sink
+    # must be bitwise the serial one AND reproduce the golden
     # percentiles recorded in tests/timing/golden/c432.json.  Any
     # inequality at all fails the gate (the execution plan promises
     # exact equivalence, not closeness).
+    from repro.exec import get_executor, shutdown_executors
+
     golden = json.loads(
         (REPO_ROOT / "tests" / "timing" / "golden" / "c432.json").read_text()
     )
-    pair = {}
-    for jobs in (1, 2):
-        cfg = AnalysisConfig(jobs=jobs)
-        circuit = load("c432")
-        model = DelayModel(circuit, config=cfg)
-        pair[jobs] = run_ssta(TimingGraph(circuit), model,
-                              config=cfg).sink_pdf
-    bitwise = (
-        pair[1].offset == pair[2].offset
-        and np.array_equal(pair[1].masses, pair[2].masses)
-    )
-    golden_ok = all(
-        abs(pair[2].percentile(p) - golden[key]) <= DRIFT_TOL_PS
-        for p, key in ((0.5, "p50"), (0.9, "p90"), (0.99, "p99"))
-    )
-    report.append({
-        "circuit": "c432",
-        "jobs": 2,
-        "parallel_serial_bitwise": bitwise,
-        "parallel_matches_golden": golden_ok,
-    })
-    print(f"drift c432 parallel/serial [jobs=2]  bitwise={bitwise}  "
-          f"golden={golden_ok}")
-    if not bitwise:
-        failures.append(("c432-parallel-jobs2-bitwise", 1.0))
-    if not golden_ok:
-        failures.append(("c432-parallel-jobs2-golden", 1.0))
-    from repro.exec import shutdown_executors
+    cfg = AnalysisConfig(jobs=1)
+    circuit = load("c432")
+    model = DelayModel(circuit, config=cfg)
+    serial_sink = run_ssta(TimingGraph(circuit), model, config=cfg).sink_pdf
+    for transport in ("shm", "pickle"):
+        ex = get_executor(2, transport)
+        saved_gate = ex.min_dispatch_cost_us
+        ex.min_dispatch_cost_us = 0.0
+        try:
+            cfg = AnalysisConfig(jobs=2, transport=transport)
+            circuit = load("c432")
+            model = DelayModel(circuit, config=cfg)
+            sink = run_ssta(TimingGraph(circuit), model,
+                            config=cfg).sink_pdf
+        finally:
+            ex.min_dispatch_cost_us = saved_gate
+        bitwise = (
+            serial_sink.offset == sink.offset
+            and np.array_equal(serial_sink.masses, sink.masses)
+        )
+        golden_ok = all(
+            abs(sink.percentile(p) - golden[key]) <= DRIFT_TOL_PS
+            for p, key in ((0.5, "p50"), (0.9, "p90"), (0.99, "p99"))
+        )
+        report.append({
+            "circuit": "c432",
+            "jobs": 2,
+            "transport": transport,
+            "parallel_serial_bitwise": bitwise,
+            "parallel_matches_golden": golden_ok,
+        })
+        print(f"drift c432 parallel/serial [jobs=2 {transport:6s}]  "
+              f"bitwise={bitwise}  golden={golden_ok}")
+        if not bitwise:
+            failures.append((f"c432-parallel-jobs2-{transport}-bitwise", 1.0))
+        if not golden_ok:
+            failures.append((f"c432-parallel-jobs2-{transport}-golden", 1.0))
 
+    # Arena payload gate: with dispatch forced, the shm transport's
+    # per-level shard payloads must pickle to <10% of the pickle
+    # transport's bytes (measured ~18x smaller on c432; the gate
+    # catches a regression to shipping vectors instead of refs).
+    payload = _audit_payload("c432")
+    report.append({"circuit": "c432", "payload": payload})
+    if payload["shm"]["payload_bytes"] * 10 \
+            > payload["pickle"]["payload_bytes"]:
+        failures.append(
+            ("c432-shm-payload-ratio", payload["shm_reduction_x"])
+        )
     shutdown_executors()
 
     # Minimum hit rate on the quick sizer benchmark: a silently broken
@@ -808,8 +912,10 @@ def main(argv=None) -> int:
                              "any batched-vs-sequential sink inequality "
                              "(exact, per backend, cache on/off), any "
                              "c432 jobs=2 parallel-vs-serial sink "
-                             "inequality, or a quick-sizer cache hit "
-                             "rate below --min-hit-rate")
+                             "inequality (shm and pickle transports), "
+                             "an shm payload above 10%% of pickle's, "
+                             "or a quick-sizer cache hit rate below "
+                             "--min-hit-rate")
     parser.add_argument("--min-hit-rate", type=float,
                         default=DEFAULT_MIN_HIT_RATE,
                         help="minimum cache hit rate the quick sizer "

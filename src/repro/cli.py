@@ -28,7 +28,7 @@ import sys
 from typing import List, Optional
 
 from . import __version__
-from .config import DEFAULT_CONFIG
+from .config import DEFAULT_CONFIG, DEFAULT_TRANSPORT, KNOWN_TRANSPORTS
 from .core.deterministic_sizer import DeterministicSizer
 from .core.pruned_sizer import PrunedStatisticalSizer
 from .dist.cache import ConvolutionCache, DEFAULT_CACHE_CAPACITY
@@ -75,6 +75,9 @@ def _analysis_config(args: argparse.Namespace):
     jobs = getattr(args, "jobs", 1)
     if jobs != 1:
         config = config.with_updates(jobs=jobs)
+    transport = getattr(args, "transport", None)
+    if transport is not None and transport != config.transport:
+        config = config.with_updates(transport=transport)
     return config
 
 
@@ -153,6 +156,22 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         if cache_path.exists():
             cache_obj = ConvolutionCache.load(cache_path, capacity=args.cache)
             rows.append(("cache entries loaded", len(cache_obj)))
+            if config.jobs > 1:
+                # Route the snapshot through the operand arena: loaded
+                # results are the warm run's first operands, so
+                # publishing them now means parallel shards reference
+                # them as index tuples from level one instead of
+                # re-pickling the snapshot's vectors into every
+                # worker.  Purely a transport optimization — hit rate
+                # and results are jobs- and transport-invariant.
+                from .exec import get_executor
+
+                executor = get_executor(config.jobs, config.transport)
+                preload = getattr(executor, "preload_operands", None)
+                if preload is not None:
+                    preloaded = preload(cache_obj.content_arrays())
+                    if preloaded:
+                        rows.append(("cache entries preloaded", preloaded))
         else:
             cache_obj = ConvolutionCache(args.cache)
         config = config.with_updates(cache=cache_obj)
@@ -413,6 +432,15 @@ def _add_level_batch_flag(parser: argparse.ArgumentParser) -> None:
                              "kernel batches (1 = in-process; parallel "
                              "results are bitwise identical to serial — "
                              "the knob changes wall-clock cost only)")
+    parser.add_argument("--transport", choices=list(KNOWN_TRANSPORTS),
+                        default=DEFAULT_TRANSPORT, metavar="T",
+                        help="operand transport for --jobs > 1: 'shm' "
+                             "(default) publishes operands once into a "
+                             "shared-memory arena and ships index "
+                             "tuples; 'pickle' ships full vectors per "
+                             "shard (escape hatch for platforms "
+                             "without POSIX shared memory; results are "
+                             "bitwise identical either way)")
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -51,6 +51,18 @@ KNOWN_BACKENDS: tuple = ("direct", "fft", "auto")
 #: while 8k-bin grids stop paying the O(n^2) wall.
 DEFAULT_BACKEND: str = "auto"
 
+#: Operand-transport names an :class:`AnalysisConfig` may select for
+#: parallel execution (inert at ``jobs=1``).  ``shm`` ships shard
+#: payloads as index tuples into a shared-memory operand arena
+#: (:mod:`repro.exec.arena`) and is the default; ``pickle`` ships full
+#: operand vectors per shard — the PR-5 wire format, kept as the
+#: fallback for platforms without POSIX shared memory and as the
+#: differential reference the shm transport is tested against.
+KNOWN_TRANSPORTS: tuple = ("shm", "pickle")
+
+#: Default operand transport for ``jobs > 1``.
+DEFAULT_TRANSPORT: str = "shm"
+
 #: Hard cap on the number of bins a single distribution may occupy; a
 #: guard against pathological configurations (dt too small for the
 #: circuit depth), not a tuning knob.
@@ -96,6 +108,14 @@ class AnalysisConfig:
     suite and the CI drift gate.  Level batching is a prerequisite:
     with ``level_batch=False`` there are no batches to shard and the
     knob is inert.
+
+    ``transport`` selects how operands reach the worker processes when
+    ``jobs > 1`` (inert otherwise): ``"shm"`` (the default) publishes
+    mass vectors into a content-keyed shared-memory arena and ships
+    shard payloads as index tuples; ``"pickle"`` ships the full
+    vectors per shard.  Like every other execution knob it changes
+    cost, never answers — both transports are locked bitwise to the
+    serial plan by the arena differential suite and the CI drift gate.
     """
 
     dt: float = DEFAULT_DT_PS
@@ -108,6 +128,7 @@ class AnalysisConfig:
     cache: object = None
     level_batch: bool = True
     jobs: int = 1
+    transport: str = DEFAULT_TRANSPORT
 
     def __post_init__(self) -> None:
         if self.dt <= 0.0:
@@ -143,6 +164,11 @@ class AnalysisConfig:
         ):
             raise ValueError(
                 f"jobs must be an int >= 1, got {self.jobs!r}"
+            )
+        if self.transport not in KNOWN_TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {KNOWN_TRANSPORTS}, "
+                f"got {self.transport!r}"
             )
         if self.cache is not None:
             # Lazy import: repro.dist imports this module for the grid

@@ -145,7 +145,7 @@ class PerturbationFront:
         # are usually narrow (a cone cut), so the plan's small-batch
         # fold-down matters more here than raw parallel width.
         self._executor = (
-            get_executor(model.config.jobs)
+            get_executor(model.config.jobs, model.config.transport)
             if model.config.level_batch else None
         )
 

@@ -108,6 +108,13 @@ def _fingerprint(arr: np.ndarray) -> bytes:
     return digest
 
 
+#: Public name for the content digest: the shared-memory operand
+#: arena (:mod:`repro.exec.arena`) keys published vectors by exactly
+#: the digest the cache keys results by, so "same content" means the
+#: same thing on both sides of the process boundary.
+content_fingerprint = _fingerprint
+
+
 def _pdf_fingerprint(pdf: DiscretePDF) -> bytes:
     """Fingerprint of a distribution's mass vector, cached on the
     (immutable) instance.  Key construction runs several times per
@@ -711,6 +718,22 @@ class ConvolutionCache:
             if evicted:
                 self.stats.record(evictions=evicted)
         return evicted
+
+    def content_arrays(self) -> list:
+        """Distinct result mass vectors currently resident, one per
+        content digest.  This is what a warm start publishes into the
+        shared-memory operand arena: cached results become the next
+        levels' operands, so pre-publishing them means a warm parallel
+        run ships index tuples from its very first level instead of
+        re-pickling the snapshot's vectors into every worker."""
+        with self._lock:
+            entries = list(self._entries.values())
+        seen: dict = {}
+        for entry in entries:
+            if isinstance(entry.result, DiscretePDF):
+                arr = entry.result.masses
+                seen.setdefault(_fingerprint(arr), arr)
+        return list(seen.values())
 
     def clear(self) -> None:
         """Drop every entry (stats are kept; see ``stats.reset()``)."""

@@ -137,6 +137,27 @@ class DiscretePDF:
         return self
 
     @classmethod
+    def _from_view(
+        cls, dt: float, offset: int, masses: np.ndarray
+    ) -> "DiscretePDF":
+        """Zero-copy constructor over an externally owned buffer.
+
+        The shared-memory transport reconstructs operand PDFs in
+        worker processes directly over arena segments: ``masses`` is a
+        read-only float64 view of bytes that *are* the coordinator
+        instance's mass vector, so no validation, normalization, or
+        copy may run — this is bit for bit the ``__setstate__`` path a
+        pickled instance takes, minus the pickle.  Callers guarantee
+        the view is 1-D float64, already marked non-writeable, and
+        outlived by its backing mapping.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "dt", dt)
+        object.__setattr__(self, "offset", int(offset))
+        object.__setattr__(self, "masses", masses)
+        return self
+
+    @classmethod
     def delta(cls, dt: float, time: float) -> "DiscretePDF":
         """Point mass at the grid bin nearest ``time``."""
         if dt <= 0.0:

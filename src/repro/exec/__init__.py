@@ -45,18 +45,40 @@ from .executor import (
     get_executor,
     shutdown_executors,
 )
-from .plan import ConvolveBatch, MaxBatch, shard_ranges
+from .plan import (
+    ConvolveBatch,
+    ConvolveBatchRefs,
+    MaxBatch,
+    MaxBatchRefs,
+    shard_ranges,
+)
+
+#: Names the arena module provides; re-exported lazily alongside
+#: ProcessExecutor so serial runs never import shared_memory.
+_ARENA_EXPORTS = (
+    "OperandArena",
+    "ArenaClient",
+    "arena_client",
+    "shm_available",
+    "live_arena_stats",
+    "unlink_all_arenas",
+)
 
 
 def __getattr__(name: str):
-    # ProcessExecutor re-exports lazily (PEP 562): the pool module
-    # drags in multiprocessing/concurrent.futures, which serial runs —
-    # and every spawn worker's own library import — should not pay
-    # for.  ``get_executor(jobs > 1)`` imports it on first need.
+    # ProcessExecutor and the arena names re-export lazily (PEP 562):
+    # the pool/arena modules drag in multiprocessing/concurrent.futures
+    # /shared_memory, which serial runs — and every spawn worker's own
+    # library import — should not pay for.  ``get_executor(jobs > 1)``
+    # imports them on first need.
     if name == "ProcessExecutor":
         from .pool import ProcessExecutor
 
         return ProcessExecutor
+    if name in _ARENA_EXPORTS:
+        from . import arena
+
+        return getattr(arena, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -65,8 +87,16 @@ __all__ = [
     "SerialExecutor",
     "SERIAL_EXECUTOR",
     "ProcessExecutor",
+    "OperandArena",
+    "ArenaClient",
+    "arena_client",
+    "shm_available",
+    "live_arena_stats",
+    "unlink_all_arenas",
     "ConvolveBatch",
+    "ConvolveBatchRefs",
     "MaxBatch",
+    "MaxBatchRefs",
     "shard_ranges",
     "get_executor",
     "shutdown_executors",

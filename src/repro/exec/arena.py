@@ -1,0 +1,468 @@
+"""Shared-memory operand arena: zero-copy transport for kernel batches.
+
+Mass vectors are immutable and content-addressed (the convolution
+cache already keys them by SHA-1), so the coordinator never needs to
+*copy* an operand to a worker — it needs to publish the bytes once and
+ship a name.  The arena is that publication channel:
+
+* the **coordinator** owns an :class:`OperandArena`: named
+  ``multiprocessing.shared_memory`` slabs into which it appends each
+  distinct operand vector exactly once per epoch, keyed by content
+  fingerprint.  Publishing returns :data:`ArenaRef` index tuples —
+  ``(segment_name, generation, byte_offset, n_elems)`` — which is all
+  a shard payload carries across the process boundary;
+* each **worker** holds an :class:`ArenaClient`: a process-resident
+  read-through view of everything the coordinator has published.  The
+  client attaches segments by name on first reference, materializes
+  read-only float64 views directly over the mapped buffer (zero copy,
+  no allocation), and memoizes both the views and the
+  :class:`~repro.dist.pdf.DiscretePDF` wrappers built from them — so a
+  delay PDF referenced on every level costs one page mapping for the
+  life of the pool, and per-instance memos (``_unit_cdf``) stay warm
+  across batches.
+
+Lifecycle discipline
+--------------------
+The arena is bounded by a byte budget.  Reclaiming space can never be
+allowed to unmap a segment a worker is still reading, so eviction is
+**epochal** and **pin-aware**:
+
+* every segment name and every ref carries the arena's *generation*;
+  a 16-byte header (magic + generation) is stamped into each slab so
+  an attaching client can verify it is mapping what the ref promised.
+  A mismatch — a stale ref after an epoch turn, a corrupted header —
+  raises :class:`~repro.errors.DistributionError` rather than ever
+  returning wrong bytes;
+* a batch in flight holds a *pin* (see :meth:`OperandArena.pinned`).
+  ``publish`` starts a new epoch — bump the generation, unlink every
+  slab, forget the index — only when no pin other than the caller's
+  own is active; otherwise the reset is deferred and the budget is
+  allowed to overshoot until the in-flight batches drain.  Unlinking
+  removes the *name*; workers still mapping an old slab keep valid
+  pages until they drop them (clients drop all state from older
+  generations the moment a newer ref arrives);
+* teardown is resource-tracker clean: the creating process unlinks
+  every slab on :meth:`OperandArena.close` (reached via the executor's
+  ``close``, :func:`~repro.exec.executor.shutdown_executors`, and the
+  module ``atexit`` sweep of :data:`_LIVE_ARENAS`).  Workers are spawn
+  children sharing the coordinator's resource-tracker process, so
+  their attach registrations collapse into the creator's (set
+  semantics) and the single unlink leaves the tracker with nothing to
+  warn about — no leaked-segment stderr noise from any exit path.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import struct
+import threading
+import weakref
+from contextlib import contextmanager
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..dist.cache import content_fingerprint
+from ..dist.pdf import DiscretePDF
+from ..errors import DistributionError
+
+try:  # pragma: no cover - import guard for exotic platforms
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover
+    _shm = None
+
+__all__ = [
+    "OperandArena",
+    "ArenaClient",
+    "arena_client",
+    "shm_available",
+    "live_arena_stats",
+    "unlink_all_arenas",
+]
+
+#: One ref = ``(segment_name, generation, byte_offset, n_elems)``.
+ArenaRef = Tuple[str, int, int, int]
+
+#: Slab header: 8-byte magic + little-endian u64 generation.
+_MAGIC = b"RPRARNA1"
+_HEADER = struct.Struct("<8sQ")
+HEADER_BYTES = _HEADER.size
+
+#: Default slab allocation unit.  Slabs are appended as needed; a
+#: single oversized vector gets a slab of its own size.
+DEFAULT_SLAB_BYTES = 4 << 20
+
+#: Soft byte budget per arena.  Crossing it triggers an epoch turn on
+#: the next publish that holds the only pin; a single batch larger
+#: than the budget is still published whole (the budget bounds steady
+#: state, not one batch).
+DEFAULT_BUDGET_BYTES = 64 << 20
+
+#: Live arenas created by this process, swept by ``atexit`` (and by
+#: the service's SIGTERM drain) so an abandoned executor can never
+#: leave named segments behind.
+_LIVE_ARENAS: "weakref.WeakSet[OperandArena]" = weakref.WeakSet()
+
+_shm_probe_result: Optional[bool] = None
+
+
+def shm_available() -> bool:
+    """Can this platform create a POSIX shared-memory segment?
+
+    Probed once per process (create + unlink of a minimal segment).  A
+    False verdict makes the shm transport degrade to pickle up front.
+    """
+    global _shm_probe_result
+    if _shm_probe_result is None:
+        if _shm is None:
+            _shm_probe_result = False
+        else:
+            try:
+                seg = _shm.SharedMemory(create=True, size=16)
+                seg.close()
+                seg.unlink()
+                _shm_probe_result = True
+            except (OSError, ValueError):
+                _shm_probe_result = False
+    return _shm_probe_result
+
+
+class OperandArena:
+    """Coordinator-owned shared-memory store of operand vectors.
+
+    Thread-safe: the service front runs analyses from handler threads
+    that share one executor, so publish/pin/reset all serialize on one
+    mutex.  All published vectors are float64 and 8-byte aligned.
+    """
+
+    def __init__(
+        self,
+        *,
+        slab_bytes: int = DEFAULT_SLAB_BYTES,
+        budget_bytes: int = DEFAULT_BUDGET_BYTES,
+    ) -> None:
+        if _shm is None or not shm_available():
+            raise DistributionError(
+                "shared memory is not available on this platform"
+            )
+        self._slab_bytes = int(slab_bytes)
+        self._budget_bytes = int(budget_bytes)
+        self._prefix = f"rpa-{os.getpid():x}-{os.urandom(4).hex()}"
+        self._lock = threading.Lock()
+        self._slabs: List = []  # SharedMemory, creation order
+        self._tail_used = 0  # bytes used in the last slab (incl. header)
+        self._index: Dict[bytes, ArenaRef] = {}
+        self._used_bytes = 0  # payload bytes across all slabs
+        self.generation = 1
+        self._pins: set = set()
+        self._pin_seq = 0
+        self._reset_pending = False
+        self._closed = False
+        _LIVE_ARENAS.add(self)
+
+    # ------------------------------------------------------------------
+    # Introspection (leak tests, service stats)
+    # ------------------------------------------------------------------
+    @property
+    def live_bytes(self) -> int:
+        """Published payload bytes currently held in named segments."""
+        with self._lock:
+            return self._used_bytes
+
+    @property
+    def segment_names(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(s.name for s in self._slabs)
+
+    @property
+    def entries(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    # ------------------------------------------------------------------
+    # Pinning: a batch in flight defers epoch turns
+    # ------------------------------------------------------------------
+    @contextmanager
+    def pinned(self):
+        """Hold a pin for the duration of one publish+dispatch cycle.
+
+        Yields a token; passing it to :meth:`publish` marks the
+        caller's own pin as safe to reset over (its refs are not in
+        flight yet).  Pins from *other* threads defer any epoch turn.
+        """
+        with self._lock:
+            self._pin_seq += 1
+            token = self._pin_seq
+            self._pins.add(token)
+        try:
+            yield token
+        finally:
+            with self._lock:
+                self._pins.discard(token)
+
+    # ------------------------------------------------------------------
+    # Publication
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        arrays: Sequence[np.ndarray],
+        *,
+        token: Optional[int] = None,
+    ) -> List[ArenaRef]:
+        """Ensure every vector is resident; return one ref per input.
+
+        Content-deduplicated: a vector already published in the
+        current epoch returns its existing ref.  All refs returned by
+        one call belong to one generation — if an epoch turn is
+        needed (budget crossed, or one was deferred by pins), it
+        happens *before* any vector is written, never between two.
+        """
+        with self._lock:
+            if self._closed:
+                raise DistributionError("operand arena is closed")
+            digests = [content_fingerprint(a) for a in arrays]
+            fresh: Dict[bytes, np.ndarray] = {}
+            for d, a in zip(digests, arrays):
+                if d not in self._index and d not in fresh:
+                    fresh[d] = a
+            need = sum(8 * a.size for a in fresh.values())
+            over = self._used_bytes + need > self._budget_bytes
+            if (over or self._reset_pending) and self._used_bytes:
+                if self._pins <= ({token} if token is not None else set()):
+                    self._reset_locked()
+                    # The index is gone: every vector is fresh again.
+                    fresh = {}
+                    for d, a in zip(digests, arrays):
+                        if d not in fresh:
+                            fresh[d] = a
+                    need = sum(8 * a.size for a in fresh.values())
+                else:
+                    self._reset_pending = True
+            for d, a in fresh.items():
+                self._index[d] = self._append_locked(a)
+            return [self._index[d] for d in digests]
+
+    def _append_locked(self, arr: np.ndarray) -> ArenaRef:
+        nbytes = 8 * arr.size
+        if not self._slabs or self._tail_used + nbytes > self._slabs[-1].size:
+            self._new_slab_locked(nbytes)
+        slab = self._slabs[-1]
+        off = self._tail_used
+        slab.buf[off : off + nbytes] = np.ascontiguousarray(
+            arr, dtype=np.float64
+        ).tobytes()
+        self._tail_used = off + nbytes
+        self._used_bytes += nbytes
+        return (slab.name, self.generation, off, int(arr.size))
+
+    def _new_slab_locked(self, min_payload: int) -> None:
+        size = max(self._slab_bytes, HEADER_BYTES + min_payload)
+        name = f"{self._prefix}-g{self.generation}-s{len(self._slabs)}"
+        slab = _shm.SharedMemory(name=name, create=True, size=size)
+        slab.buf[:HEADER_BYTES] = _HEADER.pack(_MAGIC, self.generation)
+        self._slabs.append(slab)
+        # Alignment: the header is 16 bytes and every vector a multiple
+        # of 8, so offsets stay 8-byte aligned without padding.
+        self._tail_used = HEADER_BYTES
+
+    # ------------------------------------------------------------------
+    # Epoch turns and teardown
+    # ------------------------------------------------------------------
+    def _reset_locked(self) -> None:
+        for slab in self._slabs:
+            slab.close()
+            try:
+                slab.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._slabs = []
+        self._index = {}
+        self._tail_used = 0
+        self._used_bytes = 0
+        self._reset_pending = False
+        self.generation += 1
+
+    def reset(self) -> None:
+        """Force an epoch turn (testing hook; publish triggers its own)."""
+        with self._lock:
+            self._reset_locked()
+
+    def close(self) -> None:
+        """Unlink every slab and refuse further publication (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._reset_locked()
+            self._closed = True
+        _LIVE_ARENAS.discard(self)
+
+
+class ArenaClient:
+    """Process-resident read-through view of published operands.
+
+    One per worker process (see :func:`arena_client`); also usable
+    in-process for tests.  Attachments, array views, and DiscretePDF
+    wrappers are memoized by ref — the worker-resident half of the
+    zero-copy contract.  All state from generations older than the
+    newest one seen (per arena prefix) is dropped eagerly, and a ref
+    *older* than that generation is refused with
+    :class:`~repro.errors.DistributionError`: a stale ref means the
+    coordinator reclaimed those bytes, and serving it would risk a
+    silently wrong answer.
+    """
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, object] = {}
+        self._views: Dict[ArenaRef, np.ndarray] = {}
+        self._pdfs: Dict[tuple, DiscretePDF] = {}
+        self._gens: Dict[str, int] = {}  # arena prefix -> newest seen
+
+    @staticmethod
+    def _arena_prefix(name: str) -> str:
+        return name.rsplit("-g", 1)[0]
+
+    def _check_generation(self, name: str, gen: int) -> None:
+        prefix = self._arena_prefix(name)
+        seen = self._gens.get(prefix, 0)
+        if gen < seen:
+            raise DistributionError(
+                f"stale arena ref: generation {gen} of {prefix!r} was "
+                f"superseded by {seen} (the coordinator reclaimed it)"
+            )
+        if gen > seen:
+            self._drop_arena(prefix)
+            self._gens[prefix] = gen
+
+    def _drop_arena(self, prefix: str) -> None:
+        self._views = {
+            r: v for r, v in self._views.items()
+            if self._arena_prefix(r[0]) != prefix
+        }
+        self._pdfs = {
+            k: p for k, p in self._pdfs.items()
+            if self._arena_prefix(k[0][0]) != prefix
+        }
+        for name in [n for n in self._segments if
+                     self._arena_prefix(n) == prefix]:
+            seg = self._segments.pop(name)
+            try:
+                seg.close()
+            except BufferError:  # pragma: no cover - a view still lives
+                pass  # dropped from the memos; freed with the process
+
+    def _attach(self, name: str, gen: int):
+        seg = self._segments.get(name)
+        if seg is None:
+            if _shm is None:
+                raise DistributionError("shared memory is not available")
+            try:
+                # Attaching registers the name with the resource
+                # tracker exactly as creation does (until 3.13's
+                # ``track=False``).  Workers are spawn children that
+                # *share* the coordinator's tracker process, and its
+                # per-type cache is a set — so the attach registration
+                # is an idempotent no-op, and the coordinator's single
+                # unlink at close leaves the tracker clean.  An
+                # explicit unregister here would instead remove the
+                # creator's registration out from under it.
+                seg = _shm.SharedMemory(name=name)
+            except FileNotFoundError as exc:
+                raise DistributionError(
+                    f"arena segment {name!r} has vanished (stale ref or "
+                    f"coordinator teardown)"
+                ) from exc
+            try:
+                magic, header_gen = _HEADER.unpack(
+                    bytes(seg.buf[:HEADER_BYTES])
+                )
+            except struct.error as exc:  # pragma: no cover - tiny segment
+                seg.close()
+                raise DistributionError(
+                    f"arena segment {name!r} is too small for its header"
+                ) from exc
+            if magic != _MAGIC or header_gen != gen:
+                seg.close()
+                raise DistributionError(
+                    f"arena segment {name!r} failed validation: header "
+                    f"{(magic, header_gen)!r} does not match the ref "
+                    f"generation {gen} (corrupt or stale arena)"
+                )
+            self._segments[name] = seg
+        return seg
+
+    def view(self, ref: ArenaRef) -> np.ndarray:
+        """Read-only float64 view over the referenced bytes (zero copy)."""
+        arr = self._views.get(ref)
+        if arr is not None:
+            return arr
+        name, gen, off, n = ref
+        self._check_generation(name, gen)
+        seg = self._attach(name, gen)
+        if off < HEADER_BYTES or off + 8 * n > len(seg.buf):
+            raise DistributionError(
+                f"arena ref {ref!r} is out of bounds for segment "
+                f"{name!r} ({len(seg.buf)} bytes)"
+            )
+        arr = np.frombuffer(seg.buf, dtype=np.float64, count=n, offset=off)
+        arr.flags.writeable = False
+        self._views[ref] = arr
+        return arr
+
+    def pdf(self, dt: float, offset: int, ref: ArenaRef) -> DiscretePDF:
+        """Zero-copy :class:`DiscretePDF` over an arena view.
+
+        Memoized per ``(ref, dt, offset)`` so per-instance numeric
+        memos (``_unit_cdf`` above all) survive across batches — the
+        worker-resident mirror of the coordinator's cache locality.
+        """
+        key = (ref, dt, offset)
+        pdf = self._pdfs.get(key)
+        if pdf is None:
+            pdf = DiscretePDF._from_view(dt, offset, self.view(ref))
+            self._pdfs[key] = pdf
+        return pdf
+
+    def clear(self) -> None:
+        """Drop every attachment and memo (testing hook)."""
+        self._views = {}
+        self._pdfs = {}
+        self._gens = {}
+        for seg in self._segments.values():
+            try:
+                seg.close()
+            except BufferError:  # pragma: no cover
+                pass
+        self._segments = {}
+
+
+_CLIENT: Optional[ArenaClient] = None
+
+
+def arena_client() -> ArenaClient:
+    """The process-wide :class:`ArenaClient` (one per worker process)."""
+    global _CLIENT
+    if _CLIENT is None:
+        _CLIENT = ArenaClient()
+    return _CLIENT
+
+
+def live_arena_stats() -> dict:
+    """Aggregate accounting over this process's live arenas."""
+    arenas = list(_LIVE_ARENAS)
+    return {
+        "arenas": len(arenas),
+        "segments": sum(len(a.segment_names) for a in arenas),
+        "bytes": sum(a.live_bytes for a in arenas),
+    }
+
+
+def unlink_all_arenas() -> None:
+    """Close (and unlink) every live arena.  Idempotent; wired into
+    ``atexit`` here and into the service's SIGTERM drain, so named
+    segments never outlive the coordinating process."""
+    for arena in list(_LIVE_ARENAS):
+        arena.close()
+
+
+atexit.register(unlink_all_arenas)

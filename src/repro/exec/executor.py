@@ -107,42 +107,50 @@ class SerialExecutor(Executor):
 #: Shared serial plan — stateless, so one instance serves everyone.
 SERIAL_EXECUTOR = SerialExecutor()
 
-#: Live executors by jobs count (1 maps to the serial singleton; each
-#: N > 1 owns one persistent worker pool).
-_EXECUTORS: Dict[int, Executor] = {1: SERIAL_EXECUTOR}
+#: Live pooled executors keyed by ``(jobs, transport)`` — each key
+#: owns one persistent worker pool (and, for the shm transport, one
+#: operand arena).  ``jobs=1`` resolves to the serial singleton
+#: without touching the registry.
+_EXECUTORS: Dict[tuple, Executor] = {}
 
 
-def get_executor(jobs: int) -> Executor:
-    """Resolve a jobs count to the shared executor running that plan.
+def get_executor(jobs: int, transport: str = "shm") -> Executor:
+    """Resolve ``(jobs, transport)`` to the shared executor running
+    that plan.
 
-    ``jobs=1`` returns the serial singleton; ``jobs=N`` returns the
-    process executor owning the persistent N-worker pool, creating it
-    on first request (the pool itself spawns lazily on first dispatch).
+    ``jobs=1`` returns the serial singleton (the transport is inert —
+    there is no process boundary to move operands across); ``jobs=N``
+    returns the process executor owning the persistent N-worker pool
+    for that transport, creating it on first request (the pool itself
+    spawns lazily on first dispatch).
     """
     if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
         raise ValueError(f"jobs must be an int >= 1, got {jobs!r}")
-    executor = _EXECUTORS.get(jobs)
+    if jobs == 1:
+        return SERIAL_EXECUTOR
+    key = (jobs, transport)
+    executor = _EXECUTORS.get(key)
     if executor is None:
         from .pool import ProcessExecutor
 
-        executor = ProcessExecutor(jobs)
-        _EXECUTORS[jobs] = executor
+        executor = ProcessExecutor(jobs, transport=transport)
+        _EXECUTORS[key] = executor
     return executor
 
 
 def shutdown_executors() -> None:
-    """Close every pooled executor's worker pool.  The executor
-    instances stay registered — engines resolve and hold executors by
-    reference (a :class:`~repro.core.perturbation.PerturbationFront`
-    keeps its plan from construction), so dropping them here would
-    let a stale reference respawn an *untracked* pool beside a fresh
-    registry one.  Keeping the instances makes ``get_executor`` a
-    stable singleton per jobs count: a post-shutdown dispatch respawns
-    the one tracked pool, which the next shutdown reaches again.  Safe
-    to call repeatedly."""
-    for jobs, executor in _EXECUTORS.items():
-        if jobs != 1:
-            executor.close()
+    """Close every pooled executor's worker pool and unlink its
+    operand arena.  The executor instances stay registered — engines
+    resolve and hold executors by reference (a
+    :class:`~repro.core.perturbation.PerturbationFront` keeps its plan
+    from construction), so dropping them here would let a stale
+    reference respawn an *untracked* pool beside a fresh registry one.
+    Keeping the instances makes ``get_executor`` a stable singleton
+    per ``(jobs, transport)``: a post-shutdown dispatch respawns the
+    one tracked pool, which the next shutdown reaches again.  Safe to
+    call repeatedly."""
+    for executor in _EXECUTORS.values():
+        executor.close()
 
 
 atexit.register(shutdown_executors)

@@ -3,12 +3,20 @@
 Everything crossing the process boundary is defined here, so the wire
 contract is auditable in one place:
 
-* **operands** travel as plain NumPy mass vectors (ADD) or
-  memo-stripped :class:`~repro.dist.pdf.DiscretePDF` instances (MAX) —
-  the PDF's ``__getstate__`` ships only ``(dt, offset, masses)``, so a
-  level shard's payload is a few hundred bytes per operand and pickle's
-  object memo deduplicates the heavily shared ones (every gate's delay
-  PDF, an arrival feeding several fan-in lists) automatically;
+* **operands** travel one of two ways.  Under the default ``shm``
+  transport they do not travel at all: the payload carries arena
+  *refs* — ``(segment, generation, offset, length)`` index tuples
+  (plus ``(dt, offset)`` grid context for MAX operands; see
+  :class:`~repro.exec.plan.ConvolveBatchRefs` /
+  :class:`~repro.exec.plan.MaxBatchRefs`) — and the bytes themselves
+  live in shared-memory segments the workers map once
+  (:mod:`repro.exec.arena`).  Under the ``pickle`` fallback they
+  travel as plain NumPy mass vectors (ADD) or memo-stripped
+  :class:`~repro.dist.pdf.DiscretePDF` instances (MAX) — the PDF's
+  ``__getstate__`` ships only ``(dt, offset, masses)``, so a level
+  shard's payload is a few hundred bytes per operand and pickle's
+  object memo deduplicates the heavily shared ones (every gate's
+  delay PDF, an arrival feeding several fan-in lists) automatically;
 * **results** travel as a :class:`ShardResult`: the shard's raw kernel
   outputs in item order plus the shard's
   :class:`~repro.dist.ops.OpCounter` delta.  Raw outputs are

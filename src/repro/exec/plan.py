@@ -25,7 +25,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
-__all__ = ["ConvolveBatch", "MaxBatch", "shard_ranges"]
+__all__ = [
+    "ConvolveBatch",
+    "MaxBatch",
+    "ConvolveBatchRefs",
+    "MaxBatchRefs",
+    "shard_ranges",
+]
 
 #: Smallest shard worth a worker round trip.  Below this, the pickle +
 #: queue cost per item exceeds the kernel cost of typical default-grid
@@ -54,6 +60,38 @@ class MaxBatch:
     :class:`~repro.dist.pdf.DiscretePDF` operands (offsets matter —
     the CDF product runs on the union grid).  The independence MAX is
     backend-invariant, so no kernel context is needed."""
+
+    groups: tuple
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+
+@dataclass(frozen=True)
+class ConvolveBatchRefs:
+    """ADD work by reference: ``pairs[i]`` is an ``(ref_a, ref_b)``
+    tuple of arena refs (see :mod:`repro.exec.arena`) naming the two
+    operand mass vectors by content.  The payload carries no vector
+    bytes at all — a worker resolves each ref to a zero-copy read-only
+    view over the shared-memory segment and computes exactly what the
+    equivalent :class:`ConvolveBatch` would."""
+
+    backend_name: str
+    pairs: tuple
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+
+@dataclass(frozen=True)
+class MaxBatchRefs:
+    """MAX work by reference: ``groups[i]`` is a tuple of
+    ``(dt, offset, ref)`` operand descriptors — the grid spacing and
+    integer bin offset that, together with the arena-resident mass
+    vector, define each :class:`~repro.dist.pdf.DiscretePDF` operand.
+    Workers rebuild the PDFs as zero-copy views
+    (:meth:`~repro.dist.pdf.DiscretePDF._from_view`), so a group's
+    union-grid geometry is bit for bit the :class:`MaxBatch` one."""
 
     groups: tuple
 

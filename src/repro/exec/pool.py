@@ -12,6 +12,21 @@ process.  Spawn start-up costs a few hundred milliseconds per worker
 :func:`~repro.exec.executor.get_executor`) instead of being rebuilt
 per pass.
 
+Two operand transports ship the shard payloads:
+
+* ``shm`` (the default): operand vectors are published once into a
+  content-keyed shared-memory arena (:mod:`repro.exec.arena`) and the
+  payload carries ``(segment, generation, offset, length)`` index
+  tuples; workers resolve them to zero-copy read-only views.  Because
+  shipping is nearly free, dispatch is additionally gated by a cost
+  model (:attr:`ProcessExecutor.min_dispatch_cost_us`): a batch whose
+  estimated in-process kernel time is below the worker round-trip
+  cost runs inline — same bits, no pointless IPC;
+* ``pickle``: the PR-5 wire format — full mass vectors per shard.
+  Kept as the automatic fallback where POSIX shared memory is missing
+  (or fails mid-run) and as the differential reference the arena
+  transport is tested against.
+
 Correctness notes:
 
 * only **registry** backends are shipped (by name — resolution inside
@@ -24,33 +39,90 @@ Correctness notes:
   coordinator state is touched, so a worker failure surfaces before a
   half-merged batch exists.  A broken pool (a killed worker) downgrades
   the batch to in-process execution — bitwise the same results — and
-  latches the executor serial for its lifetime (an explicit
-  :meth:`ProcessExecutor.close` clears the latch), so a sick
-  environment pays one spawn/crash cycle, not one per level;
+  latches the executor serial for its lifetime with the arena fully
+  unlinked (an explicit :meth:`ProcessExecutor.close` clears the
+  latch), so a sick environment pays one spawn/crash cycle, not one
+  per level;
 * batches smaller than one worthwhile shard skip IPC entirely and run
-  in-process (same bits, no round trip).
+  in-process (same bits, no round trip);
+* a stale or corrupt arena ref in a worker raises
+  :class:`~repro.errors.DistributionError` through the future — a
+  loud failure, never a silently wrong answer.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import sys
 from concurrent.futures import ProcessPoolExecutor as _Pool
 from concurrent.futures.process import BrokenProcessPool
 from typing import Optional
 
+from ..config import DEFAULT_TRANSPORT, KNOWN_TRANSPORTS
 from ..dist.backends import (
     available_backends,
     get_backend,
     is_registry_backend,
 )
 from ..dist.ops import OpCounter, convolve_batch_raws, max_batch_raws
+from .arena import OperandArena, arena_client, shm_available
 from .executor import Executor, SERIAL_EXECUTOR
 from .ipc import ShardResult
-from .plan import MIN_ITEMS_PER_SHARD, ConvolveBatch, MaxBatch, shard_ranges
+from .plan import (
+    MIN_ITEMS_PER_SHARD,
+    ConvolveBatch,
+    ConvolveBatchRefs,
+    MaxBatch,
+    MaxBatchRefs,
+    shard_ranges,
+)
 
-__all__ = ["ProcessExecutor"]
+__all__ = ["ProcessExecutor", "SHM_MIN_DISPATCH_COST_US"]
+
+#: Estimated in-process kernel cost (microseconds) below which an shm
+#: batch is not worth a worker round trip.  With index-tuple payloads
+#: the round trip is all latency — future submission, queue wakeups,
+#: result pickling — which costs on the order of a millisecond per
+#: shard, so at jobs=2 a dispatch only wins once the kernel work it
+#: parallelizes exceeds roughly *twice* the round trip (the saved half
+#: must beat the latency).  5 ms is that break-even with margin:
+#: default-grid ISCAS levels (hundreds of ~33-bin operations at most,
+#: a couple of milliseconds of kernel time) run inline and jobs>1
+#: tracks serial on any core count, while fine-grid levels (thousands
+#: of bins per operand, tens of milliseconds per level) clear the gate
+#: and amortize the latency many times over.  Mutable per executor
+#: (``min_dispatch_cost_us``); the test tier and the payload
+#: benchmarks set it to 0 to force every batch across the process
+#: boundary.
+SHM_MIN_DISPATCH_COST_US: float = 5000.0
+
+#: Cost-model constants: fixed per-item overhead (a NumPy kernel call)
+#: and per-multiply-add throughput, both in microseconds.  Calibrated
+#: only coarsely — the gate needs the right order of magnitude, not
+#: the right microsecond — against the BENCH kernel rows (33-bin
+#: direct convolve ≈ 12 µs).
+_ITEM_OVERHEAD_US = 12.0
+_MACS_PER_US = 1000.0
+
+
+def _convolve_cost_us(pairs) -> float:
+    """Estimated in-process cost of an ADD batch, in microseconds."""
+    return sum(
+        _ITEM_OVERHEAD_US + (a.size * b.size) / _MACS_PER_US
+        for a, b in pairs
+    )
+
+
+def _max_cost_us(groups) -> float:
+    """Estimated in-process cost of a MAX batch, in microseconds."""
+    total = 0.0
+    for g in groups:
+        lo = min(p.offset for p in g)
+        hi = max(p.offset + p.n_bins for p in g)
+        total += _ITEM_OVERHEAD_US + len(g) * (hi - lo) / _MACS_PER_US
+    return total
 
 
 def _worker_init(backend_names: tuple) -> None:
@@ -62,16 +134,42 @@ def _worker_init(backend_names: tuple) -> None:
 
 
 def _run_convolve_shard(batch: ConvolveBatch) -> ShardResult:
-    """Worker entry point for one ADD shard (module-level so the spawn
-    pickle can address it by qualified name)."""
+    """Worker entry point for one pickle-transport ADD shard
+    (module-level so the spawn pickle can address it by qualified
+    name)."""
     kernel = get_backend(batch.backend_name)
     raws = convolve_batch_raws(kernel, batch.pairs)
     return ShardResult(raws, OpCounter(convolutions=len(raws)))
 
 
 def _run_max_shard(batch: MaxBatch) -> ShardResult:
-    """Worker entry point for one MAX shard."""
+    """Worker entry point for one pickle-transport MAX shard."""
     outs = max_batch_raws(batch.groups)
+    return ShardResult(
+        outs, OpCounter(max_ops=sum(len(g) - 1 for g in batch.groups))
+    )
+
+
+def _run_convolve_shard_refs(batch: ConvolveBatchRefs) -> ShardResult:
+    """Worker entry point for one shm-transport ADD shard: resolve
+    every ref to a zero-copy arena view, then compute exactly the
+    pickle shard's raws."""
+    client = arena_client()
+    kernel = get_backend(batch.backend_name)
+    pairs = [(client.view(ra), client.view(rb)) for ra, rb in batch.pairs]
+    raws = convolve_batch_raws(kernel, pairs)
+    return ShardResult(raws, OpCounter(convolutions=len(raws)))
+
+
+def _run_max_shard_refs(batch: MaxBatchRefs) -> ShardResult:
+    """Worker entry point for one shm-transport MAX shard: rebuild
+    each operand as a memoized zero-copy :class:`DiscretePDF` view."""
+    client = arena_client()
+    groups = [
+        tuple(client.pdf(dt, off, ref) for dt, off, ref in g)
+        for g in batch.groups
+    ]
+    outs = max_batch_raws(groups)
     return ShardResult(
         outs, OpCounter(max_ops=sum(len(g) - 1 for g in batch.groups))
     )
@@ -104,10 +202,13 @@ class ProcessExecutor(Executor):
     """Execution plan backed by a persistent ``jobs``-worker pool.
 
     Construction is cheap; the pool itself spawns lazily on the first
-    dispatched shard and persists until :meth:`close`.  Every batch is
-    bitwise-equivalent to the serial plan — sharding only re-partitions
-    work whose items are independent and whose batched kernels are
-    verified partition-invariant (see the package docstring).
+    dispatched shard (and, for the shm transport, the operand arena is
+    created alongside it) and persists until :meth:`close`.  Every
+    batch is bitwise-equivalent to the serial plan — sharding only
+    re-partitions work whose items are independent and whose batched
+    kernels are verified partition-invariant (see the package
+    docstring), and the transport only changes how operand bytes reach
+    the worker, never which bytes.
     """
 
     def __init__(
@@ -115,14 +216,31 @@ class ProcessExecutor(Executor):
         jobs: int,
         *,
         min_items_per_shard: int = MIN_ITEMS_PER_SHARD,
+        transport: str = DEFAULT_TRANSPORT,
+        min_dispatch_cost_us: Optional[float] = None,
     ) -> None:
         if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 2:
             raise ValueError(
                 f"ProcessExecutor needs jobs >= 2, got {jobs!r}"
             )
+        if transport not in KNOWN_TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {KNOWN_TRANSPORTS}, "
+                f"got {transport!r}"
+            )
         self.jobs = jobs
         self.min_items_per_shard = min_items_per_shard
+        self.transport = transport
+        #: Dispatch gate for the shm transport (µs of estimated kernel
+        #: time); mutable so benchmarks and the differential tier can
+        #: force every batch across the process boundary with 0.
+        self.min_dispatch_cost_us = (
+            SHM_MIN_DISPATCH_COST_US
+            if min_dispatch_cost_us is None
+            else float(min_dispatch_cost_us)
+        )
         self._pool: Optional[_Pool] = None
+        self._arena: Optional[OperandArena] = None
         # Evaluated once per executor: __main__ importability cannot
         # change after interpreter start.
         self._spawn_ok = _spawn_main_importable()
@@ -131,9 +249,21 @@ class ProcessExecutor(Executor):
         # pool spawn/crash cycle per batch.  One failed attempt per
         # executor lifetime; everything after runs in-process.
         self._broken = False
+        # Latched when shared memory fails at runtime (segment
+        # creation denied, /dev/shm exhausted): payloads fall back to
+        # the pickle wire format — same bits, fatter shards.
+        self._shm_broken = not shm_available()
+        #: Wire-payload accounting, populated only when
+        #: ``payload_audit`` is set (the payload benchmark does):
+        #: pickled bytes of every dispatched shard, shard count, and
+        #: dispatch count.
+        self.payload_audit = False
+        self.payload_bytes = 0
+        self.payload_shards = 0
+        self.dispatches = 0
 
     # ------------------------------------------------------------------
-    # Pool lifecycle
+    # Pool / arena lifecycle
     # ------------------------------------------------------------------
     def _ensure_pool(self) -> _Pool:
         if self._pool is None:
@@ -145,25 +275,74 @@ class ProcessExecutor(Executor):
             )
         return self._pool
 
+    def _ensure_arena(self) -> OperandArena:
+        if self._arena is None:
+            self._arena = OperandArena()
+        return self._arena
+
+    @property
+    def arena(self) -> Optional[OperandArena]:
+        """The live operand arena, if the shm transport created one."""
+        return self._arena
+
+    def _use_shm(self) -> bool:
+        return self.transport == "shm" and not self._shm_broken
+
     def close(self) -> None:
-        """Shut the pool down (idempotent).  It respawns on next use —
-        and an explicit close also clears the broken latch, so a
-        caller that fixed its environment can retry parallel
-        execution."""
+        """Shut the pool down and unlink the arena (idempotent).  Both
+        respawn on next use — and an explicit close also clears the
+        broken latches, so a caller that fixed its environment can
+        retry parallel execution."""
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
         self._broken = False
+        self._shm_broken = not shm_available()
 
     def _mark_broken(self) -> None:
-        """A worker died mid-batch: drop the pool and stop attempting
-        parallel dispatch for this executor's lifetime (serial results
-        are bitwise the same; respawning per batch would turn a sick
-        environment into a per-level spawn/crash cycle)."""
+        """A worker died mid-batch: drop the pool, unlink the arena,
+        and stop attempting parallel dispatch for this executor's
+        lifetime (serial results are bitwise the same; respawning per
+        batch would turn a sick environment into a per-level
+        spawn/crash cycle, and a latched-serial executor must not keep
+        named segments resident)."""
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
         self._broken = True
+
+    # ------------------------------------------------------------------
+    # Warm-start support
+    # ------------------------------------------------------------------
+    def preload_operands(self, arrays) -> int:
+        """Publish operand vectors into the arena ahead of dispatch.
+
+        Used by ``--cache-file`` warm starts: a loaded snapshot's
+        result vectors are the operands of the coming run's first
+        levels, so publishing them up front means warm shards ship
+        index tuples immediately.  Returns the number of vectors
+        handed to the arena (0 when the shm transport is unavailable —
+        preloading is purely an optimization, never a correctness
+        step)."""
+        if self._broken or not self._use_shm():
+            return 0
+        arrays = list(arrays)
+        if not arrays:
+            return 0
+        try:
+            arena = self._ensure_arena()
+            with arena.pinned() as token:
+                arena.publish(arrays, token=token)
+        except OSError:
+            self._shm_broken = True
+            return 0
+        return len(arrays)
 
     # ------------------------------------------------------------------
     # Batch execution
@@ -173,6 +352,13 @@ class ProcessExecutor(Executor):
         outputs concatenated in shard (= item) order, counter deltas
         summed.  Collection completes before any merge, so a raised
         shard leaves the coordinator untouched."""
+        if self.payload_audit:
+            self.payload_bytes += sum(
+                len(pickle.dumps(s, pickle.HIGHEST_PROTOCOL))
+                for s in shards
+            )
+            self.payload_shards += len(shards)
+            self.dispatches += 1
         pool = self._ensure_pool()
         futures = [pool.submit(worker, shard) for shard in shards]
         results = [f.result() for f in futures]
@@ -195,6 +381,39 @@ class ProcessExecutor(Executor):
                 kernel, pairs, counter=counter
             )
         name = kernel.name
+        if self._use_shm():
+            if _convolve_cost_us(pairs) < self.min_dispatch_cost_us:
+                return SERIAL_EXECUTOR.run_convolve_batch(
+                    kernel, pairs, counter=counter
+                )
+            try:
+                arena = self._ensure_arena()
+                with arena.pinned() as token:
+                    flat = [m for pair in pairs for m in pair]
+                    refs = arena.publish(flat, token=token)
+                    ref_pairs = [
+                        (refs[2 * i], refs[2 * i + 1])
+                        for i in range(len(pairs))
+                    ]
+                    shards = [
+                        ConvolveBatchRefs(
+                            name, tuple(ref_pairs[start:stop])
+                        )
+                        for start, stop in bounds
+                    ]
+                    return self._dispatch(
+                        _run_convolve_shard_refs, shards, counter
+                    )
+            except OSError:
+                # Shared memory failed mid-run (creation denied,
+                # /dev/shm full): latch the pickle wire format and
+                # fall through — the batch still runs, same bits.
+                self._shm_broken = True
+            except BrokenProcessPool:
+                self._mark_broken()
+                return SERIAL_EXECUTOR.run_convolve_batch(
+                    kernel, pairs, counter=counter
+                )
         shards = [
             ConvolveBatch(name, tuple(pairs[start:stop]))
             for start, stop in bounds
@@ -215,6 +434,37 @@ class ProcessExecutor(Executor):
         )
         if len(bounds) <= 1 or self._broken or not self._spawn_ok:
             return SERIAL_EXECUTOR.run_max_batch(groups, counter=counter)
+        if self._use_shm():
+            if _max_cost_us(groups) < self.min_dispatch_cost_us:
+                return SERIAL_EXECUTOR.run_max_batch(
+                    groups, counter=counter
+                )
+            try:
+                arena = self._ensure_arena()
+                with arena.pinned() as token:
+                    flat = [p.masses for g in groups for p in g]
+                    refs = arena.publish(flat, token=token)
+                    it = iter(refs)
+                    ref_groups = [
+                        tuple(
+                            (p.dt, p.offset, next(it)) for p in g
+                        )
+                        for g in groups
+                    ]
+                    shards = [
+                        MaxBatchRefs(tuple(ref_groups[start:stop]))
+                        for start, stop in bounds
+                    ]
+                    return self._dispatch(
+                        _run_max_shard_refs, shards, counter
+                    )
+            except OSError:
+                self._shm_broken = True
+            except BrokenProcessPool:
+                self._mark_broken()
+                return SERIAL_EXECUTOR.run_max_batch(
+                    groups, counter=counter
+                )
         shards = [
             MaxBatch(tuple(tuple(g) for g in groups[start:stop]))
             for start, stop in bounds
@@ -227,4 +477,7 @@ class ProcessExecutor(Executor):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "idle" if self._pool is None else "live"
-        return f"ProcessExecutor(jobs={self.jobs}, pool={state})"
+        return (
+            f"ProcessExecutor(jobs={self.jobs}, "
+            f"transport={self.transport!r}, pool={state})"
+        )

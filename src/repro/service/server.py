@@ -45,6 +45,7 @@ from typing import Optional, Tuple
 
 from .. import __version__
 from ..errors import ReproError, ServiceError
+from ..exec import shutdown_executors
 from .protocol import PROTOCOL_VERSION
 from .state import ServiceState
 
@@ -106,33 +107,35 @@ class _Handler(BaseHTTPRequestHandler):
         state: ServiceState = self.server.state
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         t0 = time.perf_counter()
+        # The latency sample must be recorded *before* the reply bytes
+        # leave: a client that receives its response and immediately
+        # asks /stats must observe the request it just made (the
+        # stats-reports-latency contract).  Handling therefore splits
+        # into compute (timed) and send (after the record).
         try:
             handler = _ROUTES.get((method, path))
             if handler is None:
-                self._send_json(
-                    {"error": f"no such endpoint: {method} {path}"},
-                    status=404,
+                reply = (
+                    {"error": f"no such endpoint: {method} {path}"}, 404
                 )
-                return
-            payload = self._read_json() if method == "POST" else {}
-            result = handler(self, state, payload)
-            self._send_json(result)
+            else:
+                payload = self._read_json() if method == "POST" else {}
+                reply = (handler(self, state, payload), 200)
         except ServiceError as exc:
-            self._send_json({"error": str(exc)}, status=400)
+            reply = ({"error": str(exc)}, 400)
         except ReproError as exc:
             # A domain error (bad netlist, sizing failure): the
             # request was understood but the analysis failed.
-            self._send_json(
-                {"error": f"{type(exc).__name__}: {exc}"}, status=422
-            )
+            reply = ({"error": f"{type(exc).__name__}: {exc}"}, 422)
         except Exception as exc:  # pragma: no cover - defensive
-            self._send_json(
+            reply = (
                 {"error": f"internal error: {type(exc).__name__}: {exc}"},
-                status=500,
+                500,
             )
-        finally:
-            state.record_latency(f"{method} {path}",
-                                 time.perf_counter() - t0)
+        state.record_latency(f"{method} {path}",
+                             time.perf_counter() - t0)
+        body, status = reply
+        self._send_json(body, status=status)
 
     def do_GET(self) -> None:
         self._dispatch("GET")
@@ -326,4 +329,11 @@ def serve(
             flusher.stop()
         server.server_close()
         state.flush()
+        # Arena lifecycle hook: analyses served with jobs > 1 hold
+        # worker pools and shared-memory operand arenas through the
+        # executor registry; the drain is the last moment the service
+        # can guarantee every named segment is unlinked (atexit would
+        # also sweep them, but a long-lived embedding process should
+        # not keep dead segments resident until interpreter exit).
+        shutdown_executors()
     return 0

@@ -63,6 +63,7 @@ from ..core.pruned_sizer import PrunedStatisticalSizer
 from ..dist.cache import DEFAULT_CACHE_CAPACITY, ConvolutionCache
 from ..dist.ops import OpCounter
 from ..errors import OptimizationError, ServiceError
+from ..exec.arena import live_arena_stats
 from ..netlist.benchmarks import PAPER_SUITE, load
 from ..timing.delay_model import DelayModel
 from ..timing.graph import TimingGraph
@@ -544,6 +545,11 @@ class ServiceState:
             "sessions": sessions,
             "resident_circuits": resident,
             "requests": latency,
+            # Shared-memory operand arenas held by the executor
+            # registry (jobs > 1 analyses).  Surfaced so operators can
+            # watch segment/byte residency the same way they watch the
+            # cache budget; all zeros in a jobs=1 deployment.
+            "arena": live_arena_stats(),
         }
 
     def flush(self) -> int:

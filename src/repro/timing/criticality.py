@@ -114,7 +114,7 @@ def run_backward_ssta(
     to_sink: List[Optional[DiscretePDF]] = [None] * graph.n_nodes
     to_sink[graph.sink] = DiscretePDF.delta(cfg.dt, 0.0)
     if cfg.level_batch:
-        executor = get_executor(cfg.jobs)
+        executor = get_executor(cfg.jobs, cfg.transport)
         # Sink alone occupies the top level; walk the rest downward,
         # visiting nodes within a level in the sequential (reversed
         # topological) order so the cache request stream matches.

@@ -76,7 +76,9 @@ def update_ssta_after_resize(
     # cache can only make the cutoff cheaper, never wrong).
     kernel = get_backend(cfg.backend)
     cache = cfg.cache
-    executor = get_executor(cfg.jobs) if cfg.level_batch else None
+    executor = (
+        get_executor(cfg.jobs, cfg.transport) if cfg.level_batch else None
+    )
     arrivals = result.arrivals
 
     seeds: Set[int] = set()

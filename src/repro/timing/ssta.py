@@ -377,7 +377,7 @@ def run_ssta(
     arrivals[graph.source] = DiscretePDF.delta(cfg.dt, 0.0)
     get_arrival = arrivals.__getitem__
     if cfg.level_batch:
-        executor = get_executor(cfg.jobs)
+        executor = get_executor(cfg.jobs, cfg.transport)
         # Level 0 holds exactly the source; every other level's nodes
         # are mutually independent (arcs always cross levels).
         for level in range(1, graph.max_level + 1):

@@ -1,0 +1,795 @@
+"""Arena-transport test tier: lifecycle, differential, faults, leaks.
+
+The PR-7 tentpole replaces pickled mass vectors in shard payloads with
+``(segment, generation, offset, length)`` index tuples into a
+shared-memory operand arena.  This suite locks the contract in four
+layers:
+
+* **unit lifecycle** — publish/dedupe, epoch turns under the byte
+  budget, pin-deferred resets, zero-copy view round trips, and the
+  loud-failure paths: stale generation, vanished segment, corrupt
+  header, out-of-bounds ref all raise
+  :class:`~repro.errors.DistributionError`, never wrong bytes;
+* **three-way differential** — random DAGs through every engine
+  (forward, backward, incremental, perturbation fronts) with dispatch
+  *forced* (cost gate zeroed, one-item shards) must produce bitwise
+  identical sinks, OpCounter tallies, and cache request streams for
+  shm transport == pickle transport == serial, across jobs {1, 2, 4},
+  every backend, and cache off / ample / tiny;
+* **fault injection** — a worker killed mid-life latches the executor
+  serial with the arena fully unlinked and a clean stderr (no
+  resource-tracker leaked-segment warnings), asserted from a real
+  subprocess; corrupt/stale arena state is loud at the worker entry
+  points themselves;
+* **leak regression** — 50 analyze cycles under a tiny cache budget
+  and a deliberately starved arena budget (maximum epoch churn) leave
+  ``/dev/shm`` and the arena byte accounting exactly at baseline after
+  ``shutdown_executors()``.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import AnalysisConfig
+from repro.core.objectives import default_objective
+from repro.core.perturbation import PerturbationFront
+from repro.dist.backends import get_backend
+from repro.dist.cache import ConvolutionCache
+from repro.dist.families import truncated_gaussian_pdf
+from repro.dist.ops import OpCounter, convolve_batch_raws
+from repro.errors import DistributionError
+from repro.exec import (
+    ProcessExecutor,
+    SERIAL_EXECUTOR,
+    get_executor,
+    shutdown_executors,
+)
+from repro.exec.arena import (
+    ArenaClient,
+    HEADER_BYTES,
+    OperandArena,
+    live_arena_stats,
+    shm_available,
+)
+from repro.exec.plan import ConvolveBatchRefs
+from repro.exec.pool import _run_convolve_shard_refs, _run_max_shard_refs
+from repro.netlist.generate import CircuitSpec, generate_circuit
+from repro.timing.criticality import run_backward_ssta
+from repro.timing.delay_model import DelayModel
+from repro.timing.graph import TimingGraph
+from repro.timing.incremental import update_ssta_after_resize
+from repro.timing.ssta import run_ssta
+
+from tests.conftest import ALL_BACKENDS, build_two_path
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shared memory unavailable"
+)
+
+CACHE_SPECS = (None, 1 << 14, 32)
+
+#: The parallel plans the differential runs against the serial
+#: reference: both transports, and jobs beyond the worker count.
+FORCED_PLANS = ((2, "shm"), (4, "shm"), (2, "pickle"))
+
+
+def g(center, sigma=40.0, dt=4.0):
+    return truncated_gaussian_pdf(dt, center, sigma)
+
+
+def _pairs(n, dt=4.0):
+    return [
+        (g(500.0 + 7 * i, dt=dt).masses, g(800.0 + 11 * i, 25.0, dt=dt).masses)
+        for i in range(n)
+    ]
+
+
+def _groups(n):
+    out = []
+    for i in range(n):
+        k = 2 + (i % 3)
+        out.append(tuple(g(400.0 + 13 * i + 31 * j, 20.0 + 5 * j)
+                         for j in range(k)))
+    return out
+
+
+def _shm_entries():
+    """Named ``rpa-`` segments *owned by this process* currently
+    visible in /dev/shm (None on platforms that don't expose the
+    tmpfs directory).  Scoped by the creator-PID baked into every
+    arena segment name so a concurrent arena user — another test
+    process, a benchmark run — can't perturb baseline comparisons."""
+    d = "/dev/shm"
+    if not os.path.isdir(d):
+        return None
+    prefix = f"rpa-{os.getpid():x}-"
+    return sorted(n for n in os.listdir(d) if n.startswith(prefix))
+
+
+@pytest.fixture(scope="module")
+def eager_shm():
+    """A 2-worker shm-transport plan that shards even 2-item batches
+    and never folds a batch to serial on cost — every batch genuinely
+    crosses the process boundary through the arena."""
+    ex = ProcessExecutor(2, min_items_per_shard=1, min_dispatch_cost_us=0.0)
+    yield ex
+    ex.close()
+
+
+@pytest.fixture(scope="module")
+def forced_registry():
+    """Force real dispatch on the registry executors the engines
+    resolve: one-item shards and a zeroed cost gate for every plan in
+    :data:`FORCED_PLANS`, restored on module teardown."""
+    saved = {}
+    for jobs, transport in FORCED_PLANS:
+        ex = get_executor(jobs, transport)
+        saved[(jobs, transport)] = (
+            ex.min_items_per_shard, ex.min_dispatch_cost_us
+        )
+        ex.min_items_per_shard = 1
+        ex.min_dispatch_cost_us = 0.0
+    yield
+    for (jobs, transport), (mi, md) in saved.items():
+        ex = get_executor(jobs, transport)
+        ex.min_items_per_shard = mi
+        ex.min_dispatch_cost_us = md
+
+
+# ----------------------------------------------------------------------
+# Unit lifecycle
+# ----------------------------------------------------------------------
+
+class TestArenaLifecycle:
+    def test_publish_dedupes_and_views_roundtrip(self):
+        arena = OperandArena()
+        try:
+            a = g(500.0).masses
+            b = g(800.0, 25.0).masses
+            refs = arena.publish([a, b, a.copy()])
+            # Content addressing: the copy resolves to the first ref.
+            assert refs[0] == refs[2]
+            assert refs[0] != refs[1]
+            assert arena.entries == 2
+            assert arena.live_bytes == 8 * (a.size + b.size)
+            name, gen, off, n = refs[0]
+            assert isinstance(name, str) and name.startswith("rpa-")
+            assert gen == arena.generation and n == a.size
+            assert off >= HEADER_BYTES and off % 8 == 0
+
+            client = ArenaClient()
+            try:
+                va = client.view(refs[0])
+                assert np.array_equal(va, a)
+                assert not va.flags.writeable
+                assert client.view(refs[0]) is va  # memoized
+                pdf = client.pdf(4.0, 100, refs[1])
+                assert np.array_equal(pdf.masses, b)
+                assert pdf.dt == 4.0 and pdf.offset == 100
+                assert client.pdf(4.0, 100, refs[1]) is pdf  # memoized
+                # Drop the zero-copy views before clear() so the
+                # mapped buffers have no exported pointers left.
+                del va, pdf
+            finally:
+                client.clear()
+
+            # Re-publishing already-resident vectors adds nothing.
+            again = arena.publish([b, a])
+            assert again == [refs[1], refs[0]]
+            assert arena.entries == 2
+        finally:
+            arena.close()
+
+    def test_segments_unlink_on_close(self):
+        arena = OperandArena()
+        arena.publish([g(500.0).masses])
+        names = arena.segment_names
+        assert names
+        listing = _shm_entries()
+        if listing is not None:
+            assert set(names) <= set(listing)
+        arena.close()
+        arena.close()  # idempotent
+        listing = _shm_entries()
+        if listing is not None:
+            assert not set(names) & set(listing)
+        with pytest.raises(DistributionError, match="closed"):
+            arena.publish([g(500.0).masses])
+
+    def test_budget_crossing_turns_the_epoch(self):
+        arena = OperandArena(slab_bytes=1 << 12, budget_bytes=1 << 12)
+        try:
+            big = np.linspace(0.0, 1.0, 300)  # 2400 B
+            r1 = arena.publish([big])[0]
+            gen1 = arena.generation
+            old_names = arena.segment_names
+            # A second distinct vector crosses the 4 KiB budget: the
+            # arena turns the epoch before writing it.
+            r2 = arena.publish([big + 1.0])[0]
+            assert arena.generation == gen1 + 1
+            assert r2[1] == gen1 + 1
+            assert not set(old_names) & set(arena.segment_names)
+            assert arena.entries == 1  # the old index is gone
+            assert r1[0] != r2[0]
+        finally:
+            arena.close()
+
+    def test_foreign_pin_defers_reset_own_pin_does_not(self):
+        arena = OperandArena(slab_bytes=1 << 12, budget_bytes=1 << 12)
+        try:
+            big = np.linspace(0.0, 1.0, 300)
+            arena.publish([big])
+            gen1 = arena.generation
+            # A pin held by "another batch in flight" (no token passed)
+            # must defer the epoch turn even over budget …
+            with arena.pinned():
+                arena.publish([big + 1.0])
+                assert arena.generation == gen1
+                assert arena._reset_pending
+            # … and the deferred turn fires once the pin drains.
+            with arena.pinned() as token:
+                arena.publish([big + 2.0], token=token)
+            assert arena.generation == gen1 + 1
+            # The caller's own pin never blocks its own publish: its
+            # refs are not in flight yet, so over-budget publishes
+            # keep turning the epoch even while the token is held.
+            gen_before = arena.generation
+            with arena.pinned() as token:
+                arena.publish([big + 3.0] * 2, token=token)
+                arena.publish([np.linspace(2.0, 3.0, 300)], token=token)
+            assert arena.generation > gen_before
+        finally:
+            arena.close()
+
+    def test_stale_generation_is_loud(self):
+        arena = OperandArena()
+        client = ArenaClient()
+        try:
+            old_ref = arena.publish([g(500.0).masses])[0]
+            arena.reset()  # epoch turn: old bytes reclaimed
+            new_ref = arena.publish([g(800.0, 25.0).masses])[0]
+            client.view(new_ref)  # client now knows the new generation
+            with pytest.raises(DistributionError, match="stale"):
+                client.view(old_ref)
+        finally:
+            client.clear()
+            arena.close()
+
+    def test_newer_generation_drops_old_client_state(self):
+        arena = OperandArena()
+        client = ArenaClient()
+        try:
+            r1 = arena.publish([g(500.0).masses])[0]
+            client.view(r1)
+            old_segments = set(client._segments)
+            arena.reset()
+            r2 = arena.publish([g(800.0, 25.0).masses])[0]
+            client.view(r2)
+            assert not old_segments & set(client._segments)
+            assert all(ref[1] == r2[1] for ref in client._views)
+        finally:
+            client.clear()
+            arena.close()
+
+    def test_vanished_segment_is_loud(self):
+        arena = OperandArena()
+        ref = arena.publish([g(500.0).masses])[0]
+        arena.close()  # unlinks the segment out from under the ref
+        client = ArenaClient()
+        try:
+            with pytest.raises(DistributionError, match="vanished"):
+                client.view(ref)
+        finally:
+            client.clear()
+
+    def test_corrupt_header_is_loud(self):
+        arena = OperandArena()
+        try:
+            ref = arena.publish([g(500.0).masses])[0]
+            slab = arena._slabs[0]
+            slab.buf[0] = slab.buf[0] ^ 0xFF  # smash the magic
+            client = ArenaClient()
+            try:
+                with pytest.raises(DistributionError, match="validation"):
+                    client.view(ref)
+            finally:
+                client.clear()
+        finally:
+            arena.close()
+
+    def test_wrong_generation_header_is_loud(self):
+        """A header whose generation differs from the ref's (a slab
+        recycled across an epoch turn) must fail attach validation."""
+        arena = OperandArena()
+        try:
+            name, gen, off, n = arena.publish([g(500.0).masses])[0]
+            client = ArenaClient()
+            try:
+                with pytest.raises(DistributionError, match="validation"):
+                    client.view((name, gen + 1, off, n))
+            finally:
+                client.clear()
+        finally:
+            arena.close()
+
+    def test_out_of_bounds_ref_is_loud(self):
+        arena = OperandArena()
+        client = ArenaClient()
+        try:
+            name, gen, off, n = arena.publish([g(500.0).masses])[0]
+            with pytest.raises(DistributionError, match="out of bounds"):
+                client.view((name, gen, off, 10 ** 9))
+            with pytest.raises(DistributionError, match="out of bounds"):
+                client.view((name, gen, 0, 1))  # inside the header
+        finally:
+            client.clear()
+            arena.close()
+
+    def test_live_arena_stats_track_publication(self):
+        base = live_arena_stats()
+        arena = OperandArena()
+        try:
+            arena.publish(_pairs(3)[0])
+            now = live_arena_stats()
+            assert now["arenas"] == base["arenas"] + 1
+            assert now["bytes"] > base["bytes"]
+        finally:
+            arena.close()
+        after = live_arena_stats()
+        assert after["arenas"] == base["arenas"]
+        assert after["bytes"] == base["bytes"]
+
+
+class TestWorkerEntryFaults:
+    """The actual worker entry points must be loud on bad refs — a
+    stale or vanished ref raises DistributionError, never computes."""
+
+    def test_convolve_entry_rejects_vanished_ref(self):
+        bogus = ("rpa-dead00-00000000-g1-s0", 1, HEADER_BYTES, 8)
+        batch = ConvolveBatchRefs("direct", ((bogus, bogus),))
+        with pytest.raises(DistributionError):
+            _run_convolve_shard_refs(batch)
+
+    def test_max_entry_rejects_vanished_ref(self):
+        from repro.exec.plan import MaxBatchRefs
+
+        bogus = ("rpa-dead00-00000000-g1-s0", 1, HEADER_BYTES, 8)
+        batch = MaxBatchRefs(((
+            (4.0, 10, bogus), (4.0, 12, bogus),
+        ),))
+        with pytest.raises(DistributionError):
+            _run_max_shard_refs(batch)
+
+    def test_fault_crosses_the_process_boundary(self, eager_shm):
+        """A worker that hits a bad ref raises DistributionError
+        through the future — the coordinator sees the loud failure,
+        not a wrong answer."""
+        kernel = get_backend("direct")
+        eager_shm.run_convolve_batch(kernel, _pairs(4))  # warm the pool
+        bogus = ("rpa-dead00-00000000-g1-s0", 1, HEADER_BYTES, 8)
+        batch = ConvolveBatchRefs("direct", ((bogus, bogus),))
+        fut = eager_shm._ensure_pool().submit(_run_convolve_shard_refs, batch)
+        with pytest.raises(DistributionError):
+            fut.result(timeout=60)
+
+
+# ----------------------------------------------------------------------
+# Executor-level transport behaviour
+# ----------------------------------------------------------------------
+
+class TestShmTransportExecutor:
+    def test_batches_bitwise_vs_serial_and_dedupe_across_batches(
+        self, backend, eager_shm
+    ):
+        kernel = get_backend(backend)
+        for n in (2, 5, 11):
+            pairs = _pairs(n)
+            cp, cs = OpCounter(), OpCounter()
+            par = eager_shm.run_convolve_batch(kernel, pairs, counter=cp)
+            ser = SERIAL_EXECUTOR.run_convolve_batch(kernel, pairs,
+                                                     counter=cs)
+            for a, b in zip(par, ser):
+                assert np.array_equal(a, b)
+            assert cp.convolutions == cs.convolutions == n
+        groups = _groups(5)
+        par = eager_shm.run_max_batch(groups)
+        ser = SERIAL_EXECUTOR.run_max_batch(groups)
+        for (lo_a, m_a), (lo_b, m_b) in zip(par, ser):
+            assert lo_a == lo_b
+            assert np.array_equal(m_a, m_b)
+        # The arena was consulted and content-deduplicated: replaying
+        # a batch adds no new entries.
+        arena = eager_shm.arena
+        assert arena is not None and arena.entries > 0
+        before = arena.entries
+        eager_shm.run_convolve_batch(kernel, _pairs(5))
+        assert arena.entries == before
+
+    def test_ref_payloads_are_an_order_smaller_than_pickle(self, eager_shm):
+        """The acceptance gate in micro form: for a realistic batch of
+        dense operands, the shm shard payloads must pickle to <10% of
+        the pickle transport's bytes."""
+        pairs = _pairs(16, dt=1.0)  # ~320-bin operands
+        kernel = get_backend("direct")
+        pickle_ex = ProcessExecutor(2, min_items_per_shard=1,
+                                    transport="pickle")
+        try:
+            for ex in (eager_shm, pickle_ex):
+                ex.payload_audit = True
+                ex.payload_bytes = 0
+                ex.payload_shards = 0
+            shm_out = eager_shm.run_convolve_batch(kernel, pairs)
+            pkl_out = pickle_ex.run_convolve_batch(kernel, pairs)
+            for a, b in zip(shm_out, pkl_out):
+                assert np.array_equal(a, b)
+            assert eager_shm.payload_shards == pickle_ex.payload_shards == 2
+            assert eager_shm.payload_bytes * 10 < pickle_ex.payload_bytes
+        finally:
+            pickle_ex.close()
+            eager_shm.payload_audit = False
+
+    def test_cost_gate_folds_cheap_batches_inline(self):
+        """Under the default gate a sub-millisecond batch never pays a
+        round trip: no pool is spawned, no arena is created, and the
+        bits match the serial plan."""
+        ex = ProcessExecutor(2, min_items_per_shard=1)
+        try:
+            kernel = get_backend("direct")
+            pairs = _pairs(4)
+            out = ex.run_convolve_batch(kernel, pairs)
+            ref = convolve_batch_raws(kernel, pairs)
+            for a, b in zip(out, ref):
+                assert np.array_equal(a, b)
+            assert ex._pool is None
+            assert ex.arena is None
+        finally:
+            ex.close()
+
+    def test_publish_failure_latches_pickle_fallback(self):
+        ex = ProcessExecutor(2, min_items_per_shard=1,
+                             min_dispatch_cost_us=0.0)
+        try:
+            def no_arena():
+                raise OSError("no shared memory for you")
+
+            ex._ensure_arena = no_arena
+            kernel = get_backend("direct")
+            pairs = _pairs(6)
+            out = ex.run_convolve_batch(kernel, pairs)
+            ref = convolve_batch_raws(kernel, pairs)
+            for a, b in zip(out, ref):
+                assert np.array_equal(a, b)
+            assert ex._shm_broken  # latched: pickle wire from here on
+            assert ex.arena is None
+        finally:
+            ex.close()
+
+    def test_preload_operands_roundtrip(self, eager_shm):
+        arrays = [p[0] for p in _pairs(5)]
+        n = eager_shm.preload_operands(arrays)
+        assert n == 5
+        arena = eager_shm.arena
+        before = arena.entries
+        # The coming batch's publish finds everything resident.
+        refs = arena.publish(arrays)
+        assert arena.entries == before
+        assert len(refs) == 5
+
+    def test_transport_validation(self):
+        with pytest.raises(ValueError, match="transport"):
+            ProcessExecutor(2, transport="carrier-pigeon")
+        with pytest.raises(ValueError, match="transport"):
+            AnalysisConfig(transport="carrier-pigeon")
+        assert get_executor(1, "pickle") is SERIAL_EXECUTOR
+        assert get_executor(2, "shm") is not get_executor(2, "pickle")
+
+
+# ----------------------------------------------------------------------
+# Engine differential: shm == pickle == serial, bitwise (Satellite 1)
+# ----------------------------------------------------------------------
+
+@st.composite
+def circuits(draw):
+    n_gates = draw(st.integers(min_value=5, max_value=20))
+    depth = draw(st.integers(min_value=2, max_value=min(6, n_gates)))
+    edges = draw(
+        st.integers(min_value=int(1.5 * n_gates), max_value=int(2.5 * n_gates))
+    )
+    seed = draw(st.integers(min_value=0, max_value=9999))
+    spec = CircuitSpec(
+        name="hyp",
+        n_inputs=draw(st.integers(min_value=3, max_value=8)),
+        n_outputs=2,
+        n_gates=n_gates,
+        n_pin_edges=min(edges, 4 * n_gates),
+        depth=depth,
+        seed=seed,
+    )
+    return generate_circuit(spec)
+
+
+def _cfg(backend, cache_spec, jobs, transport="shm", **kw):
+    cache = None if cache_spec is None else ConvolutionCache(cache_spec)
+    return AnalysisConfig(dt=8.0, backend=backend, cache=cache, jobs=jobs,
+                          transport=transport, **kw)
+
+
+def _assert_bitwise(pdfs_a, pdfs_b):
+    for a, b in zip(pdfs_a, pdfs_b):
+        assert a.offset == b.offset
+        assert a.dt == b.dt
+        assert np.array_equal(a.masses, b.masses)
+
+
+def _tallies(counter):
+    return (
+        counter.convolutions,
+        counter.max_ops,
+        counter.convolve_cache_hits,
+        counter.max_cache_hits,
+    )
+
+
+def _stats(cache):
+    if cache is None:
+        return None
+    return (cache.stats.hits, cache.stats.misses, cache.stats.evictions)
+
+
+def _forward(circuit, backend, cache_spec, jobs, transport="shm"):
+    cfg = _cfg(backend, cache_spec, jobs, transport)
+    c = circuit.copy()
+    graph = TimingGraph(c)
+    model = DelayModel(c, config=cfg)
+    counter = OpCounter()
+    result = run_ssta(graph, model, config=cfg, counter=counter)
+    return result, counter, cfg.cache
+
+
+class TestEngineDifferential:
+    """With dispatch forced (zeroed cost gate, one-item shards), every
+    engine must be transport- and jobs-invariant down to the bit — and
+    the cache request stream must be the serial one by construction."""
+
+    @settings(max_examples=3, deadline=None)
+    @given(circuit=circuits())
+    def test_forward_three_way(self, circuit, forced_registry):
+        for backend in ALL_BACKENDS:
+            for cache_spec in CACHE_SPECS:
+                ref, ref_counter, ref_cache = _forward(
+                    circuit, backend, cache_spec, 1
+                )
+                for jobs, transport in FORCED_PLANS:
+                    got, counter, cache = _forward(
+                        circuit, backend, cache_spec, jobs, transport
+                    )
+                    _assert_bitwise(got.arrivals, ref.arrivals)
+                    assert _tallies(counter) == _tallies(ref_counter)
+                    assert _stats(cache) == _stats(ref_cache)
+        # The shm plans genuinely went through an arena.
+        arena = get_executor(2, "shm").arena
+        assert arena is not None and arena.entries > 0
+
+    @settings(max_examples=3, deadline=None)
+    @given(circuit=circuits())
+    def test_backward_three_way(self, circuit, forced_registry):
+        for backend in ("direct", "fft"):
+            for cache_spec in (None, 32):
+                out = {}
+                for jobs, transport in (
+                    (1, "shm"), (2, "shm"), (2, "pickle")
+                ):
+                    cfg = _cfg(backend, cache_spec, jobs, transport)
+                    c = circuit.copy()
+                    graph = TimingGraph(c)
+                    model = DelayModel(c, config=cfg)
+                    counter = OpCounter()
+                    out[(jobs, transport)] = (
+                        run_backward_ssta(
+                            graph, model, config=cfg, counter=counter
+                        ),
+                        counter,
+                        cfg.cache,
+                    )
+                ref, ref_counter, ref_cache = out[(1, "shm")]
+                for key in ((2, "shm"), (2, "pickle")):
+                    got, counter, cache = out[key]
+                    _assert_bitwise(got.to_sink, ref.to_sink)
+                    assert _tallies(counter) == _tallies(ref_counter)
+                    assert _stats(cache) == _stats(ref_cache)
+
+    @settings(max_examples=3, deadline=None)
+    @given(circuit=circuits(), which=st.integers(min_value=0, max_value=999))
+    def test_incremental_three_way(self, circuit, which, forced_registry):
+        for cache_spec in (None, 1 << 14):
+            out = {}
+            for jobs, transport in ((1, "shm"), (2, "shm"), (2, "pickle")):
+                cfg = _cfg("auto", cache_spec, jobs, transport)
+                c = circuit.copy()
+                graph = TimingGraph(c)
+                model = DelayModel(c, config=cfg)
+                base = run_ssta(graph, model, config=cfg)
+                gates = c.topo_gates()
+                gate = gates[which % len(gates)]
+                gate.width += 1.0
+                n = update_ssta_after_resize(base, model, [gate])
+                out[(jobs, transport)] = (base, n)
+            ref, ref_n = out[(1, "shm")]
+            for key in ((2, "shm"), (2, "pickle")):
+                base, n = out[key]
+                _assert_bitwise(base.arrivals, ref.arrivals)
+                assert n == ref_n
+
+    @settings(max_examples=3, deadline=None)
+    @given(circuit=circuits(), which=st.integers(min_value=0, max_value=999))
+    def test_fronts_three_way(self, circuit, which, forced_registry):
+        for cache_spec in (None, 32):
+            out = {}
+            for jobs, transport in ((1, "shm"), (2, "shm"), (2, "pickle")):
+                cfg = _cfg("direct", cache_spec, jobs, transport,
+                           delta_w=1.0)
+                c = circuit.copy()
+                graph = TimingGraph(c)
+                model = DelayModel(c, config=cfg)
+                base = run_ssta(graph, model, config=cfg)
+                gates = c.topo_gates()
+                gate = gates[which % len(gates)]
+                front = PerturbationFront(
+                    graph, model, base, gate, cfg.delta_w,
+                    default_objective(),
+                )
+                trajectory = [front.smx]
+                while not front.is_done:
+                    front.propagate_one_level()
+                    trajectory.append(front.smx)
+                out[(jobs, transport)] = (front, trajectory)
+            ref_front, ref_traj = out[(1, "shm")]
+            for key in ((2, "shm"), (2, "pickle")):
+                front, traj = out[key]
+                assert traj == ref_traj
+                assert front.sensitivity == ref_front.sensitivity
+                assert front.nodes_computed == ref_front.nodes_computed
+                assert front.reached_sink == ref_front.reached_sink
+                if ref_front.sink_pdf is not None:
+                    assert front.sink_pdf is not None
+                    _assert_bitwise([front.sink_pdf], [ref_front.sink_pdf])
+
+
+# ----------------------------------------------------------------------
+# Fault injection (Satellite 2)
+# ----------------------------------------------------------------------
+
+_KILL_SCRIPT = '''\
+"""Kill a worker mid-life; the executor must degrade to serial with
+the arena fully unlinked and a clean exit (asserted by the parent)."""
+import os
+import sys
+
+sys.path.insert(0, {src!r})
+
+import numpy as np
+
+from repro.dist.backends import get_backend
+from repro.dist.families import truncated_gaussian_pdf
+from repro.dist.ops import convolve_batch_raws
+from repro.exec import ProcessExecutor
+
+
+def main():
+    ex = ProcessExecutor(2, min_items_per_shard=1, min_dispatch_cost_us=0.0)
+    pairs = [
+        (truncated_gaussian_pdf(4.0, 500.0 + 7 * i, 40.0).masses,
+         truncated_gaussian_pdf(4.0, 800.0 + 11 * i, 25.0).masses)
+        for i in range(8)
+    ]
+    kernel = get_backend("direct")
+    ref = convolve_batch_raws(kernel, pairs)
+    out = ex.run_convolve_batch(kernel, pairs)
+    assert all(np.array_equal(a, b) for a, b in zip(out, ref))
+    assert ex.arena is not None and ex.arena.entries > 0
+    names = list(ex.arena.segment_names)
+    assert all(os.path.exists("/dev/shm/" + n) for n in names)
+
+    # Kill the workers out from under the pool.
+    pool = ex._ensure_pool()
+    for _ in range(2):
+        try:
+            pool.submit(os._exit, 13).result(timeout=60)
+        except Exception:
+            pass
+
+    # The next batch hits the broken pool: latched serial, same bits,
+    # arena closed and every named segment unlinked.
+    out = ex.run_convolve_batch(kernel, pairs)
+    assert all(np.array_equal(a, b) for a, b in zip(out, ref))
+    assert ex._broken
+    assert ex.arena is None
+    for n in names:
+        assert not os.path.exists("/dev/shm/" + n), n
+    print("FAULT-OK")
+
+
+if __name__ == "__main__":
+    main()
+'''
+
+
+class TestFaultInjection:
+    @pytest.mark.skipif(not os.path.isdir("/dev/shm"),
+                        reason="needs a visible /dev/shm")
+    def test_worker_kill_degrades_serial_and_unlinks_cleanly(self, tmp_path):
+        """Run the kill scenario in a real subprocess so the assertion
+        covers the whole exit path: no resource-tracker leaked-segment
+        warnings, no tracebacks, nothing left in /dev/shm."""
+        repo_root = Path(__file__).resolve().parents[2]
+        src = str(repo_root / "src")
+        script = tmp_path / "kill_worker.py"
+        script.write_text(_KILL_SCRIPT.format(src=src))
+        proc = subprocess.run(
+            [sys.executable, str(script)], capture_output=True, text=True,
+            cwd=repo_root, timeout=180,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "FAULT-OK" in proc.stdout
+        assert "Traceback" not in proc.stderr
+        assert "resource_tracker" not in proc.stderr
+        assert "leaked" not in proc.stderr
+
+
+# ----------------------------------------------------------------------
+# Leak regression (Satellite 3)
+# ----------------------------------------------------------------------
+
+class TestLeakRegression:
+    def test_fifty_cycles_return_to_baseline(self, forced_registry):
+        """50 analyze cycles with a tiny convolution cache and a
+        starved arena budget (maximum eviction/epoch churn against
+        in-flight pins) must leave /dev/shm and the arena byte
+        accounting exactly at baseline after shutdown_executors()."""
+        shutdown_executors()
+        baseline_segments = _shm_entries()
+        baseline_stats = live_arena_stats()
+
+        ex = get_executor(2, "shm")
+        arena = ex._ensure_arena()
+        arena._slab_bytes = 1 << 12
+        # Starve the budget to ~4 cycles of operand bytes so the run
+        # turns the epoch over and over.
+        arena._budget_bytes = 1 << 10
+
+        circuit = build_two_path()
+        max_segments = 0
+        for i in range(50):
+            cfg = AnalysisConfig(dt=8.0, cache=ConvolutionCache(32), jobs=2)
+            c = circuit.copy()
+            # Vary the widths so each cycle publishes fresh content —
+            # unique per cycle, so content dedupe cannot keep the
+            # starved arena under budget.
+            for j, gate in enumerate(c.topo_gates()):
+                gate.width += 0.125 * (i + 1) + 0.05 * j
+            graph = TimingGraph(c)
+            model = DelayModel(c, config=cfg)
+            run_ssta(graph, model, config=cfg)
+            live = ex.arena
+            if live is not None:
+                max_segments = max(max_segments, len(live.segment_names))
+                assert live.live_bytes < (1 << 18)
+        # Epoch churn genuinely happened, and it never accumulated
+        # segments: the starved budget reclaims every cycle.
+        assert ex.arena is not None
+        assert ex.arena.generation > 5
+        assert max_segments <= 4
+
+        shutdown_executors()
+        assert ex.arena is None
+        assert live_arena_stats() == baseline_stats
+        after = _shm_entries()
+        if baseline_segments is not None:
+            assert after == baseline_segments

@@ -47,8 +47,11 @@ def pool2():
 @pytest.fixture(scope="module")
 def eager2():
     """A 2-worker plan that shards even 2-item batches, so tiny test
-    batches actually cross the process boundary."""
-    ex = ProcessExecutor(2, min_items_per_shard=1)
+    batches actually cross the process boundary.  Pinned to the pickle
+    transport: these tests exercise the PR-5 wire format (the shm
+    transport's differential reference); the arena transport has its
+    own eager fixture in ``test_arena.py``."""
+    ex = ProcessExecutor(2, min_items_per_shard=1, transport="pickle")
     yield ex
     ex.close()
 
@@ -241,7 +244,10 @@ class TestProcessExecutor:
         attempted until an explicit close() clears the latch."""
         from concurrent.futures.process import BrokenProcessPool
 
-        ex = ProcessExecutor(2, min_items_per_shard=1)
+        # min_dispatch_cost_us=0 so the shm cost gate cannot fold these
+        # tiny batches to serial before the dispatch attempt.
+        ex = ProcessExecutor(2, min_items_per_shard=1,
+                             min_dispatch_cost_us=0.0)
         try:
             kernel = get_backend("direct")
             pairs = _pairs(4)

@@ -272,3 +272,8 @@ class TestStats:
         assert lat["count"] == 2
         assert lat["p50_ms"] in (20.0, 40.0)
         assert lat["p99_ms"] == 40.0
+        # Shared-memory operand accounting is surfaced for operators:
+        # a serial-only state holds no live arenas.
+        arena = stats["arena"]
+        assert set(arena) == {"arenas", "segments", "bytes"}
+        assert arena["arenas"] >= 0

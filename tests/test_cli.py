@@ -134,6 +134,35 @@ class TestCommands:
 
         assert hit_rate(second) > hit_rate(first)
 
+    def test_optimize_cache_file_warm_start_hit_rate_jobs_invariant(
+        self, tmp_path, capsys
+    ):
+        """Warm-start coverage must not depend on the execution plan:
+        an identical re-run serves *every* kernel request from the
+        snapshot (hit rate exactly 1.000) at jobs=1 and jobs=2 alike —
+        under jobs>1 the loaded entries are additionally routed into
+        the shared-memory operand arena (the 'preloaded' row) so warm
+        shards ship index tuples from the first level."""
+        snap = tmp_path / "c17.cache"
+        assert main(["optimize", "c17", "-n", "2",
+                     "--cache-file", str(snap)]) == 0
+        capsys.readouterr()
+
+        def row(text, label):
+            (line,) = [ln for ln in text.splitlines() if label in ln]
+            return line.split("|")[-1].strip()
+
+        rates = {}
+        for jobs in ("1", "2"):
+            assert main(["optimize", "c17", "-n", "2", "--jobs", jobs,
+                         "--cache-file", str(snap)]) == 0
+            out = capsys.readouterr().out
+            assert "cache entries loaded" in out
+            rates[jobs] = row(out, "cache hit rate")
+            if jobs == "2":
+                assert int(row(out, "cache entries preloaded")) > 0
+        assert rates["1"] == rates["2"] == "1.000"
+
     def test_optimize_cache_file_accumulates_entries(self, tmp_path, capsys):
         """The snapshot is re-saved after every run: the second run's
         saved entry count can only grow (append-on-exit semantics)."""

@@ -158,21 +158,45 @@ def _serial_reference(circuit, backend, cached):
     return ref
 
 
-class TestParallelGolden:
-    """The PR-5 acceptance gate: ``jobs=2`` and ``jobs=4`` reproduce
-    the ``jobs=1`` arrivals bitwise on every golden circuit, under
-    every backend, cache on and off — and the computed OpCounter
-    tallies are jobs-invariant (the golden-locked counts, exactly)."""
+@pytest.fixture(scope="module")
+def forced_shm_dispatch():
+    """Zero the shm cost gate on the registry executors the parallel
+    goldens resolve, so the ``shm`` leg genuinely ships arena refs
+    (default-grid ISCAS levels are otherwise folded inline as not
+    worth a round trip).  Restored on module teardown."""
+    from repro.exec import get_executor
 
+    saved = {}
+    for jobs in (2, 4):
+        ex = get_executor(jobs, "shm")
+        saved[jobs] = ex.min_dispatch_cost_us
+        ex.min_dispatch_cost_us = 0.0
+    yield
+    for jobs, gate in saved.items():
+        get_executor(jobs, "shm").min_dispatch_cost_us = gate
+
+
+class TestParallelGolden:
+    """The PR-5/PR-7 acceptance gate: ``jobs=2`` and ``jobs=4``
+    reproduce the ``jobs=1`` arrivals bitwise on every golden circuit,
+    under every backend, cache on and off, over **both** operand
+    transports (the shared-memory arena with its cost gate forced
+    open, and the pickle wire format) — and the computed OpCounter
+    tallies are jobs- and transport-invariant (the golden-locked
+    counts, exactly)."""
+
+    @pytest.mark.parametrize("transport", ["shm", "pickle"])
     @pytest.mark.parametrize("jobs", [2, 4])
     @pytest.mark.parametrize("cached", [False, True])
     @pytest.mark.parametrize("circuit", GOLDEN_CIRCUITS)
     def test_parallel_reproduces_serial_bitwise(
-        self, circuit, backend_config, backend, cached, jobs
+        self, circuit, backend_config, backend, cached, jobs, transport,
+        forced_shm_dispatch,
     ):
         gold = golden(circuit)
         cfg = backend_config.with_updates(
             jobs=jobs,
+            transport=transport,
             cache=ConvolutionCache(4096) if cached else None,
         )
         result, _, _ = ssta_for(circuit, cfg)
