@@ -12,7 +12,11 @@ cache-off, compares level-batched against sequential propagation
 ``levels`` section), drives the analysis service under four concurrent
 sessions sharing the process-wide cache (the ``service`` section:
 aggregate hit rate vs isolated sessions, p50/p99 request latency, with
-bitwise-vs-local and golden-file gates), and writes ``BENCH_dist.json``
+bitwise-vs-local and golden-file gates), probes overload behaviour
+(the ``service.overload`` section: rejection latency at a provably
+saturated admission queue with a p99 gate, no-thread-growth gate,
+retry-client bitwise gate, and a 4-worker ``SO_REUSEPORT`` front run
+with reconciled aggregate cache stats), and writes ``BENCH_dist.json``
 next to the repo root.  Every future optimization of the hot path
 should move these numbers and nothing else.
 
@@ -644,6 +648,261 @@ def _bench_service(quick: bool) -> dict:
     return out
 
 
+#: Raw rejection probes fired at a provably saturated server; their
+#: p99 wall time is the ``--check-drift`` overload gate.
+OVERLOAD_PROBES = 60
+#: p99 rejection-latency ceiling (ms).  Rejections come straight from
+#: the accept loop — if this trips, rejected requests are waiting on
+#: handler work, which is the failure mode bounded admission removes.
+OVERLOAD_P99_MS = 50.0
+
+
+def _bench_service_overload(quick: bool) -> dict:
+    """Overload behaviour: saturation rejections + the worker front.
+
+    Leg 1 (in-process, deterministic): a 1-thread/1-slot server whose
+    handlers are wedged on an event — the queue is provably full —
+    takes ``OVERLOAD_PROBES`` raw ``/analyze`` posts.  **Asserts** that
+    every probe gets an immediate ``503`` + ``Retry-After``, that the
+    p99 rejection latency stays under ``OVERLOAD_P99_MS`` (rejections
+    must never queue behind the wedged work), that the server spawns
+    no per-request threads, and that a retrying client rides the spike
+    out to a bitwise-correct answer.
+
+    Leg 2 (multi-process): a 4-worker ``SO_REUSEPORT`` front serves a
+    mixed sessionless workload; **asserts** every answer is bitwise
+    the serial local one regardless of serving worker, and records the
+    reconciled aggregate cache stats.  Skipped (recorded as such) on
+    hosts without working ``SO_REUSEPORT`` balancing.
+    """
+    import threading
+    import urllib.error
+    import urllib.request
+
+    from repro.config import DEFAULT_CONFIG
+    from repro.dist.cache import ConvolutionCache
+    from repro.errors import ServiceOverloadedError
+    from repro.netlist.benchmarks import load
+    from repro.service import (
+        ServiceClient,
+        ServiceFrontend,
+        ServiceState,
+        WorkerSpec,
+        reuseport_available,
+        start_server,
+    )
+    from repro.service.frontend import merged_stats_file
+    from repro.timing.delay_model import DelayModel
+    from repro.timing.graph import TimingGraph
+    from repro.timing.ssta import run_ssta
+
+    cfg = DEFAULT_CONFIG.with_updates(cache=None, jobs=1)
+
+    def local_sink(circuit, scale=1.0):
+        fresh = load(circuit, scale=scale)
+        return run_ssta(
+            TimingGraph(fresh), DelayModel(fresh, config=cfg), config=cfg
+        ).sink_pdf
+
+    # ---- Leg 1: saturation rejections -------------------------------
+    gate = threading.Event()
+    state = ServiceState(config=DEFAULT_CONFIG, cache=1 << 17)
+    real_analyze = state.analyze
+
+    def wedged_analyze(*args, **kwargs):
+        gate.wait(timeout=120)
+        return real_analyze(*args, **kwargs)
+
+    state.analyze = wedged_analyze
+    server = start_server(
+        state, handler_threads=1, queue_depth=1, retry_after_s=0.2
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    rejection_ms = []
+    try:
+        # Wedge the handler and fill the one queue slot.
+        wedgers = [
+            threading.Thread(
+                target=lambda: ServiceClient(server.url).analyze("c17"),
+                daemon=True,
+            )
+            for _ in range(2)
+        ]
+        for w in wedgers:
+            w.start()
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if server.overload_snapshot()["accepted"] >= 2:
+                break
+            time.sleep(0.01)
+
+        threads_before = threading.active_count()
+        body = json.dumps({"circuit": "c17"}).encode()
+        for _ in range(OVERLOAD_PROBES):
+            req = urllib.request.Request(
+                server.url + "/analyze", data=body,
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            t0 = time.perf_counter()
+            try:
+                urllib.request.urlopen(req, timeout=10)
+                raise SystemExit(
+                    "saturated server admitted a probe past its bound"
+                )
+            except urllib.error.HTTPError as exc:
+                elapsed_ms = (time.perf_counter() - t0) * 1e3
+                if exc.code != 503 or not exc.headers.get("Retry-After"):
+                    raise SystemExit(
+                        f"saturated server answered {exc.code} without "
+                        f"Retry-After instead of a 503 rejection"
+                    )
+                rejection_ms.append(elapsed_ms)
+        threads_after = threading.active_count()
+        if threads_after > threads_before:
+            raise SystemExit(
+                f"server grew threads under overload "
+                f"({threads_before} -> {threads_after})"
+            )
+
+        # A retrying client survives the spike once it clears.
+        threading.Timer(0.2, gate.set).start()
+        rider = ServiceClient(
+            server.url, max_retries=10, total_deadline_s=120.0
+        )
+        reply = rider.analyze("c17")
+        if not np.array_equal(
+            np.asarray(reply.sink.masses),
+            np.asarray(local_sink("c17").masses),
+        ):
+            raise SystemExit(
+                "retried answer diverged from the serial local run"
+            )
+        for w in wedgers:
+            w.join(timeout=60)
+        snapshot = server.overload_snapshot()
+    finally:
+        gate.set()
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+    rejection_ms.sort()
+    p50 = rejection_ms[len(rejection_ms) // 2]
+    p99 = rejection_ms[
+        min(len(rejection_ms) - 1, int(round(0.99 * (len(rejection_ms) - 1))))
+    ]
+    if p99 >= OVERLOAD_P99_MS:
+        raise SystemExit(
+            f"rejection p99 {p99:.1f} ms breached the "
+            f"{OVERLOAD_P99_MS:.0f} ms bound — rejections are queueing "
+            f"behind handler work"
+        )
+    out = {
+        "probes": OVERLOAD_PROBES,
+        "rejected": snapshot["rejected"],
+        "rejection_p50_ms": round(p50, 3),
+        "rejection_p99_ms": round(p99, 3),
+        "p99_bound_ms": OVERLOAD_P99_MS,
+        "thread_growth": threads_after - threads_before,
+        "retry_client_retries": rider.retries_performed,
+        "retry_client_bitwise": True,
+    }
+    print(
+        f"service overload: {len(rejection_ms)} rejections  "
+        f"p50={p50:.2f} ms p99={p99:.2f} ms (bound {OVERLOAD_P99_MS:.0f})  "
+        f"thread growth={out['thread_growth']}"
+    )
+
+    # ---- Leg 2: the 4-worker front ----------------------------------
+    if not reuseport_available():
+        out["frontend"] = {"skipped": "SO_REUSEPORT unavailable"}
+        return out
+
+    import tempfile
+
+    workloads = [("c17", 1.0), ("c17", 0.8), ("c432", 0.25)]
+    with tempfile.TemporaryDirectory() as tmp:
+        base = str(Path(tmp) / "front.cache")
+        spec = WorkerSpec(
+            config=DEFAULT_CONFIG,
+            cache_capacity=1 << 17,
+            cache_file=base,
+            flush_interval_s=None,
+        )
+        front = ServiceFrontend(
+            spec, port=0, workers=4, reconcile_interval_s=3600.0
+        )
+        front.start()
+        try:
+            if not front.wait_until_ready(timeout_s=120):
+                raise SystemExit("front workers never became ready")
+            results = {}
+            errors = []
+            lock = threading.Lock()
+
+            def hit(circuit, scale):
+                try:
+                    client = ServiceClient(
+                        front.url, max_retries=5, total_deadline_s=120.0
+                    )
+                    rep = client.analyze(circuit, scale=scale)
+                    with lock:
+                        results[(circuit, scale)] = rep
+                except Exception as exc:
+                    errors.append(repr(exc))
+
+            t0 = time.perf_counter()
+            passes = 1 if quick else 2
+            threads = [
+                threading.Thread(target=hit, args=(c, s))
+                for _ in range(passes)
+                for c, s in workloads
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=600)
+            front_wall = time.perf_counter() - t0
+            if errors:
+                raise SystemExit(f"front workload failed: {errors}")
+            for circuit, scale in workloads:
+                rep = results[(circuit, scale)]
+                local = local_sink(circuit, scale)
+                if (rep.sink.offset != local.offset
+                        or not np.array_equal(
+                            np.asarray(rep.sink.masses),
+                            np.asarray(local.masses))):
+                    raise SystemExit(
+                        f"front answer diverged from serial local run "
+                        f"on {circuit}@{scale}"
+                    )
+        finally:
+            if not front.stop():
+                raise SystemExit("front did not stop cleanly")
+        reconciled = ConvolutionCache.load(base, capacity=1 << 17)
+        merged = json.loads(Path(merged_stats_file(base)).read_text())
+    out["frontend"] = {
+        "workers": 4,
+        "requests": len(threads),
+        "wall_s": round(front_wall, 3),
+        "bitwise_vs_local": True,
+        "respawns": sum(front.respawns.values()),
+        "reconciled_entries": len(reconciled),
+        "aggregate_hits": merged["hits"],
+        "aggregate_misses": merged["misses"],
+        "aggregate_hit_rate": round(merged["hit_rate"], 4),
+    }
+    print(
+        f"service front: 4 workers  {len(threads)} requests  "
+        f"wall={front_wall:.2f}s  bitwise ok  "
+        f"reconciled entries={len(reconciled)}  "
+        f"aggregate hit rate={merged['hit_rate']:.3f}"
+    )
+    return out
+
+
 def _bench_ssta_c432() -> dict:
     """End-to-end run_ssta wall time on c432 per backend (fresh model
     each run so the delay-PDF cache does not leak across backends)."""
@@ -894,6 +1153,7 @@ def run(
         "levels": levels,
         "service": _bench_service(quick),
     }
+    payload["service"]["overload"] = _bench_service_overload(quick)
     if not quick:
         payload["run_ssta_c432"] = _bench_ssta_c432()
         payload["sizers"] = _bench_sizers(quick=False)

@@ -28,7 +28,14 @@ import sys
 from typing import List, Optional
 
 from . import __version__
-from .config import DEFAULT_CONFIG, DEFAULT_TRANSPORT, KNOWN_TRANSPORTS
+from .config import (
+    DEFAULT_CONFIG,
+    DEFAULT_SERVICE_HANDLER_THREADS,
+    DEFAULT_SERVICE_QUEUE_DEPTH,
+    DEFAULT_SERVICE_WORKERS,
+    DEFAULT_TRANSPORT,
+    KNOWN_TRANSPORTS,
+)
 from .core.deterministic_sizer import DeterministicSizer
 from .core.pruned_sizer import PrunedStatisticalSizer
 from .dist.cache import ConvolutionCache, DEFAULT_CACHE_CAPACITY
@@ -249,6 +256,38 @@ def cmd_serve(args: argparse.Namespace) -> int:
     budget = None
     if args.cache_budget_mb is not None:
         budget = int(args.cache_budget_mb * 1024 * 1024)
+    if args.workers > 1:
+        # Pre-fork front: N worker processes behind one SO_REUSEPORT
+        # port, each a complete bounded-admission service; the parent
+        # supervises, respawns, and reconciles snapshots.
+        from .service import ServiceFrontend, WorkerSpec
+
+        spec = WorkerSpec(
+            config=_analysis_config(args),
+            cache_capacity=args.cache,
+            cache_file=args.cache_file,
+            cache_budget_bytes=budget,
+            ttl_s=args.circuit_ttl,
+            session_ttl_s=args.session_ttl,
+            max_resident=args.max_resident,
+            handler_threads=args.handler_threads,
+            queue_depth=args.queue_depth,
+            flush_interval_s=args.flush_interval,
+            quiet=not args.verbose,
+        )
+        front = ServiceFrontend(
+            spec, host=args.host, port=args.port, workers=args.workers
+        )
+        front.start()
+        # Announce only once every worker is accepting: scripts that
+        # gate on this line (the CI smoke does) get a ready service.
+        front.wait_until_ready()
+        print(
+            f"repro-ssta service listening on {front.url} "
+            f"({args.workers} workers)",
+            flush=True,
+        )
+        return front.run()
     state = ServiceState(
         config=_analysis_config(args),
         cache=args.cache,
@@ -275,13 +314,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
         flush_interval_s=args.flush_interval,
         quiet=not args.verbose,
         ready_callback=_ready,
+        handler_threads=args.handler_threads,
+        queue_depth=args.queue_depth,
     )
 
 
 def cmd_client(args: argparse.Namespace) -> int:
     from .service import ServiceClient
 
-    client = ServiceClient(args.url, timeout_s=args.timeout)
+    client = ServiceClient(
+        args.url,
+        timeout_s=args.timeout,
+        max_retries=args.retries,
+        total_deadline_s=args.deadline,
+    )
     client.health()  # also checks the protocol version
     return args.client_func(client, args)
 
@@ -373,6 +419,17 @@ def _client_stats(client, args: argparse.Namespace) -> int:
         ("open sessions", len(stats["sessions"])),
         ("resident circuits", len(stats["resident_circuits"])),
     ]
+    overload = stats.get("overload")
+    if overload:
+        rows += [
+            ("requests accepted", overload["accepted"]),
+            ("requests rejected (503)", overload["rejected"]),
+            ("requests completed", overload["completed"]),
+            ("queue depth / limit",
+             f'{overload["queued"]} / {overload["queue_limit"]}'),
+            ("handler threads", overload["handler_threads"]),
+            ("queue wait p99 (ms)", overload["queue_wait_p99_ms"]),
+        ]
     print(format_table("Service statistics", ["metric", "value"], rows))
     latency = stats.get("requests", {})
     if latency:
@@ -533,6 +590,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--session-ttl", type=float, default=3600.0,
                    metavar="SECONDS",
                    help="idle time before a session is dropped")
+    p.add_argument("--workers", type=int, default=DEFAULT_SERVICE_WORKERS,
+                   help="worker processes behind the port (>1 uses the "
+                        "SO_REUSEPORT pre-fork front with parent-side "
+                        "snapshot reconciliation)")
+    p.add_argument("--handler-threads", type=int,
+                   default=DEFAULT_SERVICE_HANDLER_THREADS,
+                   help="fixed handler threads per worker (the service "
+                        "never spawns a thread per request)")
+    p.add_argument("--queue-depth", type=int,
+                   default=DEFAULT_SERVICE_QUEUE_DEPTH,
+                   help="bounded admission queue per worker; requests "
+                        "beyond it are rejected fast with 503 + "
+                        "Retry-After")
     p.add_argument("--verbose", action="store_true",
                    help="log each HTTP request")
     _add_level_batch_flag(p)
@@ -546,6 +616,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="service base URL")
     p.add_argument("--timeout", type=float, default=300.0,
                    help="per-request timeout (s)")
+    p.add_argument("--retries", type=int, default=3,
+                   help="retry budget for overload rejections (503 + "
+                        "Retry-After, retried for every verb) and for "
+                        "transport failures (idempotent verbs only — "
+                        "never a blind optimize resend)")
+    p.add_argument("--deadline", type=float, default=120.0,
+                   help="total wall-clock budget (s) across all retry "
+                        "attempts of one request")
     csub = p.add_subparsers(dest="client_command", required=True)
 
     c = csub.add_parser("analyze", help="SSTA + STA via the service")

@@ -68,6 +68,38 @@ DEFAULT_TRANSPORT: str = "shm"
 #: circuit depth), not a tuning knob.
 MAX_BINS: int = 1 << 21
 
+# ----------------------------------------------------------------------
+# Analysis-service capacity knobs (see repro.service).  Collected here
+# with the numeric defaults so a deployment tunes every knob in one
+# place; the service modules import them rather than re-hardcoding.
+# ----------------------------------------------------------------------
+
+#: Service worker processes behind one port (``repro-ssta serve
+#: --workers``).  1 keeps the single-process server; N > 1 runs the
+#: pre-fork front (:mod:`repro.service.frontend`).
+DEFAULT_SERVICE_WORKERS: int = 1
+
+#: Fixed handler threads per service worker process.  Kernel work is
+#: GIL-serialized, so more threads only add queueing inside the
+#: process; a small pool keeps /stats and cache hits responsive while
+#: one heavy request computes.
+DEFAULT_SERVICE_HANDLER_THREADS: int = 4
+
+#: Bounded admission queue per worker: accepted-but-not-yet-handled
+#: requests.  A request arriving with the queue full is rejected
+#: immediately with 503 + ``Retry-After`` (never an unbounded thread
+#: spawn) — overload changes *whether* a request is served, never
+#: *what* it returns.
+DEFAULT_SERVICE_QUEUE_DEPTH: int = 32
+
+#: ``Retry-After`` seconds advertised on 503 rejections.
+DEFAULT_SERVICE_RETRY_AFTER_S: float = 1.0
+
+#: Seconds a graceful drain waits for in-flight handlers to finish
+#: before the final snapshot flush (a wedged handler cannot pin
+#: shutdown forever).
+DEFAULT_SERVICE_DRAIN_TIMEOUT_S: float = 30.0
+
 
 @dataclass(frozen=True)
 class AnalysisConfig:

@@ -55,6 +55,7 @@ work runs: the cache does no computation of its own.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import os
 import pickle
 import threading
@@ -88,6 +89,12 @@ DEFAULT_CACHE_CAPACITY: int = 32768
 #: ``del``) removes stale ids so a concurrent weakref callback cannot
 #: raise.
 _FP_MEMO: dict = {}
+
+#: Monotonic sequence for snapshot temp-file names: combined with pid
+#: and thread id it makes every :meth:`ConvolutionCache.save` writer's
+#: temp path unique, so concurrent flushes can never interleave bytes
+#: in one temp file (each rename is then atomic per writer).
+_SAVE_SEQ = itertools.count()
 
 
 def _fingerprint(arr: np.ndarray) -> bytes:
@@ -611,9 +618,16 @@ class ConvolutionCache:
         }
         # Atomic replace: a crash or full disk mid-dump must not
         # destroy the previous good snapshot (warm starts depend on
-        # it surviving every run that reads it).
+        # it surviving every run that reads it).  The temp name is
+        # unique per *writer*, not per process: a pid-only suffix let
+        # the SIGTERM-drain flush and the periodic flusher thread (or
+        # any two unsynchronized threads) interleave writes into one
+        # temp file and rename garbage over the good snapshot.
         path = os.fspath(path)
-        tmp = f"{path}.tmp.{os.getpid()}"
+        tmp = (
+            f"{path}.tmp.{os.getpid()}.{threading.get_native_id()}"
+            f".{next(_SAVE_SEQ)}"
+        )
         try:
             with open(tmp, "wb") as fh:
                 pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
@@ -625,6 +639,46 @@ class ConvolutionCache:
                 pass
             raise
         return len(entries)
+
+    @classmethod
+    def merge_snapshots(
+        cls,
+        paths: Sequence,
+        out_path,
+        *,
+        capacity: int = DEFAULT_CACHE_CAPACITY,
+    ) -> int:
+        """Fold several snapshot files into one (the multi-worker
+        service front's reconciliation step: per-worker snapshots merge
+        into the shared warm-start file a restarted worker seeds from).
+
+        ``paths`` are loaded in order; entries are content-keyed, so a
+        key appearing in several snapshots carries a bitwise-identical
+        result everywhere and later occurrences simply refresh its
+        recency.  Missing and corrupt inputs are skipped — a worker
+        that crashed mid-write must not poison the union of its
+        healthy peers.  Returns the number of entries written (0 when
+        no input contributed; no file is written then).
+        """
+        merged = cls(capacity)
+        contributed = False
+        for path in paths:
+            try:
+                loaded = cls.load(path, capacity=capacity)
+            except (OSError, DistributionError):
+                continue
+            contributed = True
+            for key, entry in loaded._entries.items():
+                merged._entries[key] = entry
+                merged._entries.move_to_end(key)
+        while len(merged._entries) > merged.capacity:
+            merged._entries.popitem(last=False)
+        if not contributed:
+            return 0
+        merged._bytes = sum(
+            _entry_nbytes(e) for e in merged._entries.values()
+        )
+        return merged.save(out_path)
 
     @classmethod
     def load(cls, path, *, capacity: Optional[int] = None) -> "ConvolutionCache":

@@ -49,3 +49,30 @@ class OptimizationError(ReproError):
 class ServiceError(ReproError):
     """A timing-analysis-service request failed (bad request payload,
     unknown session, or a transport/HTTP failure in the client)."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The service rejected a request *before executing it* because its
+    admission queue was full (HTTP 503 + ``Retry-After``).
+
+    Rejection happens pre-execution by construction — the request never
+    reached a handler — so retrying is always safe, even for
+    non-idempotent endpoints like ``/optimize``.  ``retry_after_s``
+    carries the server's hint when one was sent.
+    """
+
+    def __init__(self, message: str, retry_after_s: float | None = None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ServiceTransportError(ServiceError):
+    """The request failed at the transport layer (connection refused or
+    reset, timeout, DNS) with no HTTP response from the server.
+
+    Distinct from plain :class:`ServiceError` (a 4xx/422 the server
+    deliberately sent): a transport failure is usually transient — a
+    worker restarting, a drain in progress — but the client cannot know
+    whether the request executed, so only idempotent requests may be
+    retried on it.
+    """

@@ -448,12 +448,29 @@ def arena_client() -> ArenaClient:
 
 
 def live_arena_stats() -> dict:
-    """Aggregate accounting over this process's live arenas."""
+    """Aggregate accounting over this process's live arenas.
+
+    Served verbatim under ``/stats``'s ``arena`` key, so operators of
+    a long-lived service can watch shared-memory residency the same
+    way they watch the cache budget.  ``detail`` lists each arena's
+    current epoch: a generation that keeps climbing while ``bytes``
+    stays bounded is the retire-on-publish contract working; a
+    generation pinned at 1 with growing bytes is a preload-heavy
+    deployment that has never turned an epoch.
+    """
     arenas = list(_LIVE_ARENAS)
     return {
         "arenas": len(arenas),
         "segments": sum(len(a.segment_names) for a in arenas),
         "bytes": sum(a.live_bytes for a in arenas),
+        "detail": [
+            {
+                "generation": a.generation,
+                "segments": len(a.segment_names),
+                "bytes": a.live_bytes,
+            }
+            for a in arenas
+        ],
     }
 
 

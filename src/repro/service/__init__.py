@@ -11,30 +11,41 @@ its kernel work bitwise from the cache instead of recomputing.
 
 Layers (each its own module):
 
-* :mod:`~repro.service.protocol` — bitwise-faithful JSON wire codecs;
+* :mod:`~repro.service.protocol` — bitwise-faithful JSON wire codecs
+  plus the 503 overload-body helpers;
 * :mod:`~repro.service.state` — :class:`ServiceState`, the shared
   domain state with its documented lock discipline and eviction
   policy;
-* :mod:`~repro.service.server` — the stdlib ThreadingHTTPServer front
-  and the :func:`serve` lifecycle (warm-start, periodic flush,
+* :mod:`~repro.service.server` — the stdlib HTTP front with
+  **bounded admission** (fixed handler pool over a bounded queue;
+  queue-full requests get an immediate 503 + ``Retry-After``) and the
+  :func:`serve` lifecycle (warm-start, periodic flush, truncation-free
   SIGTERM drain);
+* :mod:`~repro.service.frontend` — the pre-fork multi-worker front:
+  N worker processes behind one ``SO_REUSEPORT`` port, supervised and
+  snapshot-reconciled by the parent;
 * :mod:`~repro.service.client` — the stdlib urllib client that
-  re-materializes real result objects.
+  re-materializes real result objects and retries overload rejections
+  (and idempotent transport failures) with jittered backoff under a
+  total deadline.
 
 Everything is stdlib + the library's own numpy dependency; no web
-framework.  CLI entry points: ``repro-ssta serve`` and
-``repro-ssta client``.
+framework.  CLI entry points: ``repro-ssta serve`` (``--workers N``
+for the pre-fork front) and ``repro-ssta client``.
 """
 
 from .client import AnalyzeReply, OptimizeReply, ServiceClient, YieldReply
+from .frontend import ServiceFrontend, WorkerSpec, reuseport_available
 from .protocol import (
     PROTOCOL_VERSION,
+    overload_body,
+    parse_retry_after,
     pdf_from_wire,
     pdf_to_wire,
     sizing_result_from_wire,
     sizing_result_to_wire,
 )
-from .server import AnalysisServer, serve, start_server
+from .server import AnalysisServer, OverloadStats, serve, start_server
 from .state import OVERRIDABLE_CONFIG_FIELDS, SIZERS, ServiceState
 
 __all__ = [
@@ -42,13 +53,19 @@ __all__ = [
     "AnalysisServer",
     "AnalyzeReply",
     "OptimizeReply",
+    "OverloadStats",
     "ServiceClient",
+    "ServiceFrontend",
     "ServiceState",
+    "WorkerSpec",
     "YieldReply",
     "OVERRIDABLE_CONFIG_FIELDS",
     "SIZERS",
+    "overload_body",
+    "parse_retry_after",
     "pdf_from_wire",
     "pdf_to_wire",
+    "reuseport_available",
     "serve",
     "sizing_result_from_wire",
     "sizing_result_to_wire",

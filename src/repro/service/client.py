@@ -8,14 +8,37 @@ dependency — and re-materializes real library objects from the wire:
 :class:`~repro.core.sizer_base.SizingResult`, so callers keep using
 the same result APIs whether an analysis ran locally or server-side.
 
-Transport and HTTP-level failures surface as
-:class:`~repro.errors.ServiceError` carrying the server's error
-message when one was sent.
+Failure taxonomy (the part that makes the client overload-correct):
+
+* ``4xx/422/500`` responses are **domain failures** — the server
+  looked at the request and refused it.  They surface as
+  :class:`~repro.errors.ServiceError` with the server's message and
+  are never retried (retrying a bad request yields the same refusal).
+* ``503`` + ``Retry-After`` is an **admission rejection** — the
+  bounded queue was full and the request was turned away *before
+  executing*.  It surfaces as
+  :class:`~repro.errors.ServiceOverloadedError` and is retried for
+  every endpoint, including non-idempotent ``/optimize``: rejection
+  is pre-execution by construction, so a retry can never double-run.
+* Connection refused/reset, timeouts, and truncated responses are
+  **transport failures** — :class:`~repro.errors.ServiceTransportError`.
+  The client cannot know whether the request executed, so these are
+  retried only for idempotent requests (GET endpoints, ``/analyze``,
+  ``/yield``, ``/flush``) and never for ``/optimize`` or session
+  mutations.
+
+Retries back off exponentially from ``backoff_base_s``, honor the
+server's ``Retry-After`` hint when one was sent, add jitter so a
+rejected herd does not reconverge in lockstep, and are capped by both
+``max_retries`` and the ``total_deadline_s`` wall-clock budget.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
+import time
 import urllib.error
 import urllib.request
 from dataclasses import dataclass, field
@@ -23,8 +46,17 @@ from typing import List, Optional, Tuple
 
 from ..core.sizer_base import SizingResult
 from ..dist.pdf import DiscretePDF
-from ..errors import ServiceError
-from .protocol import PROTOCOL_VERSION, pdf_from_wire, sizing_result_from_wire
+from ..errors import (
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceTransportError,
+)
+from .protocol import (
+    PROTOCOL_VERSION,
+    parse_retry_after,
+    pdf_from_wire,
+    sizing_result_from_wire,
+)
 
 __all__ = ["ServiceClient", "AnalyzeReply", "YieldReply", "OptimizeReply"]
 
@@ -76,18 +108,40 @@ class ServiceClient:
     ``open_session`` binds config overrides server-side; subsequent
     requests from this client carry the session id automatically.
     Usable as a context manager — closes the session on exit.
+
+    ``max_retries`` bounds retry *attempts beyond the first try* for
+    overload rejections and (idempotent-only) transport failures;
+    ``total_deadline_s`` bounds the whole retry loop's wall clock.
+    ``rng`` injects a seeded :class:`random.Random` for deterministic
+    jitter in tests.
     """
 
-    def __init__(self, url: str, *, timeout_s: float = 300.0) -> None:
+    def __init__(
+        self,
+        url: str,
+        *,
+        timeout_s: float = 300.0,
+        max_retries: int = 3,
+        backoff_base_s: float = 0.1,
+        total_deadline_s: float = 120.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
         self.url = url.rstrip("/")
         self.timeout_s = float(timeout_s)
+        self.max_retries = int(max_retries)
+        self.backoff_base_s = float(backoff_base_s)
+        self.total_deadline_s = float(total_deadline_s)
         self.session_id: Optional[str] = None
+        self._rng = rng if rng is not None else random.Random()
+        #: Retries performed over this client's lifetime (observable
+        #: by tests and the CLI's verbose mode).
+        self.retries_performed = 0
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
-    def _request(self, method: str, path: str,
-                 payload: Optional[dict] = None) -> dict:
+    def _request_once(self, method: str, path: str,
+                      payload: Optional[dict] = None) -> dict:
         body = None
         headers = {}
         if method == "POST":
@@ -101,15 +155,34 @@ class ServiceClient:
                 reply = json.loads(resp.read())
         except urllib.error.HTTPError as exc:
             try:
-                detail = json.loads(exc.read()).get("error", str(exc))
+                detail_body = json.loads(exc.read())
             except Exception:
-                detail = str(exc)
+                detail_body = {}
+            detail = (
+                detail_body.get("error", str(exc))
+                if isinstance(detail_body, dict) else str(exc)
+            )
+            if exc.code == 503:
+                raise ServiceOverloadedError(
+                    f"{method} {path} rejected (503): {detail}",
+                    retry_after_s=parse_retry_after(
+                        exc.headers.get("Retry-After"), detail_body
+                    ),
+                ) from exc
             raise ServiceError(
                 f"{method} {path} failed ({exc.code}): {detail}"
             ) from exc
         except urllib.error.URLError as exc:
-            raise ServiceError(
+            raise ServiceTransportError(
                 f"cannot reach service at {self.url}: {exc.reason}"
+            ) from exc
+        except (ConnectionError, TimeoutError,
+                http.client.HTTPException) as exc:
+            # Resets/disconnects that escape urllib's URLError wrapping
+            # (RemoteDisconnected, IncompleteRead mid-body, ...).
+            raise ServiceTransportError(
+                f"transport failure talking to {self.url}: "
+                f"{type(exc).__name__}: {exc}"
             ) from exc
         except json.JSONDecodeError as exc:
             raise ServiceError(
@@ -118,6 +191,44 @@ class ServiceClient:
         if not isinstance(reply, dict):
             raise ServiceError(f"service sent a non-object reply to {path}")
         return reply
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[dict] = None, *,
+                 idempotent: Optional[bool] = None) -> dict:
+        """One request with the retry loop around it.
+
+        Overload rejections (503, pre-execution) are retryable for
+        every endpoint; transport failures only when ``idempotent``
+        (default: GET requests).  Plain :class:`ServiceError` — the
+        server answered and said no — is never retried.
+        """
+        if idempotent is None:
+            idempotent = method == "GET"
+        deadline = time.monotonic() + self.total_deadline_s
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, payload)
+            except ServiceOverloadedError as exc:
+                failure = exc
+                delay = exc.retry_after_s
+            except ServiceTransportError as exc:
+                if not idempotent:
+                    raise
+                failure = exc
+                delay = None
+            if attempt >= self.max_retries:
+                raise failure
+            if delay is None:
+                delay = self.backoff_base_s * (2.0 ** attempt)
+            # Jitter: spread a rejected herd over [delay, 1.5*delay)
+            # so it does not reconverge on the queue in lockstep.
+            delay += self._rng.uniform(0.0, 0.5 * delay)
+            if time.monotonic() + delay > deadline:
+                raise failure
+            attempt += 1
+            self.retries_performed += 1
+            time.sleep(delay)
 
     def _with_session(self, payload: dict) -> dict:
         if self.session_id is not None and "session" not in payload:
@@ -138,7 +249,12 @@ class ServiceClient:
         return reply
 
     def open_session(self, config: Optional[dict] = None) -> str:
-        reply = self._request("POST", "/session", {"config": config or {}})
+        # Not idempotent (each success creates a session): a 503 still
+        # retries — rejection is pre-execution — but a transport error
+        # might have opened a session whose id was lost; surface it.
+        reply = self._request(
+            "POST", "/session", {"config": config or {}}, idempotent=False
+        )
         self.session_id = reply["session"]
         return self.session_id
 
@@ -146,7 +262,8 @@ class ServiceClient:
         if self.session_id is None:
             return None
         reply = self._request(
-            "POST", "/session/close", {"session": self.session_id}
+            "POST", "/session/close", {"session": self.session_id},
+            idempotent=False,
         )
         self.session_id = None
         return reply.get("summary")
@@ -164,10 +281,12 @@ class ServiceClient:
         return self._request("GET", "/stats")
 
     def flush(self) -> dict:
-        return self._request("POST", "/flush")
+        # Snapshot writes are idempotent (content-keyed entries,
+        # atomic replace), so a flush lost in transport retries.
+        return self._request("POST", "/flush", idempotent=True)
 
     def shutdown(self) -> dict:
-        return self._request("POST", "/shutdown")
+        return self._request("POST", "/shutdown", idempotent=False)
 
     # ------------------------------------------------------------------
     # Analyses
@@ -187,7 +306,8 @@ class ServiceClient:
         })
         if percentiles is not None:
             payload["percentiles"] = [float(p) for p in percentiles]
-        reply = self._request("POST", "/analyze", payload)
+        # Read-only query: safe to retry across a worker restart.
+        reply = self._request("POST", "/analyze", payload, idempotent=True)
         return AnalyzeReply(
             circuit=reply["circuit"],
             scale=reply["scale"],
@@ -210,13 +330,16 @@ class ServiceClient:
         sizer: str = "pruned",
         config: Optional[dict] = None,
     ) -> OptimizeReply:
+        # NOT idempotent: an /optimize lost in transport may have run
+        # to completion server-side.  Only pre-execution rejections
+        # (503 + Retry-After) are retried — never blind resends.
         reply = self._request("POST", "/optimize", self._with_session({
             "circuit": circuit,
             "iterations": iterations,
             "scale": scale,
             "sizer": sizer,
             "config": config,
-        }))
+        }), idempotent=False)
         return OptimizeReply(
             circuit=reply["circuit"],
             scale=reply["scale"],
@@ -241,7 +364,7 @@ class ServiceClient:
             "target": target,
             "n_points": n_points,
             "config": config,
-        }))
+        }), idempotent=True)
         return YieldReply(
             circuit=reply["circuit"],
             scale=reply["scale"],

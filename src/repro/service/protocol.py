@@ -43,10 +43,45 @@ __all__ = [
     "pdf_from_wire",
     "sizing_result_to_wire",
     "sizing_result_from_wire",
+    "overload_body",
+    "parse_retry_after",
 ]
 
 #: Wire format version, checked by the client against /health.
 PROTOCOL_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Overload rejection (503) body
+# ----------------------------------------------------------------------
+# A full queue is answered straight from the accept loop with 503 +
+# ``Retry-After``.  The body mirrors the header's hint so clients
+# behind header-stripping proxies still see it; ``"overloaded": true``
+# is the machine-readable marker (the error text may evolve).
+
+def overload_body(retry_after_s: float) -> dict:
+    """The JSON body of a 503 admission rejection."""
+    return {
+        "error": "service overloaded: admission queue is full",
+        "overloaded": True,
+        "retry_after_s": float(retry_after_s),
+    }
+
+
+def parse_retry_after(header_value, body: dict) -> float | None:
+    """Extract the retry hint from a 503's ``Retry-After`` header
+    (delta-seconds form) falling back to the body's ``retry_after_s``;
+    None when neither parses."""
+    if header_value is not None:
+        try:
+            return max(0.0, float(header_value))
+        except (TypeError, ValueError):
+            pass
+    value = body.get("retry_after_s") if isinstance(body, dict) else None
+    try:
+        return max(0.0, float(value))
+    except (TypeError, ValueError):
+        return None
 
 
 def pdf_to_wire(pdf: DiscretePDF) -> dict:

@@ -1,11 +1,11 @@
 """JSON-over-HTTP front of the analysis service.
 
 A deliberately thin, dependency-light request layer (stdlib
-:class:`~http.server.ThreadingHTTPServer`) over the long-lived shared
-domain state in :class:`~repro.service.state.ServiceState` — the
-Kalmukov conference-management-system shape: requests are cheap
-adapters, all interesting state lives one layer down and survives
-across requests.
+:class:`~http.server.HTTPServer` plus a fixed handler pool) over the
+long-lived shared domain state in
+:class:`~repro.service.state.ServiceState` — the Kalmukov
+conference-management-system shape: requests are cheap adapters, all
+interesting state lives one layer down and survives across requests.
 
 Endpoints (all bodies JSON):
 
@@ -13,7 +13,7 @@ Endpoints (all bodies JSON):
 Method   Path               Action
 =======  =================  ==============================================
 GET      /health            liveness + versions
-GET      /stats             cache/session/latency aggregates
+GET      /stats             cache/session/latency/overload aggregates
 POST     /session           open a session ``{"config": {...}}`` -> id
 POST     /session/close     close ``{"session": id}``
 POST     /analyze           SSTA+STA ``{"circuit", "scale", ...}``
@@ -23,57 +23,342 @@ POST     /flush             write the cache snapshot now
 POST     /shutdown          graceful drain (responds, then stops serving)
 =======  =================  ==============================================
 
+Admission control (bounded by design, not by accident)
+-------------------------------------------------------
+The server never spawns a thread per request.  A **fixed pool** of
+handler threads drains a **bounded work queue**; the accept loop's
+only job is to enqueue the connection or — when the queue is full —
+write an immediate ``503`` with a ``Retry-After`` hint and close.
+Overload therefore degrades the service along exactly one axis:
+*whether* a request is served.  Every accepted request runs the same
+code a lone request would, so what an answer contains never depends
+on load (the bitwise invariant the overload suite pins).  Queue
+depth, rejection counts, and queue-wait percentiles are served by
+``/stats`` under ``overload``.
+
 Every request's wall-clock is recorded into the state's latency
 window (the p50/p99 numbers served by /stats and recorded in
 ``BENCH_dist.json``'s ``service`` section).
 
 Lifecycle: :func:`serve` wires warm-start (``cache_file``), a periodic
-snapshot flusher, ``atexit`` flush, and SIGTERM/SIGINT drain — the
-process stops accepting connections, finishes in-flight requests
-(daemon handler threads), flushes the snapshot, and exits 0.
+snapshot flusher, ``atexit`` flush, and SIGTERM/SIGINT drain.  The
+drain is **truncation-free**: stop accepting, finish everything
+already admitted (handler threads are tracked and joined under a
+deadline — never abandoned mid-write the way daemonized
+``ThreadingHTTPServer`` handlers were), then flush the snapshot and
+exit 0.
 """
 
 from __future__ import annotations
 
 import atexit
 import json
+import queue
 import signal
+import socket
 import threading
 import time
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Tuple
+from collections import deque
+from http.server import BaseHTTPRequestHandler, HTTPServer
+from typing import List, Optional, Tuple
 
 from .. import __version__
+from ..config import (
+    DEFAULT_SERVICE_DRAIN_TIMEOUT_S,
+    DEFAULT_SERVICE_HANDLER_THREADS,
+    DEFAULT_SERVICE_QUEUE_DEPTH,
+    DEFAULT_SERVICE_RETRY_AFTER_S,
+)
 from ..errors import ReproError, ServiceError
 from ..exec import shutdown_executors
-from .protocol import PROTOCOL_VERSION
+from .protocol import PROTOCOL_VERSION, overload_body
 from .state import ServiceState
 
-__all__ = ["AnalysisServer", "start_server", "serve"]
+__all__ = ["AnalysisServer", "OverloadStats", "start_server", "serve"]
+
+#: Queue-wait samples kept for the /stats overload percentiles.
+_QUEUE_WAIT_WINDOW = 8192
+
+#: Pool-thread stop marker (placed on the work queue *behind* every
+#: admitted request, so draining never drops accepted work).
+_SENTINEL = object()
 
 
-class AnalysisServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer bound to one :class:`ServiceState`."""
+def _quantile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank quantile of a non-empty sorted sample."""
+    idx = min(
+        len(sorted_values) - 1,
+        max(0, int(round(q * (len(sorted_values) - 1)))),
+    )
+    return sorted_values[idx]
 
-    #: In-flight requests must never pin the process at shutdown.
-    daemon_threads = True
+
+class OverloadStats:
+    """Admission accounting for one server: accepted / rejected /
+    completed tallies, the in-flight gauge, and a bounded window of
+    queue-wait samples.  Thread-safe; mutated from the accept loop and
+    every pool thread."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.accepted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.in_flight = 0
+        self._waits: deque = deque(maxlen=_QUEUE_WAIT_WINDOW)
+
+    def record_accepted(self) -> None:
+        with self._lock:
+            self.accepted += 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_started(self, queue_wait_s: float) -> None:
+        with self._lock:
+            self.in_flight += 1
+            self._waits.append(queue_wait_s)
+
+    def record_completed(self) -> None:
+        with self._lock:
+            self.in_flight -= 1
+            self.completed += 1
+
+    def snapshot(self, *, queued: int, queue_limit: int,
+                 handler_threads: int) -> dict:
+        with self._lock:
+            waits = sorted(self._waits)
+            out = {
+                "accepted": self.accepted,
+                "rejected": self.rejected,
+                "completed": self.completed,
+                "in_flight": self.in_flight,
+                "queued": queued,
+                "queue_limit": queue_limit,
+                "handler_threads": handler_threads,
+                "queue_wait_p50_ms": 0.0,
+                "queue_wait_p99_ms": 0.0,
+            }
+        if waits:
+            out["queue_wait_p50_ms"] = _quantile(waits, 0.50) * 1e3
+            out["queue_wait_p99_ms"] = _quantile(waits, 0.99) * 1e3
+        return out
+
+
+class AnalysisServer(HTTPServer):
+    """HTTP server with bounded admission over one :class:`ServiceState`.
+
+    ``handler_threads`` fixed pool threads drain a work queue bounded
+    at ``queue_depth``; a request arriving with the queue full is
+    answered ``503`` + ``Retry-After: retry_after_s`` straight from
+    the accept loop (pre-execution by construction — rejected requests
+    never touch domain state, which is what makes them safe for any
+    client to retry).  ``sock`` lets the multi-worker front hand in an
+    already-bound listening socket (``SO_REUSEPORT`` siblings).
+    """
+
     allow_reuse_address = True
 
-    def __init__(self, address: Tuple[str, int], state: ServiceState,
-                 *, quiet: bool = True) -> None:
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        state: ServiceState,
+        *,
+        quiet: bool = True,
+        handler_threads: int = DEFAULT_SERVICE_HANDLER_THREADS,
+        queue_depth: int = DEFAULT_SERVICE_QUEUE_DEPTH,
+        retry_after_s: float = DEFAULT_SERVICE_RETRY_AFTER_S,
+        sock: Optional[socket.socket] = None,
+    ) -> None:
+        if handler_threads < 1:
+            raise ServiceError(
+                f"handler_threads must be >= 1, got {handler_threads}"
+            )
+        if queue_depth < 1:
+            raise ServiceError(
+                f"queue_depth must be >= 1, got {queue_depth}"
+            )
         self.state = state
         self.quiet = quiet
-        super().__init__(address, _Handler)
+        self.handler_threads = int(handler_threads)
+        self.queue_depth = int(queue_depth)
+        self.retry_after_s = float(retry_after_s)
+        self.overload = OverloadStats()
+        self._work: "queue.Queue" = queue.Queue(maxsize=self.queue_depth)
+        self._drain_lock = threading.Lock()
+        self._drained = False
+        self._drain_clean = True
+        self._serving = False
+        # Created empty BEFORE the bind: a bind failure inside
+        # super().__init__ triggers socketserver's server_close(),
+        # which runs our drain() — it must find a (empty) pool, not
+        # an AttributeError shadowing the real OSError.
+        self._pool: List[threading.Thread] = []
+        if sock is None:
+            super().__init__(address, _Handler)
+        else:
+            # Adopt a pre-bound, already-listening socket (the
+            # pre-fork front binds per worker with SO_REUSEPORT).
+            super().__init__(address, _Handler, bind_and_activate=False)
+            self.socket.close()
+            self.socket = sock
+            host = self.socket.getsockname()
+            self.server_address = host
+            self.server_name = socket.getfqdn(host[0])
+            self.server_port = host[1]
+        # Pool threads are daemonic so a wedged handler can never pin
+        # process exit past the drain deadline; the graceful path
+        # joins them explicitly before the final flush.
+        self._pool = [
+            threading.Thread(
+                target=self._handler_loop,
+                name=f"svc-handler-{i}",
+                daemon=True,
+            )
+            for i in range(self.handler_threads)
+        ]  # populated only once the socket is live (see above)
+        for t in self._pool:
+            t.start()
 
     @property
     def url(self) -> str:
         host, port = self.server_address[:2]
         return f"http://{host}:{port}"
 
+    # ------------------------------------------------------------------
+    # Admission (runs on the accept-loop thread)
+    # ------------------------------------------------------------------
+    def process_request(self, request, client_address) -> None:
+        try:
+            self._work.put_nowait(
+                (request, client_address, time.perf_counter())
+            )
+        except queue.Full:
+            self._reject_overloaded(request)
+        else:
+            self.overload.record_accepted()
+
+    def _reject_overloaded(self, request) -> None:
+        """Immediate 503 + Retry-After, written straight to the socket
+        without *parsing* the request (bytes are drained and discarded,
+        so nothing about the request can influence the answer)."""
+        self.overload.record_rejected()
+        body = json.dumps(overload_body(self.retry_after_s)).encode("utf-8")
+        head = (
+            "HTTP/1.1 503 Service Unavailable\r\n"
+            f"Retry-After: {self.retry_after_s:g}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("ascii")
+        try:
+            # Drain what the client already sent before answering:
+            # closing a socket with unread received bytes turns into a
+            # RST that can destroy the 503 before the client reads it.
+            # Bounded so a drip-feeding client cannot pin the accept
+            # loop; requests here are a few hundred bytes, one pass.
+            request.settimeout(0.1)
+            while True:
+                chunk = request.recv(65536)
+                if not chunk or len(chunk) < 65536:
+                    break
+        except OSError:
+            pass
+        try:
+            request.settimeout(1.0)
+            request.sendall(head + body)
+        except OSError:  # pragma: no cover - client already gone
+            pass
+        finally:
+            self.shutdown_request(request)
+
+    # ------------------------------------------------------------------
+    # Handler pool
+    # ------------------------------------------------------------------
+    def _handler_loop(self) -> None:
+        while True:
+            item = self._work.get()
+            if item is _SENTINEL:
+                return
+            request, client_address, enqueued = item
+            self.overload.record_started(time.perf_counter() - enqueued)
+            try:
+                self.finish_request(request, client_address)
+            except Exception:
+                self.handle_error(request, client_address)
+            finally:
+                self.shutdown_request(request)
+                self.overload.record_completed()
+
+    def handle_error(self, request, client_address):  # pragma: no cover
+        if not self.quiet:
+            super().handle_error(request, client_address)
+
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        self._serving = True
+        try:
+            super().serve_forever(poll_interval)
+        finally:
+            self._serving = False
+
+    # ------------------------------------------------------------------
+    # Graceful drain
+    # ------------------------------------------------------------------
+    def drain(
+        self, timeout_s: float = DEFAULT_SERVICE_DRAIN_TIMEOUT_S
+    ) -> bool:
+        """Stop accepting, finish everything admitted, stop the pool.
+
+        Every queued request is handled before the pool threads see
+        their stop sentinels (FIFO order), and in-flight handlers are
+        *joined* — with ``timeout_s`` as the deadline — so a response
+        mid-write is never truncated by the final flush or process
+        exit.  Idempotent; concurrent callers serialize and the late
+        ones return the first drain's verdict.  Returns True when
+        every pool thread exited within the deadline.
+        """
+        with self._drain_lock:
+            if self._drained:
+                return self._drain_clean
+            if self._serving:
+                self.shutdown()  # blocks until serve_forever returns
+            # Sentinels queue FIFO behind all admitted work; a full
+            # queue just makes the puts wait for handler progress.
+            for _ in self._pool:
+                self._work.put(_SENTINEL)
+            deadline = time.monotonic() + float(timeout_s)
+            clean = True
+            for t in self._pool:
+                t.join(max(0.0, deadline - time.monotonic()))
+                clean = clean and not t.is_alive()
+            self._drained = True
+            self._drain_clean = clean
+            return clean
+
+    def server_close(self) -> None:
+        # Closing without an explicit drain (unit-test fixtures) still
+        # stops the pool; anything already admitted is finished first.
+        self.drain()
+        super().server_close()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def overload_snapshot(self) -> dict:
+        return self.overload.snapshot(
+            queued=self._work.qsize(),
+            queue_limit=self.queue_depth,
+            handler_threads=self.handler_threads,
+        )
+
 
 class _Handler(BaseHTTPRequestHandler):
     server_version = f"repro-ssta-service/{__version__}"
     protocol_version = "HTTP/1.1"
+    #: With a fixed pool, an idle keep-alive connection is thread
+    #: starvation; bound how long one may hold a handler.
+    timeout = 30.0
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -157,7 +442,9 @@ def _route_health(handler, state: ServiceState, payload: dict) -> dict:
 
 
 def _route_stats(handler, state: ServiceState, payload: dict) -> dict:
-    return state.stats()
+    out = state.stats()
+    out["overload"] = handler.server.overload_snapshot()
+    return out
 
 
 def _route_session_open(handler, state, payload: dict) -> dict:
@@ -219,9 +506,10 @@ def _route_flush(handler, state: ServiceState, payload: dict) -> dict:
 
 def _route_shutdown(handler, state: ServiceState, payload: dict) -> dict:
     server: AnalysisServer = handler.server
-    # shutdown() blocks until serve_forever() returns, so it must run
-    # off the handler thread; the response goes out first either way.
-    threading.Thread(target=server.shutdown, daemon=True).start()
+    # drain() joins the pool thread running this very handler, so it
+    # must run off-thread; the response goes out first either way
+    # (this handler finishes before its thread consumes a sentinel).
+    threading.Thread(target=server.drain, daemon=True).start()
     return {"shutting_down": True, "entries_saved": state.flush()}
 
 
@@ -248,16 +536,31 @@ def start_server(
     port: int = 0,
     *,
     quiet: bool = True,
+    handler_threads: int = DEFAULT_SERVICE_HANDLER_THREADS,
+    queue_depth: int = DEFAULT_SERVICE_QUEUE_DEPTH,
+    retry_after_s: float = DEFAULT_SERVICE_RETRY_AFTER_S,
+    sock: Optional[socket.socket] = None,
 ) -> AnalysisServer:
     """Bind an :class:`AnalysisServer` (port 0 picks a free port).
     The caller drives ``serve_forever`` — tests and the benchmark run
     it on a background thread; the CLI runs it in the main thread."""
-    return AnalysisServer((host, port), state, quiet=quiet)
+    return AnalysisServer(
+        (host, port),
+        state,
+        quiet=quiet,
+        handler_threads=handler_threads,
+        queue_depth=queue_depth,
+        retry_after_s=retry_after_s,
+        sock=sock,
+    )
 
 
 class _PeriodicFlusher(threading.Thread):
     """Background snapshot writer: flush every ``interval_s`` seconds
-    until stopped (the final flush at shutdown is the server's)."""
+    until stopped (the final flush at shutdown is the server's).  Both
+    paths serialize through ``ServiceState.flush``'s one flush lock,
+    and each save writes through a per-writer temp file, so a periodic
+    flush racing the drain flush can never corrupt the snapshot."""
 
     def __init__(self, state: ServiceState, interval_s: float) -> None:
         super().__init__(name="cache-flusher", daemon=True)
@@ -286,16 +589,28 @@ def serve(
     flush_interval_s: Optional[float] = 300.0,
     quiet: bool = True,
     ready_callback=None,
+    handler_threads: int = DEFAULT_SERVICE_HANDLER_THREADS,
+    queue_depth: int = DEFAULT_SERVICE_QUEUE_DEPTH,
+    retry_after_s: float = DEFAULT_SERVICE_RETRY_AFTER_S,
+    drain_timeout_s: float = DEFAULT_SERVICE_DRAIN_TIMEOUT_S,
+    server: Optional[AnalysisServer] = None,
 ) -> int:
     """Run the service until SIGTERM/SIGINT, with snapshot lifecycle.
 
     Blocks in ``serve_forever``.  On signal: stop accepting work, let
-    in-flight requests finish, flush the snapshot, return 0.
-    ``ready_callback(server)`` fires after binding (the CLI prints the
-    resolved URL there, which is how ``--port 0`` callers learn the
-    port).
+    in-flight requests finish (joined under ``drain_timeout_s``),
+    flush the snapshot, return 0.  ``ready_callback(server)`` fires
+    after binding (the CLI prints the resolved URL there, which is how
+    ``--port 0`` callers learn the port).  ``server`` accepts a
+    pre-built :class:`AnalysisServer` (the multi-worker front passes
+    one wrapping its SO_REUSEPORT socket).
     """
-    server = start_server(state, host, port, quiet=quiet)
+    if server is None:
+        server = start_server(
+            state, host, port, quiet=quiet,
+            handler_threads=handler_threads, queue_depth=queue_depth,
+            retry_after_s=retry_after_s,
+        )
     flusher = None
     if state.cache_file is not None and flush_interval_s:
         flusher = _PeriodicFlusher(state, float(flush_interval_s))
@@ -305,7 +620,9 @@ def serve(
     atexit.register(state.flush)
 
     def _drain(signum, frame):  # pragma: no cover - signal timing
-        threading.Thread(target=server.shutdown, daemon=True).start()
+        threading.Thread(
+            target=server.drain, args=(drain_timeout_s,), daemon=True
+        ).start()
 
     previous = {}
     for sig in (signal.SIGTERM, signal.SIGINT):
@@ -327,6 +644,10 @@ def serve(
                 pass
         if flusher is not None:
             flusher.stop()
+        # Wait for the in-flight handlers (idempotent when the signal
+        # thread already drained): no response may be cut off by the
+        # flush or the process exit below.
+        server.drain(drain_timeout_s)
         server.server_close()
         state.flush()
         # Arena lifecycle hook: analyses served with jobs > 1 hold

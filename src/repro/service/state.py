@@ -49,6 +49,8 @@ crash can never destroy the previous good snapshot.  The server wires
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 import time
 import uuid
@@ -175,6 +177,9 @@ class ServiceState:
         session_ttl_s: float = 3600.0,
         max_resident: int = 32,
         cache_budget_bytes: Optional[int] = None,
+        seed_file=None,
+        worker_id: Optional[int] = None,
+        stats_sidecar=None,
     ) -> None:
         if max_resident < 1:
             raise ServiceError(
@@ -193,12 +198,19 @@ class ServiceState:
         self.cache_budget_bytes = cache_budget_bytes
         self.cache_file = None
         self.loaded_entries = 0
+        self.worker_id = worker_id
+        self.stats_sidecar = (
+            None if stats_sidecar is None else os.fspath(stats_sidecar)
+        )
         if cache_file is not None:
-            import os
-
             self.cache_file = os.fspath(cache_file)
+        seed_file = None if seed_file is None else os.fspath(seed_file)
         # The ONE process-wide cache.  Warm-start from the snapshot
         # when one exists; its capacity knob still applies.
+        # ``seed_file`` is the fallback warm start: a frontend worker
+        # flushes to its *own* snapshot path but seeds from the shared
+        # reconciled one on first boot, so every worker starts from
+        # the union of its predecessors' caches.
         capacity = (
             cache.capacity
             if isinstance(cache, ConvolutionCache)
@@ -208,6 +220,9 @@ class ServiceState:
             self.cache = ConvolutionCache.load(
                 self.cache_file, capacity=capacity
             )
+            self.loaded_entries = len(self.cache)
+        elif seed_file is not None and _exists(seed_file):
+            self.cache = ConvolutionCache.load(seed_file, capacity=capacity)
             self.loaded_entries = len(self.cache)
         elif isinstance(cache, ConvolutionCache):
             self.cache = cache
@@ -529,6 +544,10 @@ class ServiceState:
         requests = hits + misses
         return {
             "uptime_s": time.monotonic() - self._started,
+            # Which process answered: the multi-worker front load-
+            # balances one port across N workers, so stats are per
+            # worker; the parent reconciles sidecars for the union.
+            "worker": {"id": self.worker_id, "pid": os.getpid()},
             "cache": {
                 "entries": len(self.cache),
                 "capacity": self.cache.capacity,
@@ -555,17 +574,38 @@ class ServiceState:
     def flush(self) -> int:
         """Write the cache snapshot (atomic replace), returning the
         number of entries written; 0 when no ``cache_file`` is set.
-        Serialized so the periodic flusher, SIGTERM drain, and atexit
-        hook never interleave two writers on one path."""
+        Serialized through one flush lock so the periodic flusher,
+        SIGTERM drain, and atexit hook never interleave on one path
+        (and each save's temp file is additionally unique per writer,
+        so even an out-of-band ``cache.save`` cannot corrupt it).
+        When a ``stats_sidecar`` is configured, the cache tallies ride
+        along as a small JSON the frontend parent folds together via
+        ``CacheStats.merge``."""
         if self.cache_file is None:
             return 0
         with self._flush_lock:
-            return self.cache.save(self.cache_file)
+            saved = self.cache.save(self.cache_file)
+            if self.stats_sidecar is not None:
+                hits, misses, evictions = self.cache.stats.snapshot()
+                payload = {
+                    "worker_id": self.worker_id,
+                    "pid": os.getpid(),
+                    "entries": len(self.cache),
+                    "hits": hits,
+                    "misses": misses,
+                    "evictions": evictions,
+                }
+                tmp = f"{self.stats_sidecar}.tmp.{os.getpid()}"
+                try:
+                    with open(tmp, "w") as fh:
+                        json.dump(payload, fh)
+                    os.replace(tmp, self.stats_sidecar)
+                except OSError:  # pragma: no cover - disk full etc.
+                    pass
+            return saved
 
 
 def _exists(path: str) -> bool:
-    import os
-
     return os.path.exists(path)
 
 

@@ -1043,3 +1043,126 @@ class TestByteBudget:
         cache.save(path)
         loaded = ConvolutionCache.load(path)
         assert loaded.approx_bytes == cache.approx_bytes
+
+
+class TestMergeSnapshots:
+    """The multi-worker front's reconciliation primitive: fold several
+    per-worker snapshot files into one, union of entries, later paths
+    winning LRU position, unreadable contributors skipped."""
+
+    def _snap(self, tmp_path, name, mus):
+        kernel = get_backend("direct")
+        cache = ConvolutionCache()
+        pairs = []
+        for mu in mus:
+            # Distinct sigmas per entry: content keys are translation-
+            # invariant, so same-shape operands at different means
+            # would all collapse into ONE cache entry.
+            a = truncated_gaussian_pdf(2.0, mu, mu / 15.0)
+            b = truncated_gaussian_pdf(2.0, mu / 2.0, mu / 25.0)
+            convolve(a, b, trim_eps=1e-9, backend=kernel, cache=cache)
+            pairs.append((a, b))
+        path = tmp_path / name
+        cache.save(path)
+        return path, pairs, kernel
+
+    def test_union_of_disjoint_workers(self, tmp_path):
+        p0, pairs0, kernel = self._snap(tmp_path, "w0", [300.0, 400.0])
+        p1, pairs1, _ = self._snap(tmp_path, "w1", [500.0, 600.0])
+        out = tmp_path / "base"
+        n = ConvolutionCache.merge_snapshots([p0, p1], out)
+        assert n == 4
+        merged = ConvolutionCache.load(out)
+        for a, b in pairs0 + pairs1:
+            assert merged.lookup_convolve(a, b, 1e-9, kernel) is not None
+
+    def test_overlap_dedupes_and_replays_bitwise(self, tmp_path):
+        p0, pairs0, kernel = self._snap(tmp_path, "w0", [300.0, 400.0])
+        p1, pairs1, _ = self._snap(tmp_path, "w1", [400.0, 500.0])
+        out = tmp_path / "base"
+        n = ConvolutionCache.merge_snapshots([p0, p1], out)
+        assert n == 3  # 400.0 pair is content-identical in both
+        merged = ConvolutionCache.load(out)
+        a, b = pairs0[1]
+        hit = merged.lookup_convolve(a, b, 1e-9, kernel)
+        plain = convolve(a, b, trim_eps=1e-9, backend=kernel)
+        assert hit is not None
+        assert_bitwise(hit, plain)
+
+    def test_missing_and_corrupt_contributors_skipped(self, tmp_path):
+        p0, pairs0, kernel = self._snap(tmp_path, "w0", [300.0])
+        corrupt = tmp_path / "w1"
+        corrupt.write_bytes(b"not a snapshot")
+        out = tmp_path / "base"
+        n = ConvolutionCache.merge_snapshots(
+            [p0, corrupt, tmp_path / "missing"], out
+        )
+        assert n == 1
+        assert len(ConvolutionCache.load(out)) == 1
+
+    def test_no_contributors_leaves_target_untouched(self, tmp_path):
+        out = tmp_path / "base"
+        out.write_bytes(b"sentinel")
+        n = ConvolutionCache.merge_snapshots(
+            [tmp_path / "missing"], out
+        )
+        assert n == 0
+        assert out.read_bytes() == b"sentinel"
+
+    def test_capacity_trims_lru_first(self, tmp_path):
+        p0, pairs0, kernel = self._snap(
+            tmp_path, "w0", [300.0, 400.0, 500.0]
+        )
+        out = tmp_path / "base"
+        n = ConvolutionCache.merge_snapshots([p0], out, capacity=2)
+        assert n == 2
+        merged = ConvolutionCache.load(out)
+        a, b = pairs0[-1]  # most recent survives
+        assert merged.lookup_convolve(a, b, 1e-9, kernel) is not None
+
+    def test_merge_into_a_contributor_path(self, tmp_path):
+        """The front merges {base, workers...} back INTO base; the
+        in-place case must not corrupt (load-all-then-write)."""
+        p0, pairs0, kernel = self._snap(tmp_path, "base", [300.0])
+        p1, pairs1, _ = self._snap(tmp_path, "base.w0", [500.0])
+        n = ConvolutionCache.merge_snapshots([p0, p1], p0)
+        assert n == 2
+        merged = ConvolutionCache.load(p0)
+        for a, b in pairs0 + pairs1:
+            assert merged.lookup_convolve(a, b, 1e-9, kernel) is not None
+
+
+class TestConcurrentSaveRace:
+    def test_parallel_saves_to_one_path_never_corrupt(self, tmp_path):
+        """Regression: save() used a pid-only temp name, so two
+        writers in one process (periodic flusher vs SIGTERM drain)
+        could interleave pickles in one temp file.  Per-writer temp
+        names make any interleaving of saves end with a loadable
+        snapshot and no leftover temp litter."""
+        kernel = get_backend("direct")
+        cache = ConvolutionCache()
+        for mu in (300.0, 400.0, 500.0):
+            a = truncated_gaussian_pdf(2.0, mu, mu / 15.0)
+            b = truncated_gaussian_pdf(2.0, mu / 2.0, mu / 25.0)
+            convolve(a, b, trim_eps=1e-9, backend=kernel, cache=cache)
+        path = tmp_path / "snap.cache"
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(25):
+                    cache.save(path)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        import threading as _threading
+
+        threads = [_threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert errors == []
+        loaded = ConvolutionCache.load(path)
+        assert len(loaded) == len(cache)
+        assert list(tmp_path.glob("*.tmp.*")) == []

@@ -1,0 +1,194 @@
+"""Client retry/backoff policy, isolated from any real server.
+
+The taxonomy under test (the satellite-3 contract):
+
+* 503 + Retry-After (``ServiceOverloadedError``) is pre-execution by
+  construction and retried for EVERY endpoint, ``/optimize`` included;
+* transport failures (``ServiceTransportError``) are retried only for
+  idempotent requests — a lost ``/optimize`` may have executed, so it
+  surfaces instead of blindly resending;
+* domain refusals (plain ``ServiceError``) are never retried;
+* waits honor the server's Retry-After hint, add jitter, back off
+  exponentially without a hint, and respect ``max_retries`` plus the
+  ``total_deadline_s`` wall-clock budget.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import (
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceTransportError,
+)
+from repro.service import ServiceClient, parse_retry_after
+
+
+class _Script:
+    """Scripted transport: raises/returns the queued outcomes in order
+    and records every attempt."""
+
+    def __init__(self, outcomes):
+        self.outcomes = list(outcomes)
+        self.calls = []
+
+    def __call__(self, method, path, payload=None):
+        self.calls.append((method, path))
+        outcome = self.outcomes.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+
+def _client(monkeypatch, outcomes, **kwargs):
+    kwargs.setdefault("rng", random.Random(7))
+    client = ServiceClient("http://example.invalid", **kwargs)
+    script = _Script(outcomes)
+    monkeypatch.setattr(client, "_request_once", script)
+    sleeps = []
+    monkeypatch.setattr(
+        "repro.service.client.time.sleep", sleeps.append
+    )
+    return client, script, sleeps
+
+
+class TestOverloadRetries:
+    def test_overload_retried_for_idempotent_get(self, monkeypatch):
+        client, script, _ = _client(monkeypatch, [
+            ServiceOverloadedError("full", retry_after_s=0.01),
+            {"ok": True},
+        ])
+        assert client._request("GET", "/stats") == {"ok": True}
+        assert client.retries_performed == 1
+        assert len(script.calls) == 2
+
+    def test_overload_retried_even_for_optimize(self, monkeypatch):
+        """Rejection happens before execution, so even the
+        non-idempotent verb retries a 503."""
+        client, script, _ = _client(monkeypatch, [
+            ServiceOverloadedError("full", retry_after_s=0.01),
+            ServiceOverloadedError("full", retry_after_s=0.01),
+            {"ok": True},
+        ])
+        reply = client._request("POST", "/optimize", {}, idempotent=False)
+        assert reply == {"ok": True}
+        assert client.retries_performed == 2
+
+    def test_retry_budget_exhausted_reraises(self, monkeypatch):
+        client, script, _ = _client(monkeypatch, [
+            ServiceOverloadedError("full", retry_after_s=0.0)
+            for _ in range(5)
+        ], max_retries=2)
+        with pytest.raises(ServiceOverloadedError):
+            client._request("GET", "/stats")
+        assert len(script.calls) == 3  # first try + 2 retries
+        assert client.retries_performed == 2
+
+    def test_honors_retry_after_with_bounded_jitter(self, monkeypatch):
+        client, _, sleeps = _client(monkeypatch, [
+            ServiceOverloadedError("full", retry_after_s=0.2),
+            {"ok": True},
+        ])
+        client._request("GET", "/stats")
+        assert len(sleeps) == 1
+        # delay + uniform(0, delay/2): herd spread, never shorter than
+        # the server asked for.
+        assert 0.2 <= sleeps[0] <= 0.3
+
+    def test_backoff_doubles_without_hint(self, monkeypatch):
+        client, _, sleeps = _client(monkeypatch, [
+            ServiceOverloadedError("full"),  # no Retry-After parsed
+            ServiceOverloadedError("full"),
+            {"ok": True},
+        ], backoff_base_s=0.1, max_retries=5)
+        client._request("GET", "/stats")
+        assert 0.1 <= sleeps[0] <= 0.15
+        assert 0.2 <= sleeps[1] <= 0.3
+
+    def test_total_deadline_caps_the_loop(self, monkeypatch):
+        client, script, sleeps = _client(monkeypatch, [
+            ServiceOverloadedError("full", retry_after_s=60.0),
+            {"ok": True},
+        ], total_deadline_s=1.0, max_retries=10)
+        # Waiting 60 s would blow the 1 s budget: re-raise, no sleep.
+        with pytest.raises(ServiceOverloadedError):
+            client._request("GET", "/stats")
+        assert sleeps == []
+        assert len(script.calls) == 1
+
+
+class TestTransportRetries:
+    def test_transport_retried_when_idempotent(self, monkeypatch):
+        client, script, _ = _client(monkeypatch, [
+            ServiceTransportError("connection reset"),
+            {"ok": True},
+        ])
+        reply = client._request("POST", "/analyze", {}, idempotent=True)
+        assert reply == {"ok": True}
+        assert client.retries_performed == 1
+
+    def test_transport_never_retried_for_optimize(self, monkeypatch):
+        """The lost request may have run to completion server-side;
+        a blind resend could double-execute."""
+        client, script, _ = _client(monkeypatch, [
+            ServiceTransportError("connection reset"),
+            {"ok": True},
+        ])
+        with pytest.raises(ServiceTransportError):
+            client._request("POST", "/optimize", {}, idempotent=False)
+        assert len(script.calls) == 1
+        assert client.retries_performed == 0
+
+    def test_post_defaults_to_non_idempotent(self, monkeypatch):
+        client, script, _ = _client(monkeypatch, [
+            ServiceTransportError("refused"),
+            {"ok": True},
+        ])
+        with pytest.raises(ServiceTransportError):
+            client._request("POST", "/anything", {})
+        assert len(script.calls) == 1
+
+    def test_get_defaults_to_idempotent(self, monkeypatch):
+        client, script, _ = _client(monkeypatch, [
+            ServiceTransportError("refused"),
+            {"ok": True},
+        ])
+        assert client._request("GET", "/health") == {"ok": True}
+        assert client.retries_performed == 1
+
+
+class TestDomainErrorsNeverRetry:
+    def test_service_error_reraised_immediately(self, monkeypatch):
+        client, script, sleeps = _client(monkeypatch, [
+            ServiceError("unknown circuit 'c9999'"),
+            {"ok": True},
+        ])
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/stats")
+        # Not one of the retryable subtypes:
+        assert not isinstance(
+            excinfo.value, (ServiceOverloadedError, ServiceTransportError)
+        )
+        assert len(script.calls) == 1
+        assert sleeps == []
+
+
+class TestParseRetryAfter:
+    def test_header_delta_seconds_wins(self):
+        assert parse_retry_after("2.5", {"retry_after_s": 9.0}) == 2.5
+
+    def test_body_fallback(self):
+        assert parse_retry_after(None, {"retry_after_s": 1.5}) == 1.5
+
+    def test_unparseable_header_falls_back_to_body(self):
+        assert parse_retry_after(
+            "Wed, 21 Oct 2026 07:28:00 GMT", {"retry_after_s": 3.0}
+        ) == 3.0
+
+    def test_negative_clamped_to_zero(self):
+        assert parse_retry_after("-5", {}) == 0.0
+
+    def test_nothing_parses_returns_none(self):
+        assert parse_retry_after(None, {}) is None
+        assert parse_retry_after("soon", {"retry_after_s": "soon"}) is None

@@ -275,5 +275,6 @@ class TestStats:
         # Shared-memory operand accounting is surfaced for operators:
         # a serial-only state holds no live arenas.
         arena = stats["arena"]
-        assert set(arena) == {"arenas", "segments", "bytes"}
+        assert set(arena) == {"arenas", "segments", "bytes", "detail"}
         assert arena["arenas"] >= 0
+        assert arena["detail"] == []  # serial state: no live arenas
