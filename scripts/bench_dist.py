@@ -16,8 +16,12 @@ bitwise-vs-local and golden-file gates), probes overload behaviour
 (the ``service.overload`` section: rejection latency at a provably
 saturated admission queue with a p99 gate, no-thread-growth gate,
 retry-client bitwise gate, and a 4-worker ``SO_REUSEPORT`` front run
-with reconciled aggregate cache stats), and writes ``BENCH_dist.json``
-next to the repo root.  Every future optimization of the hot path
+with reconciled aggregate cache stats), walks the scaled-up netlist
+ladder (the ``scale`` section: gates vs generation/SSTA wall-clock
+and peak-RSS curves, each size point in its own subprocess so
+``ru_maxrss`` is an honest per-size high-water mark, with the sparse
+arrival-store footprint against its dense equivalent), and writes
+``BENCH_dist.json`` next to the repo root.  Every future optimization of the hot path
 should move these numbers and nothing else.
 
 ``--check-drift`` additionally asserts (used by the CI benchmark smoke
@@ -40,7 +44,11 @@ violation):
   tuples, not mass vectors, cross the process boundary);
 * the quick c17 sizer run serves at least ``--min-hit-rate`` of its
   kernel requests from the cache — a silently broken cache key fails
-  the build instead of quietly recomputing everything.
+  the build instead of quietly recomputing everything;
+* the scale ladder stays linear: doubling the gate count may cost at
+  most ~2.8x wall-clock (generation and SSTA separately — a quadratic
+  regression in either shows up here first), and the sparse-storage
+  sink agrees with the dense run within 1e-12 total variation.
 
 Run:  python scripts/bench_dist.py [--quick] [--check-drift]
                                    [--min-hit-rate R] [--out BENCH.json]
@@ -903,6 +911,164 @@ def _bench_service_overload(quick: bool) -> dict:
     return out
 
 
+#: Scale-up ladder, as factors of the c880 spec (383 gates): the full
+#: run tops out at ~10^5 gates, the quick run at ~1.5 * 10^4.
+SCALE_FACTORS = [27, 68, 137, 274]
+SCALE_FACTORS_QUICK = [10, 20, 40]
+#: Coarse grid for the large-netlist SSTA points (the storage scaling
+#: is the point of the exercise at these node counts, not grid
+#: resolution) and the per-store sparsification budget.
+SCALE_DT = 16.0
+SCALE_SPARSE_EPS = 1e-16
+#: Doubling the gate count may cost at most 2^1.485 ~ 2.8x wall-clock
+#: (measured ~2.0x-2.4x; the slack absorbs noisy CI runners).  The
+#: ladder gate compares its endpoints, so the allowance compounds per
+#: doubling: allowed = (gate ratio) ** 1.485.
+SCALE_SUPERLINEAR_EXP = 1.485
+#: Whole-analysis sparse-vs-dense budget at the golden sinks.
+SCALE_TV_BUDGET = 1e-12
+
+
+def _scale_point(factor: float) -> dict:
+    """One ladder point — runs in a dedicated subprocess (see
+    ``--scale-point``) so ``ru_maxrss``, a process-lifetime high-water
+    mark, measures THIS size instead of the largest size run so far."""
+    import resource
+
+    from repro.dist.sparse import SparseDiscretePDF
+    from repro.netlist.benchmarks import spec_for
+    from repro.netlist.generate import generate_circuit
+    from repro.timing.delay_model import DelayModel
+    from repro.timing.graph import TimingGraph
+    from repro.timing.ssta import run_ssta
+
+    spec = spec_for("c880").scaled(factor)
+    gen_s = float("inf")
+    for _ in range(3):  # best-of-3: generation is seconds at 10^5 gates
+        t0 = time.perf_counter()
+        circuit = generate_circuit(spec)
+        gen_s = min(gen_s, time.perf_counter() - t0)
+    cfg = AnalysisConfig(dt=SCALE_DT, sparse_eps=SCALE_SPARSE_EPS)
+    graph = TimingGraph(circuit)
+    model = DelayModel(circuit, config=cfg)
+    t0 = time.perf_counter()
+    result = run_ssta(graph, model, config=cfg)
+    ssta_s = time.perf_counter() - t0
+    sparse_b = dense_b = 0
+    for pdf in result.arrivals:
+        if isinstance(pdf, SparseDiscretePDF):
+            sparse_b += pdf.nbytes
+            dense_b += 8 * pdf.n_bins
+    maxrss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return {
+        "factor": factor,
+        "gates": circuit.n_gates,
+        "pin_edges": circuit.n_pin_edges,
+        "depth": circuit.depth(),
+        "generate_s": round(gen_s, 4),
+        "ssta_s": round(ssta_s, 4),
+        "peak_rss_mb": round(maxrss_kb / 1024.0, 1),
+        "arrival_store_sparse_mb": round(sparse_b / 1e6, 3),
+        "arrival_store_dense_mb": round(dense_b / 1e6, 3),
+        "sink_p99_ps": round(result.percentile(0.99), 3),
+    }
+
+
+def _bench_scale(quick: bool, check_drift: bool) -> dict:
+    """The million-gate workload class: gates vs wall-clock and
+    peak-RSS curves over the scaled-c880 ladder.
+
+    Each size point forks a fresh interpreter (``--scale-point``) so
+    its ``ru_maxrss`` is an honest per-size peak.  Under
+    ``--check-drift`` two gates assert (SystemExit on breach, like the
+    service gates): the ladder endpoints stay linear — doubling gates
+    costs at most ~2.8x wall-clock for generation AND for the SSTA
+    pass — and the sparse-storage sink on base c880 agrees with the
+    dense run within ``SCALE_TV_BUDGET`` total variation.
+    """
+    import subprocess
+
+    from repro.netlist.benchmarks import load
+    from repro.timing.delay_model import DelayModel
+    from repro.timing.graph import TimingGraph
+    from repro.timing.ssta import run_ssta
+
+    factors = SCALE_FACTORS_QUICK if quick else SCALE_FACTORS
+    points = []
+    for factor in factors:
+        proc = subprocess.run(
+            [sys.executable, str(Path(__file__).resolve()),
+             "--scale-point", str(factor)],
+            capture_output=True, text=True, timeout=600,
+        )
+        if proc.returncode != 0:
+            raise SystemExit(
+                f"scale point factor={factor} failed:\n{proc.stderr}"
+            )
+        point = json.loads(proc.stdout)
+        points.append(point)
+        print(
+            f"scale x{factor:<4d} gates={point['gates']:7d}  "
+            f"generate={point['generate_s']:7.2f}s  "
+            f"ssta={point['ssta_s']:7.2f}s  "
+            f"peak-rss={point['peak_rss_mb']:7.1f} MB  "
+            f"store sparse={point['arrival_store_sparse_mb']:8.3f} MB "
+            f"(dense {point['arrival_store_dense_mb']:.3f} MB)"
+        )
+
+    small, big = points[0], points[-1]
+    gate_ratio = big["gates"] / small["gates"]
+    allowed = gate_ratio ** SCALE_SUPERLINEAR_EXP
+    gen_ratio = big["generate_s"] / max(small["generate_s"], 1e-9)
+    ssta_ratio = big["ssta_s"] / max(small["ssta_s"], 1e-9)
+    linear_ok = gen_ratio <= allowed and ssta_ratio <= allowed
+    print(
+        f"scale linearity: {gate_ratio:.1f}x gates cost "
+        f"{gen_ratio:.2f}x generation / {ssta_ratio:.2f}x ssta "
+        f"(allowed {allowed:.2f}x) -> {'ok' if linear_ok else 'FAIL'}"
+    )
+
+    # Sparse-vs-dense differential on the base circuit, in-process
+    # (cheap) — the storage knob must not move the answer.
+    sinks = {}
+    for eps in (0.0, SCALE_SPARSE_EPS):
+        cfg = AnalysisConfig(dt=SCALE_DT, sparse_eps=eps)
+        circuit = load("c880")
+        model = DelayModel(circuit, config=cfg)
+        sinks[eps] = run_ssta(TimingGraph(circuit), model,
+                              config=cfg).sink_pdf
+    tv = sinks[0.0].tv_distance(sinks[SCALE_SPARSE_EPS])
+    tv_ok = tv <= SCALE_TV_BUDGET
+    print(f"scale sparse-vs-dense c880 sink tv={tv:.3e} "
+          f"(budget {SCALE_TV_BUDGET:.0e}) -> {'ok' if tv_ok else 'FAIL'}")
+
+    if check_drift:
+        failures = []
+        if not linear_ok:
+            failures.append(
+                ("scale-superlinear", round(max(gen_ratio, ssta_ratio), 3))
+            )
+        if not tv_ok:
+            failures.append(("scale-sparse-tv", tv))
+        if failures:
+            raise SystemExit(f"scale drift gates failed: {failures}")
+
+    return {
+        "base_spec": "c880",
+        "dt": SCALE_DT,
+        "sparse_eps": SCALE_SPARSE_EPS,
+        "points": points,
+        "gate_ratio": round(gate_ratio, 2),
+        "generate_time_ratio": round(gen_ratio, 2),
+        "ssta_time_ratio": round(ssta_ratio, 2),
+        "allowed_time_ratio": round(allowed, 2),
+        "linear_ok": linear_ok,
+        "sparse_vs_dense_sink_tv": tv,
+        "tv_budget": SCALE_TV_BUDGET,
+        "tv_ok": tv_ok,
+    }
+
+
 def _bench_ssta_c432() -> dict:
     """End-to-end run_ssta wall time on c432 per backend (fresh model
     each run so the delay-PDF cache does not leak across backends)."""
@@ -1154,6 +1320,7 @@ def run(
         "service": _bench_service(quick),
     }
     payload["service"]["overload"] = _bench_service_overload(quick)
+    payload["scale"] = _bench_scale(quick, check_drift)
     if not quick:
         payload["run_ssta_c432"] = _bench_ssta_c432()
         payload["sizers"] = _bench_sizers(quick=False)
@@ -1174,15 +1341,25 @@ def main(argv=None) -> int:
                              "c432 jobs=2 parallel-vs-serial sink "
                              "inequality (shm and pickle transports), "
                              "an shm payload above 10%% of pickle's, "
-                             "or a quick-sizer cache hit rate below "
-                             "--min-hit-rate")
+                             "a quick-sizer cache hit rate below "
+                             "--min-hit-rate, a superlinear scale "
+                             "ladder, or a sparse-storage sink off the "
+                             "dense run by more than 1e-12 TV")
     parser.add_argument("--min-hit-rate", type=float,
                         default=DEFAULT_MIN_HIT_RATE,
                         help="minimum cache hit rate the quick sizer "
                              "benchmark must reach under --check-drift")
     parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_dist.json"),
                         help="output JSON path (default: repo root)")
+    # Internal: run ONE scale-ladder point and print its JSON row —
+    # _bench_scale forks one of these per size so ru_maxrss (a
+    # process-lifetime high-water mark) is honest per point.
+    parser.add_argument("--scale-point", type=float, default=None,
+                        help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
+    if args.scale_point is not None:
+        print(json.dumps(_scale_point(args.scale_point)))
+        return 0
     payload = run(quick=args.quick, check_drift=args.check_drift,
                   min_hit_rate=args.min_hit_rate)
     out = Path(args.out)

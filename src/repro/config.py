@@ -148,6 +148,18 @@ class AnalysisConfig:
     vectors per shard.  Like every other execution knob it changes
     cost, never answers — both transports are locked bitwise to the
     serial plan by the arena differential suite and the CI drift gate.
+
+    ``sparse_eps`` enables sparse-grid arrival storage
+    (:class:`repro.dist.sparse.SparseDiscretePDF`): when positive, the
+    SSTA engines store each propagated arrival in threshold-masked
+    run-length form, dropping at most ``sparse_eps`` total mass per
+    node, and the kernels densify operands on entry.  ``0.0`` (the
+    default) keeps dense storage and is bitwise inert.  Unlike the
+    execution knobs this one *does* perturb answers — by a total-
+    variation budget that grows at most linearly in depth, kept under
+    1e-12 at the golden sinks for the default 1e-16 working value (see
+    ``repro.dist.sparse``); the ceiling below blocks budgets large
+    enough to be visible at analysis precision.
     """
 
     dt: float = DEFAULT_DT_PS
@@ -161,6 +173,7 @@ class AnalysisConfig:
     level_batch: bool = True
     jobs: int = 1
     transport: str = DEFAULT_TRANSPORT
+    sparse_eps: float = 0.0
 
     def __post_init__(self) -> None:
         if self.dt <= 0.0:
@@ -196,6 +209,10 @@ class AnalysisConfig:
         ):
             raise ValueError(
                 f"jobs must be an int >= 1, got {self.jobs!r}"
+            )
+        if not 0.0 <= self.sparse_eps < 1e-3:
+            raise ValueError(
+                f"sparse_eps must be in [0, 1e-3), got {self.sparse_eps}"
             )
         if self.transport not in KNOWN_TRANSPORTS:
             raise ValueError(

@@ -51,6 +51,7 @@ from ..dist.backends import get_backend
 from ..dist.metrics import max_percentile_gap
 from ..dist.ops import OpCounter
 from ..dist.pdf import DiscretePDF
+from ..dist.sparse import as_dense
 from ..errors import OptimizationError
 from ..exec import get_executor
 from ..netlist.circuit import Gate
@@ -315,9 +316,13 @@ class PerturbationFront:
                 )
             self.nodes_computed += 1
             self._retire_fanins(node)
-            base_pdf = self.base.arrivals[node]
+            # The dependency ledger records the *stored* object (its
+            # identity is what try_rebase checks); numerics use the
+            # dense form, which sparse-stored bases rebuild on read.
+            base_stored = self.base.arrivals[node]
             if self._track_deps:
-                self._dep_arrivals[node] = base_pdf
+                self._dep_arrivals[node] = base_stored
+            base_pdf = as_dense(base_stored)
             if self.drop_identical and _identical(perturbed, base_pdf):
                 continue  # perturbation fully absorbed at this node
             if node == self.graph.sink:

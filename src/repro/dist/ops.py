@@ -65,6 +65,7 @@ from ..errors import DistributionError, GridMismatchError
 from .backends import BackendLike, get_backend
 from .cache import ConvolutionCache
 from .pdf import DiscretePDF
+from .sparse import as_dense
 
 __all__ = [
     "OpCounter",
@@ -180,7 +181,13 @@ def convolve(
     ``cache`` memoizes results keyed by operand content — hits are
     bit-identical to fresh computations and tallied separately on the
     counter (they are not computed work).
+
+    Sparse (:class:`~repro.dist.sparse.SparseDiscretePDF`) operands are
+    densified on entry — here as in every public kernel entry point —
+    so caches, counters, and backends only ever see dense vectors.
     """
+    a = as_dense(a)
+    b = as_dense(b)
     dt = _require_same_grid((a, b))
     kernel = get_backend(backend)
     if cache is not None:
@@ -266,7 +273,7 @@ def convolve_many(
     the cache request stream is independent of the executor choice;
     ``None`` keeps the historical inline path.
     """
-    pairs = list(pairs)
+    pairs = [(as_dense(a), as_dense(b)) for a, b in pairs]
     if not pairs:
         return []
     kernel = get_backend(backend)
@@ -389,6 +396,7 @@ def _independence_max(
     cache: Optional[ConvolutionCache] = None,
 ) -> DiscretePDF:
     get_backend(backend)  # validate eagerly; the max itself is backend-free
+    pdfs = [as_dense(p) for p in pdfs]
     dt = _require_same_grid(pdfs)
     if cache is not None:
         hit = cache.lookup_max(pdfs, trim_eps)
@@ -537,7 +545,7 @@ def stat_max_many(
         raise DistributionError("stat_max_many needs at least one distribution")
     if len(pdfs) == 1:
         get_backend(backend)
-        return pdfs[0].trimmed(trim_eps)
+        return as_dense(pdfs[0]).trimmed(trim_eps)
     return _independence_max(pdfs, trim_eps, counter, backend, cache)
 
 
@@ -571,7 +579,7 @@ def stat_max_groups(
     groups, while cache resolution, dedupe, result construction, and
     stores stay in the calling process.
     """
-    groups = [list(g) for g in groups]
+    groups = [[as_dense(p) for p in g] for g in groups]
     if not groups:
         return []
     get_backend(backend)  # validate once; the max itself is backend-free

@@ -1,0 +1,214 @@
+"""Sparse-grid storage for wide-support arrival distributions.
+
+At 10^5-10^6 nodes the SSTA arrival store is the memory wall: every
+node pins a dense float64 mass vector whose width grows with depth and
+sigma, yet in wide-sigma scenarios almost all interior bins carry
+negligible mass.  :class:`SparseDiscretePDF` is the storage-side fix —
+a threshold-masked, run-length-encoded snapshot of a
+:class:`~repro.dist.pdf.DiscretePDF` that keeps only the bins carrying
+real mass (plus the two boundary bins, which pin the support and
+offset arithmetic).
+
+It is a *storage* representation, by composition rather than
+subclassing: the propagation kernels in :mod:`~repro.dist.ops` accept
+sparse operands and densify them on entry (:func:`as_dense`), compute
+densely, and the engines re-sparsify what they store.  That keeps the
+kernel/cache/backends contract untouched — one numeric path, no sparse
+arithmetic to re-verify — while the resident set shrinks to the
+occupied bins.
+
+Accuracy contract: for ``eps > 0``, :func:`sparsify` drops at most
+``eps`` total mass (per-bin threshold ``eps / n_bins``), and the
+renormalized round-trip satisfies
+``tv_distance(dense, sparse.to_dense()) <= eps + r`` where ``r`` is
+the machine-precision renormalization term (~1e-16: re-dividing by the
+kept total rounds every bin once).  Total-variation
+distance is subadditive under both propagation kernels (ADD convolves
+the error kernel; the MAX CDF product is a monotone contraction), so a
+per-store budget of ``eps`` grows at most linearly along the deepest
+path — the Hypothesis differentials in ``tests/dist/test_sparse.py``
+and the golden-sink gates pin a whole-analysis budget of 1e-12 at the
+defaults.  ``eps = 0`` drops only exactly-zero bins and round-trips
+bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..errors import DistributionError
+from .pdf import DiscretePDF
+
+__all__ = ["SparseDiscretePDF", "sparsify", "as_dense"]
+
+PDFLike = Union[DiscretePDF, "SparseDiscretePDF"]
+
+
+class SparseDiscretePDF:
+    """Run-length-encoded, threshold-masked view of a dense PDF.
+
+    Stores the kept bins of a :class:`DiscretePDF` as contiguous runs:
+    ``values[pos : pos + lengths[r]]`` are the masses of the run
+    starting at bin ``starts[r]``.  Unimodal arrival PDFs mask to a
+    single central run plus the boundary bins, so the overhead over the
+    raw kept masses is a few integers.
+
+    Instances are immutable and cheap to hold: no dense buffer, no
+    cached queries.  Analysis-side reads go through :meth:`to_dense`
+    (or the :func:`as_dense` helper), which rebuilds the dense vector
+    deterministically — the same bits every call.
+    """
+
+    __slots__ = (
+        "dt", "offset", "n_bins", "starts", "lengths", "values", "_dropped"
+    )
+
+    def __init__(
+        self,
+        dt: float,
+        offset: int,
+        n_bins: int,
+        starts: np.ndarray,
+        lengths: np.ndarray,
+        values: np.ndarray,
+        dropped: bool = False,
+    ) -> None:
+        self.dt = dt
+        self.offset = int(offset)
+        self.n_bins = int(n_bins)
+        self.starts = starts
+        self.lengths = lengths
+        self.values = values
+        self._dropped = bool(dropped)
+
+    # ------------------------------------------------------------------
+    # Construction / round-trip
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense(cls, pdf: DiscretePDF, eps: float = 0.0) -> "SparseDiscretePDF":
+        """Mask and encode ``pdf``, dropping at most ``eps`` total mass.
+
+        Bins with mass at or below ``eps / n_bins`` are dropped, except
+        the first and last bin, which always survive so the sparse form
+        preserves ``offset``/``n_bins``/``support`` exactly.  With
+        ``eps = 0`` only exactly-zero interior bins are dropped and
+        :meth:`to_dense` round-trips bitwise.
+        """
+        if eps < 0.0 or not np.isfinite(eps):
+            raise DistributionError(
+                f"sparsification budget must be finite and >= 0, got {eps}"
+            )
+        masses = pdf.masses
+        n = masses.size
+        keep = masses > (eps / n)
+        # Boundary bins pin the support and the offset arithmetic.
+        keep[0] = True
+        keep[n - 1] = True
+        idx = np.flatnonzero(keep)
+        # Contiguous index stretches become runs.
+        cuts = np.flatnonzero(np.diff(idx) > 1) + 1
+        run_bounds = np.concatenate(([0], cuts, [idx.size]))
+        starts = idx[run_bounds[:-1]].astype(np.int64)
+        lengths = (run_bounds[1:] - run_bounds[:-1]).astype(np.int64)
+        values = masses[keep].copy()
+        values.flags.writeable = False
+        starts.flags.writeable = False
+        lengths.flags.writeable = False
+        # Masking exact zeros loses nothing; only then can the round
+        # trip skip renormalization and reproduce the source bitwise
+        # (re-dividing an already-normalized vector whose float sum is
+        # not exactly 1.0 would perturb the bits).
+        dropped = bool(np.any(~keep & (masses != 0.0)))
+        return cls(pdf.dt, pdf.offset, n, starts, lengths, values, dropped)
+
+    def to_dense(self) -> DiscretePDF:
+        """Deterministic dense reconstruction (renormalized only when
+        masking actually dropped mass).  Pure function of the stored
+        runs: repeated calls return bit-identical distributions."""
+        dense = np.zeros(self.n_bins, dtype=np.float64)
+        pos = 0
+        for start, length in zip(self.starts.tolist(), self.lengths.tolist()):
+            dense[start : start + length] = self.values[pos : pos + length]
+            pos += length
+        if self._dropped:
+            return DiscretePDF._trusted(self.dt, self.offset, dense)
+        # Lossless encoding: the scattered vector is bit-identical to
+        # the source masses, which were already normalized exactly once
+        # on their original construction — hand them over untouched.
+        dense.flags.writeable = False
+        return DiscretePDF._from_view(self.dt, self.offset, dense)
+
+    # ------------------------------------------------------------------
+    # Storage accounting
+    # ------------------------------------------------------------------
+    @property
+    def kept_bins(self) -> int:
+        """Number of bins that survived masking."""
+        return self.values.size
+
+    @property
+    def dropped_mass(self) -> float:
+        """Total mass removed by masking (renormalized away on
+        densify)."""
+        return max(0.0, 1.0 - float(self.values.sum()))
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the encoded form (the dense equivalent is
+        ``8 * n_bins``)."""
+        return self.values.nbytes + self.starts.nbytes + self.lengths.nbytes
+
+    # ------------------------------------------------------------------
+    # Query API — delegates to the dense reconstruction (no memo, so
+    # holding many sparse arrivals keeps the memory win).
+    # ------------------------------------------------------------------
+    @property
+    def support(self) -> tuple:
+        return (self.offset * self.dt, (self.offset + self.n_bins - 1) * self.dt)
+
+    def mean(self) -> float:
+        return self.to_dense().mean()
+
+    def var(self) -> float:
+        return self.to_dense().var()
+
+    def std(self) -> float:
+        return self.to_dense().std()
+
+    def cdf_at(self, t):
+        return self.to_dense().cdf_at(t)
+
+    def percentile(self, p: float) -> float:
+        return self.to_dense().percentile(p)
+
+    def percentiles(self, levels) -> np.ndarray:
+        return self.to_dense().percentiles(levels)
+
+    def tv_distance(self, other: PDFLike) -> float:
+        return self.to_dense().tv_distance(as_dense(other))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SparseDiscretePDF(dt={self.dt}, offset={self.offset}, "
+            f"bins={self.kept_bins}/{self.n_bins} in "
+            f"{self.starts.size} runs)"
+        )
+
+
+def sparsify(pdf: PDFLike, eps: float) -> SparseDiscretePDF:
+    """Sparse form of ``pdf`` at budget ``eps`` (idempotent: an already
+    sparse operand passes through unchanged)."""
+    if isinstance(pdf, SparseDiscretePDF):
+        return pdf
+    return SparseDiscretePDF.from_dense(pdf, eps)
+
+
+def as_dense(pdf: PDFLike) -> DiscretePDF:
+    """Dense form of ``pdf`` — the kernels' operand normalization.  A
+    dense operand passes through untouched (zero overhead on the
+    default path)."""
+    if isinstance(pdf, SparseDiscretePDF):
+        return pdf.to_dense()
+    return pdf

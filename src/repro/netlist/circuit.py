@@ -84,6 +84,7 @@ class Circuit:
         self._outputs: List[str] = []
         self._gates: Dict[str, Gate] = {}
         self._input_set: set = set()
+        self._output_set: set = set()
         # Lazy topology caches.
         self._fanouts: Optional[Dict[str, List[Tuple[Gate, int]]]] = None
         self._topo_gates: Optional[List[Gate]] = None
@@ -105,9 +106,10 @@ class Circuit:
     def add_output(self, net: str) -> None:
         """Declare a primary output net (must be driven by the time the
         circuit is validated)."""
-        if net in self._outputs:
+        if net in self._output_set:
             raise NetlistError(f"duplicate primary output {net!r}")
         self._outputs.append(net)
+        self._output_set.add(net)
 
     def add_gate(
         self,

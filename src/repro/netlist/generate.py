@@ -16,7 +16,23 @@ which preserves every behaviour the experiments measure:
   fan-out nets create the reconvergence that makes the statistical-max
   upper bound (and thus the pruning theory) non-trivial.
 
-Generation is deterministic per ``(spec, seed)``.
+Generation is deterministic per ``(spec, seed)`` and runs in
+O((nodes + edges) * log width): the wiring loop selects pins through
+per-level Fenwick order-statistics pools (:class:`_LevelPool`) that
+draw the *same element with the same RNG stream* as the historical
+``[n for n in prev if n in unconsumed]`` list rescans, without their
+O(width^2)-per-level cost.  The paper-suite circuits are therefore
+byte-identical to the pre-rewrite generator — pinned by the
+structure-fingerprint regression in ``tests/netlist/golden/``.
+
+One deliberate exception to stream preservation: when rewiring unused
+primary inputs would cost more than :data:`_ABSORB_SHUFFLE_BUDGET`
+RNG-shuffle steps (never the case for any paper-suite spec — their
+worst product is ~180k), :func:`_absorb_unused_inputs` switches from
+the historical shuffle-per-PI protocol to a single-shuffle cursor scan.
+Synthetic scale-class circuits have no golden baseline to preserve and
+the historical protocol is O(unused_PIs x gates) — a quadratic wall at
+10^5+ gates.
 """
 
 from __future__ import annotations
@@ -29,7 +45,14 @@ from ..errors import NetlistError
 from ..library.library import CellLibrary, default_library
 from .circuit import Circuit
 
-__all__ = ["CircuitSpec", "generate_circuit"]
+__all__ = ["CircuitSpec", "generate_circuit", "MAX_SCALED_GATES"]
+
+#: Largest gate count :meth:`CircuitSpec.scaled` will produce.  The
+#: generator itself is near-linear, but downstream analyses (graph
+#: build, per-node PDFs) have been validated up to the 10^6-node class;
+#: beyond this the spec is refused loudly rather than silently
+#: producing a workload nothing has been sized for.
+MAX_SCALED_GATES: int = 4_000_000
 
 
 @dataclass(frozen=True)
@@ -86,15 +109,36 @@ class CircuitSpec:
         return self.n_inputs + self.n_gates
 
     def scaled(self, factor: float, *, name: Optional[str] = None) -> "CircuitSpec":
-        """A proportionally smaller (or larger) variant of this spec.
+        """A proportionally smaller **or larger** variant of this spec.
 
-        Used by the experiment harness to run paper-shaped workloads at
-        laptop-friendly sizes; the fan-in mix (edges per gate) and the
-        relative depth are preserved.
+        Down-scaling (``factor < 1``) runs paper-shaped workloads at
+        laptop-friendly sizes; up-scaling (``factor`` of 10^2-10^3)
+        opens the synthetic large-netlist class the scale benchmarks
+        exercise.  Either way the fan-in mix (edges per gate) is
+        preserved and every derived quantity is clamped into the
+        validated envelope:
+
+        * ``depth`` grows with sqrt(factor) — levels stay wide, which
+          is what keeps level-batched propagation efficient — and is
+          capped at ``n_gates``;
+        * per-gate fan-in is capped at ``min(4, n_inputs)`` (the
+          library's widest cell);
+        * ``n_pin_edges`` is clamped into ``[n_gates, cap * n_gates]``;
+        * gate counts beyond :data:`MAX_SCALED_GATES` are refused
+          loudly — the envelope downstream analyses are validated for.
+
+        The resulting spec re-runs full :class:`CircuitSpec` validation,
+        so a scaled spec is valid by construction or raises.
         """
         if factor <= 0.0:
             raise NetlistError(f"scale factor must be positive, got {factor}")
         n_gates = max(2, round(self.n_gates * factor))
+        if n_gates > MAX_SCALED_GATES:
+            raise NetlistError(
+                f"{self.name}: scale factor {factor:g} would produce "
+                f"{n_gates} gates, beyond the validated cap of "
+                f"{MAX_SCALED_GATES} (MAX_SCALED_GATES)"
+            )
         depth = max(1, min(n_gates, round(self.depth * factor ** 0.5)))
         edges_per_gate = self.n_pin_edges / self.n_gates
         n_inputs = max(2, round(self.n_inputs * factor))
@@ -180,6 +224,101 @@ def _gates_per_level(spec: CircuitSpec, rng: random.Random) -> List[int]:
     return counts
 
 
+class _LevelPool:
+    """Order-statistics view of one level's not-yet-consumed nets.
+
+    A Fenwick (binary indexed) tree over the level's net positions.
+    ``kth(k)`` returns the k-th unconsumed net *in level order* —
+    exactly the element ``[n for n in level if n in unconsumed][k]``
+    selects — at O(log width) instead of the rescan's O(width), which
+    is what takes the wiring loop from O(width^2) per level to
+    O(width log width).  ``rng.choice(filtered_list)`` and
+    ``pool.kth(rng.randrange(pool.live))`` consume identical RNG state
+    (both reduce to ``_randbelow(len)``), so the rewrite preserves the
+    historical draw stream bit for bit.
+    """
+
+    __slots__ = ("nets", "_alive", "_tree", "_span", "live")
+
+    def __init__(self, capacity: int) -> None:
+        span = 1
+        while span < capacity:
+            span <<= 1
+        self._span = span
+        self._tree = [0] * (span + 1)
+        self.nets: List[str] = []
+        self._alive: List[bool] = []
+        self.live = 0
+
+    def add(self, net: str) -> int:
+        """Append an unconsumed net; returns its level position."""
+        i = len(self.nets)
+        self.nets.append(net)
+        self._alive.append(True)
+        self.live += 1
+        tree = self._tree
+        j = i + 1
+        while j <= self._span:
+            tree[j] += 1
+            j += j & -j
+        return i
+
+    def consume(self, pos: int) -> None:
+        """Mark the net at level position ``pos`` consumed (idempotent)."""
+        if not self._alive[pos]:
+            return
+        self._alive[pos] = False
+        self.live -= 1
+        tree = self._tree
+        j = pos + 1
+        while j <= self._span:
+            tree[j] -= 1
+            j += j & -j
+
+    def kth(self, k: int) -> str:
+        """The k-th (0-based) unconsumed net in level order."""
+        pos = 0
+        rem = k + 1
+        span = self._span
+        tree = self._tree
+        half = span
+        while half:
+            nxt = pos + half
+            if nxt <= span and tree[nxt] < rem:
+                rem -= tree[nxt]
+                pos = nxt
+            half >>= 1
+        return self.nets[pos]
+
+
+def _fallback_pick(
+    rng: random.Random,
+    flat_nets: List[str],
+    flat_pos: Dict[str, int],
+    chosen: List[str],
+) -> Optional[str]:
+    """The guard-path draw: ``rng.choice`` over every earlier-level net
+    not already chosen, without materializing the O(total-nets)
+    candidate list the historical comprehension built per draw.
+
+    Every chosen net lives in a completed level, so the candidate count
+    is exactly ``len(flat_nets) - len(chosen)``; the drawn index is
+    mapped onto the flat creation-order list (the comprehension's
+    iteration order) by skipping the chosen nets' positions.  Returns
+    ``None`` when no candidate exists.
+    """
+    total = len(flat_nets) - len(chosen)
+    if total <= 0:
+        return None
+    idx = rng.randrange(total)
+    for p in sorted(flat_pos[n] for n in chosen):
+        if p <= idx:
+            idx += 1
+        else:
+            break
+    return flat_nets[idx]
+
+
 def generate_circuit(
     spec: CircuitSpec,
     *,
@@ -196,67 +335,139 @@ def generate_circuit(
       same prefer-unconsumed rule (keeps dangling nets — and therefore
       the primary output count — under control while creating multi-
       fan-out nets and reconvergence).
+
+    The pin-edge count is exact at every scale: a gate that cannot be
+    wired to its planned pin count (impossible for any spec that passes
+    :class:`CircuitSpec` validation — it would require fewer reachable
+    nets than the per-gate fan-in cap allows) raises
+    :class:`~repro.errors.NetlistError` loudly instead of silently
+    shrinking, and the final circuit is checked against
+    ``spec.n_pin_edges`` before validation.
     """
     lib = library if library is not None else default_library()
     rng = random.Random(spec.seed ^ 0x5EED)
     circuit = Circuit(spec.name)
 
     level_nets: List[List[str]] = [[]]
+    pools: List[_LevelPool] = [_LevelPool(spec.n_inputs)]
+    # net -> (level pool, position) for O(log width) consumption.
+    home: Dict[str, tuple] = {}
     for i in range(spec.n_inputs):
         net = f"I{i}"
         circuit.add_input(net)
         level_nets[0].append(net)
+        home[net] = (pools[0], pools[0].add(net))
 
     fanins = _fanin_counts(spec, rng)
     per_level = _gates_per_level(spec, rng)
     unconsumed: set = set(level_nets[0])
+    # Flat creation-order view of all completed levels' nets, for the
+    # guard-path fallback (the order the historical
+    # ``[n for lv in level_nets for n in lv]`` comprehension walked).
+    flat_nets: List[str] = list(level_nets[0])
+    flat_pos: Dict[str, int] = {n: i for i, n in enumerate(flat_nets)}
     gate_idx = 0
 
     for level in range(1, spec.depth + 1):
         current: List[str] = []
+        current_pool = _LevelPool(per_level[level - 1])
         prev = level_nets[level - 1]
+        prev_pool = pools[level - 1]
         for _ in range(per_level[level - 1]):
             n_pins = fanins[gate_idx]
             chosen: List[str] = []
+            chosen_set: set = set()
             # Pin 0: previous level, preferring unconsumed nets.
-            prev_unconsumed = [n for n in prev if n in unconsumed]
-            first = rng.choice(prev_unconsumed if prev_unconsumed else prev)
+            k = prev_pool.live
+            if k:
+                first = prev_pool.kth(rng.randrange(k))
+            else:
+                first = prev[rng.randrange(len(prev))]
             chosen.append(first)
+            chosen_set.add(first)
             # Remaining pins: earlier levels, biased toward recent ones.
             guard = 0
             while len(chosen) < n_pins:
                 guard += 1
-                if guard > 200:  # tiny circuits can run out of distinct nets
-                    candidates = [
-                        n for lv in level_nets for n in lv if n not in chosen
-                    ]
-                    if not candidates:
+                if guard > 200:  # rejection sampling ran dry of luck
+                    net = _fallback_pick(rng, flat_nets, flat_pos, chosen)
+                    if net is None:
                         break
-                    chosen.append(rng.choice(candidates))
+                    chosen.append(net)
+                    chosen_set.add(net)
                     continue
                 src_level = level - 1
                 while src_level > 0 and rng.random() < 0.45:
                     src_level -= 1
-                pool = level_nets[src_level]
-                pool_unconsumed = [n for n in pool if n in unconsumed]
-                use_pool = pool_unconsumed if (pool_unconsumed and rng.random() < 0.7) else pool
-                net = rng.choice(use_pool)
-                if net not in chosen:
+                src_pool = pools[src_level]
+                live = src_pool.live
+                if live and rng.random() < 0.7:
+                    net = src_pool.kth(rng.randrange(live))
+                else:
+                    nets_at = level_nets[src_level]
+                    net = nets_at[rng.randrange(len(nets_at))]
+                if net not in chosen_set:
                     chosen.append(net)
-            n_pins = len(chosen)  # may shrink only on degenerate tiny specs
+                    chosen_set.add(net)
+            if len(chosen) != n_pins:
+                # Unreachable for validated specs (every level offers at
+                # least max_fanin distinct earlier nets); raising keeps
+                # n_pin_edges exact at every scale instead of silently
+                # shrinking the gate and drifting the edge count.
+                raise NetlistError(
+                    f"{spec.name}: gate {gate_idx} at level {level} could "
+                    f"only reach {len(chosen)} of {n_pins} distinct input "
+                    f"nets; the spec's pin-edge count cannot be met exactly"
+                )
             cell = lib.find(_pick_function(n_pins, rng), n_pins)
             out_net = f"N{spec.n_inputs + gate_idx}"
             circuit.add_gate(cell, chosen, out_net)
             unconsumed.difference_update(chosen)
+            for net in chosen:
+                pool, pos = home[net]
+                pool.consume(pos)
             unconsumed.add(out_net)
+            home[out_net] = (current_pool, current_pool.add(out_net))
             current.append(out_net)
             gate_idx += 1
         level_nets.append(current)
+        pools.append(current_pool)
+        for n in current:
+            flat_pos[n] = len(flat_nets)
+            flat_nets.append(n)
 
     _absorb_unused_inputs(circuit, unconsumed, rng)
     _assign_outputs(circuit, spec, level_nets, unconsumed, rng)
+    if circuit.n_pin_edges != spec.n_pin_edges:
+        raise NetlistError(  # pragma: no cover - defensive exactness net
+            f"{spec.name}: generated {circuit.n_pin_edges} pin edges, "
+            f"spec demands exactly {spec.n_pin_edges}"
+        )
     circuit.validate()
     return circuit
+
+
+#: Largest ``unused_PIs x gates`` product for which
+#: :func:`_absorb_unused_inputs` keeps the historical shuffle-per-PI
+#: protocol (and therefore the historical RNG stream).  Every
+#: paper-suite spec sits far below this (worst: c7552 at ~180k); the
+#: scale class switches to the single-shuffle cursor scan.
+_ABSORB_SHUFFLE_BUDGET: int = 1_000_000
+
+
+def _find_swap_pin(gate, is_input, fanout_counts) -> int:
+    """First swappable pin of ``gate`` (shared by both absorb paths):
+    not pin 0 (which pins the gate's level), not reading another PI,
+    and whose current net keeps a consumer after the swap.  -1 if none.
+    """
+    for pin in range(1, len(gate.inputs)):
+        net = gate.inputs[pin]
+        if is_input(net):
+            continue  # keep other PIs connected
+        if fanout_counts.get(net, 0) < 2:
+            continue  # would dangle the replaced net
+        return pin
+    return -1
 
 
 def _absorb_unused_inputs(circuit: Circuit, unconsumed: set, rng: random.Random) -> None:
@@ -265,33 +476,74 @@ def _absorb_unused_inputs(circuit: Circuit, unconsumed: set, rng: random.Random)
     An unused PI replaces one pin of a gate whose current net has other
     consumers; a PI is level 0, so the swap can never create a cycle or
     raise a gate's level past its consumers.
+
+    Fan-out counts are maintained incrementally across pin swaps (one
+    O(edges) build, O(1) per swap) instead of the historical
+    ``_dirty()`` + full fanout-map rebuild per unused PI, and the
+    circuit's topology caches are invalidated once at the end.
     """
     unused_pis = [n for n in circuit.inputs if n in unconsumed]
     if not unused_pis:
         return
     gates = list(circuit.gates())
-    for pi in unused_pis:
+    is_input = circuit.is_input
+    fanout_counts: Dict[str, int] = {}
+    for gate in gates:
+        for net in gate.inputs:
+            fanout_counts[net] = fanout_counts.get(net, 0) + 1
+
+    def swap(gate, pin: int, pi: str) -> None:
+        old = gate.inputs[pin]
+        new_inputs = list(gate.inputs)
+        new_inputs[pin] = pi
+        gate.inputs = tuple(new_inputs)
+        fanout_counts[old] -= 1
+        fanout_counts[pi] = fanout_counts.get(pi, 0) + 1
+        unconsumed.discard(pi)
+
+    swapped = False
+    if len(unused_pis) * len(gates) <= _ABSORB_SHUFFLE_BUDGET:
+        # Historical protocol: a fresh shuffle of the gate list per PI.
+        # The RNG stream (one O(gates) shuffle per unused PI) is what
+        # the paper-suite fingerprints pin, so it is preserved exactly
+        # below the budget.
+        for pi in unused_pis:
+            rng.shuffle(gates)
+            for gate in gates:
+                if pi in gate.inputs:
+                    continue  # defensive; an unused PI feeds no gate
+                pin = _find_swap_pin(gate, is_input, fanout_counts)
+                if pin < 0:
+                    continue
+                swap(gate, pin, pi)
+                swapped = True
+                break
+            # If no swap site exists the PI stays unused; _assign_outputs
+            # will expose it as a (degenerate but valid) primary output.
+    else:
+        # Scale protocol: one shuffle, then a monotone cursor over the
+        # gate list.  Rejections are permanent — a pin is skipped only
+        # because it reads a PI (never changes) or because its net's
+        # fan-out count is below 2 (counts only ever decrease here) —
+        # so the cursor never needs to revisit a rejected gate and the
+        # whole pass is O(edges + unused_PIs).
         rng.shuffle(gates)
-        for gate in gates:
-            for pin, net in enumerate(gate.inputs):
-                if net == pi or pi in gate.inputs:
-                    break
-                if pin == 0:
-                    continue  # pin 0 pins the gate's level (exact depth)
-                if circuit.is_input(net):
-                    continue  # keep other PIs connected
-                if circuit.fanout_count(net) < 2:
-                    continue  # would dangle the replaced net
-                new_inputs = list(gate.inputs)
-                new_inputs[pin] = pi
-                gate.inputs = tuple(new_inputs)
-                unconsumed.discard(pi)
-                circuit._dirty()  # noqa: SLF001 — structural edit by design
+        cursor = 0
+        n = len(gates)
+        for pi in unused_pis:
+            while cursor < n:
+                gate = gates[cursor]
+                pin = _find_swap_pin(gate, is_input, fanout_counts)
+                if pin < 0:
+                    cursor += 1
+                    continue
+                swap(gate, pin, pi)
+                swapped = True
                 break
-            if pi not in unconsumed:
-                break
-        # If no swap site exists the PI stays unused; _assign_outputs
-        # will expose it as a (degenerate but valid) primary output.
+            if cursor >= n:
+                break  # no site anywhere; remaining PIs stay unused
+    if swapped:
+        circuit._dirty()  # noqa: SLF001 — structural edit by design
 
 
 def _assign_outputs(
@@ -302,15 +554,26 @@ def _assign_outputs(
     rng: random.Random,
 ) -> None:
     """Every consumer-less net becomes a primary output; the list is
-    then topped up toward ``spec.n_outputs`` with deep internal nets."""
+    then topped up toward ``spec.n_outputs`` with deep internal nets.
+
+    Membership probes run against sets (the historical ``n not in
+    dangling`` list scans were O(nets x dangling)), and the top-up pool
+    is deduplicated so a net can never be offered as a primary output
+    twice.
+    """
     dangling = [n for n in circuit.nets() if circuit.fanout_count(n) == 0]
+    dangling_set = set(dangling)
     for net in dangling:
         circuit.add_output(net)
     need = spec.n_outputs - len(dangling)
     if need > 0:
         pool: List[str] = []
+        pool_seen: set = set(dangling_set)
         for lv in range(len(level_nets) - 1, 0, -1):
-            pool.extend(n for n in level_nets[lv] if n not in dangling)
+            for n in level_nets[lv]:
+                if n not in pool_seen:
+                    pool_seen.add(n)
+                    pool.append(n)
             if len(pool) >= 3 * need:
                 break
         rng.shuffle(pool)

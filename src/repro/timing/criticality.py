@@ -33,6 +33,7 @@ from ..dist.backends import BackendLike, get_backend
 from ..dist.cache import ConvolutionCache
 from ..dist.ops import OpCounter, convolve, convolve_many, stat_max_many
 from ..dist.pdf import DiscretePDF
+from ..dist.sparse import as_dense, sparsify
 from ..errors import TimingError
 from ..exec import get_executor
 from .delay_model import DelayModel
@@ -67,8 +68,9 @@ class BackwardSSTAResult:
     cache: Optional[ConvolutionCache] = None
 
     def to_sink_of_net(self, net: str) -> DiscretePDF:
-        """Delay-to-sink PDF at a named net."""
-        return self.to_sink[self.graph.node_of_net(net)]
+        """Delay-to-sink PDF at a named net (densified on read when the
+        pass ran with sparse storage)."""
+        return as_dense(self.to_sink[self.graph.node_of_net(net)])
 
 
 def _node_fanout_parts(graph, model, to_sink, node):
@@ -82,6 +84,7 @@ def _node_fanout_parts(graph, model, to_sink, node):
     for edge in fanout:
         dst_pdf = to_sink[edge.dst]
         assert dst_pdf is not None
+        dst_pdf = as_dense(dst_pdf)
         if edge.gate is None:
             parts.append((dst_pdf, None))
         else:
@@ -111,6 +114,11 @@ def run_backward_ssta(
     own = counter if counter is not None else OpCounter()
     kernel = get_backend(cfg.backend)
     cache = cfg.cache
+    # Mirrors run_ssta's sparse arrival storage for the backward store.
+    if cfg.sparse_eps > 0.0:
+        store = lambda pdf: sparsify(pdf, cfg.sparse_eps)  # noqa: E731
+    else:
+        store = lambda pdf: pdf  # noqa: E731
     to_sink: List[Optional[DiscretePDF]] = [None] * graph.n_nodes
     to_sink[graph.sink] = DiscretePDF.delta(cfg.dt, 0.0)
     if cfg.level_batch:
@@ -138,7 +146,7 @@ def run_backward_ssta(
                     executor=executor,
                 ),
             ):
-                to_sink[node] = pdf
+                to_sink[node] = store(pdf)
     else:
         for node in reversed(graph.topo_nodes()):
             if node == graph.sink:
@@ -163,10 +171,10 @@ def run_backward_ssta(
                                   backend=kernel, cache=cache),
                 ):
                     contribs[i] = res
-            to_sink[node] = stat_max_many(
+            to_sink[node] = store(stat_max_many(
                 contribs, trim_eps=cfg.tail_eps, counter=own, backend=kernel,
                 cache=cache,
-            )
+            ))
     return BackwardSSTAResult(
         graph=graph, to_sink=to_sink, counter=own, backend=kernel,  # type: ignore[arg-type]
         cache=cache,

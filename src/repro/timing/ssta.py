@@ -49,6 +49,7 @@ from ..dist.backends import BackendLike, get_backend
 from ..dist.cache import ConvolutionCache
 from ..dist.ops import OpCounter, convolve_many, stat_max_groups, stat_max_many
 from ..dist.pdf import DiscretePDF
+from ..dist.sparse import as_dense, sparsify
 from ..errors import TimingError
 from ..exec import get_executor
 from ..netlist.circuit import Gate
@@ -80,13 +81,17 @@ def node_fanin_parts(
     The contribution order must match the edge order exactly: the MAX
     CDF product multiplies rows in sequence, so reordering would change
     round-off (and break bitwise reproducibility claims).
+
+    Arrivals held in sparse form (``AnalysisConfig.sparse_eps > 0``
+    storage) are densified here, so node memo keys and kernels always
+    operate on dense vectors.
     """
     fanin = graph.fanin_edges(node)
     if not fanin:
         raise TimingError(f"node {node} has no fan-in")
     parts: NodeParts = []
     for edge in fanin:
-        src_pdf = get_arrival(edge.src)
+        src_pdf = as_dense(get_arrival(edge.src))
         if edge.gate is None:
             parts.append((src_pdf, None))
         else:
@@ -331,16 +336,17 @@ class SSTAResult:
 
     @property
     def sink_pdf(self) -> DiscretePDF:
-        """Circuit-delay distribution (bound CDF of [3])."""
-        return self.arrivals[self.graph.sink]
+        """Circuit-delay distribution (bound CDF of [3]).  Densified on
+        read when the analysis ran with sparse arrival storage."""
+        return as_dense(self.arrivals[self.graph.sink])
 
     def percentile(self, p: float) -> float:
         """``T(A_nf, p)`` — the paper's objective at level ``p``."""
         return self.sink_pdf.percentile(p)
 
     def arrival_of_net(self, net: str) -> DiscretePDF:
-        """Arrival PDF at a named circuit net."""
-        return self.arrivals[self.graph.node_of_net(net)]
+        """Arrival PDF at a named circuit net (densified on read)."""
+        return as_dense(self.arrivals[self.graph.node_of_net(net)])
 
     def mean_delay(self) -> float:
         """Mean circuit delay (ps)."""
@@ -373,6 +379,14 @@ def run_ssta(
     cfg = config if config is not None else model.config
     own_counter = counter if counter is not None else OpCounter()
     kernel = get_backend(cfg.backend)
+    # With sparse_eps > 0 each propagated arrival is stored in
+    # threshold-masked sparse form — the per-node memory wall at the
+    # million-gate scale — and densified on read by node_fanin_parts /
+    # the result accessors.  0.0 stores the kernel outputs untouched.
+    if cfg.sparse_eps > 0.0:
+        store = lambda pdf: sparsify(pdf, cfg.sparse_eps)  # noqa: E731
+    else:
+        store = lambda pdf: pdf  # noqa: E731
     arrivals: List[Optional[DiscretePDF]] = [None] * graph.n_nodes
     arrivals[graph.source] = DiscretePDF.delta(cfg.dt, 0.0)
     get_arrival = arrivals.__getitem__
@@ -399,12 +413,12 @@ def run_ssta(
                     executor=executor,
                 ),
             ):
-                arrivals[node] = pdf
+                arrivals[node] = store(pdf)
     else:
         for node in graph.topo_nodes():
             if node == graph.source:
                 continue
-            arrivals[node] = compute_node_arrival(
+            arrivals[node] = store(compute_node_arrival(
                 graph,
                 node,
                 get_arrival,  # type: ignore[arg-type]
@@ -413,5 +427,5 @@ def run_ssta(
                 counter=own_counter,
                 backend=kernel,
                 cache=cfg.cache,
-            )
+            ))
     return SSTAResult(graph=graph, arrivals=arrivals, counter=own_counter)  # type: ignore[arg-type]

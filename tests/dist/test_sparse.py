@@ -1,0 +1,301 @@
+"""Sparse-grid PDF storage: round-trip, accuracy budget, engine parity.
+
+Locks the contract of :mod:`repro.dist.sparse` from three directions:
+
+* **Representation** — masking keeps the boundary bins (offset/support
+  arithmetic), drops at most ``eps`` total mass, round-trips bitwise at
+  ``eps = 0``, and actually shrinks storage on masked vectors;
+* **Kernels** — every public ops entry point accepts sparse operands
+  (densify-on-entry) and reproduces the dense computation bitwise when
+  nothing was dropped;
+* **Engines** — ``AnalysisConfig(sparse_eps=...)`` stores arrivals
+  sparsely in forward/backward/incremental SSTA under every backend and
+  both execution modes, with sink statistics within the 1e-12
+  total-variation budget of the dense analysis on the golden circuits
+  (Hypothesis sweeps the budget; the goldens pin the default).
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import AnalysisConfig
+from repro.dist.ops import (
+    convolve,
+    convolve_many,
+    stat_max,
+    stat_max_groups,
+    stat_max_many,
+)
+from repro.dist.pdf import DiscretePDF
+from repro.dist.sparse import SparseDiscretePDF, as_dense, sparsify
+from repro.errors import DistributionError
+from repro.netlist.benchmarks import load
+from repro.timing.criticality import criticality_report, run_backward_ssta
+from repro.timing.delay_model import DelayModel
+from repro.timing.graph import TimingGraph
+from repro.timing.incremental import update_ssta_after_resize
+from repro.timing.ssta import run_ssta
+
+from tests.conftest import ALL_BACKENDS
+
+GOLDEN_DIR = Path(__file__).parent.parent / "timing" / "golden"
+GOLDEN_CIRCUITS = ("c17", "c432", "c880", "c1908")
+
+#: Working sparsification budget: far below analysis precision, still
+#: dropping the (numerically zero) bin floor wide-support arrivals
+#: accumulate.
+WORKING_EPS = 1e-16
+
+
+@st.composite
+def pdfs(draw, max_bins: int = 48):
+    n = draw(st.integers(min_value=1, max_value=max_bins))
+    raw = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    if sum(raw) <= 0.0:
+        raw = [r + 1.0 for r in raw]
+    offset = draw(st.integers(min_value=-50, max_value=50))
+    return DiscretePDF(2.0, offset, np.asarray(raw))
+
+
+class TestRepresentation:
+    def test_zero_eps_round_trip_is_bitwise(self):
+        pdf = DiscretePDF(2.0, 5, np.array([0.25, 0.0, 0.5, 0.0, 0.25]))
+        sp = SparseDiscretePDF.from_dense(pdf, 0.0)
+        back = sp.to_dense()
+        assert back.offset == pdf.offset
+        assert back.dt == pdf.dt
+        assert np.array_equal(back.masses, pdf.masses)
+        # Interior exact zeros were dropped from storage.
+        assert sp.kept_bins == 3
+
+    def test_boundary_bins_always_survive(self):
+        # Tiny boundary bins sit below any positive threshold but must
+        # survive so offset and support stay exact.
+        masses = np.array([1e-30, 0.5, 0.5, 1e-30])
+        pdf = DiscretePDF(2.0, -3, masses)
+        sp = SparseDiscretePDF.from_dense(pdf, 1e-6)
+        assert sp.offset == pdf.offset
+        assert sp.n_bins == pdf.n_bins
+        back = sp.to_dense()
+        assert back.offset == pdf.offset
+        assert back.n_bins == pdf.n_bins
+        assert back.support == pdf.support
+
+    def test_masking_drops_at_most_eps(self):
+        rng = np.random.default_rng(7)
+        masses = rng.random(200)
+        masses[rng.random(200) < 0.6] *= 1e-18
+        pdf = DiscretePDF(2.0, 0, masses)
+        for eps in (1e-15, 1e-9, 1e-4):
+            sp = SparseDiscretePDF.from_dense(pdf, eps)
+            assert sp.dropped_mass <= eps + 1e-15
+            assert pdf.tv_distance(sp.to_dense()) <= eps
+
+    def test_storage_shrinks_on_masked_vectors(self):
+        masses = np.full(1000, 1e-19)
+        masses[490:510] = 0.05
+        pdf = DiscretePDF(2.0, 0, masses)
+        sp = SparseDiscretePDF.from_dense(pdf, 1e-12)
+        assert sp.kept_bins < 30
+        assert sp.nbytes < pdf.masses.nbytes / 4
+        # One central run plus the two forced boundary bins.
+        assert sp.starts.size <= 3
+
+    def test_query_delegation(self):
+        pdf = DiscretePDF(2.0, 10, np.array([0.2, 0.3, 0.5]))
+        sp = SparseDiscretePDF.from_dense(pdf, 0.0)
+        assert sp.mean() == pdf.mean()
+        assert sp.std() == pdf.std()
+        assert sp.percentile(0.9) == pdf.percentile(0.9)
+        assert sp.cdf_at(24.0) == pdf.cdf_at(24.0)
+        assert sp.support == pdf.support
+        assert sp.tv_distance(pdf) == 0.0
+
+    def test_sparsify_idempotent_and_as_dense_passthrough(self):
+        pdf = DiscretePDF(2.0, 0, np.array([0.5, 0.5]))
+        sp = sparsify(pdf, 0.0)
+        assert sparsify(sp, 0.0) is sp
+        assert as_dense(pdf) is pdf
+        dense = as_dense(sp)
+        assert isinstance(dense, DiscretePDF)
+        assert np.array_equal(dense.masses, pdf.masses)
+
+    def test_to_dense_is_deterministic(self):
+        pdf = DiscretePDF(2.0, 0, np.linspace(1e-20, 1.0, 64))
+        sp = SparseDiscretePDF.from_dense(pdf, 1e-9)
+        a, b = sp.to_dense(), sp.to_dense()
+        assert a.offset == b.offset
+        assert np.array_equal(a.masses, b.masses)
+
+    def test_negative_eps_rejected(self):
+        pdf = DiscretePDF(2.0, 0, np.array([1.0]))
+        with pytest.raises(DistributionError):
+            SparseDiscretePDF.from_dense(pdf, -1e-9)
+
+    @settings(max_examples=120, deadline=None)
+    @given(pdf=pdfs(), eps=st.floats(min_value=0.0, max_value=1e-4))
+    def test_round_trip_within_budget(self, pdf, eps):
+        sp = SparseDiscretePDF.from_dense(pdf, eps)
+        back = sp.to_dense()
+        assert back.offset == pdf.offset
+        assert back.n_bins == pdf.n_bins
+        # eps of masked mass plus the machine-precision renormalization
+        # term (one rounding per bin when mass was actually dropped).
+        assert pdf.tv_distance(back) <= eps + 1e-15
+
+    @settings(max_examples=60, deadline=None)
+    @given(pdf=pdfs())
+    def test_zero_eps_round_trip_bitwise_property(self, pdf):
+        back = SparseDiscretePDF.from_dense(pdf, 0.0).to_dense()
+        assert back.offset == pdf.offset
+        assert np.array_equal(back.masses, pdf.masses)
+
+
+class TestKernelEntryPoints:
+    """Sparse operands densify on entry: lossless sparse forms must
+    reproduce the dense kernel results bitwise at every public entry."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=pdfs(), b=pdfs())
+    def test_convolve_accepts_sparse(self, a, b):
+        want = convolve(a, b)
+        got = convolve(sparsify(a, 0.0), sparsify(b, 0.0))
+        assert got.offset == want.offset
+        assert np.array_equal(got.masses, want.masses)
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=pdfs(), b=pdfs(), c=pdfs())
+    def test_max_entries_accept_sparse(self, a, b, c):
+        want = stat_max_many([a, b, c])
+        got = stat_max_many([sparsify(a, 0.0), b, sparsify(c, 0.0)])
+        assert got.offset == want.offset
+        assert np.array_equal(got.masses, want.masses)
+        w2 = stat_max(a, b)
+        g2 = stat_max(sparsify(a, 0.0), sparsify(b, 0.0))
+        assert np.array_equal(g2.masses, w2.masses)
+
+    def test_batched_entries_accept_sparse(self):
+        rng = np.random.default_rng(3)
+        ps = [DiscretePDF(2.0, i, rng.random(8) + 1e-3) for i in range(6)]
+        pairs = [(ps[0], ps[1]), (ps[2], ps[3])]
+        want = convolve_many(pairs)
+        got = convolve_many(
+            [(sparsify(a, 0.0), sparsify(b, 0.0)) for a, b in pairs]
+        )
+        for w, g in zip(want, got):
+            assert g.offset == w.offset
+            assert np.array_equal(g.masses, w.masses)
+        groups = [[ps[0], ps[1], ps[2]], [ps[3]], [ps[4], ps[5]]]
+        want_g = stat_max_groups(groups)
+        got_g = stat_max_groups(
+            [[sparsify(p, 0.0) for p in g] for g in groups]
+        )
+        for w, g in zip(want_g, got_g):
+            assert g.offset == w.offset
+            assert np.array_equal(g.masses, w.masses)
+
+    def test_single_operand_group_densifies(self):
+        pdf = DiscretePDF(2.0, 0, np.array([0.5, 0.25, 0.25]))
+        out = stat_max_many([sparsify(pdf, 0.0)])
+        assert isinstance(out, DiscretePDF)
+        assert np.array_equal(out.masses, pdf.masses)
+
+
+class TestConfigKnob:
+    def test_defaults_and_validation(self):
+        assert AnalysisConfig().sparse_eps == 0.0
+        assert AnalysisConfig(sparse_eps=1e-16).sparse_eps == 1e-16
+        for bad in (-1e-12, 1e-3, 0.5, float("nan")):
+            with pytest.raises(ValueError):
+                AnalysisConfig(sparse_eps=bad)
+
+    def test_zero_eps_is_bitwise_inert(self):
+        circuit = load("c17")
+        graph = TimingGraph(circuit)
+        cfg = AnalysisConfig()
+        model = DelayModel(circuit, config=cfg)
+        plain = run_ssta(graph, model, config=cfg)
+        explicit = run_ssta(
+            graph, model, config=cfg.with_updates(sparse_eps=0.0)
+        )
+        for a, b in zip(plain.arrivals, explicit.arrivals):
+            assert isinstance(b, DiscretePDF)
+            assert np.array_equal(a.masses, b.masses)
+
+
+def _sparse_cfg(backend, level_batch, eps=WORKING_EPS):
+    return AnalysisConfig(backend=backend, level_batch=level_batch,
+                          sparse_eps=eps)
+
+
+class TestEngineParity:
+    """sparse_eps > 0 across every engine: sparse storage in place,
+    golden sink statistics within the 1e-12 TV budget."""
+
+    @pytest.mark.parametrize("level_batch", [True, False])
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    @pytest.mark.parametrize("circuit", GOLDEN_CIRCUITS)
+    def test_forward_sink_within_budget(self, circuit, backend, level_batch):
+        c = load(circuit)
+        graph = TimingGraph(c)
+        cfg = _sparse_cfg(backend, level_batch)
+        model = DelayModel(c, config=cfg)
+        dense_cfg = cfg.with_updates(sparse_eps=0.0)
+        dense = run_ssta(graph, model, config=dense_cfg)
+        sparse = run_ssta(graph, model, config=cfg)
+        stored = [p for p in sparse.arrivals
+                  if isinstance(p, SparseDiscretePDF)]
+        assert len(stored) >= graph.n_nodes - 2  # source delta stays dense
+        assert dense.sink_pdf.tv_distance(sparse.sink_pdf) <= 1e-12
+        gold = json.loads((GOLDEN_DIR / f"{circuit}.json").read_text())
+        # The golden percentiles hold at analysis precision.
+        assert sparse.percentile(0.99) == pytest.approx(gold["p99"], abs=1e-6)
+        assert sparse.sink_pdf.mean() == pytest.approx(gold["mean"], abs=1e-6)
+
+    @pytest.mark.parametrize("level_batch", [True, False])
+    def test_backward_and_criticality_within_budget(self, level_batch):
+        c = load("c432")
+        graph = TimingGraph(c)
+        cfg = _sparse_cfg("auto", level_batch)
+        model = DelayModel(c, config=cfg)
+        dense_cfg = cfg.with_updates(sparse_eps=0.0)
+        fwd_d = run_ssta(graph, model, config=dense_cfg)
+        bwd_d = run_backward_ssta(graph, model, config=dense_cfg)
+        fwd_s = run_ssta(graph, model, config=cfg)
+        bwd_s = run_backward_ssta(graph, model, config=cfg)
+        assert any(isinstance(p, SparseDiscretePDF) for p in bwd_s.to_sink)
+        for net in c.inputs[:5]:
+            tv = bwd_d.to_sink_of_net(net).tv_distance(
+                bwd_s.to_sink_of_net(net)
+            )
+            assert tv <= 1e-12
+        top_d = [r.net for r in criticality_report(fwd_d, bwd_d, top_k=5)]
+        top_s = [r.net for r in criticality_report(fwd_s, bwd_s, top_k=5)]
+        assert top_d == top_s
+
+    def test_incremental_update_stays_sparse_and_close(self):
+        c = load("c432")
+        graph = TimingGraph(c)
+        cfg = _sparse_cfg("auto", True)
+        model = DelayModel(c, config=cfg)
+        result = run_ssta(graph, model, config=cfg)
+        gate = c.gate(c.outputs[0])
+        gate.width += model.config.delta_w
+        n = update_ssta_after_resize(result, model, [gate])
+        assert n >= 1
+        fresh = run_ssta(graph, model, config=cfg)
+        assert result.sink_pdf.tv_distance(fresh.sink_pdf) <= 1e-12
+        assert any(
+            isinstance(p, SparseDiscretePDF) for p in result.arrivals
+        )
