@@ -34,6 +34,7 @@ from .config import (
     DEFAULT_SERVICE_QUEUE_DEPTH,
     DEFAULT_SERVICE_WORKERS,
     DEFAULT_TRANSPORT,
+    KNOWN_BACKENDS,
     KNOWN_TRANSPORTS,
 )
 from .core.deterministic_sizer import DeterministicSizer
@@ -88,6 +89,9 @@ def _analysis_config(args: argparse.Namespace):
     sparse_eps = getattr(args, "sparse_eps", 0.0)
     if sparse_eps:
         config = config.with_updates(sparse_eps=sparse_eps)
+    backend = getattr(args, "backend", None)
+    if backend is not None and backend != config.backend:
+        config = config.with_updates(backend=backend)
     return config
 
 
@@ -510,6 +514,15 @@ def _add_level_batch_flag(parser: argparse.ArgumentParser) -> None:
                              "gate netlists — answers shift by a total-"
                              "variation budget linear in depth, <=1e-12 "
                              "at the golden sinks for EPS=1e-16)")
+    parser.add_argument("--backend", choices=list(KNOWN_BACKENDS),
+                        default=None, metavar="B",
+                        help="convolution backend: 'auto' (default) "
+                             "dispatches direct/fft by operand size; "
+                             "'compiled' / 'compiled-auto' run the "
+                             "compiled kernel tier (numba or a C "
+                             "library built on first use; degrades to "
+                             "the pure-NumPy direct numerics with a "
+                             "warning when neither is available)")
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -40,10 +40,16 @@ DEFAULT_DELTA_W: float = 0.25
 
 #: Convolution-backend names an :class:`AnalysisConfig` may select.
 #: ``direct`` is the O(n*m) ``np.convolve`` kernel (bit-for-bit the
-#: historical behavior), ``fft`` the real-FFT product kernel, and
-#: ``auto`` a size-based crossover between the two (see
-#: :mod:`repro.dist.backends` for the calibrated cost model).
-KNOWN_BACKENDS: tuple = ("direct", "fft", "auto")
+#: historical behavior), ``fft`` the real-FFT product kernel, ``auto``
+#: a size-based crossover between the two (see
+#: :mod:`repro.dist.backends` for the calibrated cost model),
+#: ``compiled`` the compiled direct-kernel tier (numba or a C library;
+#: degrades to ``direct`` numerics when neither is available), and
+#: ``compiled-auto`` the crossover with the compiled kernel on the
+#: direct side.
+KNOWN_BACKENDS: tuple = (
+    "direct", "fft", "auto", "compiled", "compiled-auto"
+)
 
 #: Default convolution backend.  ``auto`` dispatches to ``direct`` for
 #: every operand pair below the crossover — which covers the default
@@ -195,8 +201,16 @@ class AnalysisConfig:
         if self.delta_w <= 0.0:
             raise ValueError(f"delta_w must be positive, got {self.delta_w}")
         if self.backend not in KNOWN_BACKENDS:
-            raise ValueError(
-                f"backend must be one of {KNOWN_BACKENDS}, got {self.backend!r}"
+            # DistributionError, not ValueError: a typo'd backend name
+            # is the same failure get_backend raises mid-analysis, and
+            # callers (CLI, service) already translate ReproError into
+            # their error surfaces.  Lazy import for the same
+            # one-directional reason as the cache coercion below.
+            from .errors import DistributionError
+
+            raise DistributionError(
+                f"unknown convolution backend {self.backend!r}; "
+                f"available: {', '.join(KNOWN_BACKENDS)}"
             )
         if not isinstance(self.level_batch, bool):
             raise ValueError(

@@ -391,9 +391,20 @@ class ConvolutionCache:
         """Return the stored result, re-anchored if the operands arrive
         at different offsets.  Normalization and trimming are pure
         functions of the raw vector, so the replay is bit-identical to
-        a fresh computation at the new anchor."""
+        a fresh computation at the new anchor — *within the arithmetic
+        class of the entry's backend*: a backend that builds results in
+        compiled code (``fused_trim_active``) rebuilds the translated
+        hit through its own ``rebuild_trimmed``, so replayed and
+        freshly computed entries carry identical bits there too.  MAX
+        entries store ``backend=None`` and always take the stock path
+        (their construction is backend-invariant by contract)."""
         if anchor == entry.anchor:
             return entry.result
+        rebuild = getattr(entry.backend, "rebuild_trimmed", None)
+        if rebuild is not None and getattr(
+            entry.backend, "fused_trim_active", False
+        ):
+            return rebuild(dt, anchor, entry.raw, trim_eps)
         return DiscretePDF(dt, anchor, entry.raw).trimmed(trim_eps)
 
     # ------------------------------------------------------------------

@@ -196,6 +196,18 @@ def convolve(
             if counter is not None:
                 counter.convolve_cache_hits += 1
             return hit
+    if getattr(kernel, "fused_trim_active", False):
+        # Compiled-tier miss path: convolution, normalization, and
+        # trimming collapse into one fused kernel call that returns
+        # both the raw vector (for the cache) and the built result.
+        raw, result = kernel.convolve_trimmed(
+            a.masses, b.masses, dt, a.offset + b.offset, trim_eps
+        )
+        if counter is not None:
+            counter.convolutions += 1
+        if cache is not None:
+            cache.store_convolve(a, b, trim_eps, kernel, raw, result)
+        return result
     masses = kernel.convolve_masses(a.masses, b.masses)
     if counter is not None:
         counter.convolutions += 1
@@ -305,8 +317,29 @@ def convolve_many(
         todo.append(i)
     if todo:
         batch = [(pairs[i][0].masses, pairs[i][1].masses) for i in todo]
+        # Compiled-tier backends build results in the same fused kernel
+        # call that computes them (inline) or from the executor-shipped
+        # raws (trim_raws) — bitwise the fused path, since the trim is
+        # a pure function of the raw bits.  Stock backends keep the
+        # historical _trusted construction.
+        fused = getattr(kernel, "fused_trim_active", False)
+        built = None
+        if fused:
+            todo_dts = [pairs[i][0].dt for i in todo]
+            todo_offs = [
+                pairs[i][0].offset + pairs[i][1].offset for i in todo
+            ]
         if executor is not None:
             raws = executor.run_convolve_batch(kernel, batch, counter=counter)
+            if fused:
+                built = kernel.trim_raws(raws, todo_dts, todo_offs, trim_eps)
+        elif fused:
+            # Raws are materialized only when the cache needs them.
+            raws, built = kernel.convolve_many_trimmed(
+                batch, todo_dts, todo_offs, trim_eps, cache is not None
+            )
+            if counter is not None:
+                counter.convolutions += len(todo)
         else:
             # Inline twin of SerialExecutor.run_convolve_batch, kept so
             # repro.dist never imports repro.exec; the executor suite
@@ -314,13 +347,16 @@ def convolve_many(
             raws = convolve_batch_raws(kernel, batch)
             if counter is not None:
                 counter.convolutions += len(todo)
-        for i, raw in zip(todo, raws):
+        for j, i in enumerate(todo):
             a, b = pairs[i]
-            res = DiscretePDF._trusted(
-                a.dt, a.offset + b.offset, raw
-            ).trimmed(trim_eps)
+            if built is not None:
+                res = built[j]
+            else:
+                res = DiscretePDF._trusted(
+                    a.dt, a.offset + b.offset, raws[j]
+                ).trimmed(trim_eps)
             if cache is not None:
-                cache.store_convolve(a, b, trim_eps, kernel, raw, res,
+                cache.store_convolve(a, b, trim_eps, kernel, raws[j], res,
                                      key=keys[i])
             results[i] = res
     for i in dups:
@@ -328,13 +364,23 @@ def convolve_many(
         hit = cache.lookup_convolve(a, b, trim_eps, kernel, key=keys[i])
         if hit is None:
             # The representative's entry was already evicted (tiny
-            # capacity churn) — recompute, as the sequential loop would.
-            raw = kernel.convolve_masses(a.masses, b.masses)
-            if counter is not None:
-                counter.convolutions += 1
-            hit = DiscretePDF._trusted(
-                a.dt, a.offset + b.offset, raw
-            ).trimmed(trim_eps)
+            # capacity churn) — recompute, as the sequential loop would
+            # (through the fused path for compiled-tier backends, so
+            # the rebuilt entry carries the same bits the batch did).
+            if getattr(kernel, "fused_trim_active", False):
+                raw, hit = kernel.convolve_trimmed(
+                    a.masses, b.masses, a.dt, a.offset + b.offset,
+                    trim_eps,
+                )
+                if counter is not None:
+                    counter.convolutions += 1
+            else:
+                raw = kernel.convolve_masses(a.masses, b.masses)
+                if counter is not None:
+                    counter.convolutions += 1
+                hit = DiscretePDF._trusted(
+                    a.dt, a.offset + b.offset, raw
+                ).trimmed(trim_eps)
             cache.store_convolve(a, b, trim_eps, kernel, raw, hit,
                                  key=keys[i])
         elif counter is not None:
@@ -395,7 +441,9 @@ def _independence_max(
     backend: BackendLike,
     cache: Optional[ConvolutionCache] = None,
 ) -> DiscretePDF:
-    get_backend(backend)  # validate eagerly; the max itself is backend-free
+    # Validate eagerly; the max numerics are backend-invariant, but a
+    # backend with a verified-bitwise compiled sweep may run them.
+    kernel = get_backend(backend)
     pdfs = [as_dense(p) for p in pdfs]
     dt = _require_same_grid(pdfs)
     if cache is not None:
@@ -404,7 +452,10 @@ def _independence_max(
             if counter is not None:
                 counter.max_cache_hits += len(pdfs) - 1
             return hit
-    lo, masses = _max_masses(pdfs)
+    if getattr(kernel, "max_sweep_active", False):
+        lo, masses = kernel.grouped_max_raws([pdfs])[0]
+    else:
+        lo, masses = _max_masses(pdfs)
     if counter is not None:
         counter.max_ops += len(pdfs) - 1
     result = DiscretePDF(dt, lo, masses).trimmed(trim_eps)
@@ -464,7 +515,7 @@ def _grouped_max_masses(groups: list) -> list:
     return [(lo, masses[gi].copy()) for gi, (lo, _p, _w) in enumerate(groups)]
 
 
-def max_batch_raws(groups: Sequence) -> list:
+def max_batch_raws(groups: Sequence, kernel=None) -> list:
     """``(lo_offset, raw mass vector)`` of the independence MAX for
     every operand group — the shardable MAX work unit of the execution
     layer.
@@ -479,7 +530,16 @@ def max_batch_raws(groups: Sequence) -> list:
     :data:`_GROUPED_MAX_BITWISE` guard), so any contiguous sharding of
     a batch reproduces the unsharded batch bit for bit.  Results come
     back in input order.
+
+    ``kernel`` (a resolved backend, optional) may take over the sweep:
+    a backend whose ``max_sweep_active`` property is true runs the
+    whole batch through its compiled grouped sweep — **bitwise** the
+    NumPy path (the property only goes true after the provider's
+    self-check proves it on this host), so the two implementations are
+    interchangeable per group and need no shape partition.
     """
+    if kernel is not None and getattr(kernel, "max_sweep_active", False):
+        return kernel.grouped_max_raws(groups)
     n = len(groups)
     out: list = [None] * n
     shapes: dict = {}
@@ -582,7 +642,10 @@ def stat_max_groups(
     groups = [[as_dense(p) for p in g] for g in groups]
     if not groups:
         return []
-    get_backend(backend)  # validate once; the max itself is backend-free
+    # Validate once; the max numerics are backend-invariant, but the
+    # kernel is threaded into the compute step so a verified-bitwise
+    # compiled sweep can run it (inline or in the workers).
+    kernel = get_backend(backend)
     results: list = [None] * len(groups)
     todo: list = []
     keys: list = [None] * len(groups)
@@ -620,11 +683,13 @@ def stat_max_groups(
         # _max_masses call, so commit order below stays sequential.
         todo_groups = [groups[i] for i in todo]
         if executor is not None:
-            computed = executor.run_max_batch(todo_groups, counter=counter)
+            computed = executor.run_max_batch(
+                todo_groups, counter=counter, kernel=kernel
+            )
         else:
             # Inline twin of SerialExecutor.run_max_batch (see
             # convolve_many for why the duplication is deliberate).
-            computed = max_batch_raws(todo_groups)
+            computed = max_batch_raws(todo_groups, kernel=kernel)
             if counter is not None:
                 counter.max_ops += sum(len(g) - 1 for g in todo_groups)
         for i, (lo, masses) in zip(todo, computed):

@@ -72,8 +72,16 @@ class Executor:
         groups: Sequence,
         *,
         counter: Optional[OpCounter] = None,
+        kernel=None,
     ) -> list:
-        """``(lo_offset, raw masses)`` per operand group."""
+        """``(lo_offset, raw masses)`` per operand group.
+
+        ``kernel`` (a resolved backend, optional) is forwarded to
+        :func:`~repro.dist.ops.max_batch_raws` so a backend with a
+        verified-bitwise compiled MAX sweep can run the product; the
+        numerics are backend-invariant, so plans are free to drop it
+        (e.g. for non-registry instances that cannot cross a process
+        boundary) without changing a single bit."""
         raise NotImplementedError
 
     def close(self) -> None:
@@ -92,8 +100,8 @@ class SerialExecutor(Executor):
             counter.merge(OpCounter(convolutions=len(raws)))
         return raws
 
-    def run_max_batch(self, groups, *, counter=None):
-        outs = max_batch_raws(groups)
+    def run_max_batch(self, groups, *, counter=None, kernel=None):
+        outs = max_batch_raws(groups, kernel=kernel)
         if counter is not None:
             counter.merge(
                 OpCounter(max_ops=sum(len(g) - 1 for g in groups))

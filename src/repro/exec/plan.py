@@ -23,7 +23,7 @@ dispatch overhead.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 __all__ = [
     "ConvolveBatch",
@@ -59,9 +59,13 @@ class MaxBatch:
     """Raw MAX work: ``groups[i]`` is a tuple of
     :class:`~repro.dist.pdf.DiscretePDF` operands (offsets matter —
     the CDF product runs on the union grid).  The independence MAX is
-    backend-invariant, so no kernel context is needed."""
+    backend-invariant, so ``backend_name`` is optional context, not a
+    numeric input: when set (registry backends only), the worker
+    resolves it so a verified-bitwise compiled MAX sweep can run the
+    product — same bits either way, by that verification."""
 
     groups: tuple
+    backend_name: Optional[str] = None
 
     def __len__(self) -> int:
         return len(self.groups)
@@ -91,9 +95,12 @@ class MaxBatchRefs:
     vector, define each :class:`~repro.dist.pdf.DiscretePDF` operand.
     Workers rebuild the PDFs as zero-copy views
     (:meth:`~repro.dist.pdf.DiscretePDF._from_view`), so a group's
-    union-grid geometry is bit for bit the :class:`MaxBatch` one."""
+    union-grid geometry is bit for bit the :class:`MaxBatch` one.
+    ``backend_name`` carries the same optional compiled-sweep context
+    as :class:`MaxBatch`."""
 
     groups: tuple
+    backend_name: Optional[str] = None
 
     def __len__(self) -> int:
         return len(self.groups)

@@ -128,9 +128,15 @@ def _max_cost_us(groups) -> float:
 def _worker_init(backend_names: tuple) -> None:
     """Per-worker one-time initialization: import the library and
     resolve every registry backend so the first shard pays no import
-    or registry cost."""
+    or registry cost.  Backends exposing ``warm_up`` (the compiled
+    tier) resolve their provider here too — numba JIT compilation or
+    the C-library dlopen happens at pool init, never inside the first
+    level's shard."""
     for name in backend_names:
-        get_backend(name)
+        kernel = get_backend(name)
+        warm = getattr(kernel, "warm_up", None)
+        if callable(warm):
+            warm()
 
 
 def _run_convolve_shard(batch: ConvolveBatch) -> ShardResult:
@@ -143,8 +149,16 @@ def _run_convolve_shard(batch: ConvolveBatch) -> ShardResult:
 
 
 def _run_max_shard(batch: MaxBatch) -> ShardResult:
-    """Worker entry point for one pickle-transport MAX shard."""
-    outs = max_batch_raws(batch.groups)
+    """Worker entry point for one pickle-transport MAX shard.  The
+    optional backend name resolves to the same registry singleton the
+    coordinator used, so a verified-bitwise compiled sweep runs the
+    product here exactly as it would inline."""
+    kernel = (
+        get_backend(batch.backend_name)
+        if batch.backend_name is not None
+        else None
+    )
+    outs = max_batch_raws(batch.groups, kernel=kernel)
     return ShardResult(
         outs, OpCounter(max_ops=sum(len(g) - 1 for g in batch.groups))
     )
@@ -165,11 +179,16 @@ def _run_max_shard_refs(batch: MaxBatchRefs) -> ShardResult:
     """Worker entry point for one shm-transport MAX shard: rebuild
     each operand as a memoized zero-copy :class:`DiscretePDF` view."""
     client = arena_client()
+    kernel = (
+        get_backend(batch.backend_name)
+        if batch.backend_name is not None
+        else None
+    )
     groups = [
         tuple(client.pdf(dt, off, ref) for dt, off, ref in g)
         for g in batch.groups
     ]
-    outs = max_batch_raws(groups)
+    outs = max_batch_raws(groups, kernel=kernel)
     return ShardResult(
         outs, OpCounter(max_ops=sum(len(g) - 1 for g in batch.groups))
     )
@@ -426,18 +445,29 @@ class ProcessExecutor(Executor):
                 kernel, pairs, counter=counter
             )
 
-    def run_max_batch(self, groups, *, counter=None):
+    def run_max_batch(self, groups, *, counter=None, kernel=None):
         groups = list(groups)
+        # Only registry backends cross the process boundary (by name);
+        # anything else ships no kernel context — the NumPy sweep in
+        # the worker is bitwise the compiled one by its verification,
+        # so this is a cost decision, not a correctness one.
+        name = (
+            kernel.name
+            if kernel is not None and is_registry_backend(kernel)
+            else None
+        )
         bounds = shard_ranges(
             len(groups), self.jobs,
             min_items_per_shard=self.min_items_per_shard,
         )
         if len(bounds) <= 1 or self._broken or not self._spawn_ok:
-            return SERIAL_EXECUTOR.run_max_batch(groups, counter=counter)
+            return SERIAL_EXECUTOR.run_max_batch(
+                groups, counter=counter, kernel=kernel
+            )
         if self._use_shm():
             if _max_cost_us(groups) < self.min_dispatch_cost_us:
                 return SERIAL_EXECUTOR.run_max_batch(
-                    groups, counter=counter
+                    groups, counter=counter, kernel=kernel
                 )
             try:
                 arena = self._ensure_arena()
@@ -452,7 +482,9 @@ class ProcessExecutor(Executor):
                         for g in groups
                     ]
                     shards = [
-                        MaxBatchRefs(tuple(ref_groups[start:stop]))
+                        MaxBatchRefs(
+                            tuple(ref_groups[start:stop]), name
+                        )
                         for start, stop in bounds
                     ]
                     return self._dispatch(
@@ -463,17 +495,21 @@ class ProcessExecutor(Executor):
             except BrokenProcessPool:
                 self._mark_broken()
                 return SERIAL_EXECUTOR.run_max_batch(
-                    groups, counter=counter
+                    groups, counter=counter, kernel=kernel
                 )
         shards = [
-            MaxBatch(tuple(tuple(g) for g in groups[start:stop]))
+            MaxBatch(
+                tuple(tuple(g) for g in groups[start:stop]), name
+            )
             for start, stop in bounds
         ]
         try:
             return self._dispatch(_run_max_shard, shards, counter)
         except BrokenProcessPool:
             self._mark_broken()
-            return SERIAL_EXECUTOR.run_max_batch(groups, counter=counter)
+            return SERIAL_EXECUTOR.run_max_batch(
+                groups, counter=counter, kernel=kernel
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "idle" if self._pool is None else "live"

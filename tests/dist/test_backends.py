@@ -202,7 +202,9 @@ class TestAutoBackend:
 
 class TestBackendRegistry:
     def test_available_backends(self):
-        assert set(available_backends()) == {"direct", "fft", "auto"}
+        assert set(available_backends()) == {
+            "direct", "fft", "auto", "compiled", "compiled-auto"
+        }
 
     def test_get_backend_by_name(self):
         for name in ALL_BACKENDS:
@@ -228,8 +230,19 @@ class TestBackendRegistry:
             assert AnalysisConfig(backend=name).backend == name
 
     def test_config_rejects_unknown_backend(self):
-        with pytest.raises(ValueError, match="backend"):
+        """A typo'd name raises DistributionError naming the available
+        backends — the same failure surface get_backend presents."""
+        with pytest.raises(DistributionError, match="unknown convolution"):
             AnalysisConfig(backend="winograd")
+
+    def test_config_unknown_backend_error_lists_available(self):
+        try:
+            AnalysisConfig(backend="winograd")
+        except DistributionError as exc:
+            for name in available_backends():
+                assert name in str(exc)
+        else:  # pragma: no cover
+            pytest.fail("unknown backend was accepted")
 
 
 class TestFFTCache:

@@ -1,0 +1,535 @@
+"""Compiled-tier harness: provider differentials, fused construction,
+the bitwise MAX sweep, the fallback matrix, and registry compatibility.
+
+Layered on the PR-2 cross-backend harness (the ``compiled`` and
+``compiled-auto`` names join every ``ALL_BACKENDS`` loop automatically
+via the registry), this module adds what the generic loops cannot
+check:
+
+* the compiled tier's *own* equivalence classes — raw convolutions
+  within 1e-12 TV of ``direct``, MAX sweeps bitwise, scalar == batched
+  bitwise, cache replays bitwise with fresh computes;
+* the degradation matrix — ``REPRO_DISABLE_COMPILED``, numba-absent
+  with no C compiler — under which the compiled backends must *be*
+  the pure-NumPy direct kernels, bit for bit, with exactly one
+  warning;
+* the process-boundary paths: compiled kernels resolved by name inside
+  spawned workers on both transports, matching ``direct``.
+
+Every test here passes whether or not a provider resolves on this
+host: provider-specific classes skip when the tier is degraded, and
+the degradation tests force it.
+"""
+
+from __future__ import annotations
+
+import sys
+import warnings
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.config import AnalysisConfig
+from repro.dist import _compiled
+from repro.dist.backends import (
+    CompiledAutoBackend,
+    get_backend,
+    is_registry_backend,
+)
+from repro.dist.cache import ConvolutionCache
+from repro.dist.ops import (
+    OpCounter,
+    _max_masses,
+    convolve,
+    convolve_many,
+    max_batch_raws,
+    stat_max_groups,
+    stat_max_many,
+)
+from repro.dist.pdf import DiscretePDF
+from repro.errors import DistributionError
+
+from tests.dist.test_backends import TV_TOL, pdfs
+
+#: Resolved once at collection: the host's provider (C in the test
+#: container, numba on the CI compiled leg), or None when degraded.
+PROVIDER = _compiled.get_provider()
+
+needs_provider = pytest.mark.skipif(
+    PROVIDER is None,
+    reason=f"compiled tier degraded ({_compiled.fail_reason()})",
+)
+needs_max_sweep = pytest.mark.skipif(
+    PROVIDER is None or not PROVIDER.max_ok,
+    reason="compiled MAX sweep unavailable",
+)
+
+
+def _tv(p: DiscretePDF, q: DiscretePDF) -> float:
+    """Total variation on the union grid (absolute-bin alignment)."""
+    lo = min(p.offset, q.offset)
+    hi = max(p.offset + p.masses.size, q.offset + q.masses.size)
+    a = np.zeros(hi - lo)
+    b = np.zeros(hi - lo)
+    a[p.offset - lo : p.offset - lo + p.masses.size] = p.masses
+    b[q.offset - lo : q.offset - lo + q.masses.size] = q.masses
+    return 0.5 * float(np.abs(a - b).sum())
+
+
+def _rand_pdf(rng, n, offset=0, dt=2.0) -> DiscretePDF:
+    m = rng.random(n) + 1e-4
+    return DiscretePDF(dt, offset, m)
+
+
+@pytest.fixture
+def fresh_provider_state():
+    """Clear the provider memo after a test that patched the
+    environment, so later callers re-resolve the real one.  The reset
+    is deliberately lazy: this fixture tears down *before* monkeypatch
+    restores the environment, so resolving eagerly here would memoize
+    the patched world again."""
+    yield
+    _compiled.reset_provider_cache()
+
+
+class TestCompiledDifferentials:
+    """The tier's tolerance class vs the bitwise reference."""
+
+    @settings(deadline=None, max_examples=60)
+    @given(a=pdfs(), b=pdfs())
+    def test_convolve_matches_direct_within_tv(self, a, b):
+        d = convolve(a, b, backend="direct")
+        c = convolve(a, b, backend="compiled")
+        assert c.offset == d.offset
+        assert _tv(c, d) < TV_TOL
+
+    @settings(deadline=None, max_examples=60)
+    @given(a=pdfs(), b=pdfs())
+    def test_convolve_trimmed_within_semantic_budget(self, a, b):
+        """With a trim the two arithmetic classes may cut the boundary
+        bin differently when cumulative mass sits within an ulp of the
+        threshold — a legal difference bounded by the trim budget
+        itself, on top of the raw tolerance."""
+        trim = 1e-9
+        d = convolve(a, b, trim_eps=trim, backend="direct")
+        c = convolve(a, b, trim_eps=trim, backend="compiled")
+        assert _tv(c, d) < trim + TV_TOL
+        for q in (0.5, 0.99):
+            assert c.percentile(q) == pytest.approx(
+                d.percentile(q), abs=a.dt
+            )
+
+    @settings(deadline=None, max_examples=30)
+    @given(a=pdfs(), b=pdfs())
+    def test_compiled_auto_matches_direct_within_tv(self, a, b):
+        d = convolve(a, b, backend="direct")
+        c = convolve(a, b, backend="compiled-auto")
+        assert c.offset == d.offset
+        assert _tv(c, d) < TV_TOL
+
+    def test_scalar_equals_batched_bitwise(self):
+        rng = np.random.default_rng(7)
+        pairs = [
+            (_rand_pdf(rng, rng.integers(1, 40)),
+             _rand_pdf(rng, rng.integers(1, 40), offset=3))
+            for _ in range(17)
+        ]
+        batched = convolve_many(
+            pairs, trim_eps=1e-9, backend="compiled"
+        )
+        for (a, b), res in zip(pairs, batched):
+            single = convolve(a, b, trim_eps=1e-9, backend="compiled")
+            assert single.offset == res.offset
+            assert np.array_equal(single.masses, res.masses)
+
+    def test_deterministic_across_calls(self):
+        rng = np.random.default_rng(11)
+        a = _rand_pdf(rng, 33)
+        b = _rand_pdf(rng, 17, offset=-4)
+        r1 = convolve(a, b, trim_eps=1e-9, backend="compiled")
+        r2 = convolve(a, b, trim_eps=1e-9, backend="compiled")
+        assert r1.offset == r2.offset
+        assert np.array_equal(r1.masses, r2.masses)
+
+    def test_result_honors_pdf_contract(self):
+        rng = np.random.default_rng(13)
+        a = _rand_pdf(rng, 29)
+        b = _rand_pdf(rng, 31, offset=5)
+        c = convolve(a, b, trim_eps=1e-9, backend="compiled")
+        assert np.all(c.masses >= 0.0)
+        assert c.masses.sum() == pytest.approx(1.0, abs=1e-12)
+        assert not c.masses.flags.writeable
+        # The fused construction must produce a fully usable PDF.
+        assert c.percentile(0.5) <= c.percentile(0.99)
+        assert c.trimmed(1e-9) is c  # trim-idempotence memo stamped
+
+
+@needs_provider
+class TestFusedConstruction:
+    """Cache and executor interplay of the compiled construction."""
+
+    def test_cache_hit_is_stored_object(self):
+        cache = ConvolutionCache(64)
+        rng = np.random.default_rng(17)
+        a = _rand_pdf(rng, 21)
+        b = _rand_pdf(rng, 13, offset=2)
+        first = convolve(
+            a, b, trim_eps=1e-9, backend="compiled", cache=cache
+        )
+        again = convolve(
+            a, b, trim_eps=1e-9, backend="compiled", cache=cache
+        )
+        assert again is first
+
+    def test_translated_replay_bitwise_with_fresh_compute(self):
+        """The rebuild_trimmed hook: a hit at a shifted anchor rebuilds
+        through the compiled trim, matching a fresh fused compute at
+        that anchor bit for bit."""
+        cache = ConvolutionCache(64)
+        rng = np.random.default_rng(19)
+        raw_a, raw_b = rng.random(27) + 1e-4, rng.random(18) + 1e-4
+        a = DiscretePDF(2.0, 3, raw_a)
+        b = DiscretePDF(2.0, -1, raw_b)
+        convolve(a, b, trim_eps=1e-9, backend="compiled", cache=cache)
+        # Content-equal translation: same raw vectors normalized
+        # identically, new offset (shifted_bins would renormalize and
+        # perturb the last ulp — a legitimate miss).
+        a2 = DiscretePDF(2.0, 10, raw_a)
+        hit = convolve(
+            a2, b, trim_eps=1e-9, backend="compiled", cache=cache
+        )
+        fresh = convolve(a2, b, trim_eps=1e-9, backend="compiled")
+        assert hit.offset == fresh.offset
+        assert np.array_equal(hit.masses, fresh.masses)
+        assert cache.stats.hits >= 1
+
+    def test_executor_raws_build_bitwise_with_inline(self):
+        """trim_raws over executor-shipped raws == the inline fused
+        batch (the trim is a pure function of the raw bits)."""
+        from repro.exec.executor import SERIAL_EXECUTOR
+
+        rng = np.random.default_rng(23)
+        pairs = [
+            (_rand_pdf(rng, rng.integers(2, 50)),
+             _rand_pdf(rng, rng.integers(2, 50), offset=1))
+            for _ in range(9)
+        ]
+        inline = convolve_many(pairs, trim_eps=1e-9, backend="compiled")
+        via_exec = convolve_many(
+            pairs, trim_eps=1e-9, backend="compiled",
+            executor=SERIAL_EXECUTOR,
+        )
+        for r_i, r_e in zip(inline, via_exec):
+            assert r_i.offset == r_e.offset
+            assert np.array_equal(r_i.masses, r_e.masses)
+
+    def test_counter_tallies_match_direct(self):
+        rng = np.random.default_rng(29)
+        pairs = [
+            (_rand_pdf(rng, 12), _rand_pdf(rng, 9, offset=2))
+            for _ in range(6)
+        ]
+        cd, cc = OpCounter(), OpCounter()
+        convolve_many(pairs, trim_eps=1e-9, backend="direct", counter=cd)
+        convolve_many(pairs, trim_eps=1e-9, backend="compiled", counter=cc)
+        assert cc.convolutions == cd.convolutions == len(pairs)
+
+
+@needs_max_sweep
+class TestCompiledMaxSweep:
+    """The grouped-MAX sweep must be bitwise the NumPy sweep."""
+
+    def _groups(self, seed, n_groups=7):
+        rng = np.random.default_rng(seed)
+        return [
+            tuple(
+                _rand_pdf(
+                    rng, int(rng.integers(2, 40)),
+                    offset=int(rng.integers(-6, 7)),
+                )
+                for _ in range(int(rng.integers(2, 5)))
+            )
+            for _ in range(n_groups)
+        ]
+
+    def test_sweep_bitwise_with_numpy_sweep(self):
+        groups = self._groups(31)
+        kernel = get_backend("compiled")
+        swept = max_batch_raws(groups, kernel=kernel)
+        stock = max_batch_raws(groups)
+        for (lo_s, m_s), (lo_n, m_n) in zip(swept, stock):
+            assert lo_s == lo_n
+            assert np.array_equal(m_s, m_n)
+
+    def test_stat_max_many_bitwise_across_backends(self):
+        groups = self._groups(37, n_groups=3)
+        for pdfs_ in groups:
+            d = stat_max_many(pdfs_, trim_eps=1e-9, backend="direct")
+            c = stat_max_many(pdfs_, trim_eps=1e-9, backend="compiled")
+            assert c.offset == d.offset
+            assert np.array_equal(c.masses, d.masses)
+
+    def test_stat_max_groups_bitwise_with_cache(self):
+        groups = self._groups(41)
+        ref = stat_max_groups(groups, trim_eps=1e-9, backend="direct")
+        for cache in (None, ConvolutionCache(64)):
+            got = stat_max_groups(
+                groups, trim_eps=1e-9, backend="compiled", cache=cache
+            )
+            for r, g in zip(ref, got):
+                assert r.offset == g.offset
+                assert np.array_equal(r.masses, g.masses)
+
+    def test_single_group_sweep_matches_max_masses(self):
+        kernel = get_backend("compiled")
+        for pdfs_ in self._groups(43, n_groups=4):
+            lo_c, m_c = kernel.grouped_max_raws([pdfs_])[0]
+            lo_n, m_n = _max_masses(pdfs_)
+            assert lo_c == lo_n
+            assert np.array_equal(m_c, m_n)
+
+
+class TestFallbackMatrix:
+    """Degraded compiled == pure-NumPy direct, bit for bit, warned
+    once — under the kill switch and under a host with neither numba
+    nor a C compiler."""
+
+    def _assert_degraded_is_direct(self):
+        kernel = get_backend("compiled")
+        assert kernel.warm_up() is None
+        rng = np.random.default_rng(47)
+        a = _rand_pdf(rng, 33)
+        b = _rand_pdf(rng, 17, offset=-2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            assert not kernel.fused_trim_active
+            assert not kernel.max_sweep_active
+            c = convolve(a, b, trim_eps=1e-9, backend="compiled")
+            ca = convolve(a, b, trim_eps=1e-9, backend="compiled-auto")
+        d = convolve(a, b, trim_eps=1e-9, backend="direct")
+        assert c.offset == d.offset
+        assert np.array_equal(c.masses, d.masses)
+        assert ca.offset == d.offset
+        assert np.array_equal(ca.masses, d.masses)
+        # MAX falls back to the stock sweep — also bitwise.
+        g = (a, b)
+        md = stat_max_many(g, trim_eps=1e-9, backend="direct")
+        mc = stat_max_many(g, trim_eps=1e-9, backend="compiled")
+        assert md.offset == mc.offset
+        assert np.array_equal(md.masses, mc.masses)
+
+    def test_kill_switch_degrades_to_direct(
+        self, monkeypatch, fresh_provider_state
+    ):
+        monkeypatch.setenv(_compiled.DISABLE_ENV, "1")
+        _compiled.reset_provider_cache()
+        assert _compiled.get_provider() is None
+        assert _compiled.DISABLE_ENV in _compiled.fail_reason()
+        self._assert_degraded_is_direct()
+
+    def test_numba_and_compiler_absent_degrades_to_direct(
+        self, monkeypatch, fresh_provider_state
+    ):
+        """Module patching simulates the barest host: ``import numba``
+        raises and the C provider cannot build."""
+        # The ambient kill switch (e.g. CI's degraded leg) would mask
+        # the provider-resolution path this test is about.
+        monkeypatch.delenv(_compiled.DISABLE_ENV, raising=False)
+        monkeypatch.setitem(sys.modules, "numba", None)
+
+        class _NoCompiler:
+            def __init__(self):
+                raise RuntimeError("no C compiler found")
+
+        monkeypatch.setattr(_compiled, "_CProvider", _NoCompiler)
+        _compiled.reset_provider_cache()
+        assert _compiled.get_provider() is None
+        assert "numba unavailable" in _compiled.fail_reason()
+        self._assert_degraded_is_direct()
+
+    def test_degraded_warns_exactly_once(
+        self, monkeypatch, fresh_provider_state
+    ):
+        monkeypatch.setenv(_compiled.DISABLE_ENV, "1")
+        _compiled.reset_provider_cache()
+        monkeypatch.setattr(_compiled, "_warned", False)
+        rng = np.random.default_rng(53)
+        a = _rand_pdf(rng, 9)
+        b = _rand_pdf(rng, 7)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            convolve(a, b, backend="compiled")
+            convolve(a, b, backend="compiled")
+        degraded = [
+            w for w in caught
+            if issubclass(w.category, RuntimeWarning)
+            and "compiled kernel tier unavailable" in str(w.message)
+        ]
+        assert len(degraded) == 1
+        assert "[compiled]" in str(degraded[0].message)
+
+    def test_self_check_failure_rejects_provider(
+        self, monkeypatch, fresh_provider_state
+    ):
+        """A provider that cannot prove its contract never serves."""
+        monkeypatch.delenv(_compiled.DISABLE_ENV, raising=False)
+        monkeypatch.setitem(sys.modules, "numba", None)
+
+        class _LyingProvider:
+            kind = "cext"
+            max_ok = True
+
+            def conv_trim_many(self, pairs, dts, offsets, eps, want):
+                raise AssertionError("wrong bits")
+
+        monkeypatch.setattr(
+            _compiled, "_CProvider", lambda: _LyingProvider()
+        )
+        _compiled.reset_provider_cache()
+        assert _compiled.get_provider() is None
+        assert "self-check failed" in _compiled.fail_reason()
+
+    @needs_provider
+    def test_max_sweep_mismatch_disables_only_the_sweep(self):
+        """A max_ok=False provider still serves ADD; the MAX side runs
+        the stock NumPy sweep (bitwise anyway, by the guard)."""
+        kernel = get_backend("compiled")
+        p = _compiled.get_provider()
+        original = p.max_ok
+        try:
+            p.max_ok = False
+            assert kernel.fused_trim_active
+            assert not kernel.max_sweep_active
+            rng = np.random.default_rng(59)
+            groups = [
+                (_rand_pdf(rng, 9), _rand_pdf(rng, 11, offset=1))
+            ]
+            stock = max_batch_raws(groups)
+            gated = max_batch_raws(groups, kernel=kernel)
+            assert stock[0][0] == gated[0][0]
+            assert np.array_equal(stock[0][1], gated[0][1])
+        finally:
+            p.max_ok = original
+
+
+class TestRegistryCompat:
+    """The compiled tier must stay a registry backend so name-keyed
+    machinery (cache snapshots, worker shipping) keeps working."""
+
+    def test_compiled_backends_are_registry_singletons(self):
+        for name in ("compiled", "compiled-auto"):
+            kernel = get_backend(name)
+            assert is_registry_backend(kernel)
+            assert get_backend(name) is kernel
+
+    def test_compiled_auto_shares_the_compiled_singleton(self):
+        ca = get_backend("compiled-auto")
+        assert ca._compiled is get_backend("compiled")  # noqa: SLF001
+
+    def test_cache_snapshot_roundtrip_under_compiled(self, tmp_path):
+        cache = ConvolutionCache(64)
+        rng = np.random.default_rng(61)
+        pairs = [
+            (_rand_pdf(rng, 15), _rand_pdf(rng, 12, offset=1))
+            for _ in range(5)
+        ]
+        ref = convolve_many(
+            pairs, trim_eps=1e-9, backend="compiled", cache=cache
+        )
+        path = tmp_path / "snap.pkl"
+        assert cache.save(path) == len(pairs)
+        loaded = ConvolutionCache.load(path)
+        hits = convolve_many(
+            pairs, trim_eps=1e-9, backend="compiled", cache=loaded
+        )
+        assert loaded.stats.hits == len(pairs)
+        for r, h in zip(ref, hits):
+            assert r.offset == h.offset
+            assert np.array_equal(r.masses, h.masses)
+
+    def test_unknown_backend_raises_distribution_error(self):
+        with pytest.raises(DistributionError, match="available"):
+            AnalysisConfig(backend="compiled-fast")
+        with pytest.raises(DistributionError, match="available"):
+            get_backend("compiled-fast")
+
+    def test_invalid_cost_ratio_rejected(self):
+        with pytest.raises(DistributionError):
+            CompiledAutoBackend(cost_ratio=-1.0)
+
+    def test_compiled_auto_dispatch_boundaries(self):
+        ca = get_backend("compiled-auto")
+        assert ca.chooses(17, 17) == "compiled"
+        assert ca.chooses(33, 129) == "compiled"
+        assert ca.chooses(4097, 4097) == "fft"
+        # Asymmetric pairs stay compiled (direct degenerates to O(N)).
+        assert ca.chooses(1, 8192) == "compiled"
+
+    def test_compiled_auto_fft_side_matches_fft_backend(self):
+        rng = np.random.default_rng(67)
+        n = 4097
+        a = DiscretePDF(2.0, 0, rng.random(n) + 1e-4)
+        b = DiscretePDF(2.0, 3, rng.random(n) + 1e-4)
+        ca = get_backend("compiled-auto")
+        assert ca.chooses(n, n) == "fft"
+        via_ca = convolve(a, b, backend="compiled-auto")
+        via_fft = convolve(a, b, backend="fft")
+        assert _tv(via_ca, via_fft) < TV_TOL
+
+
+@needs_provider
+class TestCompiledInWorkers:
+    """Compiled kernels resolved by name inside spawned workers, both
+    transports, matching direct (satellite 3's process-boundary leg).
+
+    One module-scoped executor per transport would leak pools across
+    unrelated modules; these build and close their own tiny pools.
+    """
+
+    @pytest.mark.parametrize("transport", ["shm", "pickle"])
+    def test_parallel_compiled_matches_direct(self, transport):
+        from repro.exec.pool import ProcessExecutor
+
+        ex = ProcessExecutor(
+            2, min_items_per_shard=1, transport=transport,
+            min_dispatch_cost_us=0.0,
+        )
+        try:
+            rng = np.random.default_rng(71)
+            pairs = [
+                (_rand_pdf(rng, int(rng.integers(2, 40))),
+                 _rand_pdf(rng, int(rng.integers(2, 40)), offset=2))
+                for _ in range(8)
+            ]
+            groups = [
+                (_rand_pdf(rng, 9, offset=-1), _rand_pdf(rng, 14)),
+                (_rand_pdf(rng, 21), _rand_pdf(rng, 6, offset=4)),
+            ]
+            par = convolve_many(
+                pairs, trim_eps=1e-9, backend="compiled", executor=ex
+            )
+            inline = convolve_many(
+                pairs, trim_eps=1e-9, backend="compiled"
+            )
+            direct = convolve_many(
+                pairs, trim_eps=1e-9, backend="direct"
+            )
+            for p, i, d in zip(par, inline, direct):
+                # Worker raws + coordinator trim == inline fused path,
+                # bitwise; both sit within the class budget of direct.
+                assert p.offset == i.offset
+                assert np.array_equal(p.masses, i.masses)
+                assert _tv(p, d) < 1e-9 + TV_TOL
+            par_max = stat_max_groups(
+                groups, trim_eps=1e-9, backend="compiled", executor=ex
+            )
+            direct_max = stat_max_groups(
+                groups, trim_eps=1e-9, backend="direct"
+            )
+            for p, d in zip(par_max, direct_max):
+                assert p.offset == d.offset
+                assert np.array_equal(p.masses, d.masses)
+        finally:
+            ex.close()

@@ -55,7 +55,16 @@ SIZER_GOLDEN_CIRCUITS = ("c17", "c432")
 #: direct and auto must reproduce the goldens to round-off of the
 #: recorded decimal literals; fft carries ~1e-15 relative kernel error
 #: per convolution, far below a picosecond after hundreds of ops.
-PERCENTILE_TOL = {"direct": 1e-9, "auto": 1e-9, "fft": 1e-6}
+PERCENTILE_TOL = {
+    "direct": 1e-9,
+    "auto": 1e-9,
+    "fft": 1e-6,
+    # The compiled tier is a 1e-12-TV class like fft (sequential
+    # instead of pairwise reductions); degraded it *is* direct, which
+    # the same tolerance also covers.
+    "compiled": 1e-6,
+    "compiled-auto": 1e-6,
+}
 
 
 def golden(circuit: str) -> dict:
@@ -365,11 +374,12 @@ class TestCrossBackendEngineContracts:
         on the sink CDF; auto must be usable end to end."""
         fine = {
             name: ssta_for("c17", AnalysisConfig(dt=0.05, backend=name))[0]
-            for name in ("direct", "fft", "auto")
+            for name in ("direct", "fft", "auto", "compiled",
+                         "compiled-auto")
         }
         sink_d = fine["direct"].sink_pdf
         assert sink_d.n_bins > 512  # actually beyond the crossover
-        for name in ("fft", "auto"):
+        for name in ("fft", "auto", "compiled", "compiled-auto"):
             sink = fine[name].sink_pdf
             assert sink_d.tv_distance(sink) < 1e-9
             for p in (0.5, 0.9, 0.99):
